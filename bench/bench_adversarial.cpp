@@ -1,0 +1,107 @@
+// E10 — Paper Thm 1 and Thm 3: against the online adaptive adversary, every
+// algorithm has cost = infinity (Thm 1, n = 3, no knowledge; Thm 3, n = 4,
+// underlying graph known).
+//
+// Reproduction: "cost = infinity" manifests on finite horizons as a cost
+// that grows without bound: we run Gathering (and the spanning-tree
+// algorithm for Thm 3) against the adaptive constructions at increasing
+// horizons and report the measured paper-cost, which scales linearly with
+// the horizon while the execution never terminates.
+
+#include <benchmark/benchmark.h>
+
+#include "adversary/adaptive_adversaries.hpp"
+#include "algorithms/gathering.hpp"
+#include "algorithms/spanning_tree_aggregation.hpp"
+#include "analysis/convergecast.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/traces.hpp"
+
+namespace doda {
+namespace {
+
+/// Replays an adaptive adversary against an algorithm, capturing the
+/// emitted sequence, and returns (terminated, measured cost).
+std::pair<bool, std::size_t> adaptiveCost(core::DodaAlgorithm& algorithm,
+                                          core::Adversary& adversary,
+                                          std::size_t n,
+                                          core::Time horizon) {
+  class Recorder final : public core::Adversary {
+   public:
+    explicit Recorder(core::Adversary& inner) : inner_(&inner) {}
+    std::string name() const override { return inner_->name(); }
+    void reset(const core::SystemInfo& info) override { inner_->reset(info); }
+    std::optional<core::Interaction> next(
+        core::Time t, const core::ExecutionView& view) override {
+      auto i = inner_->next(t, view);
+      if (i) emitted_.append(*i);
+      return i;
+    }
+    dynagraph::InteractionSequence emitted_;
+
+   private:
+    core::Adversary* inner_;
+  } recorder(adversary);
+
+  core::Engine engine({n, 0}, core::AggregationFunction::count());
+  core::RunOptions options;
+  options.max_interactions = horizon;
+  const auto r = engine.run(algorithm, recorder, options);
+  const auto ending =
+      r.terminated ? r.last_transmission_time : dynagraph::kNever;
+  return {r.terminated,
+          analysis::costOf(recorder.emitted_, n, 0, ending)};
+}
+
+void BM_Thm1CostGrowsWithHorizon(benchmark::State& state) {
+  const auto horizon = static_cast<core::Time>(state.range(0));
+  bool terminated = true;
+  std::size_t cost = 0;
+  for (auto _ : state) {
+    algorithms::Gathering ga;
+    adversary::Thm1Adversary adv;
+    std::tie(terminated, cost) = adaptiveCost(ga, adv, 3, horizon);
+  }
+  state.counters["terminated"] = terminated ? 1 : 0;  // always 0 (Thm 1)
+  state.counters["cost"] = static_cast<double>(cost);
+  state.counters["cost_per_1k_horizon"] =
+      1000.0 * static_cast<double>(cost) / static_cast<double>(horizon);
+}
+
+BENCHMARK(BM_Thm1CostGrowsWithHorizon)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Thm3CostGrowsWithHorizon(benchmark::State& state) {
+  const auto horizon = static_cast<core::Time>(state.range(0));
+  bool terminated = true;
+  std::size_t cost = 0;
+  for (auto _ : state) {
+    // The victim knows the true underlying graph (the 4-cycle) — and still
+    // loses, which is the point of Thm 3.
+    algorithms::SpanningTreeAggregation alg(dynagraph::traces::ringGraph(4));
+    adversary::Thm3Adversary adv;
+    std::tie(terminated, cost) = adaptiveCost(alg, adv, 4, horizon);
+  }
+  state.counters["terminated"] = terminated ? 1 : 0;  // always 0 (Thm 3)
+  state.counters["cost"] = static_cast<double>(cost);
+  state.counters["cost_per_1k_horizon"] =
+      1000.0 * static_cast<double>(cost) / static_cast<double>(horizon);
+}
+
+BENCHMARK(BM_Thm3CostGrowsWithHorizon)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// E8 — Paper Thm 11 context: the knowledge hierarchy in one head-to-head.
+//
+//   offline optimum (full knowledge)   Theta(n log n)         (Thm 8)
+//   WaitingGreedy  (meetTime)          Theta(n^1.5 sqrt(log)) (Cor 3)
+//   Gathering      (no knowledge)      Theta(n^2)             (Thm 9, opt.)
+//   Waiting        (no knowledge)      Theta(n^2 log n)       (Thm 9)
+//
+// Reproduction: mean interactions of all four at each n. The expected
+// ordering offline < WG < Gathering < Waiting must hold at every size, and
+// the WG/Gathering gap must widen with n.
+
+#include "bench_common.hpp"
+
+namespace doda {
+namespace {
+
+void BM_Comparison(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tau =
+      static_cast<core::Time>(util::closed_form::waitingGreedyTau(n));
+  sim::MeasureResult offline, wg, ga, w;
+  for (auto _ : state) {
+    offline = sim::measureOfflineOptimal(bench::configFor(n, 0xE8 + n));
+    wg = sim::measureRandomized(bench::configFor(n, 0xE8 + n),
+                                bench::waitingGreedy(tau));
+    ga = sim::measureRandomized(bench::configFor(n, 0xE8 + n),
+                                bench::gathering());
+    w = sim::measureRandomized(bench::configFor(n, 0xE8 + n),
+                               bench::waiting());
+  }
+  state.counters["offline"] = offline.interactions.mean();
+  state.counters["waiting_greedy"] = wg.interactions.mean();
+  state.counters["gathering"] = ga.interactions.mean();
+  state.counters["waiting"] = w.interactions.mean();
+  state.counters["wg_speedup_vs_gathering"] =
+      ga.interactions.mean() / wg.interactions.mean();
+  state.counters["gap_to_offline"] =
+      wg.interactions.mean() / offline.interactions.mean();
+}
+
+BENCHMARK(BM_Comparison)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// E9 — Paper Thm 6 and Cor 1 (future knowledge):
+//   * Thm 6: with each node knowing its own future, cost <= n against any
+//     adversary (n-1 convergecasts to gossip all futures + 1 to aggregate).
+//   * Cor 1: under the randomized adversary, the future-aware algorithm
+//     terminates in Theta(n log n) interactions — same order as the full-
+//     knowledge optimum of Thm 8.
+//
+// Reproduction: FutureAware vs FullKnowledgeOptimal: mean interactions
+// (both ~ c * n log n, FutureAware's c larger), measured paper-cost
+// (FullKnowledge == 1 exactly; FutureAware small and << n).
+
+#include "algorithms/full_knowledge.hpp"
+#include "algorithms/future_aware.hpp"
+#include "bench_common.hpp"
+
+namespace doda {
+namespace {
+
+void BM_FutureKnowledge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto hint = static_cast<core::Time>(
+      8.0 * util::closed_form::broadcastExpected(n));
+  sim::MeasureResult future, full;
+  for (auto _ : state) {
+    future = sim::measureMaterialized(
+        bench::configFor(n, 0xE9 + n), hint,
+        [](const dynagraph::InteractionSequence& seq,
+           const core::SystemInfo&) {
+          return std::make_unique<algorithms::FutureAware>(seq);
+        });
+    full = sim::measureMaterialized(
+        bench::configFor(n, 0xE9 + n), hint,
+        [](const dynagraph::InteractionSequence& seq,
+           const core::SystemInfo&) {
+          return std::make_unique<algorithms::FullKnowledgeOptimal>(seq);
+        });
+  }
+  const double paper = util::closed_form::broadcastExpected(n);
+  state.counters["future_mean"] = future.interactions.mean();
+  state.counters["full_mean"] = full.interactions.mean();
+  state.counters["future_over_nlogn"] = future.interactions.mean() / paper;
+  state.counters["full_cost"] = full.cost.mean();            // == 1 (Thm 8)
+  state.counters["future_cost_mean"] = future.cost.mean();   // << n (Thm 6)
+  state.counters["future_cost_max"] = future.cost.max();
+  state.counters["thm6_bound_n"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_FutureKnowledge)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// E4 — Paper Thm 9 (Gathering): E[X_G] = n(n-1) * sum 1/(i(i+1)) = O(n^2)
+// (the sum telescopes to 1 - 1/n, so E = (n-1)^2), and Cor 2: Gathering is
+// optimal among knowledge-free algorithms (its n^2 matches Thm 7's bound).
+//
+// Reproduction: mean interactions of Gathering vs the exact closed form
+// and the fitted quadratic exponent.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace doda {
+namespace {
+
+std::vector<double> g_ns, g_means;
+
+void BM_Gathering(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::MeasureResult r;
+  for (auto _ : state)
+    r = sim::measureRandomized(bench::configFor(n, 0xE4 + n),
+                               bench::gathering());
+  const double paper = util::closed_form::gatheringExpected(n);
+  state.counters["mean"] = r.interactions.mean();
+  state.counters["paper_(n-1)^2"] = paper;
+  state.counters["ratio"] = r.interactions.mean() / paper;
+  state.counters["rel_stddev"] =
+      r.interactions.stddev() / r.interactions.mean();
+  g_ns.push_back(static_cast<double>(n));
+  g_means.push_back(r.interactions.mean());
+  if (g_ns.size() >= 6)
+    state.counters["fitted_exponent"] =
+        util::fitPowerLaw(g_ns, g_means).slope;  // ~2.0
+}
+
+BENCHMARK(BM_Gathering)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// E13 — Extension (paper's concluding remarks #1 and #2):
+//   #1 "What knowledge has a real impact on the lower bounds or algorithm
+//       efficiency?"
+//   #2 "Can similar optimal algorithms be obtained with fixed memory or
+//       limited computational power?"
+//
+// Ablations on WaitingGreedy's meetTime knowledge at n = 256 with the
+// Cor 3 horizon tau* = n^1.5 sqrt(log n):
+//
+//   * Foresight window sweep (remark #1): the oracle only reveals meetings
+//     at most W interactions ahead. W = 0 is Gathering-with-ids; W >= tau
+//     is the full oracle. The interesting question is where between 0 and
+//     tau the benefit saturates.
+//   * Quantization sweep (remark #2): the oracle reveals meetTime only up
+//     to a bucket of size B, i.e. log2(tau/B) bits of per-node memory.
+//     Expectation: WG only compares meet times against each other and
+//     against tau, so coarse buckets should lose almost nothing until the
+//     bucket approaches tau itself.
+
+#include "adversary/randomized_adversary.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace doda {
+namespace {
+
+constexpr std::size_t kN = 256;
+
+/// Runs WG over `trials` with an oracle built per trial by `make_oracle`.
+template <typename MakeOracle>
+util::RunningStats runAblation(core::Time tau, std::uint64_t seed,
+                               MakeOracle&& make_oracle) {
+  util::Rng master(seed);
+  util::RunningStats stats;
+  for (std::size_t trial = 0; trial < bench::kTrials; ++trial) {
+    adversary::RandomizedAdversary adv(kN, master());
+    auto index = adv.makeMeetTimeIndex(0);
+    auto oracle = make_oracle(index);
+    algorithms::WaitingGreedy wg(*oracle, tau);
+    core::Engine engine({kN, 0}, core::AggregationFunction::count());
+    const auto r = engine.run(wg, adv);
+    if (r.terminated)
+      stats.add(static_cast<double>(r.interactions_to_terminate));
+  }
+  return stats;
+}
+
+void BM_ForesightWindow(benchmark::State& state) {
+  const auto tau =
+      static_cast<core::Time>(util::closed_form::waitingGreedyTau(kN));
+  // Window as a percentage of tau.
+  const auto window =
+      static_cast<core::Time>(static_cast<double>(state.range(0)) / 100.0 *
+                              static_cast<double>(tau));
+  util::RunningStats stats;
+  for (auto _ : state) {
+    stats = runAblation(tau, 0xF1 + state.range(0),
+                        [window](dynagraph::MeetTimeIndex& index) {
+                          return std::make_unique<
+                              dynagraph::WindowedMeetTimeOracle>(index,
+                                                                 window);
+                        });
+  }
+  state.counters["window_pct_of_tau"] = static_cast<double>(state.range(0));
+  state.counters["mean"] = stats.mean();
+  state.counters["vs_full_oracle_tau"] =
+      stats.mean() / static_cast<double>(tau);
+}
+
+// 0% = no foresight (Gathering-like), 100% = the full Cor 3 oracle.
+BENCHMARK(BM_ForesightWindow)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QuantizedMeetTime(benchmark::State& state) {
+  const auto tau =
+      static_cast<core::Time>(util::closed_form::waitingGreedyTau(kN));
+  const auto bits = static_cast<core::Time>(state.range(0));
+  // bucket = tau / 2^bits: `bits` bits of memory cover [0, tau].
+  const core::Time bucket = std::max<core::Time>(1, tau >> bits);
+  util::RunningStats stats;
+  for (auto _ : state) {
+    stats = runAblation(tau, 0xF2 + state.range(0),
+                        [bucket](dynagraph::MeetTimeIndex& index) {
+                          return std::make_unique<
+                              dynagraph::QuantizedMeetTimeOracle>(index,
+                                                                  bucket);
+                        });
+  }
+  state.counters["bits"] = static_cast<double>(bits);
+  state.counters["bucket"] = static_cast<double>(bucket);
+  state.counters["mean"] = stats.mean();
+  state.counters["vs_full_oracle_tau"] =
+      stats.mean() / static_cast<double>(tau);
+}
+
+// 0 bits: every meeting rounds up to tau-or-later; 10 bits ~ exact.
+BENCHMARK(BM_QuantizedMeetTime)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(10)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

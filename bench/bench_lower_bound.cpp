@@ -1,0 +1,54 @@
+// E1 — Paper Thm 7: any knowledge-free DODA needs Omega(n^2) expected
+// interactions; the proof charges n(n-1)/2 to the LAST transmission alone.
+//
+// Reproduction: run Gathering (the optimal knowledge-free algorithm) under
+// the randomized adversary and report (a) the mean gap between the last two
+// transmissions against the paper's n(n-1)/2, and (b) the total
+// interactions against n^2.
+
+#include "adversary/randomized_adversary.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace doda {
+namespace {
+
+void BM_LastTransmissionGap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::RunningStats gap, total;
+  for (auto _ : state) {
+    util::Rng master(0xE1 + n);
+    for (std::size_t trial = 0; trial < 200; ++trial) {
+      adversary::RandomizedAdversary adv(n, master());
+      algorithms::Gathering ga;
+      core::Engine engine({n, 0}, core::AggregationFunction::count());
+      const auto r = engine.run(ga, adv);
+      if (!r.terminated || r.schedule.size() < 2) continue;
+      gap.add(static_cast<double>(
+          r.schedule.back().time - r.schedule[r.schedule.size() - 2].time));
+      total.add(static_cast<double>(r.interactions_to_terminate));
+    }
+  }
+  const double paper_last = util::closed_form::lastTransmissionExpected(n);
+  state.counters["last_gap_mean"] = gap.mean();
+  state.counters["paper_n(n-1)/2"] = paper_last;
+  state.counters["last_gap_ratio"] = gap.mean() / paper_last;
+  state.counters["total_mean"] = total.mean();
+  state.counters["total_over_n^2"] =
+      total.mean() / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+BENCHMARK(BM_LastTransmissionGap)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

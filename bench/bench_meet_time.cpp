@@ -1,0 +1,50 @@
+// E5 — Paper Lemma 1: if f(n) = omega(1) and o(n), then within n * f(n)
+// uniform random interactions, Theta(f(n)) distinct nodes interact with the
+// sink, w.h.p.
+//
+// Reproduction: at n = 512, sweep f in {8, 16, 32, 64, 128} and report the
+// mean number of distinct sink contacts within n*f interactions and its
+// ratio to f (expected a constant ~2, since each interaction touches the
+// sink with probability 2/n).
+
+#include "analysis/meetings.hpp"
+#include "bench_common.hpp"
+#include "dynagraph/traces.hpp"
+#include "util/rng.hpp"
+
+namespace doda {
+namespace {
+
+void BM_MeetCount(benchmark::State& state) {
+  constexpr std::size_t n = 512;
+  const auto f = static_cast<double>(state.range(0));
+  const auto budget = static_cast<core::Time>(n * f);
+  util::RunningStats distinct;
+  for (auto _ : state) {
+    util::Rng master(0xE5 + state.range(0));
+    for (std::size_t trial = 0; trial < bench::kTrials; ++trial) {
+      util::Rng rng(master());
+      const auto seq = dynagraph::traces::uniformRandom(n, budget, rng);
+      distinct.add(static_cast<double>(
+          analysis::distinctSinkContacts(seq, 0, budget)));
+    }
+  }
+  state.counters["f"] = f;
+  state.counters["interactions_nf"] = static_cast<double>(budget);
+  state.counters["distinct_mean"] = distinct.mean();
+  state.counters["distinct_over_f"] = distinct.mean() / f;  // Theta(1)
+}
+
+BENCHMARK(BM_MeetCount)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// E11 — Extension (paper's concluding remark #3): "Can randomized
+// adversaries that use a non-uniform probabilistic distribution alter
+// significantly the bounds presented here?"
+//
+// Reproduction/ablation: re-run the headline quantities (offline optimum,
+// Gathering, WaitingGreedy with the uniform-optimal tau) under a
+// Zipf-weighted randomized adversary with increasing skew. Expectation:
+// mild skew changes constants only; strong skew (exponent >= 1) hurts the
+// unpopular nodes' sink contact rate and inflates all three measures, and
+// the uniform-tuned tau* stops being the right horizon for WG.
+
+#include "bench_common.hpp"
+
+namespace doda {
+namespace {
+
+void BM_ZipfSkewAblation(benchmark::State& state) {
+  constexpr std::size_t n = 128;
+  const double exponent = static_cast<double>(state.range(0)) / 100.0;
+  const auto tau =
+      static_cast<core::Time>(util::closed_form::waitingGreedyTau(n));
+  sim::MeasureResult offline, ga, wg;
+  for (auto _ : state) {
+    auto config = bench::configFor(n, 0xEB + state.range(0));
+    config.zipf_exponent = exponent;
+    offline = sim::measureOfflineOptimal(config);
+    ga = sim::measureRandomized(config, bench::gathering());
+    wg = sim::measureRandomized(config, bench::waitingGreedy(tau));
+  }
+  const double uniform_offline = util::closed_form::broadcastExpected(n);
+  const double uniform_ga = util::closed_form::gatheringExpected(n);
+  state.counters["zipf_exponent"] = exponent;
+  state.counters["offline_mean"] = offline.interactions.mean();
+  state.counters["offline_vs_uniform"] =
+      offline.interactions.mean() / uniform_offline;
+  state.counters["gathering_mean"] = ga.interactions.mean();
+  state.counters["gathering_vs_uniform"] =
+      ga.interactions.mean() / uniform_ga;
+  state.counters["wg_mean"] = wg.interactions.mean();
+  state.counters["wg_vs_gathering"] =
+      wg.interactions.mean() / ga.interactions.mean();
+}
+
+// Exponent = arg/100: 0 (uniform), 0.25, 0.5, 1.0, 1.5.
+BENCHMARK(BM_ZipfSkewAblation)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(150)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// E2 — Paper Thm 8: the best full-knowledge algorithm terminates in
+// Theta(n log n) interactions, in expectation and w.h.p. (via the
+// convergecast = reversed broadcast argument).
+//
+// Reproduction: measure opt(0)+1 under the randomized adversary and compare
+// with the closed form (n-1) * H(n-1); also report the relative spread
+// (concentration) and the fitted scaling exponent across the sweep.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace doda {
+namespace {
+
+std::vector<double> g_ns, g_means;
+
+void BM_OfflineOptimal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::MeasureResult r;
+  for (auto _ : state)
+    r = sim::measureOfflineOptimal(bench::configFor(n, 0xE2 + n));
+  const double paper = util::closed_form::broadcastExpected(n);
+  state.counters["opt_mean"] = r.interactions.mean();
+  state.counters["paper_(n-1)H(n-1)"] = paper;
+  state.counters["ratio"] = r.interactions.mean() / paper;
+  state.counters["rel_stddev"] =
+      r.interactions.stddev() / r.interactions.mean();
+  g_ns.push_back(static_cast<double>(n));
+  g_means.push_back(r.interactions.mean());
+  if (g_ns.size() >= 5)
+    state.counters["fitted_exponent"] =
+        util::fitPowerLaw(g_ns, g_means).slope;  // ~1 + o(1) for n log n
+}
+
+BENCHMARK(BM_OfflineOptimal)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// E12 — Paper Thm 5: when the underlying graph G̅ is a tree, the
+// spanning-tree aggregation algorithm (knowing G̅) is optimal: cost = 1 on
+// every sequence.
+//
+// Reproduction: random trees of increasing size, randomized fair edge
+// schedules; report the measured paper-cost (must be exactly 1 in every
+// trial) and the interactions-to-terminate against the offline optimum
+// (must coincide). Also the Thm 4 contrast: on non-tree underlying graphs
+// the same algorithm still terminates but its cost can exceed 1.
+
+#include <benchmark/benchmark.h>
+
+#include "adversary/sequence_adversary.hpp"
+#include "algorithms/spanning_tree_aggregation.hpp"
+#include "analysis/convergecast.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/traces.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace doda {
+namespace {
+
+namespace traces = dynagraph::traces;
+
+void BM_TreeOptimality(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTrials = 16;
+  util::RunningStats cost, interactions, opt_gap;
+  for (auto _ : state) {
+    util::Rng master(0xEC + n);
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      util::Rng rng(master());
+      const auto tree = traces::randomTree(n, rng);
+      const auto seq = traces::shuffledRounds(tree, 4 * n, rng);
+      algorithms::SpanningTreeAggregation alg(tree);
+      adversary::SequenceAdversary adv(seq);
+      core::Engine engine({n, 0}, core::AggregationFunction::count());
+      const auto r = engine.run(alg, adv);
+      if (!r.terminated) continue;
+      cost.add(static_cast<double>(
+          analysis::costOf(seq, n, 0, r.last_transmission_time)));
+      interactions.add(static_cast<double>(r.interactions_to_terminate));
+      const auto opt = analysis::optCompletion(seq, n, 0);
+      opt_gap.add(static_cast<double>(r.last_transmission_time) -
+                  static_cast<double>(opt));
+    }
+  }
+  state.counters["cost_mean"] = cost.mean();  // == 1 exactly (Thm 5)
+  state.counters["cost_max"] = cost.max();
+  state.counters["interactions_mean"] = interactions.mean();
+  state.counters["gap_to_offline_opt"] = opt_gap.mean();  // == 0 (optimal)
+}
+
+BENCHMARK(BM_TreeOptimality)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NonTreeContrast(benchmark::State& state) {
+  // Thm 4: same algorithm, non-tree G̅ (tree + extra edges): cost can
+  // exceed 1 (finite, but no longer optimal).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTrials = 16;
+  util::RunningStats cost;
+  std::size_t above_one = 0, done = 0;
+  for (auto _ : state) {
+    util::Rng master(0xED + n);
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      util::Rng rng(master());
+      const auto g = traces::randomConnected(n, n, rng);
+      const auto seq = traces::shuffledRounds(g, 4 * n, rng);
+      algorithms::SpanningTreeAggregation alg(g);
+      adversary::SequenceAdversary adv(seq);
+      core::Engine engine({n, 0}, core::AggregationFunction::count());
+      const auto r = engine.run(alg, adv);
+      if (!r.terminated) continue;
+      ++done;
+      const auto c =
+          analysis::costOf(seq, n, 0, r.last_transmission_time);
+      cost.add(static_cast<double>(c));
+      if (c > 1) ++above_one;
+    }
+  }
+  state.counters["cost_mean"] = cost.mean();
+  state.counters["frac_cost_above_1"] =
+      done ? static_cast<double>(above_one) / done : 0.0;
+}
+
+BENCHMARK(BM_NonTreeContrast)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

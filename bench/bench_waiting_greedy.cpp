@@ -1,0 +1,103 @@
+// E6 + E7 — Paper Thm 10 and Cor 3 (Waiting Greedy with meetTime):
+//   * Thm 10: WG with tau = Theta(max(n f(n), n^2 log n / f(n))) terminates
+//     within tau interactions w.h.p. — the two phases trade off through f.
+//   * Cor 3: f(n) = sqrt(n log n) minimizes the bound, giving
+//     tau = Theta(n^{3/2} sqrt(log n)).
+//
+// Reproduction (two sweeps):
+//   1. f-sweep at n = 256: tau(f) = max(n f, n^2 log n / f); report mean
+//      termination and the fraction of runs finishing within tau — the
+//      U-shape bottoms out near f* = sqrt(n log n).
+//   2. n-sweep at f = f*: report mean termination, its ratio to tau*, and
+//      the fitted exponent (~1.5, vs 2.0 for Gathering in E4).
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "adversary/randomized_adversary.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace doda {
+namespace {
+
+/// Runs WG trials and reports (mean termination, fraction <= tau).
+std::pair<util::RunningStats, double> runTrials(std::size_t n,
+                                                core::Time tau,
+                                                std::uint64_t seed) {
+  util::Rng master(seed);
+  util::RunningStats stats;
+  std::size_t within = 0, done = 0;
+  for (std::size_t trial = 0; trial < bench::kTrials; ++trial) {
+    adversary::RandomizedAdversary adv(n, master());
+    auto index = adv.makeMeetTimeIndex(0);
+    algorithms::WaitingGreedy wg(index, tau);
+    core::Engine engine({n, 0}, core::AggregationFunction::count());
+    const auto r = engine.run(wg, adv);
+    if (!r.terminated) continue;
+    ++done;
+    stats.add(static_cast<double>(r.interactions_to_terminate));
+    if (r.interactions_to_terminate <= tau) ++within;
+  }
+  return {stats, done ? static_cast<double>(within) / done : 0.0};
+}
+
+void BM_WaitingGreedyFSweep(benchmark::State& state) {
+  constexpr std::size_t n = 256;
+  const auto f = static_cast<double>(state.range(0));
+  const double nd = static_cast<double>(n);
+  const auto tau = static_cast<core::Time>(
+      std::max(nd * f, nd * nd * std::log(nd) / f));
+  std::pair<util::RunningStats, double> result;
+  for (auto _ : state) result = runTrials(n, tau, 0xE6 + state.range(0));
+  state.counters["f"] = f;
+  state.counters["tau(f)"] = static_cast<double>(tau);
+  state.counters["mean"] = result.first.mean();
+  state.counters["frac_within_tau"] = result.second;
+}
+
+// f* = sqrt(n log n) ~ 37.7 at n = 256; sweep around it.
+BENCHMARK(BM_WaitingGreedyFSweep)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(38)
+    ->Arg(96)
+    ->Arg(192)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+std::vector<double> g_ns, g_means;
+
+void BM_WaitingGreedyOptimalTau(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tau =
+      static_cast<core::Time>(util::closed_form::waitingGreedyTau(n));
+  std::pair<util::RunningStats, double> result;
+  for (auto _ : state) result = runTrials(n, tau, 0xE7 + n);
+  state.counters["tau*"] = static_cast<double>(tau);
+  state.counters["mean"] = result.first.mean();
+  state.counters["mean_over_tau"] =
+      result.first.mean() / static_cast<double>(tau);
+  state.counters["frac_within_tau"] = result.second;
+  g_ns.push_back(static_cast<double>(n));
+  g_means.push_back(result.first.mean());
+  if (g_ns.size() >= 5)
+    state.counters["fitted_exponent"] =
+        util::fitPowerLaw(g_ns, g_means).slope;  // ~1.5 (Cor 3)
+}
+
+BENCHMARK(BM_WaitingGreedyOptimalTau)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace doda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Adversary showcase: the paper's impossibility constructions, live.
+//
+//   * Thm 1 (n = 3, no knowledge): an online adaptive adversary starves
+//     whichever node moves first; no algorithm ever terminates, while
+//     offline convergecasts keep being possible — cost grows forever.
+//   * Thm 3 (n = 4, underlying graph known): same story on the 4-cycle,
+//     even though every node knows G̅.
+//   * Thm 2 (oblivious adversary vs deterministic oblivious algorithms):
+//     a FIXED sequence, built from the algorithm's code alone, dead-ends
+//     the data of a chosen node behind a hole.
+//
+//   $ ./adversary_showcase
+
+#include <iostream>
+
+#include "doda.hpp"
+
+namespace {
+
+using namespace doda;
+
+/// Record what an adaptive adversary emits so we can evaluate the cost
+/// function on the emitted prefix.
+class Recorder final : public core::Adversary {
+ public:
+  explicit Recorder(core::Adversary& inner) : inner_(&inner) {}
+  std::string name() const override { return inner_->name(); }
+  void reset(const core::SystemInfo& info) override { inner_->reset(info); }
+  std::optional<core::Interaction> next(
+      core::Time t, const core::ExecutionView& view) override {
+    auto i = inner_->next(t, view);
+    if (i) emitted.append(*i);
+    return i;
+  }
+  dynagraph::InteractionSequence emitted;
+
+ private:
+  core::Adversary* inner_;
+};
+
+void showAdaptive(const std::string& title, core::Adversary& adversary,
+                  std::size_t n) {
+  std::cout << "== " << title << " ==\n";
+  util::Table table({"horizon", "terminated?", "paper cost"});
+  for (const core::Time horizon : {500u, 2000u, 8000u}) {
+    algorithms::Gathering victim;  // optimal without knowledge — still loses
+    Recorder recorder(adversary);
+    core::Engine engine({n, 0}, core::AggregationFunction::count());
+    core::RunOptions options;
+    options.max_interactions = horizon;
+    const auto r = engine.run(victim, recorder, options);
+    const auto ending =
+        r.terminated ? r.last_transmission_time : dynagraph::kNever;
+    const auto cost = analysis::costOf(recorder.emitted, n, 0, ending);
+    table.addRow({std::to_string(horizon), r.terminated ? "yes" : "no",
+                  std::to_string(cost)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "The adversaries of \"Distributed Online Data Aggregation in "
+               "Dynamic Graphs\"\n\n";
+
+  adversary::Thm1Adversary thm1;
+  showAdaptive("Thm 1: adaptive adversary, 3 nodes, no knowledge", thm1, 3);
+
+  adversary::Thm3Adversary thm3;
+  showAdaptive(
+      "Thm 3: adaptive adversary, 4-cycle, nodes KNOW the underlying graph",
+      thm3, 4);
+
+  std::cout << "== Thm 2: oblivious adversary vs deterministic oblivious "
+               "algorithms ==\n";
+  util::Table table({"victim", "l0 (prefix)", "stuck node", "terminated?"});
+  {
+    algorithms::Waiting victim;
+    const auto built = adversary::buildThm2Sequence(victim, {6, 0}, 100);
+    adversary::SequenceAdversary adversary(built.sequence);
+    core::Engine engine({6, 0}, core::AggregationFunction::count());
+    const auto r = engine.run(victim, adversary);
+    table.addRow({"Waiting", std::to_string(built.prefix_length),
+                  std::to_string(built.stuck_node),
+                  r.terminated ? "yes" : "no"});
+  }
+  {
+    algorithms::Gathering victim;
+    const auto built = adversary::buildThm2Sequence(victim, {6, 0}, 100);
+    adversary::SequenceAdversary adversary(built.sequence);
+    core::Engine engine({6, 0}, core::AggregationFunction::count());
+    const auto r = engine.run(victim, adversary);
+    table.addRow({"Gathering", std::to_string(built.prefix_length),
+                  std::to_string(built.stuck_node),
+                  r.terminated ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "\nIn every case the execution never terminates while "
+               "convergecasts remain possible:\nthe measured cost grows "
+               "linearly with the horizon — the finite-horizon face of "
+               "cost = infinity.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Body-area sensor network (the paper's "sensors deployed on a human body"
+// motivation).
+//
+// Eight sensors take a temperature reading each; contacts with the hub
+// (node 0, the sink) happen periodically with jitter, and adjacent sensors
+// meet opportunistically. Each sensor may transmit its (aggregated) reading
+// exactly once. We aggregate the maximum temperature — e.g. fever
+// detection — under four strategies and compare against the offline
+// optimum via the paper's cost function.
+//
+//   $ ./body_sensor_network [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "doda.hpp"
+
+int main(int argc, char** argv) {
+  using namespace doda;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  dynagraph::traces::BodySensorConfig config;
+  config.sensors = 8;
+  config.slots = 600;
+  config.min_period = 6;
+  config.max_period = 24;
+  config.peer_contact_rate = 0.08;
+  const std::size_t n = config.sensors + 1;
+
+  util::Rng rng(seed);
+  const auto trace = dynagraph::traces::bodySensorTrace(config, rng);
+  std::cout << "Body-sensor trace: " << n << " nodes (hub = sink), "
+            << trace.length() << " contacts over " << config.slots
+            << " slots\n";
+
+  // Simulated skin temperatures; sensor 5 runs hot.
+  core::RunOptions options;
+  options.initial_values = {0.0,  36.4, 36.6, 36.5, 36.8,
+                            38.9, 36.3, 36.7, 36.5};
+
+  const auto opt = analysis::optCompletion(trace, n, 0);
+  std::cout << "Offline optimum completes at interaction "
+            << (opt == dynagraph::kNever ? -1 : static_cast<long long>(opt))
+            << "\n\n";
+
+  util::Table table(
+      {"algorithm", "knowledge", "interactions", "cost", "max-temp@hub"});
+
+  auto report = [&](core::DodaAlgorithm& algorithm) {
+    adversary::SequenceAdversary adversary(trace);
+    core::Engine engine({n, 0}, core::AggregationFunction::max());
+    const auto r = engine.run(algorithm, adversary, options);
+    if (!r.terminated) {
+      table.addRow({algorithm.name(), algorithm.knowledge(), "-", "-", "-"});
+      return;
+    }
+    const auto cost =
+        analysis::costOf(trace, n, 0, r.last_transmission_time);
+    table.addRow({algorithm.name(), algorithm.knowledge(),
+                  std::to_string(r.interactions_to_terminate),
+                  std::to_string(cost),
+                  util::Table::num(r.sink_datum.value, 1)});
+  };
+
+  algorithms::Waiting waiting;
+  report(waiting);
+
+  algorithms::Gathering gathering;
+  report(gathering);
+
+  {
+    // The spanning-tree algorithm gets the trace's underlying graph — the
+    // knowledge model of paper §3.2.
+    algorithms::SpanningTreeAggregation tree_agg(trace.underlyingGraph(n));
+    report(tree_agg);
+  }
+
+  {
+    algorithms::FullKnowledgeOptimal full(trace);
+    report(full);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nAll strategies deliver the same max temperature (38.9: "
+               "sensor 5's fever) —\nthe knowledge only buys completion "
+               "speed, measured by the paper's cost function.\n";
+  return 0;
+}

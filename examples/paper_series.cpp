@@ -1,0 +1,106 @@
+// paper_series — regenerate the paper's headline series as CSV files for
+// external plotting (gnuplot/matplotlib).
+//
+// Emits, into the given output directory (default "."):
+//   series_scaling.csv     mean interactions vs n for offline / WG /
+//                          Gathering / Waiting plus the closed forms
+//                          (the data behind EXPERIMENTS.md E2-E4, E7, E8)
+//   series_wg_fsweep.csv   the Thm 10 U-shape: WG termination vs f at
+//                          fixed n (EXPERIMENTS.md E6)
+//   series_meetcount.csv   Lemma 1: distinct sink contacts vs f (E5)
+//
+//   $ ./paper_series [outdir] [trials]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "doda.hpp"
+
+int main(int argc, char** argv) {
+  using namespace doda;
+  const std::string outdir = argc > 1 ? argv[1] : ".";
+  const std::size_t trials =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32;
+
+  // --- series 1: scaling of every knowledge level -----------------------
+  {
+    util::CsvWriter csv(outdir + "/series_scaling.csv");
+    csv.header({"n", "offline", "waiting_greedy", "gathering", "waiting",
+                "cf_offline", "cf_gathering", "cf_waiting", "cf_tau"});
+    for (std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+      sim::MeasureConfig config;
+      config.node_count = n;
+      config.trials = trials;
+      config.seed = 0xCAFE + n;
+      const auto offline = sim::measureOfflineOptimal(config);
+      const auto tau = static_cast<core::Time>(
+          util::closed_form::waitingGreedyTau(n));
+      const auto wg = sim::measureRandomized(config, [tau](sim::TrialContext& ctx) {
+        return std::make_unique<algorithms::WaitingGreedy>(ctx.meet_time,
+                                                           tau);
+      });
+      const auto ga = sim::measureRandomized(config, [](sim::TrialContext&) {
+        return std::make_unique<algorithms::Gathering>();
+      });
+      const auto w = sim::measureRandomized(config, [](sim::TrialContext&) {
+        return std::make_unique<algorithms::Waiting>();
+      });
+      csv.row(n, offline.interactions.mean(), wg.interactions.mean(),
+              ga.interactions.mean(), w.interactions.mean(),
+              util::closed_form::broadcastExpected(n),
+              util::closed_form::gatheringExpected(n),
+              util::closed_form::waitingExpected(n),
+              util::closed_form::waitingGreedyTau(n));
+      std::cout << "scaling: n=" << n << " done\n";
+    }
+    std::cout << "wrote " << outdir << "/series_scaling.csv\n";
+  }
+
+  // --- series 2: the Thm 10 U-shape -------------------------------------
+  {
+    constexpr std::size_t n = 256;
+    util::CsvWriter csv(outdir + "/series_wg_fsweep.csv");
+    csv.header({"f", "tau_f", "mean_interactions"});
+    for (const double f : {4.0, 8.0, 16.0, 24.0, 38.0, 64.0, 96.0, 144.0,
+                           192.0}) {
+      const double nd = static_cast<double>(n);
+      const auto tau = static_cast<core::Time>(
+          std::max(nd * f, nd * nd * std::log(nd) / f));
+      sim::MeasureConfig config;
+      config.node_count = n;
+      config.trials = trials;
+      config.seed = 0xBEEF + static_cast<std::uint64_t>(f);
+      const auto r = sim::measureRandomized(config, [tau](sim::TrialContext& ctx) {
+        return std::make_unique<algorithms::WaitingGreedy>(ctx.meet_time,
+                                                           tau);
+      });
+      csv.row(f, tau, r.interactions.mean());
+    }
+    std::cout << "wrote " << outdir << "/series_wg_fsweep.csv\n";
+  }
+
+  // --- series 3: Lemma 1 meet counts -------------------------------------
+  {
+    constexpr std::size_t n = 512;
+    util::CsvWriter csv(outdir + "/series_meetcount.csv");
+    csv.header({"f", "interactions", "distinct_mean", "distinct_over_f"});
+    util::Rng master(0xF00D);
+    for (const double f : {4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+      const auto budget = static_cast<core::Time>(n * f);
+      util::RunningStats distinct;
+      for (std::size_t t = 0; t < trials; ++t) {
+        util::Rng rng(master());
+        const auto seq = dynagraph::traces::uniformRandom(n, budget, rng);
+        distinct.add(static_cast<double>(
+            analysis::distinctSinkContacts(seq, 0, budget)));
+      }
+      csv.row(f, budget, distinct.mean(), distinct.mean() / f);
+    }
+    std::cout << "wrote " << outdir << "/series_meetcount.csv\n";
+  }
+
+  return 0;
+}

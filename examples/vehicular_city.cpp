@@ -1,0 +1,91 @@
+// Vehicular network (the paper's "cars evolving in a city that communicate
+// in an ad hoc manner" motivation).
+//
+// Cars random-walk a city grid; a road-side unit (RSU, node 0) is the sink.
+// Each car carries one measurement (e.g. observed travel time) to be
+// aggregated at the RSU, transmitting at most once. Cars that "planned
+// their route" know when they will next pass the RSU — exactly the paper's
+// meetTime knowledge — so WaitingGreedy applies; we sweep its horizon tau
+// and compare with the knowledge-free strategies on the same trace.
+//
+//   $ ./vehicular_city [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "doda.hpp"
+
+int main(int argc, char** argv) {
+  using namespace doda;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  dynagraph::traces::VehicularConfig config;
+  config.width = 6;
+  config.height = 6;
+  config.cars = 14;
+  config.steps = 6000;
+  const std::size_t n = config.cars + 1;
+
+  util::Rng rng(seed);
+  const auto trace = dynagraph::traces::vehicularTrace(config, rng);
+  const auto opt = analysis::optCompletion(trace, n, 0);
+  std::cout << "Vehicular trace: " << config.cars << " cars + RSU on a "
+            << config.width << "x" << config.height << " grid, "
+            << trace.length() << " contacts\n";
+  std::cout << "Offline optimum completes at interaction "
+            << (opt == dynagraph::kNever ? -1 : static_cast<long long>(opt))
+            << "\n\n";
+
+  util::Table table({"algorithm", "interactions", "cost", "mean@RSU"});
+
+  // Cars report a travel-time sample; we aggregate the sum and divide by
+  // car count at the end (sum is associative; mean is derived at the sink).
+  core::RunOptions options;
+  options.initial_values.assign(n, 0.0);
+  util::Rng samples(seed ^ 0x5a5a);
+  for (std::size_t c = 1; c < n; ++c)
+    options.initial_values[c] = 8.0 + samples.uniform() * 10.0;
+
+  auto report = [&](core::DodaAlgorithm& algorithm, const std::string& name) {
+    adversary::SequenceAdversary adversary(trace);
+    core::Engine engine({n, 0}, core::AggregationFunction::sum());
+    const auto r = engine.run(algorithm, adversary, options);
+    if (!r.terminated) {
+      table.addRow({name, "- (did not finish)", "-", "-"});
+      return;
+    }
+    const auto cost =
+        analysis::costOf(trace, n, 0, r.last_transmission_time);
+    table.addRow({name, std::to_string(r.interactions_to_terminate),
+                  std::to_string(cost),
+                  util::Table::num(r.sink_datum.value /
+                                       static_cast<double>(config.cars),
+                                   2)});
+  };
+
+  algorithms::Waiting waiting;
+  report(waiting, "Waiting");
+
+  algorithms::Gathering gathering;
+  report(gathering, "Gathering");
+
+  // WaitingGreedy with three horizons: too eager, paper-optimal-ish, too
+  // patient. meetTime comes from the (fixed) planned-routes trace.
+  for (const double scale : {0.25, 1.0, 4.0}) {
+    dynagraph::MeetTimeIndex meet_time(trace, 0, n);
+    const auto tau = static_cast<core::Time>(
+        scale * util::closed_form::waitingGreedyTau(n));
+    algorithms::WaitingGreedy wg(meet_time, tau);
+    report(wg, "WaitingGreedy(tau=" + std::to_string(tau) + ")");
+  }
+
+  algorithms::FullKnowledgeOptimal full(trace);
+  report(full, "FullKnowledgeOptimal");
+
+  table.print(std::cout);
+  std::cout << "\nmean@RSU is the average reported travel time; identical "
+               "across strategies\nbecause aggregation is exact — only "
+               "latency (cost) differs.\n";
+  return 0;
+}

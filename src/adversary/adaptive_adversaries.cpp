@@ -1,0 +1,112 @@
+#include "adversary/adaptive_adversaries.hpp"
+
+#include <stdexcept>
+
+namespace doda::adversary {
+
+using core::ExecutionView;
+using core::Interaction;
+using core::NodeId;
+using core::SystemInfo;
+using core::Time;
+
+namespace {
+
+/// The non-sink node ids of a system, ascending.
+std::vector<NodeId> nonSinkNodes(const SystemInfo& info) {
+  std::vector<NodeId> out;
+  out.reserve(info.node_count - 1);
+  for (NodeId u = 0; u < info.node_count; ++u)
+    if (u != info.sink) out.push_back(u);
+  return out;
+}
+
+}  // namespace
+
+void Thm1Adversary::reset(const SystemInfo& info) {
+  if (info.node_count != 3)
+    throw std::invalid_argument("Thm1Adversary: requires exactly 3 nodes");
+  const auto others = nonSinkNodes(info);
+  a_ = others[0];
+  b_ = others[1];
+  s_ = info.sink;
+  probe_step_ = 0;
+  trap_step_ = 0;
+}
+
+std::optional<Interaction> Thm1Adversary::next(Time t,
+                                               const ExecutionView& view) {
+  // At most one transfer can ever happen against this adversary: as soon as
+  // ownership changes, we lock into the trap that starves the remaining
+  // owner (paper Thm 1). Ownership is all the state we need to observe.
+  if (!view.ownsData(a_)) {
+    // a transmitted (to b at {a,b}); b must never meet s again:
+    // repeat {a,s}, {a,b} — both inert since a has no data.
+    const Interaction trap[2] = {Interaction(a_, s_), Interaction(a_, b_)};
+    return trap[trap_step_++ % 2];
+  }
+  if (!view.ownsData(b_)) {
+    // b transmitted (to a at {a,b}, or to s at {b,s}); starve a:
+    // repeat {b,s}, {a,b} — both inert since b has no data.
+    const Interaction trap[2] = {Interaction(b_, s_), Interaction(a_, b_)};
+    return trap[trap_step_++ % 2];
+  }
+  // No transmission yet: alternate the probes {a,b}, {b,s} (the paper's
+  // "otherwise ... continue as in the first time").
+  (void)t;
+  const Interaction probes[2] = {Interaction(a_, b_), Interaction(b_, s_)};
+  return probes[probe_step_++ % 2];
+}
+
+void Thm3Adversary::reset(const SystemInfo& info) {
+  if (info.node_count != 4)
+    throw std::invalid_argument("Thm3Adversary: requires exactly 4 nodes");
+  const auto others = nonSinkNodes(info);
+  u1_ = others[0];
+  u2_ = others[1];
+  u3_ = others[2];
+  s_ = info.sink;
+  mode_ = Mode::kBlock;
+  step_ = 0;
+  have_emitted_ = false;
+  last_emitted_ = 0;
+}
+
+std::optional<Interaction> Thm3Adversary::next(Time /*t*/,
+                                               const ExecutionView& view) {
+  // Watch u2: the moment it transmits, trap the receiver's side of the
+  // cycle. u2 transmits at most once, so scanning the schedule is cheap.
+  if (mode_ == Mode::kBlock && !view.ownsData(u2_)) {
+    NodeId receiver = u1_;
+    for (const auto& rec : view.schedule())
+      if (rec.sender == u2_) receiver = rec.receiver;
+    mode_ = receiver == u1_ ? Mode::kTrapViaU1 : Mode::kTrapViaU3;
+    step_ = 0;
+  }
+
+  switch (mode_) {
+    case Mode::kBlock: {
+      const Interaction block[4] = {
+          Interaction(u1_, s_), Interaction(u3_, s_), Interaction(u2_, u1_),
+          Interaction(u2_, u3_)};
+      return block[step_++ % 4];
+    }
+    case Mode::kTrapViaU1: {
+      // u1 holds u2's data; u1 only ever meets the empty u2.
+      const Interaction loop[3] = {Interaction(u1_, u2_),
+                                   Interaction(u2_, u3_),
+                                   Interaction(u3_, s_)};
+      return loop[step_++ % 3];
+    }
+    case Mode::kTrapViaU3: {
+      // u3 holds u2's data; u3 only ever meets the empty u2.
+      const Interaction loop[3] = {Interaction(u3_, u2_),
+                                   Interaction(u2_, u1_),
+                                   Interaction(u1_, s_)};
+      return loop[step_++ % 3];
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+}  // namespace doda::adversary

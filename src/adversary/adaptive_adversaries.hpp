@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+
+#include "core/adversary.hpp"
+
+namespace doda::adversary {
+
+/// The online adaptive adversary of paper Theorem 1.
+///
+/// Works on 3 nodes {a, b, s}: it probes {a,b} and {b,s}, watching which
+/// node (if any) transmits, then locks the execution into a loop in which
+/// the remaining data owner never meets a node that could relay its datum
+/// to the sink — while an offline convergecast remains possible in every
+/// window. Against ANY algorithm, the execution never terminates and
+/// cost = infinity.
+///
+/// Requires exactly 3 nodes; a and b are the two non-sink ids in
+/// ascending order.
+class Thm1Adversary final : public core::Adversary {
+ public:
+  std::string name() const override { return "adaptive-thm1"; }
+
+  void reset(const core::SystemInfo& info) override;
+
+  std::optional<core::Interaction> next(
+      core::Time t, const core::ExecutionView& view) override;
+
+ private:
+  core::NodeId a_ = 0, b_ = 0, s_ = 0;
+  std::size_t probe_step_ = 0;
+  std::size_t trap_step_ = 0;
+};
+
+/// The online adaptive adversary of paper Theorem 3 (n = 4, nodes know the
+/// underlying graph).
+///
+/// The underlying graph is the cycle s - u1 - u2 - u3 - s. The adversary
+/// replays the block ({u1,s}, {u3,s}, {u2,u1}, {u2,u3}) and watches u2: as
+/// soon as u2 transmits to u1 (resp. u3) it locks into the loop
+/// ({u1,u2}, {u2,u3}, {u3,s}) (resp. ({u2,u3}, {u1,u2}, {u1,s})), where the
+/// new data holder can never reach the sink; if u2 never transmits, u2
+/// itself never meets the sink. Either way no algorithm terminates while a
+/// convergecast stays possible in every window, so cost = infinity.
+///
+/// Requires exactly 4 nodes; u1 < u2 < u3 are the non-sink ids.
+class Thm3Adversary final : public core::Adversary {
+ public:
+  std::string name() const override { return "adaptive-thm3"; }
+
+  void reset(const core::SystemInfo& info) override;
+
+  std::optional<core::Interaction> next(
+      core::Time t, const core::ExecutionView& view) override;
+
+ private:
+  enum class Mode { kBlock, kTrapViaU1, kTrapViaU3 };
+
+  core::NodeId u1_ = 0, u2_ = 0, u3_ = 0, s_ = 0;
+  Mode mode_ = Mode::kBlock;
+  std::size_t step_ = 0;        // position within the current block/loop
+  core::Time last_emitted_ = 0;
+  bool have_emitted_ = false;
+};
+
+}  // namespace doda::adversary

@@ -1,0 +1,37 @@
+#include "adversary/randomized_adversary.hpp"
+
+namespace doda::adversary {
+
+RandomizedAdversary::RandomizedAdversary(std::size_t node_count,
+                                         std::uint64_t seed,
+                                         core::Time max_length)
+    : node_count_(node_count), rng_(seed) {
+  sequence_ = std::make_unique<dynagraph::LazySequence>(
+      [this](core::Time) {
+        return dynagraph::traces::uniformPair(node_count_, rng_);
+      },
+      max_length);
+}
+
+dynagraph::MeetTimeIndex RandomizedAdversary::makeMeetTimeIndex(
+    core::NodeId sink) {
+  return dynagraph::MeetTimeIndex(*sequence_, sink, node_count_);
+}
+
+NonUniformAdversary::NonUniformAdversary(std::size_t node_count,
+                                         double zipf_exponent,
+                                         std::uint64_t seed,
+                                         core::Time max_length)
+    : node_count_(node_count),
+      distribution_(node_count, zipf_exponent),
+      rng_(seed) {
+  sequence_ = std::make_unique<dynagraph::LazySequence>(
+      [this](core::Time) { return distribution_.sample(rng_); }, max_length);
+}
+
+dynagraph::MeetTimeIndex NonUniformAdversary::makeMeetTimeIndex(
+    core::NodeId sink) {
+  return dynagraph::MeetTimeIndex(*sequence_, sink, node_count_);
+}
+
+}  // namespace doda::adversary

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/adversary.hpp"
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::adversary {
+
+/// The oblivious adversary (paper §2.2): the whole sequence of interactions
+/// is fixed before the execution starts. Also used to replay traces
+/// (body-sensor, vehicular) and crafted counterexample sequences.
+class SequenceAdversary final : public core::Adversary {
+ public:
+  /// The sequence is copied; replays I_0, I_1, ... then reports exhaustion.
+  explicit SequenceAdversary(dynagraph::InteractionSequence sequence)
+      : sequence_(std::move(sequence)) {}
+
+  std::string name() const override { return "oblivious-sequence"; }
+
+  std::optional<core::Interaction> next(
+      core::Time t, const core::ExecutionView& /*view*/) override {
+    if (t >= sequence_.length()) return std::nullopt;
+    return sequence_.at(t);
+  }
+
+  const dynagraph::InteractionSequence& sequence() const noexcept {
+    return sequence_;
+  }
+
+ private:
+  dynagraph::InteractionSequence sequence_;
+};
+
+}  // namespace doda::adversary

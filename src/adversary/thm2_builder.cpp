@@ -1,0 +1,80 @@
+#include "adversary/thm2_builder.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "adversary/sequence_adversary.hpp"
+#include "core/engine.hpp"
+
+namespace doda::adversary {
+
+using core::NodeId;
+using core::SystemInfo;
+using core::Time;
+using dynagraph::Interaction;
+using dynagraph::InteractionSequence;
+
+Thm2Construction buildThm2Sequence(core::DodaAlgorithm& algorithm,
+                                   const SystemInfo& info,
+                                   std::size_t repeats, Time max_prefix) {
+  if (info.node_count < 4)
+    throw std::invalid_argument("buildThm2Sequence: need >= 4 nodes");
+
+  // Non-sink nodes u_0 .. u_{n-2} in ascending id order; all index
+  // arithmetic below is modulo n-1 as in the paper.
+  std::vector<NodeId> u;
+  for (NodeId v = 0; v < info.node_count; ++v)
+    if (v != info.sink) u.push_back(v);
+  const std::size_t m = u.size();  // n - 1
+
+  // Star sequence I^L: I_i = {u_{i mod m}, s}.
+  InteractionSequence star;
+  for (Time i = 0; i < max_prefix; ++i)
+    star.append(Interaction(u[static_cast<std::size_t>(i) % m], info.sink));
+
+  // Simulate the algorithm on the star (the adversary knows its code) to
+  // find the first transmission.
+  core::Engine engine(info, core::AggregationFunction::sum());
+  SequenceAdversary probe(star);
+  core::RunOptions options;
+  options.max_interactions = max_prefix;
+  const auto result = engine.run(algorithm, probe, options);
+
+  Thm2Construction out;
+  if (result.schedule.empty()) {
+    // The algorithm never transmits on the star: the star itself defeats it.
+    out.sequence = star;
+    out.prefix_length = 0;
+    out.stuck_node = u[0];
+    return out;
+  }
+
+  const Time first = result.schedule.front().time;
+  const Time l0 = first + 1;
+  // The transmitter at I_{l0-1} = {u_j, s} is u_j; every other non-sink
+  // node still owns data there. Pick d = j+1 (any still-owning node works;
+  // the paper picks one distinct from u_{l0}).
+  const std::size_t j = static_cast<std::size_t>(first) % m;
+  const std::size_t d = (j + 1) % m;
+
+  // Ring round I' of length m: I'_i = {u_i, u_{i+1 mod m}} except
+  // I'_{d-1} = {u_{d-1}, s}. The ring edge {u_{d-1}, u_d} is the one
+  // replaced, so u_d's only route to the sink goes the long way around —
+  // through u_j, which has no data.
+  const std::size_t cut = (d + m - 1) % m;
+  InteractionSequence round;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == cut)
+      round.append(Interaction(u[cut], info.sink));
+    else
+      round.append(Interaction(u[i], u[(i + 1) % m]));
+  }
+
+  out.sequence = star.slice(0, l0);
+  for (std::size_t r = 0; r < repeats; ++r) out.sequence.appendAll(round);
+  out.prefix_length = l0;
+  out.stuck_node = u[d];
+  return out;
+}
+
+}  // namespace doda::adversary

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::adversary {
+
+/// The oblivious-adversary construction of paper Theorem 2, specialized to
+/// deterministic oblivious algorithms (for which the paper's transmission
+/// probabilities are 0/1 and the construction is exact).
+struct Thm2Construction {
+  /// The full sequence: star prefix I^{l0} followed by `repeats` copies of
+  /// the blocking ring round I'.
+  dynagraph::InteractionSequence sequence;
+  /// l0: length of the star prefix (first prefix on which the algorithm
+  /// transmits at least once). 0 if the algorithm never transmits on the
+  /// star within the probe bound.
+  dynagraph::Time prefix_length = 0;
+  /// u_d: the node that still owns data after the prefix but whose only
+  /// route to the sink passes through a node that no longer owns data.
+  dynagraph::NodeId stuck_node = 0;
+};
+
+/// Builds the Theorem 2 sequence against `algorithm`.
+///
+/// The adversary knows the algorithm's code (paper §2.2), so it simulates
+/// the algorithm on star prefixes I^l (I_i = {u_{i mod n-1}, s}) to find
+/// l0 = the first prefix length with a transmission, picks a node u_d that
+/// still owns data, and appends `repeats` rounds of the ring sequence I'
+/// where the only interaction touching the sink is {u_{d-1}, s}: u_d's data
+/// would have to traverse every other node — including one with no data —
+/// so the execution can never terminate while offline convergecasts remain
+/// possible (cost = infinity).
+///
+/// `info.node_count` must be >= 4. `max_prefix` bounds the l0 search; if
+/// the algorithm never transmits on the star, the returned sequence is the
+/// pure star prefix repeated (on which such an algorithm never terminates
+/// either).
+Thm2Construction buildThm2Sequence(core::DodaAlgorithm& algorithm,
+                                   const core::SystemInfo& info,
+                                   std::size_t repeats,
+                                   dynagraph::Time max_prefix = 1 << 16);
+
+}  // namespace doda::adversary

@@ -1,0 +1,30 @@
+#include "algorithms/full_knowledge.hpp"
+
+#include "analysis/convergecast.hpp"
+
+namespace doda::algorithms {
+
+FullKnowledgeOptimal::FullKnowledgeOptimal(
+    dynagraph::InteractionSequence sequence, core::Time start)
+    : sequence_(std::move(sequence)), start_(start) {}
+
+void FullKnowledgeOptimal::reset(const core::SystemInfo& info) {
+  plan_.clear();
+  const auto schedule = analysis::optimalSchedule(sequence_, info.node_count,
+                                                  info.sink, start_);
+  for (const auto& rec : schedule) plan_.emplace(rec.time, rec.receiver);
+}
+
+std::optional<core::NodeId> FullKnowledgeOptimal::decide(
+    const core::Interaction& i, core::Time t,
+    const core::ExecutionView& /*view*/) {
+  const auto it = plan_.find(t);
+  if (it == plan_.end()) return std::nullopt;
+  // In a consistent run the planned pair always matches the delivered
+  // interaction; if a different adversary is substituted, ignore the plan
+  // entry rather than violating the model.
+  if (!i.involves(it->second)) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace doda::algorithms

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "core/algorithm.hpp"
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::algorithms {
+
+/// The full-knowledge optimal algorithm (paper Thm 8): given the entire
+/// sequence of interactions in advance, compute an optimal offline
+/// convergecast schedule and follow it.
+///
+/// By construction cost = 1 whenever a convergecast is possible at all, and
+/// under the randomized adversary it terminates in Theta(n log n)
+/// interactions in expectation and w.h.p.
+class FullKnowledgeOptimal final : public core::DodaAlgorithm {
+ public:
+  /// `sequence` is the full-knowledge oracle: the exact sequence the
+  /// adversary will play (copied). `start` is the first time the schedule
+  /// may use.
+  explicit FullKnowledgeOptimal(dynagraph::InteractionSequence sequence,
+                                core::Time start = 0);
+
+  std::string name() const override { return "FullKnowledgeOptimal"; }
+  bool isOblivious() const override { return true; }
+  std::string knowledge() const override { return "full"; }
+
+  void reset(const core::SystemInfo& info) override;
+
+  std::optional<core::NodeId> decide(const core::Interaction& i,
+                                     core::Time t,
+                                     const core::ExecutionView& view) override;
+
+  /// True if an optimal schedule exists within the known sequence.
+  bool feasible() const noexcept { return !plan_.empty(); }
+
+ private:
+  dynagraph::InteractionSequence sequence_;
+  core::Time start_;
+  /// time -> receiver of the transfer planned at that time.
+  std::unordered_map<core::Time, core::NodeId> plan_;
+};
+
+}  // namespace doda::algorithms

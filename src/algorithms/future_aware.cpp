@@ -1,0 +1,68 @@
+#include "algorithms/future_aware.hpp"
+
+#include <vector>
+
+#include "analysis/convergecast.hpp"
+
+namespace doda::algorithms {
+
+using core::NodeId;
+using core::Time;
+using dynagraph::kNever;
+
+FutureAware::FutureAware(dynagraph::InteractionSequence sequence)
+    : sequence_(std::move(sequence)) {}
+
+void FutureAware::reset(const core::SystemInfo& info) {
+  plan_.clear();
+  t_star_ = kNever;
+
+  // Simulate the epidemic dissemination of per-node futures: knows[u][v]
+  // means u knows v's future. Initially knows[u] = {u}; every interaction
+  // merges both endpoints' knowledge (control information is exchanged on
+  // every interaction regardless of data transfers). Represented as
+  // 64-bit blocks for O(n/64) merges.
+  const std::size_t n = info.node_count;
+  const std::size_t blocks = (n + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> knows(
+      n, std::vector<std::uint64_t>(blocks, 0));
+  auto full = [&](const std::vector<std::uint64_t>& k) {
+    std::size_t bits = 0;
+    for (auto w : k) bits += static_cast<std::size_t>(__builtin_popcountll(w));
+    return bits == n;
+  };
+  for (std::size_t u = 0; u < n; ++u) knows[u][u / 64] |= 1ULL << (u % 64);
+
+  std::size_t fully_informed = n == 1 ? 1 : 0;
+  for (Time t = 0; t < sequence_.length() && fully_informed < n; ++t) {
+    const auto& i = sequence_.at(t);
+    auto& ka = knows[i.a()];
+    auto& kb = knows[i.b()];
+    const bool a_was_full = full(ka);
+    const bool b_was_full = full(kb);
+    for (std::size_t w = 0; w < blocks; ++w) {
+      const std::uint64_t merged = ka[w] | kb[w];
+      ka[w] = merged;
+      kb[w] = merged;
+    }
+    if (!a_was_full && full(ka)) ++fully_informed;
+    if (!b_was_full && full(kb)) ++fully_informed;
+    if (fully_informed == n) t_star_ = t;
+  }
+  if (t_star_ == kNever) return;  // dissemination never completes: all wait
+
+  const auto schedule = analysis::optimalSchedule(sequence_, info.node_count,
+                                                  info.sink, t_star_ + 1);
+  for (const auto& rec : schedule) plan_.emplace(rec.time, rec.receiver);
+}
+
+std::optional<NodeId> FutureAware::decide(const core::Interaction& i, Time t,
+                                          const core::ExecutionView& /*view*/) {
+  if (t_star_ == kNever || t <= t_star_) return std::nullopt;
+  const auto it = plan_.find(t);
+  if (it == plan_.end()) return std::nullopt;
+  if (!i.involves(it->second)) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace doda::algorithms

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "core/algorithm.hpp"
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::algorithms {
+
+/// The future-knowledge algorithm of paper Thm 6 / Cor 1: each node starts
+/// knowing only its *own* future (the interactions it takes part in, with
+/// their times). Control information is exchanged on every interaction, so
+/// node futures spread epidemically; once a node has collected the futures
+/// of all n nodes it knows the entire sequence.
+///
+/// Every fully-informed node deterministically simulates that very
+/// dissemination process to compute t* — the time by which ALL nodes are
+/// fully informed — and then follows the optimal offline convergecast
+/// schedule computed on the suffix starting at t*+1. All fully-informed
+/// nodes compute the same t* and the same schedule, and nobody transmits
+/// before t*, so the execution is consistent.
+///
+/// Cost <= n against any adversary (Thm 6: n-1 convergecasts suffice to
+/// broadcast all futures, one more aggregates); under the randomized
+/// adversary it terminates in Theta(n log n) interactions w.h.p. (Cor 1).
+class FutureAware final : public core::DodaAlgorithm {
+ public:
+  /// `sequence` is the ground-truth dynamic graph from which each node's
+  /// future is derived (the per-node futures are exactly its restriction).
+  explicit FutureAware(dynagraph::InteractionSequence sequence);
+
+  std::string name() const override { return "FutureAware"; }
+  /// Nodes accumulate received futures between interactions.
+  bool isOblivious() const override { return false; }
+  std::string knowledge() const override { return "future"; }
+
+  void reset(const core::SystemInfo& info) override;
+
+  std::optional<core::NodeId> decide(const core::Interaction& i,
+                                     core::Time t,
+                                     const core::ExecutionView& view) override;
+
+  /// Time at which every node is fully informed (kNever if dissemination
+  /// does not complete within the sequence). Valid after reset().
+  core::Time disseminationComplete() const noexcept { return t_star_; }
+
+  /// True if a convergecast fits after dissemination completes.
+  bool feasible() const noexcept { return !plan_.empty(); }
+
+ private:
+  dynagraph::InteractionSequence sequence_;
+  core::Time t_star_ = dynagraph::kNever;
+  std::unordered_map<core::Time, core::NodeId> plan_;
+};
+
+}  // namespace doda::algorithms

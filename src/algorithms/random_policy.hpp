@@ -1,0 +1,40 @@
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "util/rng.hpp"
+
+namespace doda::algorithms {
+
+/// Baseline coin-flip policy: on each interaction, transfer with
+/// probability `p`, sending toward the sink when present and otherwise to a
+/// uniformly random endpoint. Not from the paper — used as a sanity
+/// baseline in benches (anything reasonable should beat it or match it).
+class RandomPolicy final : public core::DodaAlgorithm {
+ public:
+  explicit RandomPolicy(std::uint64_t seed, double transfer_probability = 0.5)
+      : seed_(seed), rng_(seed), p_(transfer_probability) {}
+
+  std::string name() const override { return "RandomPolicy"; }
+  bool isOblivious() const override { return true; }
+  std::string knowledge() const override { return "none"; }
+
+  void reset(const core::SystemInfo& /*info*/) override {
+    rng_ = util::Rng(seed_);  // reproducible across runs
+  }
+
+  std::optional<core::NodeId> decide(const core::Interaction& i,
+                                     core::Time /*t*/,
+                                     const core::ExecutionView& view) override {
+    const auto sink = view.system().sink;
+    if (i.involves(sink)) return sink;  // delivering to the sink never hurts
+    if (!rng_.chance(p_)) return std::nullopt;
+    return rng_.chance(0.5) ? i.a() : i.b();
+  }
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+  double p_;
+};
+
+}  // namespace doda::algorithms

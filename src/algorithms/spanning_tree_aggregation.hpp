@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+
+#include "core/algorithm.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/static_graph.hpp"
+
+namespace doda::algorithms {
+
+/// The underlying-graph algorithm of paper Thm 4/5: every node computes the
+/// same spanning tree of G̅ rooted at the sink (deterministically, from node
+/// identifiers), waits until it has received the data of all its children,
+/// then transmits to its parent at the first opportunity.
+///
+/// * If every recurring interaction occurs infinitely often, the cost is
+///   finite (Thm 4) but unbounded in general.
+/// * If G̅ is a tree, the algorithm is optimal: cost = 1 (Thm 5).
+///
+/// The algorithm is oblivious in the paper's sense: the "have I heard from
+/// all children?" test reads the source-set of the node's own datum (data
+/// content, not per-node control memory).
+class SpanningTreeAggregation final : public core::DodaAlgorithm {
+ public:
+  /// `underlying` is the knowledge G̅ given to every node (paper §3.2). The
+  /// graph must be connected.
+  explicit SpanningTreeAggregation(graph::StaticGraph underlying)
+      : underlying_(std::move(underlying)) {}
+
+  std::string name() const override { return "SpanningTreeAggregation"; }
+  bool isOblivious() const override { return true; }
+  std::string knowledge() const override { return "underlying graph"; }
+
+  void reset(const core::SystemInfo& info) override {
+    tree_ = graph::SpanningTree::bfs(underlying_, info.sink);
+  }
+
+  std::optional<core::NodeId> decide(const core::Interaction& i,
+                                     core::Time /*t*/,
+                                     const core::ExecutionView& view) override {
+    if (!tree_) return std::nullopt;
+    // A transfer happens only from a child to its tree parent, and only
+    // once the child's datum already contains every child of its own.
+    if (readyToSend(i.a(), i.b(), view)) return i.b();
+    if (readyToSend(i.b(), i.a(), view)) return i.a();
+    return std::nullopt;
+  }
+
+ private:
+  bool readyToSend(core::NodeId child, core::NodeId parent,
+                   const core::ExecutionView& view) const {
+    if (tree_->parent(child) != parent) return false;
+    const auto& datum = view.datumOf(child);
+    for (core::NodeId c : tree_->children(child))
+      if (!datum.containsSource(c)) return false;
+    return true;
+  }
+
+  graph::StaticGraph underlying_;
+  std::optional<graph::SpanningTree> tree_;
+};
+
+}  // namespace doda::algorithms

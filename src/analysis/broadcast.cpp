@@ -1,0 +1,43 @@
+#include "analysis/broadcast.hpp"
+
+#include <stdexcept>
+
+namespace doda::analysis {
+
+BroadcastResult greedyBroadcast(const InteractionSequence& sequence,
+                                std::size_t node_count, NodeId source,
+                                Time from) {
+  if (source >= node_count)
+    throw std::out_of_range("greedyBroadcast: source out of range");
+  BroadcastResult r;
+  r.informed_at.assign(node_count, dynagraph::kNever);
+  r.informer.assign(node_count, std::nullopt);
+  r.informed_at[source] = from;
+  r.informed_count = 1;
+
+  for (Time t = from; t < sequence.length(); ++t) {
+    if (r.informed_count == node_count) break;
+    const Interaction& i = sequence.at(t);
+    const bool a_in = r.informed_at[i.a()] != dynagraph::kNever &&
+                      r.informed_at[i.a()] <= t;
+    const bool b_in = r.informed_at[i.b()] != dynagraph::kNever &&
+                      r.informed_at[i.b()] <= t;
+    if (a_in == b_in) continue;  // both informed or both uninformed
+    const NodeId newly = a_in ? i.b() : i.a();
+    const NodeId from_node = a_in ? i.a() : i.b();
+    r.informed_at[newly] = t;
+    r.informer[newly] = from_node;
+    ++r.informed_count;
+    if (r.informed_count == node_count) r.completion_time = t;
+  }
+  return r;
+}
+
+Time broadcastDuration(const InteractionSequence& sequence,
+                       std::size_t node_count, NodeId source, Time from) {
+  const auto r = greedyBroadcast(sequence, node_count, source, from);
+  if (!r.complete(node_count)) return dynagraph::kNever;
+  return r.completion_time - from + 1;
+}
+
+}  // namespace doda::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::analysis {
+
+using dynagraph::Interaction;
+using dynagraph::InteractionSequence;
+using dynagraph::NodeId;
+using dynagraph::Time;
+
+/// Result of a (greedy) broadcast over an interaction window.
+struct BroadcastResult {
+  /// informed_at[u] = first time index (absolute, within the original
+  /// sequence) at which u becomes informed; kNever if never.
+  std::vector<Time> informed_at;
+  /// informer[u] = the node that informed u; kNever-like nullopt for the
+  /// source and never-informed nodes.
+  std::vector<std::optional<NodeId>> informer;
+  /// Time index of the interaction that informed the last node; kNever if
+  /// the broadcast does not complete within the window.
+  Time completion_time = dynagraph::kNever;
+  /// Number of informed nodes at the end of the window.
+  std::size_t informed_count = 0;
+
+  bool complete(std::size_t node_count) const {
+    return informed_count == node_count;
+  }
+};
+
+/// Greedy broadcast of a token from `source` over interactions
+/// [from, sequence.length()): whenever an informed node interacts with an
+/// uninformed one, the latter becomes informed.
+///
+/// Greedy is optimal for broadcast (being informed earlier never hurts), so
+/// the completion time is the minimum possible. In this model a broadcast
+/// on the reversed sequence is exactly a convergecast on the original
+/// (paper Thm 8 uses precisely this reversal argument).
+BroadcastResult greedyBroadcast(const InteractionSequence& sequence,
+                                std::size_t node_count, NodeId source,
+                                Time from = 0);
+
+/// Convenience: minimum number of interactions (counted from `from`) for a
+/// broadcast from `source` to complete; kNever if it does not.
+Time broadcastDuration(const InteractionSequence& sequence,
+                       std::size_t node_count, NodeId source, Time from = 0);
+
+}  // namespace doda::analysis

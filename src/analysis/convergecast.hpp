@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "core/execution_view.hpp"
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::analysis {
+
+using core::TransmissionRecord;
+using dynagraph::InteractionSequence;
+using dynagraph::NodeId;
+using dynagraph::Time;
+
+/// Offline-optimal convergecast computations (paper §2.3 and Thm 8).
+///
+/// A convergecast over a window of interactions is a schedule in which every
+/// non-sink node transmits exactly once, each transfer rides an interaction
+/// of the window, and transmission times strictly increase along every path
+/// to the sink. Reversing time turns such a schedule into a broadcast from
+/// the sink, and greedy broadcast is optimal — so the minimum-duration
+/// convergecast ("performed by an offline optimal algorithm") is computed
+/// exactly by binary searching the window end over a reversed greedy
+/// broadcast.
+
+/// Completion time opt(start): the smallest time index e such that a full
+/// convergecast to `sink` fits within interactions [start, e]; kNever if
+/// no such e exists within the sequence.
+Time optCompletion(const InteractionSequence& sequence,
+                   std::size_t node_count, NodeId sink, Time start = 0);
+
+/// An optimal convergecast schedule starting at `start` (empty if
+/// impossible). The schedule is valid per validateConvergecastSchedule and
+/// its last transmission happens at optCompletion(...).
+std::vector<TransmissionRecord> optimalSchedule(
+    const InteractionSequence& sequence, std::size_t node_count, NodeId sink,
+    Time start = 0);
+
+/// The T(i) chain of paper §2.3: T(1) = opt(0), T(i+1) = opt(T(i)+1).
+/// Returns T(1), T(2), ... stopping after the first kNever entry (which is
+/// included) or after `max_terms` entries.
+std::vector<Time> convergecastChain(const InteractionSequence& sequence,
+                                    std::size_t node_count, NodeId sink,
+                                    std::size_t max_terms = 1u << 20);
+
+/// The paper's cost function: cost_A(I) = min{ i | duration(A,I) <= T(i) }.
+///
+/// `ending_time` is the time index of the algorithm's last transmission
+/// (kNever if it never terminated). On a finite sequence the result is
+/// always finite: if the algorithm did not terminate, this returns
+/// i_max = min{ i | T(i) = infinity } as defined in the paper. cost == 1
+/// iff the algorithm matched the offline optimum.
+std::size_t costOf(const InteractionSequence& sequence,
+                   std::size_t node_count, NodeId sink, Time ending_time);
+
+/// Exact optimal convergecast completion by exhaustive search with
+/// memoization over (time, set-of-data-owners). Exponential: requires
+/// node_count <= 20 and a short sequence. Used to cross-validate
+/// optCompletion in tests.
+Time bruteForceOptCompletion(const InteractionSequence& sequence,
+                             std::size_t node_count, NodeId sink,
+                             Time start = 0);
+
+}  // namespace doda::analysis

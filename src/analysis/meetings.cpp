@@ -1,0 +1,32 @@
+#include "analysis/meetings.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace doda::analysis {
+
+std::size_t distinctSinkContacts(const InteractionSequence& sequence,
+                                 NodeId sink, Time prefix_length) {
+  std::unordered_set<NodeId> met;
+  const Time end = std::min<Time>(prefix_length, sequence.length());
+  for (Time t = 0; t < end; ++t) {
+    const auto& i = sequence.at(t);
+    if (i.involves(sink)) met.insert(i.other(sink));
+  }
+  return met.size();
+}
+
+std::vector<Time> firstSinkContact(const InteractionSequence& sequence,
+                                   std::size_t node_count, NodeId sink) {
+  std::vector<Time> first(node_count, dynagraph::kNever);
+  first[sink] = 0;
+  for (Time t = 0; t < sequence.length(); ++t) {
+    const auto& i = sequence.at(t);
+    if (!i.involves(sink)) continue;
+    const NodeId u = i.other(sink);
+    if (u < node_count && first[u] == dynagraph::kNever) first[u] = t;
+  }
+  return first;
+}
+
+}  // namespace doda::analysis

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::analysis {
+
+using dynagraph::InteractionSequence;
+using dynagraph::NodeId;
+using dynagraph::Time;
+
+/// Number of *distinct* non-sink nodes that interact directly with `sink`
+/// within interactions [0, prefix_length). This is the quantity of paper
+/// Lemma 1: in n*f(n) uniform random interactions, Theta(f(n)) nodes meet
+/// the sink w.h.p.
+std::size_t distinctSinkContacts(const InteractionSequence& sequence,
+                                 NodeId sink, Time prefix_length);
+
+/// First time each node meets the sink within the sequence (kNever if it
+/// never does). Index = node id; entry for the sink itself is 0.
+std::vector<Time> firstSinkContact(const InteractionSequence& sequence,
+                                   std::size_t node_count, NodeId sink);
+
+}  // namespace doda::analysis

@@ -1,0 +1,61 @@
+#include "analysis/reachability.hpp"
+
+#include <algorithm>
+
+#include "analysis/broadcast.hpp"
+
+namespace doda::analysis {
+
+using dynagraph::kNever;
+
+ReachabilityReport temporalReachability(const InteractionSequence& sequence,
+                                        std::size_t node_count, Time start) {
+  ReachabilityReport report;
+  report.arrival.assign(node_count, std::vector<Time>(node_count, kNever));
+  report.broadcast_completion.assign(node_count, kNever);
+
+  std::size_t reachable_pairs = 0;
+  Time diameter = 0;
+  bool all_reachable = true;
+  for (NodeId u = 0; u < node_count; ++u) {
+    const auto b = greedyBroadcast(sequence, node_count, u, start);
+    report.arrival[u] = b.informed_at;
+    if (b.complete(node_count)) report.broadcast_completion[u] =
+        b.completion_time;
+    for (NodeId v = 0; v < node_count; ++v) {
+      if (v == u) continue;
+      if (b.informed_at[v] != kNever) {
+        ++reachable_pairs;
+        diameter = std::max(diameter, b.informed_at[v]);
+      } else {
+        all_reachable = false;
+      }
+    }
+  }
+  const auto total_pairs =
+      static_cast<double>(node_count) * static_cast<double>(node_count - 1);
+  report.reachable_fraction =
+      total_pairs > 0 ? static_cast<double>(reachable_pairs) / total_pairs
+                      : 1.0;
+  report.temporal_diameter = all_reachable ? diameter : kNever;
+  return report;
+}
+
+Time sinkReachableBy(const InteractionSequence& sequence,
+                     std::size_t node_count, NodeId sink, Time start) {
+  // Independent of the reverse-broadcast machinery on purpose: foremost
+  // journeys INTO the sink computed with one forward broadcast per source.
+  // The maximum over sources equals opt(start) (the reversal argument of
+  // paper Thm 8 — the equality is cross-checked in tests).
+  Time worst = start;
+  for (NodeId u = 0; u < node_count; ++u) {
+    if (u == sink) continue;
+    const auto b = greedyBroadcast(sequence, node_count, u, start);
+    const Time arrival = b.informed_at[sink];
+    if (arrival == kNever) return kNever;
+    worst = std::max(worst, arrival);
+  }
+  return worst;
+}
+
+}  // namespace doda::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::analysis {
+
+using dynagraph::InteractionSequence;
+using dynagraph::NodeId;
+using dynagraph::Time;
+
+/// Temporal reachability of a dynamic graph (standard notions from the
+/// time-varying-graph literature the paper's model specializes).
+///
+/// A *journey* from u to v is a path whose edges appear at strictly
+/// increasing times; the *foremost* journey arrives earliest. Foremost
+/// arrival from a single source is exactly a greedy broadcast. These
+/// quantities characterize a trace independent of any algorithm: a DODA
+/// execution can never beat the foremost journey of its data, and
+/// opt(t) is lower-bounded by the sink's backward eccentricity.
+struct ReachabilityReport {
+  /// arrival[u][v] = foremost arrival time of a journey u -> v starting at
+  /// `start` (kNever if unreachable; arrival[u][u] = start).
+  std::vector<std::vector<Time>> arrival;
+  /// Fraction of ordered pairs (u, v), u != v, with a journey.
+  double reachable_fraction = 0.0;
+  /// max_v arrival[source][v]: when a broadcast from `u` completes.
+  std::vector<Time> broadcast_completion;
+  /// Temporal diameter: max over all pairs of arrival (kNever if any pair
+  /// is unreachable).
+  Time temporal_diameter = 0;
+};
+
+/// Computes all-pairs foremost journeys over interactions
+/// [start, sequence.length()). O(n * length).
+ReachabilityReport temporalReachability(const InteractionSequence& sequence,
+                                        std::size_t node_count,
+                                        Time start = 0);
+
+/// Earliest time by which every node has a journey INTO `sink` that starts
+/// at or after `start` — the convergecast feasibility horizon. This equals
+/// the completion of a reverse (backward-in-time) broadcast from the sink
+/// and is a lower bound on opt(start); kNever if some node can never
+/// reach the sink. Note: unlike opt(start), journeys may share interactions
+/// (no transmit-once constraint), so this bound is not always tight.
+Time sinkReachableBy(const InteractionSequence& sequence,
+                     std::size_t node_count, NodeId sink, Time start = 0);
+
+}  // namespace doda::analysis

@@ -1,0 +1,68 @@
+#include "analysis/schedule_metrics.hpp"
+
+#include <stdexcept>
+
+#include "dynagraph/interaction.hpp"
+
+namespace doda::analysis {
+
+ScheduleMetrics analyzeSchedule(
+    const std::vector<TransmissionRecord>& schedule, const SystemInfo& info) {
+  const std::size_t n = info.node_count;
+  // Per node: its (unique) outgoing transfer, if any.
+  std::vector<Time> sent_at(n, dynagraph::kNever);
+  std::vector<NodeId> sent_to(n, 0);
+  for (const auto& rec : schedule) {
+    if (rec.sender >= n || rec.receiver >= n)
+      throw std::invalid_argument("analyzeSchedule: node out of range");
+    if (sent_at[rec.sender] != dynagraph::kNever)
+      throw std::invalid_argument("analyzeSchedule: node transmits twice");
+    sent_at[rec.sender] = rec.time;
+    sent_to[rec.sender] = rec.receiver;
+  }
+
+  ScheduleMetrics m;
+  m.hops.assign(n, 0);
+  m.delivery_time.assign(n, dynagraph::kNever);
+  m.delivered.assign(n, false);
+
+  double hop_sum = 0.0;
+  for (NodeId origin = 0; origin < n; ++origin) {
+    if (origin == info.sink) {
+      m.delivered[origin] = true;
+      m.delivery_time[origin] = 0;
+      continue;
+    }
+    // Follow the datum from its origin through aggregating carriers. The
+    // chain is strictly time-increasing (a carrier transmits after it
+    // received), so it cannot loop; n steps bound it regardless.
+    NodeId carrier = origin;
+    std::size_t hops = 0;
+    Time last = 0;
+    bool reached = false;
+    for (std::size_t step = 0; step < n; ++step) {
+      if (sent_at[carrier] == dynagraph::kNever) break;  // datum parked here
+      last = sent_at[carrier];
+      carrier = sent_to[carrier];
+      ++hops;
+      if (carrier == info.sink) {
+        reached = true;
+        break;
+      }
+    }
+    if (reached) {
+      m.delivered[origin] = true;
+      m.delivery_time[origin] = last;
+      m.hops[origin] = hops;
+      ++m.delivered_count;
+      hop_sum += static_cast<double>(hops);
+      m.max_hops = std::max(m.max_hops, hops);
+      if (last > m.completion_time) m.completion_time = last;
+    }
+  }
+  if (m.delivered_count > 0)
+    m.mean_hops = hop_sum / static_cast<double>(m.delivered_count);
+  return m;
+}
+
+}  // namespace doda::analysis

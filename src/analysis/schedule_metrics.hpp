@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/execution_view.hpp"
+
+namespace doda::analysis {
+
+using core::NodeId;
+using core::SystemInfo;
+using core::Time;
+using core::TransmissionRecord;
+
+/// Routing statistics of a transmission schedule.
+///
+/// The transfers of an execution form a forest rooted (when terminated) at
+/// the sink: each datum travels from its origin along a chain of
+/// aggregating nodes. These metrics quantify the shape of that forest —
+/// how many hops each origin's datum took and when it reached the sink —
+/// which is what distinguishes e.g. Waiting (every datum exactly 1 hop,
+/// late) from Gathering (long chains, early).
+struct ScheduleMetrics {
+  /// Per-origin hop count to the sink; 0 for the sink itself, kNever-like
+  /// max value is never used — undelivered origins get hops = 0 and
+  /// delivered[origin] = false.
+  std::vector<std::size_t> hops;
+  /// Per-origin time of the final transfer that brought the datum to the
+  /// sink (dynagraph::kNever if it never arrived).
+  std::vector<Time> delivery_time;
+  std::vector<bool> delivered;
+
+  std::size_t delivered_count = 0;
+  std::size_t max_hops = 0;
+  double mean_hops = 0.0;       // over delivered non-sink origins
+  Time completion_time = 0;      // last delivery (0 if none)
+};
+
+/// Computes metrics for `schedule` under system `info`. The schedule must
+/// respect transmit-once (as produced by the Engine); it need not be
+/// complete.
+ScheduleMetrics analyzeSchedule(const std::vector<TransmissionRecord>& schedule,
+                                const SystemInfo& info);
+
+}  // namespace doda::analysis

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/execution_view.hpp"
+
+namespace doda::core {
+
+/// Interface of the adversary that controls the dynamic graph (paper §2.2):
+/// the adversary decides which pairwise interaction occurs at each time.
+///
+/// The engine pulls interaction t from the adversary *after* the effects of
+/// interaction t-1 are visible in the ExecutionView, which is exactly the
+/// power of the online adaptive adversary. Oblivious and randomized
+/// adversaries simply ignore the view.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before each execution.
+  virtual void reset(const SystemInfo& /*info*/) {}
+
+  /// The interaction at time t, or std::nullopt if the adversary has no
+  /// further interactions to offer (finite sequences only; the engine then
+  /// stops without termination).
+  virtual std::optional<Interaction> next(Time t,
+                                          const ExecutionView& view) = 0;
+};
+
+}  // namespace doda::core

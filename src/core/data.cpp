@@ -1,0 +1,55 @@
+#include "core/data.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace doda::core {
+
+Datum Datum::origin(NodeId node, double value) {
+  return Datum{value, {node}};
+}
+
+bool Datum::containsSource(NodeId node) const {
+  return std::binary_search(sources.begin(), sources.end(), node);
+}
+
+AggregationFunction::AggregationFunction(std::string name, Combine combine)
+    : name_(std::move(name)), combine_(std::move(combine)) {
+  if (!combine_)
+    throw std::invalid_argument("AggregationFunction: null combine");
+}
+
+AggregationFunction AggregationFunction::sum() {
+  return AggregationFunction("sum", [](double a, double b) { return a + b; });
+}
+
+AggregationFunction AggregationFunction::min() {
+  return AggregationFunction(
+      "min", [](double a, double b) { return std::min(a, b); });
+}
+
+AggregationFunction AggregationFunction::max() {
+  return AggregationFunction(
+      "max", [](double a, double b) { return std::max(a, b); });
+}
+
+AggregationFunction AggregationFunction::count() {
+  return AggregationFunction("count",
+                             [](double a, double b) { return a + b; });
+}
+
+void AggregationFunction::aggregateInto(Datum& target,
+                                        const Datum& incoming) const {
+  std::vector<NodeId> merged;
+  merged.reserve(target.sources.size() + incoming.sources.size());
+  std::merge(target.sources.begin(), target.sources.end(),
+             incoming.sources.begin(), incoming.sources.end(),
+             std::back_inserter(merged));
+  if (std::adjacent_find(merged.begin(), merged.end()) != merged.end())
+    throw std::invalid_argument(
+        "AggregationFunction: overlapping source sets");
+  target.value = combine_(target.value, incoming.value);
+  target.sources = std::move(merged);
+}
+
+}  // namespace doda::core

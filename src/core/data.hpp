@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+
+namespace doda::core {
+
+using graph::NodeId;
+
+/// The datum a node owns: a numeric payload plus the set of origin nodes
+/// whose initial data have been folded into it.
+///
+/// The source set is part of the *data* (not node control memory): it lets
+/// tests verify the fundamental aggregation invariant (the sink ends up
+/// with every origin exactly once) and lets the spanning-tree algorithm of
+/// paper Thm 4/5 stay oblivious — "have I heard from all my children?" is
+/// answered by the datum itself.
+struct Datum {
+  double value = 0.0;
+  std::vector<NodeId> sources;  // sorted, unique
+
+  /// A fresh datum originating at `origin`.
+  static Datum origin(NodeId node, double value);
+
+  bool containsSource(NodeId node) const;
+};
+
+/// An associative, commutative fold of two data into one (paper §1: "an
+/// aggregation function takes two data as input and gives one data as
+/// output", size-preserving — min, max, sum, ...).
+class AggregationFunction {
+ public:
+  using Combine = std::function<double(double, double)>;
+
+  /// Builds a custom aggregation. `combine` must be associative and
+  /// commutative for results to be schedule-independent.
+  AggregationFunction(std::string name, Combine combine);
+
+  static AggregationFunction sum();
+  static AggregationFunction min();
+  static AggregationFunction max();
+  /// Count of aggregated origins; meaningful when every node starts at 1.
+  static AggregationFunction count();
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Folds `incoming` into `target`: combines values and unions source
+  /// sets. Throws std::invalid_argument if the source sets overlap (a datum
+  /// would be double-counted — impossible in a valid execution).
+  void aggregateInto(Datum& target, const Datum& incoming) const;
+
+ private:
+  std::string name_;
+  Combine combine_;
+};
+
+}  // namespace doda::core

@@ -1,0 +1,175 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace doda::core {
+
+namespace {
+
+/// Mutable execution state, exposed read-only through ExecutionView.
+class State final : public ExecutionView {
+ public:
+  State(const SystemInfo& info, const AggregationFunction& aggregation,
+        const std::vector<double>& initial_values)
+      : info_(info), aggregation_(aggregation) {
+    data_.reserve(info.node_count);
+    for (NodeId u = 0; u < info.node_count; ++u) {
+      const double v =
+          initial_values.empty() ? 1.0 : initial_values.at(u);
+      data_.push_back(Datum::origin(u, v));
+    }
+    owns_.assign(info.node_count, true);
+    owner_count_ = info.node_count;
+  }
+
+  const SystemInfo& system() const override { return info_; }
+
+  bool ownsData(NodeId u) const override {
+    checkNode(u);
+    return owns_[u];
+  }
+
+  const Datum& datumOf(NodeId u) const override {
+    checkNode(u);
+    return data_[u];
+  }
+
+  std::size_t ownerCount() const override { return owner_count_; }
+
+  const std::vector<TransmissionRecord>& schedule() const override {
+    return schedule_;
+  }
+
+  Time now() const override { return now_; }
+
+  void advance() { ++now_; }
+
+  void checkNode(NodeId u) const {
+    if (u >= info_.node_count)
+      throw ModelViolation("node id out of range");
+  }
+
+  bool terminated() const {
+    return owner_count_ == 1;  // the sink never transmits, so it is the one
+  }
+
+  void transfer(Time t, NodeId sender, NodeId receiver) {
+    if (sender == info_.sink)
+      throw ModelViolation("the sink must never transmit");
+    if (!owns_[sender] || !owns_[receiver])
+      throw ModelViolation("transfer requires both endpoints to own data");
+    aggregation_.aggregateInto(data_[receiver], data_[sender]);
+    owns_[sender] = false;
+    --owner_count_;
+    schedule_.push_back({t, sender, receiver});
+  }
+
+ private:
+  const SystemInfo& info_;
+  const AggregationFunction& aggregation_;
+  std::vector<Datum> data_;
+  std::vector<bool> owns_;
+  std::size_t owner_count_ = 0;
+  std::vector<TransmissionRecord> schedule_;
+  Time now_ = 0;
+};
+
+}  // namespace
+
+Engine::Engine(SystemInfo info, AggregationFunction aggregation)
+    : info_(info), aggregation_(std::move(aggregation)) {
+  if (info_.node_count < 2)
+    throw std::invalid_argument("Engine: need at least 2 nodes");
+  if (info_.sink >= info_.node_count)
+    throw std::invalid_argument("Engine: sink id out of range");
+}
+
+ExecutionResult Engine::run(DodaAlgorithm& algorithm, Adversary& adversary,
+                            const RunOptions& options) {
+  if (!options.initial_values.empty() &&
+      options.initial_values.size() != info_.node_count)
+    throw std::invalid_argument("Engine::run: initial_values size mismatch");
+
+  State state(info_, aggregation_, options.initial_values);
+  algorithm.reset(info_);
+  adversary.reset(info_);
+
+  ExecutionResult result;
+  while (!state.terminated() && state.now() < options.max_interactions) {
+    const Time t = state.now();
+    const auto interaction = adversary.next(t, state);
+    if (!interaction) break;  // adversary exhausted
+    state.checkNode(interaction->a());
+    state.checkNode(interaction->b());
+    state.advance();
+
+    // A transfer is only possible when both endpoints still own data
+    // (paper §2: "if both nodes still own data, then one of the nodes has
+    // the possibility to transmit").
+    if (!state.ownsData(interaction->a()) ||
+        !state.ownsData(interaction->b()))
+      continue;
+
+    const auto receiver = algorithm.decide(*interaction, t, state);
+    if (!receiver) continue;
+    if (!interaction->involves(*receiver))
+      throw ModelViolation("receiver is not an interaction endpoint");
+    const NodeId sender = interaction->other(*receiver);
+    state.transfer(t, sender, *receiver);
+    if (state.terminated()) {
+      result.last_transmission_time = t;
+      result.interactions_to_terminate = t + 1;
+    }
+  }
+
+  result.terminated = state.terminated();
+  result.interactions_dispatched = state.now();
+  result.schedule = state.schedule();
+  result.sink_datum = state.datumOf(info_.sink);
+  if (!result.schedule.empty() && !result.terminated)
+    result.last_transmission_time = result.schedule.back().time;
+  return result;
+}
+
+bool validateConvergecastSchedule(
+    const std::vector<TransmissionRecord>& schedule,
+    const dynagraph::InteractionSequence& sequence, const SystemInfo& info,
+    std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  std::vector<bool> transmitted(info.node_count, false);
+  Time prev = 0;
+  bool first = true;
+  for (const auto& rec : schedule) {
+    std::ostringstream at;
+    at << "t=" << rec.time << ": ";
+    if (!first && rec.time <= prev)
+      return fail(at.str() + "times not strictly increasing");
+    first = false;
+    prev = rec.time;
+    if (rec.time >= sequence.length())
+      return fail(at.str() + "time beyond sequence");
+    if (rec.sender >= info.node_count || rec.receiver >= info.node_count)
+      return fail(at.str() + "node out of range");
+    if (rec.sender == info.sink)
+      return fail(at.str() + "sink transmitted");
+    const Interaction expected(rec.sender, rec.receiver);
+    if (sequence.at(rec.time) != expected)
+      return fail(at.str() + "transfer does not match interaction");
+    if (transmitted[rec.sender])
+      return fail(at.str() + "sender transmitted twice");
+    if (transmitted[rec.receiver])
+      return fail(at.str() + "receiver already transmitted");
+    transmitted[rec.sender] = true;
+  }
+  const auto count = static_cast<std::size_t>(
+      std::count(transmitted.begin(), transmitted.end(), true));
+  if (count != info.node_count - 1)
+    return fail("not all non-sink nodes transmitted");
+  return true;
+}
+
+}  // namespace doda::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "core/algorithm.hpp"
+#include "core/data.hpp"
+#include "core/execution_view.hpp"
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::core {
+
+/// Thrown when an algorithm (or adversary) violates the model: making the
+/// sink transmit, naming a non-endpoint as receiver, or interacting with an
+/// out-of-range node. These are programming errors in the algorithm under
+/// test, never recoverable conditions.
+class ModelViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Outcome of one execution.
+struct ExecutionResult {
+  /// True iff the sink ended as the only data owner.
+  bool terminated = false;
+  /// Time index of the last transmission; kNever if no transmission.
+  Time last_transmission_time = dynagraph::kNever;
+  /// "Terminates in X interactions": number of interactions up to and
+  /// including the terminating one (only meaningful when terminated).
+  Time interactions_to_terminate = dynagraph::kNever;
+  /// Interactions dispatched in total (== the above when terminated).
+  Time interactions_dispatched = 0;
+  /// Every applied transfer, in time order (size == n-1 iff terminated).
+  std::vector<TransmissionRecord> schedule;
+  /// The sink's datum at the end of the run.
+  Datum sink_datum;
+};
+
+/// Options for one execution.
+struct RunOptions {
+  /// Hard cap on dispatched interactions (guards non-terminating runs).
+  Time max_interactions = Time{1} << 32;
+  /// Initial per-node values; empty means every node starts at 1.0.
+  std::vector<double> initial_values;
+};
+
+/// Executes a DODA algorithm against an adversary and enforces the model
+/// (paper §2): each node transmits at most once, a transfer requires both
+/// endpoints to own data, the sink never transmits, transfers take one time
+/// unit (one interaction).
+class Engine {
+ public:
+  Engine(SystemInfo info, AggregationFunction aggregation);
+
+  const SystemInfo& system() const noexcept { return info_; }
+
+  /// Runs `algorithm` against `adversary` until the sink is the only data
+  /// owner, the adversary is exhausted, or `options.max_interactions` is
+  /// reached.
+  ExecutionResult run(DodaAlgorithm& algorithm, Adversary& adversary,
+                      const RunOptions& options = {});
+
+ private:
+  SystemInfo info_;
+  AggregationFunction aggregation_;
+};
+
+/// Validates that `schedule` is a correct convergecast for an n-node system
+/// over `sequence`: every transfer matches the interaction at its time,
+/// times strictly increase, no node transmits twice or after transmitting,
+/// the sink never transmits, and all n-1 non-sink nodes transmit.
+/// Returns true iff valid; if `error` is non-null, stores the reason.
+bool validateConvergecastSchedule(
+    const std::vector<TransmissionRecord>& schedule,
+    const dynagraph::InteractionSequence& sequence, const SystemInfo& info,
+    std::string* error = nullptr);
+
+}  // namespace doda::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "core/data.hpp"
+#include "dynagraph/interaction.hpp"
+
+namespace doda::core {
+
+using dynagraph::Interaction;
+using dynagraph::Time;
+
+/// One applied data transfer: `sender` gave its datum to `receiver` during
+/// interaction I_time. The full list of records is the execution's
+/// transmission schedule.
+struct TransmissionRecord {
+  Time time;
+  NodeId sender;
+  NodeId receiver;
+
+  friend bool operator==(const TransmissionRecord&,
+                         const TransmissionRecord&) = default;
+};
+
+/// Static facts about the system, available to every algorithm (paper §2.1:
+/// every node knows its ID and isSink by default; n is fixed).
+struct SystemInfo {
+  std::size_t node_count = 0;
+  NodeId sink = 0;
+};
+
+/// Read-only view of an execution in progress.
+///
+/// This is what the *adversary* observes (the online adaptive adversary
+/// "can use the past execution of the algorithm to construct the next
+/// interaction", paper §2.2) and what algorithms may consult about the two
+/// interacting nodes. It never exposes node-private memory.
+class ExecutionView {
+ public:
+  virtual ~ExecutionView() = default;
+
+  virtual const SystemInfo& system() const = 0;
+
+  /// Whether `u` still owns a datum.
+  virtual bool ownsData(NodeId u) const = 0;
+
+  /// The datum currently held at `u` (last-held datum if `u` transmitted).
+  /// Algorithms may inspect the data of the two *interacting* nodes — data
+  /// content travels with the interaction — but must not use it as remote
+  /// knowledge about third parties.
+  virtual const Datum& datumOf(NodeId u) const = 0;
+
+  /// Number of nodes still owning data.
+  virtual std::size_t ownerCount() const = 0;
+
+  /// All transfers applied so far, in time order.
+  virtual const std::vector<TransmissionRecord>& schedule() const = 0;
+
+  /// Interactions dispatched so far (including no-transfer ones).
+  virtual Time now() const = 0;
+};
+
+}  // namespace doda::core

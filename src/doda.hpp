@@ -1,0 +1,43 @@
+#pragma once
+
+/// Umbrella header: the full public API of the DODA library, a C++20
+/// implementation of "Distributed Online Data Aggregation in Dynamic
+/// Graphs" (Bramas, Masuzawa, Tixeuil — ICDCS 2016).
+///
+/// Layers (each usable on its own):
+///  * util      — RNG, statistics, CSV/table output
+///  * graph     — static graphs, spanning trees
+///  * dynagraph — interaction sequences, traces, knowledge oracles
+///  * core      — the execution model: algorithms, adversaries, engine
+///  * adversary — oblivious / randomized / adaptive adversaries
+///  * analysis  — offline-optimal convergecast, the cost function
+///  * algorithms— Waiting, Gathering, WaitingGreedy, and friends
+///  * sim       — randomized-adversary experiment harness
+
+#include "adversary/adaptive_adversaries.hpp"
+#include "adversary/randomized_adversary.hpp"
+#include "adversary/sequence_adversary.hpp"
+#include "adversary/thm2_builder.hpp"
+#include "algorithms/full_knowledge.hpp"
+#include "algorithms/future_aware.hpp"
+#include "algorithms/gathering.hpp"
+#include "algorithms/random_policy.hpp"
+#include "algorithms/spanning_tree_aggregation.hpp"
+#include "algorithms/waiting.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "analysis/broadcast.hpp"
+#include "analysis/convergecast.hpp"
+#include "analysis/meetings.hpp"
+#include "analysis/reachability.hpp"
+#include "analysis/schedule_metrics.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/edge_markov.hpp"
+#include "dynagraph/meet_time_index.hpp"
+#include "dynagraph/oracles.hpp"
+#include "dynagraph/trace_io.hpp"
+#include "dynagraph/traces.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"

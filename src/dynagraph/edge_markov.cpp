@@ -1,0 +1,47 @@
+#include "dynagraph/edge_markov.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace doda::dynagraph::traces {
+
+InteractionSequence edgeMarkovTrace(const EdgeMarkovConfig& config,
+                                    util::Rng& rng) {
+  if (config.nodes < 2)
+    throw std::invalid_argument("edgeMarkovTrace: need >= 2 nodes");
+  if (config.p_on <= 0.0 || config.p_on > 1.0 || config.p_off < 0.0 ||
+      config.p_off > 1.0)
+    throw std::invalid_argument("edgeMarkovTrace: probabilities out of range");
+
+  const std::size_t n = config.nodes;
+  // Flat upper-triangular edge-state array: index(u, v) with u < v.
+  auto indexOf = [n](std::size_t u, std::size_t v) {
+    return u * n + v;  // sparse but simple; n is small
+  };
+  std::vector<char> alive(n * n, 0);
+  const double stationary =
+      config.p_on / (config.p_on + config.p_off);
+  if (config.stationary_start) {
+    for (std::size_t u = 0; u < n; ++u)
+      for (std::size_t v = u + 1; v < n; ++v)
+        alive[indexOf(u, v)] = rng.chance(stationary) ? 1 : 0;
+  }
+
+  std::vector<Interaction> out;
+  for (Time step = 0; step < config.steps; ++step) {
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        char& state = alive[indexOf(u, v)];
+        if (state)
+          state = rng.chance(config.p_off) ? 0 : 1;
+        else
+          state = rng.chance(config.p_on) ? 1 : 0;
+        if (state)
+          out.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+      }
+    }
+  }
+  return InteractionSequence(std::move(out));
+}
+
+}  // namespace doda::dynagraph::traces

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "dynagraph/interaction_sequence.hpp"
+#include "util/rng.hpp"
+
+namespace doda::dynagraph::traces {
+
+/// Edge-Markov dynamic graph (a standard model in the time-varying-graph
+/// literature the paper builds on): every potential edge independently
+/// follows a two-state Markov chain — an absent edge appears with
+/// probability `p_on` per step, a present edge disappears with probability
+/// `p_off`. Each step's live edges are serialized into consecutive pairwise
+/// interactions (in lexicographic order), matching the one-interaction-per-
+/// time-unit model.
+///
+/// The stationary edge density is p_on / (p_on + p_off); correlation decays
+/// as (1 - p_on - p_off)^k, so the model sweeps smoothly from i.i.d. random
+/// graphs (p_on + p_off = 1) to near-static topologies (both small).
+struct EdgeMarkovConfig {
+  std::size_t nodes = 16;
+  double p_on = 0.05;   // birth probability per absent edge per step
+  double p_off = 0.30;  // death probability per present edge per step
+  Time steps = 1000;
+  /// When true, edges start from the stationary distribution; when false,
+  /// the graph starts empty.
+  bool stationary_start = true;
+};
+
+InteractionSequence edgeMarkovTrace(const EdgeMarkovConfig& config,
+                                    util::Rng& rng);
+
+}  // namespace doda::dynagraph::traces

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+
+#include "graph/static_graph.hpp"
+
+namespace doda::dynagraph {
+
+using graph::NodeId;
+
+/// Discrete time. In this model (paper §1/§2) time *is* the index of an
+/// interaction in the sequence: interaction `I_t` happens at time `t`.
+using Time = std::uint64_t;
+
+/// Sentinel for "never happens" (e.g. no future meeting with the sink).
+inline constexpr Time kNever = static_cast<Time>(-1);
+
+/// A single pairwise interaction I_t = {u, v}.
+///
+/// The pair is unordered; the constructor normalizes so that a() < b().
+/// Self-interactions are invalid.
+class Interaction {
+ public:
+  Interaction(NodeId u, NodeId v) : a_(u), b_(v) {
+    if (u == v) throw std::invalid_argument("Interaction: self-interaction");
+    if (a_ > b_) std::swap(a_, b_);
+  }
+
+  NodeId a() const noexcept { return a_; }
+  NodeId b() const noexcept { return b_; }
+
+  bool involves(NodeId u) const noexcept { return u == a_ || u == b_; }
+
+  /// The endpoint that is not `u`. Requires involves(u).
+  NodeId other(NodeId u) const {
+    if (u == a_) return b_;
+    if (u == b_) return a_;
+    throw std::invalid_argument("Interaction::other: node not involved");
+  }
+
+  friend bool operator==(const Interaction&, const Interaction&) = default;
+  friend auto operator<=>(const Interaction&, const Interaction&) = default;
+
+ private:
+  NodeId a_;
+  NodeId b_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interaction& i);
+
+}  // namespace doda::dynagraph

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "dynagraph/interaction.hpp"
+#include "graph/static_graph.hpp"
+
+namespace doda::dynagraph {
+
+/// A finite prefix of a dynamic graph: the sequence (I_0, I_1, ..., I_{T-1}).
+///
+/// The index of an interaction is its time of occurrence (paper §2). This is
+/// the oblivious-adversary object: the whole execution is fixed up front.
+class InteractionSequence {
+ public:
+  InteractionSequence() = default;
+  explicit InteractionSequence(std::vector<Interaction> interactions)
+      : interactions_(std::move(interactions)) {}
+  InteractionSequence(std::initializer_list<Interaction> interactions)
+      : interactions_(interactions) {}
+
+  Time length() const noexcept { return interactions_.size(); }
+  bool empty() const noexcept { return interactions_.empty(); }
+
+  const Interaction& at(Time t) const;
+  void append(Interaction i) { interactions_.push_back(i); }
+  void appendAll(const InteractionSequence& other);
+
+  const std::vector<Interaction>& interactions() const noexcept {
+    return interactions_;
+  }
+
+  /// Subsequence [from, to) as a new sequence. Clamps to bounds.
+  InteractionSequence slice(Time from, Time to) const;
+
+  /// Time-reversed copy. Reversal turns a convergecast into a broadcast and
+  /// vice versa (used by the offline-optimal computation, paper Thm 8).
+  InteractionSequence reversed() const;
+
+  /// Concatenation of `copies` copies of this sequence.
+  InteractionSequence repeated(std::size_t copies) const;
+
+  /// The underlying graph G̅ = (V, E) with E = { {u,v} | ∃t, I_t = {u,v} }
+  /// (paper §3.2). `node_count` fixes |V| (ids beyond the max seen are
+  /// isolated). Throws if an interaction references a node >= node_count.
+  graph::StaticGraph underlyingGraph(std::size_t node_count) const;
+
+  /// Largest node id appearing in the sequence plus one (0 when empty).
+  std::size_t minNodeCount() const;
+
+  /// Times t in [from, length) with I_t involving `u`, ascending.
+  std::vector<Time> timesInvolving(NodeId u, Time from = 0) const;
+
+  /// First time t >= from with I_t = {u, v}; kNever if none.
+  Time nextOccurrence(NodeId u, NodeId v, Time from = 0) const;
+
+  friend bool operator==(const InteractionSequence&,
+                         const InteractionSequence&) = default;
+
+ private:
+  std::vector<Interaction> interactions_;
+};
+
+}  // namespace doda::dynagraph

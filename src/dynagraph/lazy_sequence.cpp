@@ -1,0 +1,22 @@
+#include "dynagraph/lazy_sequence.hpp"
+
+namespace doda::dynagraph {
+
+LazySequence::LazySequence(Generator generator, Time max_length)
+    : generator_(std::move(generator)), max_length_(max_length) {
+  if (!generator_)
+    throw std::invalid_argument("LazySequence: null generator");
+}
+
+void LazySequence::ensure(Time t) {
+  if (t >= max_length_)
+    throw std::length_error("LazySequence: exceeded max_length guard");
+  while (buffer_.length() <= t) buffer_.append(generator_(buffer_.length()));
+}
+
+const Interaction& LazySequence::at(Time t) {
+  ensure(t);
+  return buffer_.at(t);
+}
+
+}  // namespace doda::dynagraph

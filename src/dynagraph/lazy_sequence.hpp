@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::dynagraph {
+
+/// A growable interaction sequence backed by a generator function.
+///
+/// The randomized adversary (paper §4) conceptually commits to an infinite
+/// random sequence; algorithms with `meetTime` or `future` knowledge read
+/// that committed randomness. LazySequence realizes this: interactions are
+/// generated on demand (in chunks) and, once generated, never change — so
+/// the oracle answers and the actual execution always agree.
+class LazySequence {
+ public:
+  using Generator = std::function<Interaction(Time)>;
+
+  /// `generator(t)` must return I_t and be called with strictly increasing t.
+  /// `max_length` bounds total generation (throws std::length_error beyond
+  /// it) as a runaway-experiment guard.
+  explicit LazySequence(Generator generator,
+                        Time max_length = Time{1} << 34);
+
+  /// The interaction at time t, generating it (and everything before it)
+  /// if needed.
+  const Interaction& at(Time t);
+
+  /// Extends generation so that times [0, t] exist.
+  void ensure(Time t);
+
+  /// How many interactions exist so far.
+  Time generatedLength() const noexcept { return buffer_.length(); }
+
+  Time maxLength() const noexcept { return max_length_; }
+
+  /// Read-only view of the committed prefix.
+  const InteractionSequence& committed() const noexcept { return buffer_; }
+
+ private:
+  Generator generator_;
+  InteractionSequence buffer_;
+  Time max_length_;
+};
+
+}  // namespace doda::dynagraph

@@ -1,0 +1,71 @@
+#include "dynagraph/meet_time_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace doda::dynagraph {
+
+MeetTimeIndex::MeetTimeIndex(const InteractionSequence& sequence, NodeId sink,
+                             std::size_t node_count)
+    : fixed_(&sequence), sink_(sink), meetings_(node_count) {
+  if (sink >= node_count)
+    throw std::out_of_range("MeetTimeIndex: sink out of range");
+}
+
+MeetTimeIndex::MeetTimeIndex(LazySequence& sequence, NodeId sink,
+                             std::size_t node_count, Time extension_chunk)
+    : lazy_(&sequence),
+      sink_(sink),
+      extension_chunk_(extension_chunk),
+      meetings_(node_count) {
+  if (sink >= node_count)
+    throw std::out_of_range("MeetTimeIndex: sink out of range");
+  if (extension_chunk_ == 0)
+    throw std::invalid_argument("MeetTimeIndex: zero extension chunk");
+}
+
+const InteractionSequence& MeetTimeIndex::view() const {
+  return lazy_ ? lazy_->committed() : *fixed_;
+}
+
+void MeetTimeIndex::scanUpTo(Time end) {
+  const auto& seq = view();
+  end = std::min(end, seq.length());
+  for (Time t = scanned_; t < end; ++t) {
+    const Interaction& i = seq.at(t);
+    if (i.involves(sink_)) {
+      const NodeId u = i.other(sink_);
+      if (u < meetings_.size()) meetings_[u].push_back(t);
+    }
+  }
+  scanned_ = std::max(scanned_, end);
+}
+
+bool MeetTimeIndex::tryExtendBacking() {
+  if (!lazy_) return false;
+  const Time target = lazy_->generatedLength() + extension_chunk_;
+  if (target >= lazy_->maxLength()) return false;
+  lazy_->ensure(target - 1);
+  return true;
+}
+
+Time MeetTimeIndex::meetTime(NodeId u, Time t) {
+  if (u >= meetings_.size())
+    throw std::out_of_range("MeetTimeIndex: node out of range");
+  if (u == sink_) return t;  // s.meetTime is the identity (paper §2.1)
+  for (;;) {
+    scanUpTo(view().length());
+    const auto& times = meetings_[u];
+    auto it = std::upper_bound(times.begin(), times.end(), t);
+    if (it != times.end()) return *it;
+    if (!tryExtendBacking()) return kNever;
+  }
+}
+
+const std::vector<Time>& MeetTimeIndex::knownMeetings(NodeId u) const {
+  if (u >= meetings_.size())
+    throw std::out_of_range("MeetTimeIndex: node out of range");
+  return meetings_[u];
+}
+
+}  // namespace doda::dynagraph

@@ -1,0 +1,73 @@
+#include "dynagraph/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace doda::dynagraph {
+
+void writeTrace(std::ostream& os, const InteractionSequence& sequence,
+                std::size_t node_count) {
+  os << "# doda-trace v1\n";
+  if (node_count == 0) node_count = sequence.minNodeCount();
+  os << "# nodes " << node_count << "\n";
+  for (Time t = 0; t < sequence.length(); ++t) {
+    const auto& i = sequence.at(t);
+    os << i.a() << ' ' << i.b() << '\n';
+  }
+}
+
+void saveTrace(const std::string& path, const InteractionSequence& sequence,
+               std::size_t node_count) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("saveTrace: cannot open " + path);
+  writeTrace(out, sequence, node_count);
+}
+
+LoadedTrace readTrace(std::istream& is) {
+  LoadedTrace result;
+  std::size_t declared_nodes = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("readTrace: line " + std::to_string(line_no) +
+                             ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Trim trailing CR for Windows-authored files.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string keyword;
+      if (header >> keyword && keyword == "nodes") {
+        if (!(header >> declared_nodes)) fail("malformed '# nodes' header");
+      }
+      continue;
+    }
+    std::istringstream cells(line);
+    long long u = -1, v = -1;
+    if (!(cells >> u >> v)) fail("expected two node ids");
+    std::string extra;
+    if (cells >> extra) fail("trailing content: '" + extra + "'");
+    if (u < 0 || v < 0) fail("negative node id");
+    if (u == v) fail("self-interaction");
+    result.sequence.append(Interaction(static_cast<NodeId>(u),
+                                       static_cast<NodeId>(v)));
+  }
+  const std::size_t min_nodes = result.sequence.minNodeCount();
+  if (declared_nodes != 0 && declared_nodes < min_nodes)
+    throw std::runtime_error(
+        "readTrace: '# nodes' header smaller than ids used");
+  result.node_count = declared_nodes != 0 ? declared_nodes : min_nodes;
+  return result;
+}
+
+LoadedTrace loadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadTrace: cannot open " + path);
+  return readTrace(in);
+}
+
+}  // namespace doda::dynagraph

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::dynagraph {
+
+/// Plain-text trace format for interaction sequences, for interchange with
+/// external tools and for the CLI runner:
+///
+/// ```
+/// # doda-trace v1
+/// # nodes <n>          (optional hint; inferred from content otherwise)
+/// <u> <v>              one interaction per line, time = line order
+/// ...
+/// ```
+///
+/// Lines starting with '#' are comments; blank lines are skipped. Node ids
+/// are decimal and a line's pair must be distinct.
+
+/// Writes `sequence` to `os` in the format above.
+void writeTrace(std::ostream& os, const InteractionSequence& sequence,
+                std::size_t node_count = 0);
+
+/// Writes to a file. Throws std::runtime_error if the file cannot be
+/// opened.
+void saveTrace(const std::string& path, const InteractionSequence& sequence,
+               std::size_t node_count = 0);
+
+/// Result of parsing a trace.
+struct LoadedTrace {
+  InteractionSequence sequence;
+  /// Declared node count if a "# nodes" header was present, otherwise the
+  /// minimal count covering every id in the file.
+  std::size_t node_count = 0;
+};
+
+/// Parses a trace from `is`. Throws std::runtime_error with a line number
+/// on malformed input.
+LoadedTrace readTrace(std::istream& is);
+
+/// Reads from a file. Throws std::runtime_error on open failure or
+/// malformed content.
+LoadedTrace loadTrace(const std::string& path);
+
+}  // namespace doda::dynagraph

@@ -1,0 +1,201 @@
+#include "dynagraph/traces.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace doda::dynagraph::traces {
+
+Interaction uniformPair(std::size_t n, util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("uniformPair: need n >= 2");
+  const auto u = static_cast<NodeId>(rng.below(n));
+  auto v = static_cast<NodeId>(rng.below(n - 1));
+  if (v >= u) ++v;  // uniform over the n-1 other nodes
+  return Interaction(u, v);
+}
+
+InteractionSequence uniformRandom(std::size_t n, Time length,
+                                  util::Rng& rng) {
+  std::vector<Interaction> out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (Time t = 0; t < length; ++t) out.push_back(uniformPair(n, rng));
+  return InteractionSequence(std::move(out));
+}
+
+ZipfPairDistribution::ZipfPairDistribution(std::size_t n, double exponent)
+    : weights_(n) {
+  if (n < 2) throw std::invalid_argument("ZipfPairDistribution: n >= 2");
+  for (std::size_t i = 0; i < n; ++i)
+    weights_[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+}
+
+Interaction ZipfPairDistribution::sample(util::Rng& rng) const {
+  const auto u = static_cast<NodeId>(rng.weighted(weights_));
+  // Sample the second endpoint from the residual distribution (without
+  // replacement) by rejection; acceptance probability is >= 1 - w_max.
+  for (;;) {
+    const auto v = static_cast<NodeId>(rng.weighted(weights_));
+    if (v != u) return Interaction(u, v);
+  }
+}
+
+InteractionSequence zipfRandom(std::size_t n, Time length, double exponent,
+                               util::Rng& rng) {
+  const ZipfPairDistribution dist(n, exponent);
+  std::vector<Interaction> out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (Time t = 0; t < length; ++t) out.push_back(dist.sample(rng));
+  return InteractionSequence(std::move(out));
+}
+
+InteractionSequence roundRobin(const graph::StaticGraph& g,
+                               std::size_t rounds) {
+  const auto edges = g.edges();
+  std::vector<Interaction> out;
+  out.reserve(edges.size() * rounds);
+  for (std::size_t r = 0; r < rounds; ++r)
+    for (const auto& [u, v] : edges) out.emplace_back(u, v);
+  return InteractionSequence(std::move(out));
+}
+
+InteractionSequence shuffledRounds(const graph::StaticGraph& g,
+                                   std::size_t rounds, util::Rng& rng) {
+  auto edges = g.edges();
+  std::vector<Interaction> out;
+  out.reserve(edges.size() * rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    rng.shuffle(edges);
+    for (const auto& [u, v] : edges) out.emplace_back(u, v);
+  }
+  return InteractionSequence(std::move(out));
+}
+
+graph::StaticGraph pathGraph(std::size_t n) {
+  graph::StaticGraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  return g;
+}
+
+graph::StaticGraph ringGraph(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("ringGraph: need n >= 3");
+  auto g = pathGraph(n);
+  g.addEdge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+graph::StaticGraph starGraph(std::size_t n, graph::NodeId center) {
+  graph::StaticGraph g(n);
+  for (NodeId i = 0; i < n; ++i)
+    if (i != center) g.addEdge(center, i);
+  return g;
+}
+
+graph::StaticGraph completeGraph(std::size_t n) {
+  graph::StaticGraph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.addEdge(u, v);
+  return g;
+}
+
+graph::StaticGraph randomTree(std::size_t n, util::Rng& rng) {
+  graph::StaticGraph g(n);
+  for (NodeId i = 1; i < n; ++i)
+    g.addEdge(i, static_cast<NodeId>(rng.below(i)));
+  return g;
+}
+
+graph::StaticGraph randomConnected(std::size_t n, std::size_t extra_edges,
+                                   util::Rng& rng) {
+  auto g = randomTree(n, rng);
+  const std::size_t max_extra = n * (n - 1) / 2 - (n - 1);
+  extra_edges = std::min(extra_edges, max_extra);
+  std::size_t added = 0;
+  while (added < extra_edges) {
+    const auto i = uniformPair(n, rng);
+    if (!g.hasEdge(i.a(), i.b())) {
+      g.addEdge(i.a(), i.b());
+      ++added;
+    }
+  }
+  return g;
+}
+
+InteractionSequence bodySensorTrace(const BodySensorConfig& config,
+                                    util::Rng& rng) {
+  if (config.sensors < 2)
+    throw std::invalid_argument("bodySensorTrace: need >= 2 sensors");
+  if (config.min_period == 0 || config.min_period > config.max_period)
+    throw std::invalid_argument("bodySensorTrace: bad period range");
+  const std::size_t n = config.sensors + 1;  // node 0 is the hub/sink
+
+  std::vector<Time> period(n, 0);
+  for (std::size_t i = 1; i < n; ++i)
+    period[i] = static_cast<Time>(
+        rng.between(static_cast<std::int64_t>(config.min_period),
+                    static_cast<std::int64_t>(config.max_period)));
+
+  std::vector<Interaction> out;
+  for (Time slot = 1; slot <= config.slots; ++slot) {
+    // Hub contacts: sensor i checks in around every period[i] slots.
+    for (std::size_t i = 1; i < n; ++i) {
+      const Time jitter =
+          config.jitter == 0
+              ? 0
+              : static_cast<Time>(rng.below(2 * config.jitter + 1));
+      const Time phase = (slot + jitter) % period[i];
+      if (phase == 0) out.emplace_back(0, static_cast<NodeId>(i));
+    }
+    // Peer contacts between adjacent body positions (i, i+1).
+    for (std::size_t i = 1; i + 1 < n; ++i)
+      if (rng.chance(config.peer_contact_rate))
+        out.emplace_back(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return InteractionSequence(std::move(out));
+}
+
+InteractionSequence vehicularTrace(const VehicularConfig& config,
+                                   util::Rng& rng) {
+  if (config.width == 0 || config.height == 0)
+    throw std::invalid_argument("vehicularTrace: empty grid");
+  if (config.cars < 2)
+    throw std::invalid_argument("vehicularTrace: need >= 2 cars");
+  const std::size_t cells = config.width * config.height;
+  const std::size_t rsu_cell =
+      (config.height / 2) * config.width + config.width / 2;
+
+  // Node 0 is the RSU/sink; cars are nodes 1..cars.
+  std::vector<std::size_t> pos(config.cars + 1);
+  pos[0] = rsu_cell;
+  for (std::size_t c = 1; c <= config.cars; ++c) pos[c] = rng.below(cells);
+
+  auto step = [&](std::size_t cell) {
+    const std::size_t x = cell % config.width;
+    const std::size_t y = cell / config.width;
+    switch (rng.below(5)) {
+      case 0:
+        return cell;  // wait at intersection
+      case 1:
+        return y * config.width + (x + 1 < config.width ? x + 1 : x);
+      case 2:
+        return y * config.width + (x > 0 ? x - 1 : x);
+      case 3:
+        return (y + 1 < config.height ? y + 1 : y) * config.width + x;
+      default:
+        return (y > 0 ? y - 1 : y) * config.width + x;
+    }
+  };
+
+  std::vector<Interaction> out;
+  for (Time t = 0; t < config.steps; ++t) {
+    for (std::size_t c = 1; c <= config.cars; ++c) pos[c] = step(pos[c]);
+    // Serialize this step's co-location contacts in id order.
+    for (std::size_t a = 0; a <= config.cars; ++a)
+      for (std::size_t b = a + 1; b <= config.cars; ++b)
+        if (pos[a] == pos[b])
+          out.emplace_back(static_cast<NodeId>(a), static_cast<NodeId>(b));
+  }
+  return InteractionSequence(std::move(out));
+}
+
+}  // namespace doda::dynagraph::traces

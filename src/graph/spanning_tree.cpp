@@ -1,0 +1,96 @@
+#include "graph/spanning_tree.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace doda::graph {
+
+SpanningTree SpanningTree::bfs(const StaticGraph& g, NodeId root) {
+  if (root >= g.nodeCount())
+    throw std::out_of_range("SpanningTree::bfs: root out of range");
+  if (!g.isConnected())
+    throw std::invalid_argument("SpanningTree::bfs: graph is not connected");
+
+  SpanningTree t;
+  t.root_ = root;
+  const std::size_t n = g.nodeCount();
+  t.parent_.assign(n, std::nullopt);
+  t.children_.assign(n, {});
+  t.depth_.assign(n, 0);
+
+  std::vector<bool> visited(n, false);
+  std::queue<NodeId> frontier;
+  visited[root] = true;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {  // ascending ids => deterministic
+      if (visited[v]) continue;
+      visited[v] = true;
+      t.parent_[v] = u;
+      t.children_[u].push_back(v);
+      t.depth_[v] = t.depth_[u] + 1;
+      frontier.push(v);
+    }
+  }
+  return t;
+}
+
+std::optional<NodeId> SpanningTree::parent(NodeId u) const {
+  if (u >= parent_.size())
+    throw std::out_of_range("SpanningTree::parent: node out of range");
+  return parent_[u];
+}
+
+const std::vector<NodeId>& SpanningTree::children(NodeId u) const {
+  if (u >= children_.size())
+    throw std::out_of_range("SpanningTree::children: node out of range");
+  return children_[u];
+}
+
+std::size_t SpanningTree::depth(NodeId u) const {
+  if (u >= depth_.size())
+    throw std::out_of_range("SpanningTree::depth: node out of range");
+  return depth_[u];
+}
+
+std::size_t SpanningTree::height() const {
+  std::size_t h = 0;
+  for (std::size_t d : depth_) h = std::max(h, d);
+  return h;
+}
+
+std::size_t SpanningTree::subtreeSize(NodeId u) const {
+  if (u >= parent_.size())
+    throw std::out_of_range("SpanningTree::subtreeSize: node out of range");
+  std::size_t count = 0;
+  std::vector<NodeId> stack{u};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    ++count;
+    for (NodeId c : children_[x]) stack.push_back(c);
+  }
+  return count;
+}
+
+std::vector<NodeId> SpanningTree::postOrder() const {
+  std::vector<NodeId> order;
+  order.reserve(parent_.size());
+  // Iterative post-order: push (node, child-index) frames.
+  std::vector<std::pair<NodeId, std::size_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < children_[node].size()) {
+      const NodeId child = children_[node][next_child++];
+      stack.emplace_back(child, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace doda::graph

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+
+namespace doda::graph {
+
+/// Rooted spanning tree of a StaticGraph.
+///
+/// All nodes of the system compute the same tree from the same underlying
+/// graph (the construction is deterministic), which is what the paper's
+/// Thm 4/5 algorithms rely on: "nodes can compute a spanning tree T rooted
+/// at s (they compute the same tree, using node identifiers)".
+class SpanningTree {
+ public:
+  /// Builds the BFS spanning tree of `g` rooted at `root`, visiting
+  /// neighbors in ascending id order (hence deterministic).
+  /// Throws std::invalid_argument if `g` is not connected.
+  static SpanningTree bfs(const StaticGraph& g, NodeId root);
+
+  NodeId root() const noexcept { return root_; }
+  std::size_t nodeCount() const noexcept { return parent_.size(); }
+
+  /// Parent of `u`; std::nullopt for the root.
+  std::optional<NodeId> parent(NodeId u) const;
+
+  /// Children of `u`, ascending by id.
+  const std::vector<NodeId>& children(NodeId u) const;
+
+  /// Depth of `u` (root has depth 0).
+  std::size_t depth(NodeId u) const;
+
+  /// Number of nodes in the subtree rooted at `u` (including `u`).
+  std::size_t subtreeSize(NodeId u) const;
+
+  /// Height of the whole tree (max depth).
+  std::size_t height() const;
+
+  /// Nodes in a post-order traversal (children before parents); useful for
+  /// computing the optimal bottom-up aggregation order.
+  std::vector<NodeId> postOrder() const;
+
+ private:
+  SpanningTree() = default;
+
+  NodeId root_ = 0;
+  std::vector<std::optional<NodeId>> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::size_t> depth_;
+};
+
+}  // namespace doda::graph

@@ -1,0 +1,86 @@
+#include "graph/static_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace doda::graph {
+
+StaticGraph::StaticGraph(std::size_t node_count) : adj_(node_count) {}
+
+void StaticGraph::checkNode(NodeId u) const {
+  if (u >= adj_.size())
+    throw std::out_of_range("StaticGraph: node id out of range");
+}
+
+void StaticGraph::addEdge(NodeId u, NodeId v) {
+  checkNode(u);
+  checkNode(v);
+  if (u == v) throw std::invalid_argument("StaticGraph: self-loop");
+  auto& nu = adj_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return;  // already present
+  nu.insert(it, v);
+  auto& nv = adj_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++edge_count_;
+}
+
+bool StaticGraph::hasEdge(NodeId u, NodeId v) const {
+  checkNode(u);
+  checkNode(v);
+  const auto& nu = adj_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+std::span<const NodeId> StaticGraph::neighbors(NodeId u) const {
+  checkNode(u);
+  return adj_[u];
+}
+
+std::size_t StaticGraph::degree(NodeId u) const {
+  checkNode(u);
+  return adj_[u].size();
+}
+
+std::vector<std::pair<NodeId, NodeId>> StaticGraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < adj_.size(); ++u)
+    for (NodeId v : adj_[u])
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+std::vector<std::optional<std::size_t>> StaticGraph::bfsDistances(
+    NodeId source) const {
+  checkNode(source);
+  std::vector<std::optional<std::size_t>> dist(adj_.size());
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adj_[u]) {
+      if (!dist[v]) {
+        dist[v] = *dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool StaticGraph::isConnected() const {
+  if (adj_.size() <= 1) return true;
+  const auto dist = bfsDistances(0);
+  return std::all_of(dist.begin(), dist.end(),
+                     [](const auto& d) { return d.has_value(); });
+}
+
+bool StaticGraph::isTree() const {
+  return isConnected() && edge_count_ + 1 == adj_.size();
+}
+
+}  // namespace doda::graph

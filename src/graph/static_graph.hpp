@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace doda::graph {
+
+/// Node identifier. Nodes of an n-node system are numbered 0..n-1; by
+/// convention in this library the sink is a specific id chosen by the caller
+/// (examples use 0).
+using NodeId = std::uint32_t;
+
+/// Simple undirected graph with adjacency lists, used to represent the
+/// *underlying graph* G̅ of a dynamic graph (paper §3.2) and to build
+/// deterministic spanning trees shared by all nodes.
+///
+/// Parallel edges are collapsed; self-loops are rejected. Adjacency lists
+/// are kept sorted by id so that traversals are deterministic.
+class StaticGraph {
+ public:
+  /// Creates a graph with `node_count` isolated nodes.
+  explicit StaticGraph(std::size_t node_count);
+
+  std::size_t nodeCount() const noexcept { return adj_.size(); }
+  std::size_t edgeCount() const noexcept { return edge_count_; }
+
+  /// Adds the undirected edge {u, v}. Idempotent. Throws on self-loop or
+  /// out-of-range endpoint.
+  void addEdge(NodeId u, NodeId v);
+
+  bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Neighbors of `u`, sorted ascending by id.
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  std::size_t degree(NodeId u) const;
+
+  /// All edges as (min, max) pairs, lexicographically sorted.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// True if all nodes are reachable from node 0 (vacuously true for n<=1).
+  bool isConnected() const;
+
+  /// True if connected with exactly n-1 edges.
+  bool isTree() const;
+
+  /// BFS distances from `source`; unreachable nodes get std::nullopt.
+  std::vector<std::optional<std::size_t>> bfsDistances(NodeId source) const;
+
+ private:
+  void checkNode(NodeId u) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace doda::graph

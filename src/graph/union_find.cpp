@@ -1,0 +1,41 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace doda::graph {
+
+UnionFind::UnionFind(std::size_t count)
+    : parent_(count), size_(count, 1), sets_(count) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+void UnionFind::checkIndex(std::size_t x) const {
+  if (x >= parent_.size())
+    throw std::out_of_range("UnionFind: index out of range");
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  checkIndex(x);
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --sets_;
+  return true;
+}
+
+std::size_t UnionFind::setSize(std::size_t x) { return size_[find(x)]; }
+
+}  // namespace doda::graph

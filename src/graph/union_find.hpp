@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace doda::graph {
+
+/// Disjoint-set union with path halving and union by size.
+///
+/// Used by the trace generators to build connected random topologies and by
+/// tests to check reachability invariants incrementally.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t count);
+
+  /// Representative of `x`'s set.
+  std::size_t find(std::size_t x);
+
+  /// Merges the sets of `a` and `b`; returns true if they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  /// Number of disjoint sets remaining.
+  std::size_t setCount() const noexcept { return sets_; }
+
+  /// Size of the set containing `x`.
+  std::size_t setSize(std::size_t x);
+
+ private:
+  void checkIndex(std::size_t x) const;
+
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t sets_;
+};
+
+}  // namespace doda::graph

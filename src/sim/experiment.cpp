@@ -1,0 +1,173 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adversary/sequence_adversary.hpp"
+#include "analysis/convergecast.hpp"
+#include "dynagraph/traces.hpp"
+#include "util/rng.hpp"
+
+namespace doda::sim {
+
+using core::SystemInfo;
+using core::Time;
+using dynagraph::InteractionSequence;
+using dynagraph::kNever;
+
+namespace {
+
+SystemInfo systemOf(const MeasureConfig& config) {
+  return SystemInfo{config.node_count, config.sink};
+}
+
+std::unique_ptr<core::Adversary> makeAdversary(const MeasureConfig& config,
+                                               std::uint64_t seed) {
+  if (config.zipf_exponent > 0.0)
+    return std::make_unique<adversary::NonUniformAdversary>(
+        config.node_count, config.zipf_exponent, seed);
+  return std::make_unique<adversary::RandomizedAdversary>(config.node_count,
+                                                          seed);
+}
+
+InteractionSequence drawSequence(const MeasureConfig& config, Time length,
+                                 util::Rng& rng) {
+  if (config.zipf_exponent > 0.0)
+    return dynagraph::traces::zipfRandom(config.node_count, length,
+                                         config.zipf_exponent, rng);
+  return dynagraph::traces::uniformRandom(config.node_count, length, rng);
+}
+
+}  // namespace
+
+MeasureResult measureRandomized(const MeasureConfig& config,
+                                const AlgorithmFactory& factory) {
+  const SystemInfo info = systemOf(config);
+  util::Rng master(config.seed);
+  MeasureResult out;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const std::uint64_t trial_seed = master();
+    auto adversary = makeAdversary(config, trial_seed);
+    // Both adversary flavours expose their committed randomness; build the
+    // meetTime oracle on it.
+    dynagraph::MeetTimeIndex index =
+        config.zipf_exponent > 0.0
+            ? static_cast<adversary::NonUniformAdversary&>(*adversary)
+                  .makeMeetTimeIndex(config.sink)
+            : static_cast<adversary::RandomizedAdversary&>(*adversary)
+                  .makeMeetTimeIndex(config.sink);
+    TrialContext context{info, *adversary, index};
+    const auto algorithm = factory(context);
+    core::Engine engine(info, core::AggregationFunction::count());
+    core::RunOptions options;
+    options.max_interactions = config.max_interactions;
+    const auto result = engine.run(*algorithm, *adversary, options);
+    if (result.terminated)
+      out.interactions.add(
+          static_cast<double>(result.interactions_to_terminate));
+    else
+      ++out.failed_trials;
+  }
+  return out;
+}
+
+MeasureResult measureOfflineOptimal(const MeasureConfig& config) {
+  util::Rng master(config.seed);
+  MeasureResult out;
+  const auto n = static_cast<double>(config.node_count);
+  const Time initial = std::max<Time>(
+      16, static_cast<Time>(4.0 * n * std::log(std::max(2.0, n))));
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    util::Rng rng(master());
+    InteractionSequence seq = drawSequence(config, initial, rng);
+    Time opt = kNever;
+    while (true) {
+      opt = analysis::optCompletion(seq, config.node_count, config.sink, 0);
+      if (opt != kNever || seq.length() >= config.max_interactions) break;
+      // Double by appending fresh randomness (the prefix stays committed).
+      InteractionSequence more = drawSequence(config, seq.length(), rng);
+      seq.appendAll(more);
+    }
+    if (opt == kNever) {
+      ++out.failed_trials;
+      continue;
+    }
+    out.interactions.add(static_cast<double>(opt + 1));
+    out.cost.add(1.0);  // the offline optimum has cost 1 by definition
+  }
+  return out;
+}
+
+MeasureResult measureMaterialized(const MeasureConfig& config,
+                                  Time initial_length,
+                                  const SequenceAlgorithmFactory& factory,
+                                  std::size_t max_doublings) {
+  const SystemInfo info = systemOf(config);
+  util::Rng master(config.seed);
+  MeasureResult out;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    util::Rng rng(master());
+    bool done = false;
+    Time length = initial_length;
+    for (std::size_t attempt = 0; attempt <= max_doublings && !done;
+         ++attempt, length *= 2) {
+      const InteractionSequence seq = drawSequence(config, length, rng);
+      const auto algorithm = factory(seq, info);
+      adversary::SequenceAdversary seq_adversary(seq);
+      core::Engine engine(info, core::AggregationFunction::count());
+      core::RunOptions options;
+      options.max_interactions = std::min<Time>(length, config.max_interactions);
+      const auto result = engine.run(*algorithm, seq_adversary, options);
+      if (!result.terminated) continue;
+      out.interactions.add(
+          static_cast<double>(result.interactions_to_terminate));
+      out.cost.add(static_cast<double>(analysis::costOf(
+          seq, config.node_count, config.sink,
+          result.last_transmission_time)));
+      done = true;
+    }
+    if (!done) ++out.failed_trials;
+  }
+  return out;
+}
+
+MeasureResult measureWithCost(const MeasureConfig& config, Time length_hint,
+                              const AlgorithmFactory& factory,
+                              std::size_t max_doublings) {
+  const SystemInfo info = systemOf(config);
+  util::Rng master(config.seed);
+  MeasureResult out;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    util::Rng rng(master());
+    InteractionSequence seq = drawSequence(config, length_hint, rng);
+    bool done = false;
+    for (std::size_t attempt = 0; attempt <= max_doublings && !done;
+         ++attempt) {
+      adversary::SequenceAdversary seq_adversary(seq);
+      dynagraph::MeetTimeIndex index(seq_adversary.sequence(), config.sink,
+                                     config.node_count);
+      TrialContext context{info, seq_adversary, index};
+      const auto algorithm = factory(context);
+      core::Engine engine(info, core::AggregationFunction::count());
+      core::RunOptions options;
+      options.max_interactions =
+          std::min<Time>(seq.length(), config.max_interactions);
+      const auto result = engine.run(*algorithm, seq_adversary, options);
+      if (result.terminated) {
+        out.interactions.add(
+            static_cast<double>(result.interactions_to_terminate));
+        out.cost.add(static_cast<double>(analysis::costOf(
+            seq, config.node_count, config.sink,
+            result.last_transmission_time)));
+        done = true;
+      } else {
+        // Extend the committed prefix with fresh randomness and rerun.
+        seq.appendAll(drawSequence(config, seq.length(), rng));
+      }
+    }
+    if (!done) ++out.failed_trials;
+  }
+  return out;
+}
+
+}  // namespace doda::sim

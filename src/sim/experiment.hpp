@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "adversary/randomized_adversary.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/meet_time_index.hpp"
+#include "util/stats.hpp"
+
+namespace doda::sim {
+
+/// Per-trial context handed to algorithm factories: the randomized
+/// adversary for this trial plus a meetTime oracle reading its committed
+/// randomness.
+struct TrialContext {
+  core::SystemInfo info;
+  core::Adversary& adversary;
+  dynagraph::MeetTimeIndex& meet_time;
+};
+
+/// Builds the algorithm instance for one trial.
+using AlgorithmFactory =
+    std::function<std::unique_ptr<core::DodaAlgorithm>(TrialContext&)>;
+
+/// Builds an algorithm that needs the materialized sequence up front
+/// (FullKnowledgeOptimal, FutureAware).
+using SequenceAlgorithmFactory =
+    std::function<std::unique_ptr<core::DodaAlgorithm>(
+        const dynagraph::InteractionSequence&, const core::SystemInfo&)>;
+
+/// Configuration of a randomized-adversary measurement (paper §4 setting).
+struct MeasureConfig {
+  std::size_t node_count = 16;
+  core::NodeId sink = 0;
+  std::size_t trials = 32;
+  std::uint64_t seed = 0x5eed;
+  /// Per-trial cap on dispatched interactions (failed trials are counted,
+  /// not included in the interaction statistics).
+  core::Time max_interactions = core::Time{1} << 32;
+  /// Zipf popularity exponent; 0 = the paper's uniform adversary.
+  double zipf_exponent = 0.0;
+};
+
+/// Aggregate outcome of a measurement.
+struct MeasureResult {
+  /// Interactions to terminate, over successful trials.
+  util::RunningStats interactions;
+  /// The paper's cost (§2.3) — only filled by measure functions documented
+  /// to compute it (it requires materialized sequences).
+  util::RunningStats cost;
+  std::size_t failed_trials = 0;
+};
+
+/// Runs `trials` independent executions of the factory-built algorithm
+/// against the (uniform or Zipf) randomized adversary and aggregates the
+/// number of interactions to termination.
+MeasureResult measureRandomized(const MeasureConfig& config,
+                                const AlgorithmFactory& factory);
+
+/// Measures the offline optimum opt(0) under the randomized adversary
+/// (paper Thm 8): generates a fresh random sequence per trial (doubling its
+/// length until a convergecast fits) and records opt(0) + 1 interactions.
+MeasureResult measureOfflineOptimal(const MeasureConfig& config);
+
+/// Runs a sequence-knowledge algorithm (FullKnowledgeOptimal, FutureAware)
+/// under the randomized adversary: materializes a random sequence of
+/// `initial_length` (doubling on failure up to `max_doublings`), builds the
+/// algorithm from it, and measures interactions to termination; also
+/// computes the paper cost of each successful trial.
+MeasureResult measureMaterialized(const MeasureConfig& config,
+                                  core::Time initial_length,
+                                  const SequenceAlgorithmFactory& factory,
+                                  std::size_t max_doublings = 8);
+
+/// Measures an online algorithm on a *fixed* per-trial sequence drawn from
+/// the randomized adversary and additionally computes the paper cost of
+/// each successful trial. `length_hint` sizes the generated sequence (it is
+/// extended by doubling until the algorithm terminates or the cap is hit).
+MeasureResult measureWithCost(const MeasureConfig& config,
+                              core::Time length_hint,
+                              const AlgorithmFactory& factory,
+                              std::size_t max_doublings = 8);
+
+}  // namespace doda::sim

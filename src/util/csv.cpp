@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace doda::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  if (header_written_ || rows_ > 0)
+    throw std::logic_error("CsvWriter: header must be first and unique");
+  std::vector<std::string> cells;
+  cells.reserve(columns.size());
+  for (auto c : columns) cells.emplace_back(c);
+  writeCells(cells);
+  header_written_ = true;
+  rows_ = 0;  // header does not count as a data row
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::writeCells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace doda::util

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doda::util {
+
+/// Minimal RFC-4180-style CSV writer used by benches and examples to dump
+/// experiment series for external plotting.
+///
+/// Values containing commas, quotes or newlines are quoted and escaped.
+/// The writer owns the output stream; rows are flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file.
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row. Must be called at most once, before any row.
+  void header(std::initializer_list<std::string_view> columns);
+
+  /// Appends one row; each argument is formatted with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(format(values)), ...);
+    writeCells(cells);
+  }
+
+  /// Number of data rows written so far (header excluded).
+  std::size_t rowsWritten() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string format(const T& value) {
+    std::ostringstream oss;
+    oss << value;
+    return oss.str();
+  }
+
+  static std::string escape(std::string_view cell);
+  void writeCells(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace doda::util

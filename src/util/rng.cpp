@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace doda::util {
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("Rng::weighted: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0))
+    throw std::invalid_argument("Rng::weighted: non-positive total weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point rounding can exhaust `target` slightly past the end;
+  // the last positive-weight entry is the correct answer in that case.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace doda::util

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace doda::util {
+
+/// Stateless 64-bit mixer used to derive independent streams from a seed.
+///
+/// SplitMix64 is the standard generator recommended for seeding xoshiro
+/// state; it passes BigCrush and is a bijection on 64-bit integers.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Returns the next 64-bit value of the stream.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// All randomness in the library flows through this class so that every
+/// experiment is reproducible from a single 64-bit seed. The generator
+/// satisfies the C++ UniformRandomBitGenerator concept and can therefore be
+/// used with standard <random> distributions, although the member helpers
+/// below are preferred (they are portable across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 256-bit state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Core xoshiro256** step.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  ///
+  /// Uses Lemire's nearly-divisionless method with rejection, so the result
+  /// is exactly uniform.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::below: bound == 0");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::between: lo > hi");
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range; any draw is in range.
+    if (span == 0) return static_cast<std::int64_t>((*this)());
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) { return uniform() < p; }
+
+  /// Picks an index in [0, weights.size()) proportionally to `weights`.
+  /// Requires a non-empty span with a positive total weight.
+  std::size_t weighted(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Derives an independent generator (stream split) for sub-experiments.
+  Rng split() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace doda::util

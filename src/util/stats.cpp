@@ -1,0 +1,151 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace doda::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95HalfWidth() const noexcept {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double quantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (double x : sorted) rs.add(x);
+  out.mean = rs.mean();
+  out.stddev = rs.stddev();
+  out.min = sorted.front();
+  out.max = sorted.back();
+  out.median = quantile(sorted, 0.5);
+  out.p95 = quantile(sorted, 0.95);
+  return out;
+}
+
+PowerLawFit fitPowerLaw(std::span<const double> xs,
+                        std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("fitPowerLaw: need >= 2 matched points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!(xs[i] > 0.0) || !(ys[i] > 0.0))
+      throw std::invalid_argument("fitPowerLaw: values must be positive");
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0)
+    throw std::invalid_argument("fitPowerLaw: degenerate x values");
+  PowerLawFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ssTot = syy - sy * sy / n;
+  double ssRes = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * std::log(xs[i]);
+    const double resid = std::log(ys[i]) - pred;
+    ssRes += resid * resid;
+  }
+  fit.r2 = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 1.0;
+  return fit;
+}
+
+double harmonic(std::size_t n) noexcept {
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+namespace closed_form {
+
+double broadcastExpected(std::size_t n) noexcept {
+  return static_cast<double>(n - 1) * harmonic(n - 1);
+}
+
+double waitingExpected(std::size_t n) noexcept {
+  const auto nd = static_cast<double>(n);
+  return nd * (nd - 1.0) / 2.0 * harmonic(n - 1);
+}
+
+double gatheringExpected(std::size_t n) noexcept {
+  const auto nd = static_cast<double>(n);
+  double sum = 0.0;
+  for (std::size_t i = 1; i + 1 <= n; ++i)
+    sum += 1.0 / (static_cast<double>(i) * static_cast<double>(i + 1));
+  return nd * (nd - 1.0) * sum;
+}
+
+double lastTransmissionExpected(std::size_t n) noexcept {
+  const auto nd = static_cast<double>(n);
+  return nd * (nd - 1.0) / 2.0;
+}
+
+double waitingGreedyTau(std::size_t n) noexcept {
+  const auto nd = static_cast<double>(n);
+  return std::pow(nd, 1.5) * std::sqrt(std::log(nd));
+}
+
+}  // namespace closed_form
+
+}  // namespace doda::util

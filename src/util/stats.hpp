@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace doda::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; O(1) memory. Used by the experiment
+/// harness to aggregate per-trial metrics without storing every sample.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95HalfWidth() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point summary of a sample set, computed in one pass over stored values.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes a Summary from raw samples (copies and sorts internally).
+Summary summarize(std::span<const double> samples);
+
+/// Empirical quantile (q in [0,1]) with linear interpolation.
+/// Requires a non-empty sample set.
+double quantile(std::span<const double> sorted_samples, double q);
+
+/// Least-squares fit of log(y) = slope * log(x) + intercept.
+///
+/// Used to estimate empirical scaling exponents: if y ~ C * x^a then
+/// `slope` recovers `a`. All x and y must be positive.
+struct PowerLawFit {
+  double slope = 0.0;
+  double intercept = 0.0;  // log(C)
+  double r2 = 0.0;         // coefficient of determination in log space
+};
+
+PowerLawFit fitPowerLaw(std::span<const double> xs, std::span<const double> ys);
+
+/// n-th harmonic number H(n) = 1 + 1/2 + ... + 1/n (H(0) = 0).
+double harmonic(std::size_t n) noexcept;
+
+/// Closed-form expectations from the paper (randomized adversary, n nodes).
+/// Each matches a theorem and is used by benches/tests as the analytic
+/// reference curve.
+namespace closed_form {
+
+/// Thm 8: E[interactions] for broadcast/convergecast = (n-1) * H(n-1).
+double broadcastExpected(std::size_t n) noexcept;
+
+/// Thm 9: E[X_W] = n(n-1)/2 * H(n-1).
+double waitingExpected(std::size_t n) noexcept;
+
+/// Thm 9: E[X_G] = n(n-1) * sum_{i=1}^{n-1} 1/(i(i+1)).
+double gatheringExpected(std::size_t n) noexcept;
+
+/// Thm 7: expected interactions for the final transmission = n(n-1)/2.
+double lastTransmissionExpected(std::size_t n) noexcept;
+
+/// Cor 3: the optimal Waiting Greedy horizon tau = n^{3/2} * sqrt(log n).
+double waitingGreedyTau(std::size_t n) noexcept;
+
+}  // namespace closed_form
+
+}  // namespace doda::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace doda::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size())
+    throw std::invalid_argument("Table: cell count != column count");
+  rows_.push_back(std::move(cells));
+}
+
+bool Table::looksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char ch : cell) {
+    if (!(std::isdigit(static_cast<unsigned char>(ch)) || ch == '.' ||
+          ch == '-' || ch == '+' || ch == 'e' || ch == 'E' || ch == 'x'))
+      return false;
+  }
+  return true;
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      if (looksNumeric(cells[c]))
+        os << std::setw(static_cast<int>(widths[c])) << std::right << cells[c];
+      else
+        os << std::setw(static_cast<int>(widths[c])) << std::left << cells[c];
+    }
+    os << '\n';
+  };
+
+  printRow(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) printRow(row);
+}
+
+}  // namespace doda::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace doda::util {
+
+/// Fixed-column console table used by examples and bench summaries.
+///
+/// Collects rows of pre-formatted cells and prints them with aligned
+/// columns, a header underline, and right-aligned numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; must contain exactly one cell per column.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Formats a double with `precision` significant decimal places.
+  static std::string num(double value, int precision = 2);
+
+ private:
+  static bool looksNumeric(const std::string& cell);
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace doda::util

@@ -1,0 +1,103 @@
+#include "analysis/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynagraph/traces.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace doda::analysis {
+namespace {
+
+using dynagraph::kNever;
+using testing::ix;
+
+TEST(GreedyBroadcast, SourceIsInformedImmediately) {
+  const InteractionSequence seq{ix(0, 1)};
+  const auto r = greedyBroadcast(seq, 3, 2);
+  EXPECT_EQ(r.informed_at[2], 0u);
+  EXPECT_EQ(r.informed_count, 1u);  // {0,1} does not involve the source
+  EXPECT_FALSE(r.complete(3));
+  EXPECT_EQ(r.completion_time, kNever);
+}
+
+TEST(GreedyBroadcast, ChainPropagates) {
+  const InteractionSequence seq{ix(0, 1), ix(1, 2), ix(2, 3)};
+  const auto r = greedyBroadcast(seq, 4, 0);
+  EXPECT_TRUE(r.complete(4));
+  EXPECT_EQ(r.informed_at[1], 0u);
+  EXPECT_EQ(r.informed_at[2], 1u);
+  EXPECT_EQ(r.informed_at[3], 2u);
+  EXPECT_EQ(r.completion_time, 2u);
+  EXPECT_EQ(*r.informer[3], 2u);
+  EXPECT_FALSE(r.informer[0].has_value());
+}
+
+TEST(GreedyBroadcast, OrderMatters) {
+  // Reversed chain: 0 can only inform 1; 2 and 3 interacted too early.
+  const InteractionSequence seq{ix(2, 3), ix(1, 2), ix(0, 1)};
+  const auto r = greedyBroadcast(seq, 4, 0);
+  EXPECT_EQ(r.informed_count, 2u);
+  EXPECT_EQ(r.informed_at[1], 2u);
+  EXPECT_EQ(r.informed_at[2], kNever);
+}
+
+TEST(GreedyBroadcast, FromOffsetSkipsPrefix) {
+  const InteractionSequence seq{ix(0, 1), ix(0, 1), ix(1, 2)};
+  const auto r = greedyBroadcast(seq, 3, 0, /*from=*/1);
+  EXPECT_TRUE(r.complete(3));
+  EXPECT_EQ(r.informed_at[1], 1u);
+}
+
+TEST(GreedyBroadcast, SourceOutOfRangeThrows) {
+  const InteractionSequence seq{ix(0, 1)};
+  EXPECT_THROW(greedyBroadcast(seq, 2, 5), std::out_of_range);
+}
+
+TEST(BroadcastDuration, CountsFromStart) {
+  const InteractionSequence seq{ix(0, 1), ix(1, 2)};
+  EXPECT_EQ(broadcastDuration(seq, 3, 0), 2u);
+  EXPECT_EQ(broadcastDuration(seq, 3, 2), kNever);
+}
+
+TEST(GreedyBroadcast, StarCompletesInOneRound) {
+  const auto star = dynagraph::traces::starGraph(6, 0);
+  const auto seq = dynagraph::traces::roundRobin(star, 1);
+  const auto r = greedyBroadcast(seq, 6, 0);
+  EXPECT_TRUE(r.complete(6));
+  for (core::NodeId u = 1; u < 6; ++u) EXPECT_EQ(*r.informer[u], 0u);
+}
+
+class BroadcastMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BroadcastMonotone, InformedSetGrowsWithWindow) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 5 + rng.below(10);
+  const auto seq = dynagraph::traces::uniformRandom(n, 100, rng);
+  std::size_t prev = 0;
+  for (core::Time end = 10; end <= 100; end += 10) {
+    const auto r = greedyBroadcast(seq.slice(0, end), n, 0);
+    EXPECT_GE(r.informed_count, prev);
+    prev = r.informed_count;
+  }
+}
+
+TEST_P(BroadcastMonotone, InformersWereInformedEarlier) {
+  util::Rng rng(GetParam() + 500);
+  const std::size_t n = 4 + rng.below(10);
+  const auto seq = dynagraph::traces::uniformRandom(n, 200, rng);
+  const auto r = greedyBroadcast(seq, n, 0);
+  for (core::NodeId u = 0; u < n; ++u) {
+    if (!r.informer[u]) continue;
+    EXPECT_LE(r.informed_at[*r.informer[u]], r.informed_at[u]);
+    // The informing interaction really is I_t = {u, informer}.
+    EXPECT_EQ(seq.at(r.informed_at[u]),
+              core::Interaction(u, *r.informer[u]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace doda::analysis

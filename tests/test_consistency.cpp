@@ -1,0 +1,108 @@
+// End-to-end consistency: the lazily-generated randomized adversary, its
+// committed randomness, and the oracles that read it must all describe the
+// same world. Running an algorithm "live" against the lazy adversary and
+// replaying it against the materialized committed prefix must produce
+// bit-identical executions.
+
+#include <gtest/gtest.h>
+
+#include "adversary/randomized_adversary.hpp"
+#include "adversary/sequence_adversary.hpp"
+#include "algorithms/full_knowledge.hpp"
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "analysis/convergecast.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/meet_time_index.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace doda {
+namespace {
+
+using core::Time;
+
+class ConsistencySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsistencySeeds, LiveAndReplayedGatheringCoincide) {
+  const std::size_t n = 12;
+  adversary::RandomizedAdversary live(n, GetParam());
+  algorithms::Gathering ga;
+  core::Engine engine({n, 0}, core::AggregationFunction::count());
+  const auto live_result = engine.run(ga, live);
+  ASSERT_TRUE(live_result.terminated);
+
+  const auto committed = live.lazySequence().committed();
+  algorithms::Gathering ga2;
+  const auto replay = testing::runOn(ga2, committed, n, 0);
+  EXPECT_EQ(live_result.schedule, replay.schedule);
+  EXPECT_EQ(live_result.interactions_to_terminate,
+            replay.interactions_to_terminate);
+}
+
+TEST_P(ConsistencySeeds, LiveAndReplayedWaitingGreedyCoincide) {
+  // Stronger: WG consults the meetTime oracle, which commits randomness
+  // AHEAD of the execution. The replay (fixed-sequence index over the
+  // final committed prefix) must still agree at every step.
+  const std::size_t n = 12;
+  const auto tau = static_cast<Time>(
+      util::closed_form::waitingGreedyTau(n));
+
+  adversary::RandomizedAdversary live(n, GetParam() ^ 0xABCD);
+  auto live_index = live.makeMeetTimeIndex(0);
+  algorithms::WaitingGreedy wg_live(live_index, tau);
+  core::Engine engine({n, 0}, core::AggregationFunction::count());
+  const auto live_result = engine.run(wg_live, live);
+  ASSERT_TRUE(live_result.terminated);
+
+  const auto committed = live.lazySequence().committed();
+  dynagraph::MeetTimeIndex replay_index(committed, 0, n);
+  algorithms::WaitingGreedy wg_replay(replay_index, tau);
+  const auto replay = testing::runOn(wg_replay, committed, n, 0);
+  EXPECT_EQ(live_result.schedule, replay.schedule);
+}
+
+TEST_P(ConsistencySeeds, FullKnowledgeOfCommittedPrefixIsOptimalLive) {
+  // Materialize enough committed randomness, hand it to the full-knowledge
+  // algorithm, and run it LIVE against the same adversary: it must land
+  // exactly on the offline optimum of the committed prefix.
+  const std::size_t n = 10;
+  adversary::RandomizedAdversary live(n, GetParam() + 17);
+  live.lazySequence().ensure(8 * n * n);
+  const auto committed = live.lazySequence().committed();
+  const auto opt = analysis::optCompletion(committed, n, 0);
+  ASSERT_NE(opt, dynagraph::kNever);
+
+  algorithms::FullKnowledgeOptimal fk(committed);
+  core::Engine engine({n, 0}, core::AggregationFunction::count());
+  const auto r = engine.run(fk, live);
+  ASSERT_TRUE(r.terminated);
+  EXPECT_EQ(r.last_transmission_time, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencySeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Consistency, MeetTimeOracleNeverLiesAboutTheFuture) {
+  // Every oracle answer, queried during a live run, must match what the
+  // committed sequence eventually shows.
+  const std::size_t n = 8;
+  adversary::RandomizedAdversary adv(n, 2024);
+  auto index = adv.makeMeetTimeIndex(0);
+  std::vector<std::pair<Time, Time>> claims;  // (query time, claimed meet)
+  for (Time t = 0; t < 200; ++t) {
+    const Time m = index.meetTime(3, t);
+    if (m != dynagraph::kNever) claims.emplace_back(t, m);
+  }
+  const auto& committed = adv.lazySequence().committed();
+  for (const auto& [t, m] : claims) {
+    ASSERT_LT(m, committed.length());
+    EXPECT_EQ(committed.at(m), core::Interaction(0, 3));
+    // And nothing earlier: no {0,3} interaction strictly between t and m.
+    for (Time x = t + 1; x < m; ++x)
+      EXPECT_NE(committed.at(x), core::Interaction(0, 3));
+  }
+}
+
+}  // namespace
+}  // namespace doda

@@ -1,0 +1,179 @@
+#include "analysis/convergecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/meetings.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/traces.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace doda::analysis {
+namespace {
+
+using dynagraph::kNever;
+using testing::ix;
+
+TEST(OptCompletion, SimpleChain) {
+  // 2 -> 1 at t0, 1 -> 0 (sink) at t1: completion at time 1.
+  const InteractionSequence seq{ix(1, 2), ix(0, 1)};
+  EXPECT_EQ(optCompletion(seq, 3, 0), 1u);
+}
+
+TEST(OptCompletion, SkipsUselessPrefix) {
+  const InteractionSequence seq{ix(1, 2), ix(1, 2), ix(1, 2), ix(0, 1)};
+  // The last {1,2} (t=2) and {0,1} (t=3) suffice; earlier copies are moot.
+  EXPECT_EQ(optCompletion(seq, 3, 0), 3u);
+  EXPECT_EQ(optCompletion(seq, 3, 0, /*start=*/2), 3u);
+}
+
+TEST(OptCompletion, ImpossibleWindow) {
+  const InteractionSequence seq{ix(0, 1), ix(1, 2)};
+  // Once {0,1} has passed, node 2's data can never reach the sink.
+  EXPECT_EQ(optCompletion(seq, 3, 0, /*start=*/0), kNever);
+}
+
+TEST(OptCompletion, OrderSensitivity) {
+  // Convergecast needs increasing times toward the sink: {0,1} before
+  // {1,2} is useless for node 2.
+  const InteractionSequence bad{ix(0, 1), ix(1, 2), ix(0, 1)};
+  EXPECT_EQ(optCompletion(bad, 3, 0), 2u);
+}
+
+TEST(OptCompletion, StartBeyondSequenceIsNever) {
+  const InteractionSequence seq{ix(0, 1)};
+  EXPECT_EQ(optCompletion(seq, 2, 0, 5), kNever);
+}
+
+TEST(OptCompletion, SinkOutOfRangeThrows) {
+  const InteractionSequence seq{ix(0, 1)};
+  EXPECT_THROW(optCompletion(seq, 2, 4), std::out_of_range);
+  EXPECT_THROW(optCompletion(seq, 1, 0), std::invalid_argument);
+}
+
+TEST(OptimalSchedule, ValidAndEndsAtOpt) {
+  util::Rng rng(9);
+  const std::size_t n = 6;
+  const auto seq = dynagraph::traces::uniformRandom(n, 200, rng);
+  const auto end = optCompletion(seq, n, 0);
+  ASSERT_NE(end, kNever);
+  const auto sched = optimalSchedule(seq, n, 0);
+  ASSERT_EQ(sched.size(), n - 1);
+  std::string err;
+  EXPECT_TRUE(core::validateConvergecastSchedule(sched, seq, {n, 0}, &err))
+      << err;
+  EXPECT_EQ(sched.back().time, end);
+}
+
+TEST(OptimalSchedule, EmptyWhenImpossible) {
+  const InteractionSequence seq{ix(1, 2)};
+  EXPECT_TRUE(optimalSchedule(seq, 3, 0).empty());
+}
+
+class OptVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptVsBruteForce, ReverseBroadcastMatchesExhaustiveSearch) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 3 + rng.below(4);          // 3..6 nodes
+    const core::Time len = 4 + rng.below(14);        // 4..17 interactions
+    const auto seq = dynagraph::traces::uniformRandom(n, len, rng);
+    const core::NodeId sink = static_cast<core::NodeId>(rng.below(n));
+    const core::Time start = rng.below(3);
+    EXPECT_EQ(optCompletion(seq, n, sink, start),
+              bruteForceOptCompletion(seq, n, sink, start))
+        << "n=" << n << " len=" << len << " sink=" << sink
+        << " start=" << start;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+TEST(ConvergecastChain, SuccessiveWindowsAreDisjoint) {
+  util::Rng rng(21);
+  const std::size_t n = 5;
+  const auto seq = dynagraph::traces::uniformRandom(n, 500, rng);
+  const auto chain = convergecastChain(seq, n, 0);
+  ASSERT_GE(chain.size(), 2u);
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    if (chain[i + 1] == kNever) break;
+    EXPECT_LT(chain[i], chain[i + 1]);
+    // T(i+1) really is opt(T(i)+1).
+    EXPECT_EQ(chain[i + 1], optCompletion(seq, n, 0, chain[i] + 1));
+  }
+  EXPECT_EQ(chain.back(), kNever);  // a finite sequence always exhausts
+}
+
+TEST(ConvergecastChain, RespectsMaxTerms) {
+  util::Rng rng(22);
+  const auto seq = dynagraph::traces::uniformRandom(4, 500, rng);
+  const auto chain = convergecastChain(seq, 4, 0, 3);
+  EXPECT_LE(chain.size(), 3u);
+}
+
+TEST(CostOf, OptimalDurationHasCostOne) {
+  util::Rng rng(23);
+  const std::size_t n = 6;
+  const auto seq = dynagraph::traces::uniformRandom(n, 300, rng);
+  const auto opt = optCompletion(seq, n, 0);
+  ASSERT_NE(opt, kNever);
+  EXPECT_EQ(costOf(seq, n, 0, opt), 1u);
+}
+
+TEST(CostOf, SlowerTerminationCostsMore) {
+  util::Rng rng(24);
+  const std::size_t n = 5;
+  const auto seq = dynagraph::traces::uniformRandom(n, 2000, rng);
+  const auto chain = convergecastChain(seq, n, 0);
+  ASSERT_GE(chain.size(), 3u);
+  ASSERT_NE(chain[1], kNever);
+  // Terminating just after T(1) but by T(2) costs exactly 2.
+  EXPECT_EQ(costOf(seq, n, 0, chain[0] + 1), 2u);
+  EXPECT_EQ(costOf(seq, n, 0, chain[1]), 2u);
+}
+
+TEST(CostOf, NonTerminationYieldsPaperIMax) {
+  // cost of a never-terminating run = min{ i | T(i) = infinity }.
+  util::Rng rng(25);
+  const std::size_t n = 5;
+  const auto seq = dynagraph::traces::uniformRandom(n, 400, rng);
+  const auto chain = convergecastChain(seq, n, 0);
+  EXPECT_EQ(costOf(seq, n, 0, kNever), chain.size());
+}
+
+TEST(CostOf, InvariantUnderDuplicatedInteractions) {
+  // The paper motivates the cost as invariant under inserting duplicate
+  // interactions: repeating the terminating prefix does not change cost.
+  const InteractionSequence base{ix(1, 2), ix(1, 2), ix(0, 1), ix(0, 1)};
+  auto padded = base;
+  padded.appendAll(base);
+  EXPECT_EQ(costOf(base, 3, 0, 2), costOf(padded, 3, 0, 2));
+}
+
+TEST(BruteForce, RejectsLargeInstances) {
+  const InteractionSequence seq{ix(0, 1)};
+  EXPECT_THROW(bruteForceOptCompletion(seq, 21, 0), std::invalid_argument);
+}
+
+TEST(Meetings, DistinctSinkContactsCounts) {
+  const InteractionSequence seq{ix(0, 1), ix(0, 1), ix(0, 2), ix(1, 2),
+                                ix(0, 3)};
+  EXPECT_EQ(distinctSinkContacts(seq, 0, 0), 0u);
+  EXPECT_EQ(distinctSinkContacts(seq, 0, 2), 1u);
+  EXPECT_EQ(distinctSinkContacts(seq, 0, 5), 3u);
+  EXPECT_EQ(distinctSinkContacts(seq, 0, 99), 3u);
+}
+
+TEST(Meetings, FirstSinkContactTimes) {
+  const InteractionSequence seq{ix(1, 2), ix(0, 2), ix(0, 2), ix(0, 3)};
+  const auto first = firstSinkContact(seq, 4, 0);
+  EXPECT_EQ(first[0], 0u);
+  EXPECT_EQ(first[1], kNever);
+  EXPECT_EQ(first[2], 1u);
+  EXPECT_EQ(first[3], 3u);
+}
+
+}  // namespace
+}  // namespace doda::analysis

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting.hpp"
+#include "core/data.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/traces.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace doda::core {
+namespace {
+
+using dynagraph::InteractionSequence;
+using dynagraph::kNever;
+using testing::ix;
+using testing::runOn;
+
+TEST(Datum, OriginHasSingleSource) {
+  const auto d = Datum::origin(3, 7.5);
+  EXPECT_DOUBLE_EQ(d.value, 7.5);
+  EXPECT_EQ(d.sources, std::vector<NodeId>{3});
+  EXPECT_TRUE(d.containsSource(3));
+  EXPECT_FALSE(d.containsSource(2));
+}
+
+TEST(AggregationFunction, SumCombinesValuesAndSources) {
+  const auto agg = AggregationFunction::sum();
+  auto a = Datum::origin(0, 2.0);
+  const auto b = Datum::origin(2, 3.0);
+  agg.aggregateInto(a, b);
+  EXPECT_DOUBLE_EQ(a.value, 5.0);
+  EXPECT_EQ(a.sources, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(AggregationFunction, MinMaxBehave) {
+  auto lo = Datum::origin(0, 2.0);
+  AggregationFunction::min().aggregateInto(lo, Datum::origin(1, 5.0));
+  EXPECT_DOUBLE_EQ(lo.value, 2.0);
+  auto hi = Datum::origin(2, 2.0);
+  AggregationFunction::max().aggregateInto(hi, Datum::origin(3, 5.0));
+  EXPECT_DOUBLE_EQ(hi.value, 5.0);
+}
+
+TEST(AggregationFunction, OverlappingSourcesThrow) {
+  const auto agg = AggregationFunction::sum();
+  auto a = Datum::origin(0, 1.0);
+  const auto dup = Datum::origin(0, 1.0);
+  EXPECT_THROW(agg.aggregateInto(a, dup), std::invalid_argument);
+}
+
+TEST(AggregationFunction, CustomFunctionAndName) {
+  AggregationFunction xorish("xor-ish",
+                             [](double a, double b) { return a * b; });
+  EXPECT_EQ(xorish.name(), "xor-ish");
+  auto a = Datum::origin(0, 3.0);
+  xorish.aggregateInto(a, Datum::origin(1, 4.0));
+  EXPECT_DOUBLE_EQ(a.value, 12.0);
+  EXPECT_THROW(AggregationFunction("bad", nullptr), std::invalid_argument);
+}
+
+TEST(Engine, RejectsDegenerateSystems) {
+  EXPECT_THROW(Engine({1, 0}, AggregationFunction::sum()),
+               std::invalid_argument);
+  EXPECT_THROW(Engine({3, 5}, AggregationFunction::sum()),
+               std::invalid_argument);
+}
+
+TEST(Engine, GatheringStyleRunAggregatesEverything) {
+  algorithms::Gathering ga;
+  // 0 is sink: 2->1 at t0, 1->0 at t1.
+  const InteractionSequence seq{ix(1, 2), ix(0, 1)};
+  const auto r = runOn(ga, seq, 3, 0);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_EQ(r.interactions_to_terminate, 2u);
+  EXPECT_EQ(r.last_transmission_time, 1u);
+  ASSERT_EQ(r.schedule.size(), 2u);
+  EXPECT_EQ(r.schedule[0], (TransmissionRecord{0, 2, 1}));
+  EXPECT_EQ(r.schedule[1], (TransmissionRecord{1, 1, 0}));
+  // count() aggregation: sink ends with all 3 origins.
+  EXPECT_DOUBLE_EQ(r.sink_datum.value, 3.0);
+  EXPECT_EQ(r.sink_datum.sources, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Engine, InitialValuesFlowThroughAggregation) {
+  algorithms::Gathering ga;
+  Engine engine({3, 0}, AggregationFunction::sum());
+  adversary::SequenceAdversary adv(InteractionSequence{ix(1, 2), ix(0, 1)});
+  RunOptions options;
+  options.initial_values = {10.0, 20.0, 30.0};
+  const auto r = engine.run(ga, adv, options);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_DOUBLE_EQ(r.sink_datum.value, 60.0);
+}
+
+TEST(Engine, InitialValuesSizeMismatchThrows) {
+  algorithms::Gathering ga;
+  Engine engine({3, 0}, AggregationFunction::sum());
+  adversary::SequenceAdversary adv(InteractionSequence{ix(1, 2)});
+  RunOptions options;
+  options.initial_values = {1.0};
+  EXPECT_THROW(engine.run(ga, adv, options), std::invalid_argument);
+}
+
+TEST(Engine, NoTransferWhenOneEndpointHasNoData) {
+  algorithms::Gathering ga;
+  // 2->1, then {1,2} again: 2 has no data, nothing must happen.
+  const InteractionSequence seq{ix(1, 2), ix(1, 2), ix(1, 2)};
+  const auto r = runOn(ga, seq, 3, 0);
+  EXPECT_FALSE(r.terminated);
+  EXPECT_EQ(r.schedule.size(), 1u);
+  EXPECT_EQ(r.interactions_dispatched, 3u);
+}
+
+TEST(Engine, TransmitOnceIsStructural) {
+  algorithms::Gathering ga;
+  // After 1 transmits to 0, later {0,1} and {1,2} interactions are inert.
+  const InteractionSequence seq{ix(0, 1), ix(0, 1), ix(1, 2)};
+  const auto r = runOn(ga, seq, 3, 0);
+  ASSERT_EQ(r.schedule.size(), 1u);
+  EXPECT_EQ(r.schedule[0].sender, 1u);
+  EXPECT_FALSE(r.terminated);  // node 2 still owns data
+}
+
+/// Algorithm that tries to make the sink transmit (model violation).
+class EvilSinkSender final : public DodaAlgorithm {
+ public:
+  std::string name() const override { return "EvilSinkSender"; }
+  std::optional<NodeId> decide(const Interaction& i, Time,
+                               const ExecutionView& view) override {
+    const auto sink = view.system().sink;
+    if (i.involves(sink)) return i.other(sink);  // sink would be the sender
+    return std::nullopt;
+  }
+};
+
+TEST(Engine, SinkTransmissionIsRejected) {
+  EvilSinkSender evil;
+  Engine engine({3, 0}, AggregationFunction::sum());
+  adversary::SequenceAdversary adv(InteractionSequence{ix(0, 1)});
+  EXPECT_THROW(engine.run(evil, adv), ModelViolation);
+}
+
+/// Algorithm that names a non-endpoint as receiver.
+class EvilOutsider final : public DodaAlgorithm {
+ public:
+  std::string name() const override { return "EvilOutsider"; }
+  std::optional<NodeId> decide(const Interaction& i, Time,
+                               const ExecutionView& view) override {
+    for (NodeId u = 0; u < view.system().node_count; ++u)
+      if (!i.involves(u)) return u;
+    return std::nullopt;
+  }
+};
+
+TEST(Engine, NonEndpointReceiverIsRejected) {
+  EvilOutsider evil;
+  Engine engine({3, 0}, AggregationFunction::sum());
+  adversary::SequenceAdversary adv(InteractionSequence{ix(1, 2)});
+  EXPECT_THROW(engine.run(evil, adv), ModelViolation);
+}
+
+TEST(Engine, OutOfRangeInteractionIsRejected) {
+  algorithms::Gathering ga;
+  Engine engine({3, 0}, AggregationFunction::sum());
+  adversary::SequenceAdversary adv(InteractionSequence{ix(1, 7)});
+  EXPECT_THROW(engine.run(ga, adv), ModelViolation);
+}
+
+TEST(Engine, StopsAtMaxInteractions) {
+  algorithms::Waiting w;
+  const InteractionSequence seq{ix(1, 2), ix(1, 2), ix(1, 2), ix(1, 2)};
+  const auto r = runOn(w, seq, 3, 0, /*max_interactions=*/2);
+  EXPECT_FALSE(r.terminated);
+  EXPECT_EQ(r.interactions_dispatched, 2u);
+}
+
+TEST(Engine, StopsImmediatelyAfterTermination) {
+  algorithms::Gathering ga;
+  const InteractionSequence seq{ix(1, 2), ix(0, 1), ix(1, 2), ix(1, 2)};
+  const auto r = runOn(ga, seq, 3, 0);
+  EXPECT_TRUE(r.terminated);
+  // No interactions are consumed after the terminating one.
+  EXPECT_EQ(r.interactions_dispatched, 2u);
+}
+
+TEST(Engine, AdversaryExhaustionEndsRun) {
+  algorithms::Waiting w;
+  const InteractionSequence seq{ix(1, 2)};
+  const auto r = runOn(w, seq, 3, 0);
+  EXPECT_FALSE(r.terminated);
+  EXPECT_EQ(r.interactions_dispatched, 1u);
+  EXPECT_EQ(r.last_transmission_time, kNever);
+}
+
+TEST(ValidateSchedule, AcceptsValidConvergecast) {
+  const InteractionSequence seq{ix(1, 2), ix(0, 1)};
+  const std::vector<TransmissionRecord> sched{{0, 2, 1}, {1, 1, 0}};
+  std::string err;
+  EXPECT_TRUE(validateConvergecastSchedule(sched, seq, {3, 0}, &err)) << err;
+}
+
+TEST(ValidateSchedule, RejectsIncomplete) {
+  const InteractionSequence seq{ix(1, 2), ix(0, 1)};
+  const std::vector<TransmissionRecord> sched{{0, 2, 1}};
+  EXPECT_FALSE(validateConvergecastSchedule(sched, seq, {3, 0}));
+}
+
+TEST(ValidateSchedule, RejectsMismatchedInteraction) {
+  const InteractionSequence seq{ix(1, 2), ix(0, 1)};
+  const std::vector<TransmissionRecord> sched{{0, 2, 0}, {1, 1, 0}};
+  std::string err;
+  EXPECT_FALSE(validateConvergecastSchedule(sched, seq, {3, 0}, &err));
+  EXPECT_NE(err.find("does not match"), std::string::npos);
+}
+
+TEST(ValidateSchedule, RejectsSinkSender) {
+  const InteractionSequence seq{ix(0, 1), ix(0, 2)};
+  const std::vector<TransmissionRecord> sched{{0, 0, 1}, {1, 2, 0}};
+  EXPECT_FALSE(validateConvergecastSchedule(sched, seq, {3, 0}));
+}
+
+TEST(ValidateSchedule, RejectsNonIncreasingTimes) {
+  const InteractionSequence seq{ix(1, 2), ix(0, 1)};
+  const std::vector<TransmissionRecord> sched{{1, 1, 0}, {0, 2, 1}};
+  EXPECT_FALSE(validateConvergecastSchedule(sched, seq, {3, 0}));
+}
+
+TEST(ValidateSchedule, RejectsSendAfterTransmit) {
+  // 2 sends to 1, then 1 receives from... then 2 "receives" — invalid.
+  const InteractionSequence seq{ix(1, 2), ix(1, 2), ix(0, 1)};
+  const std::vector<TransmissionRecord> sched{
+      {0, 2, 1}, {1, 1, 2}, {2, 1, 0}};
+  EXPECT_FALSE(validateConvergecastSchedule(sched, seq, {3, 0}));
+}
+
+TEST(EngineSchedule, EveryTerminatedRunValidates) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.below(8);
+    const auto seq = dynagraph::traces::uniformRandom(n, 40 * n, rng);
+    algorithms::Gathering ga;
+    const auto r = runOn(ga, seq, n, 0);
+    if (!r.terminated) continue;
+    std::string err;
+    EXPECT_TRUE(validateConvergecastSchedule(r.schedule, seq,
+                                             {n, 0}, &err))
+        << err;
+  }
+}
+
+}  // namespace
+}  // namespace doda::core

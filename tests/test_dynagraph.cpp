@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dynagraph/interaction_sequence.hpp"
+#include "dynagraph/lazy_sequence.hpp"
+#include "dynagraph/traces.hpp"
+#include "util/rng.hpp"
+
+namespace doda::dynagraph {
+namespace {
+
+TEST(Interaction, NormalizesEndpointOrder) {
+  const Interaction i(5, 2);
+  EXPECT_EQ(i.a(), 2u);
+  EXPECT_EQ(i.b(), 5u);
+  EXPECT_EQ(i, Interaction(2, 5));
+}
+
+TEST(Interaction, RejectsSelfInteraction) {
+  EXPECT_THROW(Interaction(3, 3), std::invalid_argument);
+}
+
+TEST(Interaction, InvolvesAndOther) {
+  const Interaction i(1, 4);
+  EXPECT_TRUE(i.involves(1));
+  EXPECT_TRUE(i.involves(4));
+  EXPECT_FALSE(i.involves(2));
+  EXPECT_EQ(i.other(1), 4u);
+  EXPECT_EQ(i.other(4), 1u);
+  EXPECT_THROW(i.other(2), std::invalid_argument);
+}
+
+TEST(InteractionSequence, BasicAccess) {
+  InteractionSequence seq{Interaction(0, 1), Interaction(1, 2)};
+  EXPECT_EQ(seq.length(), 2u);
+  EXPECT_EQ(seq.at(0), Interaction(0, 1));
+  EXPECT_THROW(seq.at(2), std::out_of_range);
+  EXPECT_FALSE(seq.empty());
+  EXPECT_TRUE(InteractionSequence{}.empty());
+}
+
+TEST(InteractionSequence, SliceClampsBounds) {
+  InteractionSequence seq{Interaction(0, 1), Interaction(1, 2),
+                          Interaction(2, 3)};
+  const auto mid = seq.slice(1, 2);
+  ASSERT_EQ(mid.length(), 1u);
+  EXPECT_EQ(mid.at(0), Interaction(1, 2));
+  EXPECT_EQ(seq.slice(2, 100).length(), 1u);
+  EXPECT_EQ(seq.slice(5, 10).length(), 0u);
+  EXPECT_EQ(seq.slice(2, 1).length(), 0u);
+}
+
+TEST(InteractionSequence, ReversedIsInvolution) {
+  util::Rng rng(3);
+  const auto seq = traces::uniformRandom(6, 40, rng);
+  const auto rev = seq.reversed();
+  EXPECT_EQ(rev.length(), seq.length());
+  EXPECT_EQ(rev.at(0), seq.at(39));
+  EXPECT_EQ(rev.reversed(), seq);
+}
+
+TEST(InteractionSequence, RepeatedConcatenates) {
+  InteractionSequence seq{Interaction(0, 1), Interaction(1, 2)};
+  const auto triple = seq.repeated(3);
+  EXPECT_EQ(triple.length(), 6u);
+  EXPECT_EQ(triple.at(4), Interaction(0, 1));
+  EXPECT_EQ(seq.repeated(0).length(), 0u);
+}
+
+TEST(InteractionSequence, UnderlyingGraphCollectsEdges) {
+  InteractionSequence seq{Interaction(0, 1), Interaction(0, 1),
+                          Interaction(2, 1)};
+  const auto g = seq.underlyingGraph(4);
+  EXPECT_EQ(g.edgeCount(), 2u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_THROW(seq.underlyingGraph(2), std::out_of_range);
+}
+
+TEST(InteractionSequence, MinNodeCount) {
+  EXPECT_EQ(InteractionSequence{}.minNodeCount(), 0u);
+  InteractionSequence seq{Interaction(0, 7)};
+  EXPECT_EQ(seq.minNodeCount(), 8u);
+}
+
+TEST(InteractionSequence, TimesInvolvingAndNextOccurrence) {
+  InteractionSequence seq{Interaction(0, 1), Interaction(2, 3),
+                          Interaction(0, 2), Interaction(0, 1)};
+  const auto times = seq.timesInvolving(0);
+  EXPECT_EQ(times, (std::vector<Time>{0, 2, 3}));
+  EXPECT_EQ(seq.timesInvolving(0, 1), (std::vector<Time>{2, 3}));
+  EXPECT_EQ(seq.nextOccurrence(1, 0), 0u);
+  EXPECT_EQ(seq.nextOccurrence(1, 0, 1), 3u);
+  EXPECT_EQ(seq.nextOccurrence(1, 3), kNever);
+}
+
+TEST(LazySequence, GeneratesOnDemand) {
+  int calls = 0;
+  LazySequence seq(
+      [&calls](Time t) {
+        ++calls;
+        return Interaction(static_cast<NodeId>(t % 3),
+                           static_cast<NodeId>(t % 3 + 1));
+      },
+      1000);
+  EXPECT_EQ(seq.generatedLength(), 0u);
+  EXPECT_EQ(seq.at(4), Interaction(1, 2));
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(seq.generatedLength(), 5u);
+  // Re-reading does not regenerate.
+  EXPECT_EQ(seq.at(2), Interaction(2, 3));
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(LazySequence, CommittedPrefixIsStable) {
+  util::Rng rng(5);
+  LazySequence seq([&rng](Time) { return traces::uniformPair(8, rng); },
+                   1 << 20);
+  seq.ensure(99);
+  const auto snapshot = seq.committed();
+  seq.ensure(499);
+  for (Time t = 0; t < 100; ++t)
+    EXPECT_EQ(seq.committed().at(t), snapshot.at(t));
+}
+
+TEST(LazySequence, MaxLengthGuardThrows) {
+  LazySequence seq([](Time) { return Interaction(0, 1); }, 10);
+  seq.ensure(9);
+  EXPECT_THROW(seq.ensure(10), std::length_error);
+}
+
+TEST(LazySequence, NullGeneratorThrows) {
+  EXPECT_THROW(LazySequence(nullptr), std::invalid_argument);
+}
+
+TEST(Traces, UniformPairIsValidAndCoversAll) {
+  util::Rng rng(11);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto p = traces::uniformPair(5, rng);
+    EXPECT_LT(p.a(), p.b());
+    EXPECT_LT(p.b(), 5u);
+    seen.emplace(p.a(), p.b());
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all C(5,2) pairs appear
+}
+
+TEST(Traces, UniformPairIsUniform) {
+  util::Rng rng(13);
+  constexpr int kDraws = 90000;
+  std::map<std::pair<NodeId, NodeId>, int> counts;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto p = traces::uniformPair(4, rng);
+    ++counts[{p.a(), p.b()}];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  const double expected = kDraws / 6.0;
+  for (const auto& [pair, c] : counts) {
+    EXPECT_GT(c, expected * 0.93);
+    EXPECT_LT(c, expected * 1.07);
+  }
+}
+
+TEST(Traces, UniformPairNeedsTwoNodes) {
+  util::Rng rng(1);
+  EXPECT_THROW(traces::uniformPair(1, rng), std::invalid_argument);
+}
+
+TEST(Traces, ZipfExponentZeroIsUniformWeights) {
+  traces::ZipfPairDistribution d(5, 0.0);
+  for (double w : d.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Traces, ZipfSkewsTowardLowIds) {
+  util::Rng rng(17);
+  traces::ZipfPairDistribution d(10, 1.2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 30000; ++i) {
+    const auto p = d.sample(rng);
+    ++counts[p.a()];
+    ++counts[p.b()];
+  }
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[1], counts[9]);
+}
+
+TEST(Traces, RoundRobinActivatesEveryEdgeEachRound) {
+  const auto g = traces::ringGraph(5);
+  const auto seq = traces::roundRobin(g, 3);
+  EXPECT_EQ(seq.length(), 15u);
+  // Round boundaries contain every edge exactly once.
+  std::set<Interaction> first_round;
+  for (Time t = 0; t < 5; ++t) first_round.insert(seq.at(t));
+  EXPECT_EQ(first_round.size(), 5u);
+  EXPECT_EQ(seq.at(0), seq.at(5));  // deterministic repetition
+}
+
+TEST(Traces, ShuffledRoundsPermutesEdges) {
+  util::Rng rng(23);
+  const auto g = traces::completeGraph(6);
+  const auto seq = traces::shuffledRounds(g, 2, rng);
+  EXPECT_EQ(seq.length(), 30u);
+  std::set<Interaction> round;
+  for (Time t = 0; t < 15; ++t) round.insert(seq.at(t));
+  EXPECT_EQ(round.size(), 15u);  // each round is a permutation of edges
+}
+
+TEST(Traces, BodySensorProducesHubContactsForEverySensor) {
+  util::Rng rng(29);
+  traces::BodySensorConfig config;
+  config.sensors = 6;
+  config.slots = 400;
+  const auto seq = traces::bodySensorTrace(config, rng);
+  ASSERT_GT(seq.length(), 0u);
+  std::set<NodeId> met_hub;
+  for (Time t = 0; t < seq.length(); ++t) {
+    const auto& i = seq.at(t);
+    EXPECT_LE(i.b(), 6u);
+    if (i.involves(0)) met_hub.insert(i.other(0));
+  }
+  EXPECT_EQ(met_hub.size(), 6u);  // every sensor checks in eventually
+}
+
+TEST(Traces, BodySensorValidatesConfig) {
+  util::Rng rng(1);
+  traces::BodySensorConfig bad;
+  bad.sensors = 1;
+  EXPECT_THROW(traces::bodySensorTrace(bad, rng), std::invalid_argument);
+  traces::BodySensorConfig bad2;
+  bad2.min_period = 30;
+  bad2.max_period = 10;
+  EXPECT_THROW(traces::bodySensorTrace(bad2, rng), std::invalid_argument);
+}
+
+TEST(Traces, VehicularStaysInRangeAndMeetsSink) {
+  util::Rng rng(31);
+  traces::VehicularConfig config;
+  config.width = 4;
+  config.height = 4;
+  config.cars = 8;
+  config.steps = 3000;
+  const auto seq = traces::vehicularTrace(config, rng);
+  ASSERT_GT(seq.length(), 0u);
+  bool sink_contact = false;
+  for (Time t = 0; t < seq.length(); ++t) {
+    EXPECT_LE(seq.at(t).b(), 8u);
+    sink_contact |= seq.at(t).involves(0);
+  }
+  EXPECT_TRUE(sink_contact);
+}
+
+TEST(Traces, VehicularValidatesConfig) {
+  util::Rng rng(1);
+  traces::VehicularConfig bad;
+  bad.cars = 1;
+  EXPECT_THROW(traces::vehicularTrace(bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace doda::dynagraph

@@ -1,0 +1,185 @@
+// Failure-injection / fuzz suite: random decision policies against random
+// and crafted adversaries, checking that the engine's model invariants
+// survive anything an algorithm can legally do — and that illegal behaviour
+// is always rejected rather than corrupting state.
+
+#include <gtest/gtest.h>
+
+#include "adversary/randomized_adversary.hpp"
+#include "adversary/sequence_adversary.hpp"
+#include "analysis/convergecast.hpp"
+#include "algorithms/gathering.hpp"
+#include "analysis/schedule_metrics.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/traces.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace doda {
+namespace {
+
+using core::NodeId;
+using core::Time;
+using dynagraph::InteractionSequence;
+using testing::runOn;
+
+/// A legal but erratic algorithm: arbitrary mix of waiting and transmitting
+/// in arbitrary directions (never naming the sink as sender).
+class FuzzPolicy final : public core::DodaAlgorithm {
+ public:
+  explicit FuzzPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "FuzzPolicy"; }
+  std::optional<NodeId> decide(const core::Interaction& i, Time,
+                               const core::ExecutionView& view) override {
+    switch (rng_.below(4)) {
+      case 0:
+        return std::nullopt;
+      case 1:
+        return i.involves(view.system().sink) ? view.system().sink : i.a();
+      case 2:
+        return i.involves(view.system().sink) ? view.system().sink : i.b();
+      default:
+        // Random endpoint, but never make the sink transmit.
+        if (i.a() == view.system().sink) return i.a();
+        if (i.b() == view.system().sink) return i.b();
+        return rng_.chance(0.5) ? i.a() : i.b();
+    }
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+class FuzzParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzParam, EngineInvariantsHoldUnderRandomBehaviour) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 3 + rng.below(10);
+    const NodeId sink = static_cast<NodeId>(rng.below(n));
+    const auto seq =
+        dynagraph::traces::uniformRandom(n, 50 + rng.below(3000), rng);
+    FuzzPolicy fuzz(rng());
+    core::Engine engine({n, sink}, core::AggregationFunction::count());
+    adversary::SequenceAdversary adv(seq);
+    const auto r = engine.run(fuzz, adv);
+
+    // Invariant: nobody transmits twice; the sink never transmits.
+    std::vector<bool> sent(n, false);
+    for (const auto& rec : r.schedule) {
+      EXPECT_NE(rec.sender, sink);
+      EXPECT_FALSE(sent[rec.sender]);
+      sent[rec.sender] = true;
+      // Every transfer rides the matching interaction.
+      EXPECT_EQ(seq.at(rec.time),
+                core::Interaction(rec.sender, rec.receiver));
+    }
+    // Invariant: transfers never exceed n-1; termination iff exactly n-1.
+    EXPECT_LE(r.schedule.size(), n - 1);
+    EXPECT_EQ(r.terminated, r.schedule.size() == n - 1);
+    // Invariant: conservation — the sink's sources are exactly the origins
+    // whose chain reached it; count() value equals source-set size.
+    EXPECT_EQ(r.sink_datum.value,
+              static_cast<double>(r.sink_datum.sources.size()));
+    const auto metrics = analysis::analyzeSchedule(r.schedule, {n, sink});
+    EXPECT_EQ(metrics.delivered_count + 1, r.sink_datum.sources.size());
+    // Terminated runs validate as convergecast schedules.
+    if (r.terminated) {
+      std::string err;
+      EXPECT_TRUE(core::validateConvergecastSchedule(r.schedule, seq,
+                                                     {n, sink}, &err))
+          << err;
+    }
+  }
+}
+
+TEST_P(FuzzParam, NoPolicyBeatsTheOfflineOptimum) {
+  // Soundness of opt(t): no legal execution, however lucky, terminates
+  // before the offline optimum on the same sequence.
+  util::Rng rng(GetParam() + 99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.below(6);
+    const auto seq =
+        dynagraph::traces::uniformRandom(n, 100 + rng.below(1000), rng);
+    FuzzPolicy fuzz(rng());
+    const auto r = runOn(fuzz, seq, n, 0);
+    if (!r.terminated) continue;
+    const auto opt = analysis::optCompletion(seq, n, 0);
+    ASSERT_NE(opt, dynagraph::kNever);
+    EXPECT_GE(r.last_transmission_time, opt);
+    EXPECT_GE(analysis::costOf(seq, n, 0, r.last_transmission_time), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParam,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+/// Adversary that returns interactions referencing unknown nodes.
+class RogueAdversary final : public core::Adversary {
+ public:
+  std::string name() const override { return "rogue"; }
+  std::optional<core::Interaction> next(Time,
+                                        const core::ExecutionView&) override {
+    return core::Interaction(0, 100);
+  }
+};
+
+TEST(FuzzEngine, RogueAdversaryIsRejected) {
+  algorithms::Gathering ga;
+  core::Engine engine({4, 0}, core::AggregationFunction::count());
+  RogueAdversary rogue;
+  EXPECT_THROW(engine.run(ga, rogue), core::ModelViolation);
+}
+
+/// Algorithm that misbehaves only deep into the run (stale receiver).
+class LateViolator final : public core::DodaAlgorithm {
+ public:
+  std::string name() const override { return "LateViolator"; }
+  std::optional<NodeId> decide(const core::Interaction& i, Time t,
+                               const core::ExecutionView& view) override {
+    if (t > 40 && !i.involves(view.system().sink))
+      return view.system().sink;  // receiver not part of the interaction
+    return std::nullopt;
+  }
+};
+
+TEST(FuzzEngine, LateViolationStillCaught) {
+  util::Rng rng(123);
+  // Keep drawing until an eligible (non-sink, both-owners) interaction
+  // occurs after t = 40 — which is essentially certain at this length.
+  const auto seq = dynagraph::traces::uniformRandom(6, 500, rng);
+  LateViolator evil;
+  core::Engine engine({6, 0}, core::AggregationFunction::count());
+  adversary::SequenceAdversary adv(seq);
+  EXPECT_THROW(engine.run(evil, adv), core::ModelViolation);
+}
+
+TEST(FuzzCost, CostChainMonotonicityOnRandomSequences) {
+  // T(i) is strictly increasing until it hits infinity, for any sequence.
+  util::Rng rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.below(8);
+    const auto seq =
+        dynagraph::traces::uniformRandom(n, 100 + rng.below(2000), rng);
+    const auto chain = analysis::convergecastChain(seq, n, 0);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      if (chain[i + 1] == dynagraph::kNever) break;
+      EXPECT_LT(chain[i], chain[i + 1]);
+    }
+  }
+}
+
+TEST(FuzzCost, CostIsMonotoneInDuration) {
+  // Later termination can never have smaller cost.
+  util::Rng rng(654);
+  const auto seq = dynagraph::traces::uniformRandom(6, 2000, rng);
+  std::size_t prev = 1;
+  for (Time d = 10; d < 1500; d += 50) {
+    const auto c = analysis::costOf(seq, 6, 0, d);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace doda

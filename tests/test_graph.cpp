@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dynagraph/traces.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/static_graph.hpp"
+#include "graph/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace doda::graph {
+namespace {
+
+namespace traces = dynagraph::traces;
+
+TEST(StaticGraph, StartsEmpty) {
+  StaticGraph g(5);
+  EXPECT_EQ(g.nodeCount(), 5u);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(StaticGraph, AddEdgeIsIdempotentAndSymmetric) {
+  StaticGraph g(4);
+  g.addEdge(1, 3);
+  g.addEdge(3, 1);
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_TRUE(g.hasEdge(1, 3));
+  EXPECT_TRUE(g.hasEdge(3, 1));
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(StaticGraph, RejectsSelfLoopAndBadIds) {
+  StaticGraph g(3);
+  EXPECT_THROW(g.addEdge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 3), std::out_of_range);
+  EXPECT_THROW(g.degree(5), std::out_of_range);
+}
+
+TEST(StaticGraph, NeighborsAreSorted) {
+  StaticGraph g(5);
+  g.addEdge(2, 4);
+  g.addEdge(2, 0);
+  g.addEdge(2, 3);
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 3u);
+}
+
+TEST(StaticGraph, EdgesAreLexicographic) {
+  StaticGraph g(4);
+  g.addEdge(3, 2);
+  g.addEdge(1, 0);
+  const auto es = g.edges();
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], std::make_pair(NodeId{0}, NodeId{1}));
+  EXPECT_EQ(es[1], std::make_pair(NodeId{2}, NodeId{3}));
+}
+
+TEST(StaticGraph, BfsDistancesOnPath) {
+  const auto g = traces::pathGraph(5);
+  const auto d = g.bfsDistances(0);
+  for (NodeId u = 0; u < 5; ++u) {
+    ASSERT_TRUE(d[u].has_value());
+    EXPECT_EQ(*d[u], u);
+  }
+}
+
+TEST(StaticGraph, BfsDetectsUnreachable) {
+  StaticGraph g(4);
+  g.addEdge(0, 1);
+  const auto d = g.bfsDistances(0);
+  EXPECT_TRUE(d[1].has_value());
+  EXPECT_FALSE(d[2].has_value());
+  EXPECT_FALSE(g.isConnected());
+}
+
+TEST(StaticGraph, TreeDetection) {
+  EXPECT_TRUE(traces::pathGraph(6).isTree());
+  EXPECT_TRUE(traces::starGraph(6, 0).isTree());
+  EXPECT_FALSE(traces::ringGraph(6).isTree());
+  EXPECT_FALSE(traces::completeGraph(4).isTree());
+}
+
+class TopologyParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopologyParam, BuildersProduceConnectedGraphs) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  EXPECT_TRUE(traces::pathGraph(n).isConnected());
+  EXPECT_TRUE(traces::starGraph(n, 0).isConnected());
+  EXPECT_TRUE(traces::completeGraph(n).isConnected());
+  const auto tree = traces::randomTree(n, rng);
+  EXPECT_TRUE(tree.isTree());
+  const auto dense = traces::randomConnected(n, n, rng);
+  EXPECT_TRUE(dense.isConnected());
+  EXPECT_GE(dense.edgeCount(), n - 1);
+}
+
+TEST_P(TopologyParam, CompleteGraphHasAllEdges) {
+  const std::size_t n = GetParam();
+  const auto g = traces::completeGraph(n);
+  EXPECT_EQ(g.edgeCount(), n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologyParam,
+                         ::testing::Values(3, 5, 8, 16, 33, 64));
+
+TEST(SpanningTree, RequiresConnectedGraph) {
+  StaticGraph g(4);
+  g.addEdge(0, 1);
+  EXPECT_THROW(SpanningTree::bfs(g, 0), std::invalid_argument);
+}
+
+TEST(SpanningTree, RootHasNoParent) {
+  const auto t = SpanningTree::bfs(traces::completeGraph(5), 2);
+  EXPECT_EQ(t.root(), 2u);
+  EXPECT_FALSE(t.parent(2).has_value());
+  EXPECT_EQ(t.depth(2), 0u);
+}
+
+TEST(SpanningTree, PathGraphGivesChain) {
+  const auto t = SpanningTree::bfs(traces::pathGraph(5), 0);
+  for (NodeId u = 1; u < 5; ++u) {
+    ASSERT_TRUE(t.parent(u).has_value());
+    EXPECT_EQ(*t.parent(u), u - 1);
+    EXPECT_EQ(t.depth(u), u);
+  }
+  EXPECT_EQ(t.height(), 4u);
+}
+
+TEST(SpanningTree, StarFromCenterIsFlat) {
+  const auto t = SpanningTree::bfs(traces::starGraph(7, 0), 0);
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_EQ(t.children(0).size(), 6u);
+}
+
+TEST(SpanningTree, IsDeterministic) {
+  util::Rng rng(99);
+  const auto g = traces::randomConnected(20, 15, rng);
+  const auto t1 = SpanningTree::bfs(g, 0);
+  const auto t2 = SpanningTree::bfs(g, 0);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_EQ(t1.parent(u), t2.parent(u));
+}
+
+class SpanningTreeParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpanningTreeParam, ParentChildConsistency) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 10 + rng.below(40);
+  const auto g = traces::randomConnected(n, n / 2, rng);
+  const auto t = SpanningTree::bfs(g, 0);
+  std::size_t child_links = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId c : t.children(u)) {
+      EXPECT_EQ(*t.parent(c), u);
+      EXPECT_EQ(t.depth(c), t.depth(u) + 1);
+      // Tree edges must exist in the graph.
+      EXPECT_TRUE(g.hasEdge(u, c));
+      ++child_links;
+    }
+  }
+  EXPECT_EQ(child_links, n - 1);
+}
+
+TEST_P(SpanningTreeParam, PostOrderVisitsChildrenFirst) {
+  util::Rng rng(GetParam() + 1000);
+  const std::size_t n = 5 + rng.below(30);
+  const auto g = traces::randomConnected(n, n, rng);
+  const auto t = SpanningTree::bfs(g, 0);
+  const auto order = t.postOrder();
+  ASSERT_EQ(order.size(), n);
+  std::vector<std::size_t> position(n);
+  for (std::size_t i = 0; i < n; ++i) position[order[i]] = i;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId c : t.children(u)) EXPECT_LT(position[c], position[u]);
+  EXPECT_EQ(order.back(), t.root());
+}
+
+TEST_P(SpanningTreeParam, SubtreeSizesSumCorrectly) {
+  util::Rng rng(GetParam() + 2000);
+  const std::size_t n = 5 + rng.below(30);
+  const auto g = traces::randomConnected(n, 3, rng);
+  const auto t = SpanningTree::bfs(g, 0);
+  EXPECT_EQ(t.subtreeSize(0), n);
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t sum = 1;
+    for (NodeId c : t.children(u)) sum += t.subtreeSize(c);
+    EXPECT_EQ(t.subtreeSize(u), sum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanningTreeParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(UnionFind, StartsDisjoint) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.setCount(), 4u);
+  EXPECT_FALSE(uf.connected(0, 1));
+  EXPECT_EQ(uf.setSize(2), 1u);
+}
+
+TEST(UnionFind, UniteMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_EQ(uf.setCount(), 3u);
+  EXPECT_EQ(uf.setSize(0), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_FALSE(uf.connected(0, 4));
+  EXPECT_EQ(uf.setSize(3), 4u);
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), std::out_of_range);
+}
+
+TEST(UnionFind, FullMergeLeavesOneSet) {
+  UnionFind uf(50);
+  util::Rng rng(7);
+  while (uf.setCount() > 1) {
+    const auto a = rng.below(50);
+    const auto b = rng.below(50);
+    if (a != b) uf.unite(a, b);
+  }
+  EXPECT_EQ(uf.setSize(0), 50u);
+  for (std::size_t i = 1; i < 50; ++i) EXPECT_TRUE(uf.connected(0, i));
+}
+
+}  // namespace
+}  // namespace doda::graph

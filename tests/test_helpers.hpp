@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+
+#include "adversary/sequence_adversary.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::testing {
+
+/// Runs `algorithm` on a fixed sequence with a count() aggregation and
+/// default options; the common setup of most integration tests.
+inline core::ExecutionResult runOn(core::DodaAlgorithm& algorithm,
+                                   const dynagraph::InteractionSequence& seq,
+                                   std::size_t node_count, core::NodeId sink,
+                                   core::Time max_interactions = core::Time{1}
+                                                                 << 32) {
+  core::Engine engine({node_count, sink},
+                      core::AggregationFunction::count());
+  adversary::SequenceAdversary adv(seq);
+  core::RunOptions options;
+  options.max_interactions = max_interactions;
+  return engine.run(algorithm, adv, options);
+}
+
+/// Shorthand interaction literal.
+inline dynagraph::Interaction ix(core::NodeId u, core::NodeId v) {
+  return dynagraph::Interaction(u, v);
+}
+
+}  // namespace doda::testing

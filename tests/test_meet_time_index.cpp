@@ -1,0 +1,120 @@
+#include "dynagraph/meet_time_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynagraph/traces.hpp"
+#include "util/rng.hpp"
+
+namespace doda::dynagraph {
+namespace {
+
+/// Reference implementation: linear scan for the smallest t' > t with
+/// I_{t'} = {u, sink}.
+Time naiveMeetTime(const InteractionSequence& seq, NodeId sink, NodeId u,
+                   Time t) {
+  if (u == sink) return t;
+  for (Time x = t + 1; x < seq.length(); ++x)
+    if (seq.at(x) == Interaction(u, sink)) return x;
+  return kNever;
+}
+
+TEST(MeetTimeIndex, SinkMeetTimeIsIdentity) {
+  InteractionSequence seq{Interaction(0, 1)};
+  MeetTimeIndex idx(seq, 0, 3);
+  EXPECT_EQ(idx.meetTime(0, 0), 0u);
+  EXPECT_EQ(idx.meetTime(0, 17), 17u);
+}
+
+TEST(MeetTimeIndex, StrictlyGreaterThanQueryTime) {
+  // Paper: meetTime(t) is the smallest t' > t — a meeting AT t does not
+  // count.
+  InteractionSequence seq{Interaction(0, 1), Interaction(0, 1)};
+  MeetTimeIndex idx(seq, 0, 2);
+  EXPECT_EQ(idx.meetTime(1, 0), 1u);
+  EXPECT_EQ(idx.meetTime(1, 1), kNever);
+}
+
+TEST(MeetTimeIndex, NeverWhenNoMeeting) {
+  InteractionSequence seq{Interaction(1, 2), Interaction(1, 2)};
+  MeetTimeIndex idx(seq, 0, 3);
+  EXPECT_EQ(idx.meetTime(1, 0), kNever);
+  EXPECT_EQ(idx.meetTime(2, 0), kNever);
+}
+
+TEST(MeetTimeIndex, RejectsBadArguments) {
+  InteractionSequence seq{Interaction(0, 1)};
+  EXPECT_THROW(MeetTimeIndex(seq, 9, 3), std::out_of_range);
+  MeetTimeIndex idx(seq, 0, 2);
+  EXPECT_THROW(idx.meetTime(5, 0), std::out_of_range);
+}
+
+class MeetTimeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeetTimeProperty, MatchesNaiveScanOnRandomSequences) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 4 + rng.below(12);
+  const NodeId sink = static_cast<NodeId>(rng.below(n));
+  const auto seq = traces::uniformRandom(n, 300, rng);
+  MeetTimeIndex idx(seq, sink, n);
+  for (int probe = 0; probe < 200; ++probe) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const Time t = rng.below(320);
+    EXPECT_EQ(idx.meetTime(u, t), naiveMeetTime(seq, sink, u, t))
+        << "u=" << u << " t=" << t << " sink=" << sink;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeetTimeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(MeetTimeIndex, KnownMeetingsAreAscendingAndComplete) {
+  util::Rng rng(77);
+  const auto seq = traces::uniformRandom(6, 200, rng);
+  MeetTimeIndex idx(seq, 0, 6);
+  idx.meetTime(1, 200);  // force a full scan
+  for (NodeId u = 1; u < 6; ++u) {
+    const auto& times = idx.knownMeetings(u);
+    EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+    for (Time t : times) EXPECT_EQ(seq.at(t), Interaction(0, u));
+  }
+}
+
+TEST(MeetTimeIndex, LazyBackingExtendsOnDemand) {
+  util::Rng rng(42);
+  LazySequence lazy([&rng](Time) { return traces::uniformPair(6, rng); },
+                    1 << 20);
+  MeetTimeIndex idx(lazy, 0, 6, /*extension_chunk=*/64);
+  // The sequence starts empty; the query must commit randomness until node
+  // 3 meets the sink.
+  const Time m = idx.meetTime(3, 0);
+  ASSERT_NE(m, kNever);
+  EXPECT_EQ(lazy.committed().at(m), Interaction(0, 3));
+  EXPECT_GT(lazy.generatedLength(), m);
+  // The answer agrees with a naive scan over the now-committed prefix.
+  EXPECT_EQ(naiveMeetTime(lazy.committed(), 0, 3, 0), m);
+}
+
+TEST(MeetTimeIndex, LazyAnswersAreStableAcrossExtensions) {
+  util::Rng rng(43);
+  LazySequence lazy([&rng](Time) { return traces::uniformPair(5, rng); },
+                    1 << 20);
+  MeetTimeIndex idx(lazy, 0, 5, 32);
+  const Time first = idx.meetTime(2, 0);
+  lazy.ensure(first + 500);
+  EXPECT_EQ(idx.meetTime(2, 0), first);
+}
+
+TEST(MeetTimeIndex, LazyExhaustionReturnsNever) {
+  // A backing sequence that can never contain a sink meeting for node 2.
+  LazySequence lazy([](Time) { return Interaction(0, 1); }, 256);
+  MeetTimeIndex idx(lazy, 0, 3, 64);
+  EXPECT_EQ(idx.meetTime(2, 0), kNever);
+}
+
+TEST(MeetTimeIndex, ZeroChunkRejected) {
+  LazySequence lazy([](Time) { return Interaction(0, 1); }, 16);
+  EXPECT_THROW(MeetTimeIndex(lazy, 0, 3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace doda::dynagraph

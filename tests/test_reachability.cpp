@@ -1,0 +1,86 @@
+#include "analysis/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/convergecast.hpp"
+#include "dynagraph/traces.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace doda::analysis {
+namespace {
+
+using dynagraph::kNever;
+using testing::ix;
+
+TEST(TemporalReachability, ChainSequence) {
+  // 0-1 at t0, 1-2 at t1: journeys 0->2 exist, 2->0 do not.
+  const InteractionSequence seq{ix(0, 1), ix(1, 2)};
+  const auto r = temporalReachability(seq, 3);
+  EXPECT_EQ(r.arrival[0][1], 0u);
+  EXPECT_EQ(r.arrival[0][2], 1u);
+  EXPECT_EQ(r.arrival[2][1], 1u);
+  EXPECT_EQ(r.arrival[2][0], kNever);  // would need decreasing times
+  EXPECT_EQ(r.temporal_diameter, kNever);
+  EXPECT_LT(r.reachable_fraction, 1.0);
+  EXPECT_GT(r.reachable_fraction, 0.5);
+}
+
+TEST(TemporalReachability, SelfArrivalIsStart) {
+  const InteractionSequence seq{ix(0, 1)};
+  const auto r = temporalReachability(seq, 2, /*start=*/0);
+  EXPECT_EQ(r.arrival[0][0], 0u);
+  EXPECT_EQ(r.arrival[1][1], 0u);
+}
+
+TEST(TemporalReachability, FullyReachableOnRepeatedRounds) {
+  util::Rng rng(1);
+  const auto g = dynagraph::traces::ringGraph(6);
+  const auto seq = dynagraph::traces::roundRobin(g, 6);
+  const auto r = temporalReachability(seq, 6);
+  EXPECT_DOUBLE_EQ(r.reachable_fraction, 1.0);
+  EXPECT_NE(r.temporal_diameter, kNever);
+  for (core::NodeId u = 0; u < 6; ++u)
+    EXPECT_NE(r.broadcast_completion[u], kNever);
+}
+
+TEST(TemporalReachability, DiameterBoundsBroadcasts) {
+  util::Rng rng(2);
+  const auto seq = dynagraph::traces::uniformRandom(8, 300, rng);
+  const auto r = temporalReachability(seq, 8);
+  if (r.temporal_diameter == kNever) GTEST_SKIP();
+  for (core::NodeId u = 0; u < 8; ++u) {
+    ASSERT_NE(r.broadcast_completion[u], kNever);
+    EXPECT_LE(r.broadcast_completion[u], r.temporal_diameter);
+  }
+}
+
+class SinkReachableParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SinkReachableParam, EqualsOptCompletion) {
+  // The reversal argument of Thm 8: the earliest window end by which every
+  // node has a journey into the sink equals the optimal convergecast
+  // completion. Two independent implementations must agree.
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.below(8);
+    const auto seq =
+        dynagraph::traces::uniformRandom(n, 20 + rng.below(200), rng);
+    const core::NodeId sink = static_cast<core::NodeId>(rng.below(n));
+    const core::Time start = rng.below(5);
+    EXPECT_EQ(sinkReachableBy(seq, n, sink, start),
+              optCompletion(seq, n, sink, start))
+        << "n=" << n << " sink=" << sink << " start=" << start;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SinkReachableParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SinkReachableBy, UnreachableIsNever) {
+  const InteractionSequence seq{ix(0, 1)};
+  EXPECT_EQ(sinkReachableBy(seq, 3, 0), kNever);
+}
+
+}  // namespace
+}  // namespace doda::analysis

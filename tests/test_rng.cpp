@@ -1,0 +1,178 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace doda::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.9);
+    EXPECT_LT(c, expected * 1.1);
+  }
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.between(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BetweenSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.between(5, 5), 5);
+}
+
+TEST(Rng, BetweenInvalidThrows) {
+  Rng rng(19);
+  EXPECT_THROW(rng.between(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(23);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(37);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedSingleIndex) {
+  Rng rng(41);
+  const std::vector<double> w{2.5};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.weighted(w), 0u);
+}
+
+TEST(Rng, WeightedRejectsBadInput) {
+  Rng rng(43);
+  EXPECT_THROW(rng.weighted(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, ShuffleHandlesSmallInputs) {
+  Rng rng(53);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(59);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace doda::util

@@ -1,0 +1,199 @@
+// Statistical reproduction of the paper's randomized-adversary theorems at
+// laptop scale. These tests use generous tolerances (the claims are about
+// expectations; we average a few hundred trials with fixed seeds, so they
+// are deterministic, but the tolerance guards against seed sensitivity).
+
+#include <gtest/gtest.h>
+
+#include "adversary/randomized_adversary.hpp"
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "analysis/meetings.hpp"
+#include "dynagraph/traces.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace doda::sim {
+namespace {
+
+namespace cf = util::closed_form;
+
+TEST(Thm9Statistical, GatheringMeanMatchesClosedForm) {
+  // E[X_G] = n(n-1) * sum 1/(i(i+1)) = (n-1)^2.
+  MeasureConfig config;
+  config.node_count = 48;
+  config.trials = 300;
+  config.seed = 1001;
+  const auto r = measureRandomized(config, [](TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  });
+  ASSERT_EQ(r.failed_trials, 0u);
+  const double expected = cf::gatheringExpected(config.node_count);
+  EXPECT_NEAR(r.interactions.mean() / expected, 1.0, 0.10);
+}
+
+TEST(Thm9Statistical, WaitingMeanMatchesClosedForm) {
+  // E[X_W] = n(n-1)/2 * H(n-1).
+  MeasureConfig config;
+  config.node_count = 32;
+  config.trials = 300;
+  config.seed = 1002;
+  const auto r = measureRandomized(config, [](TrialContext&) {
+    return std::make_unique<algorithms::Waiting>();
+  });
+  ASSERT_EQ(r.failed_trials, 0u);
+  const double expected = cf::waitingExpected(config.node_count);
+  EXPECT_NEAR(r.interactions.mean() / expected, 1.0, 0.10);
+}
+
+TEST(Thm9Statistical, WaitingIsSlowerThanGatheringByLogFactor) {
+  MeasureConfig config;
+  config.node_count = 64;
+  config.trials = 120;
+  config.seed = 1003;
+  const auto ga = measureRandomized(config, [](TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  });
+  const auto w = measureRandomized(config, [](TrialContext&) {
+    return std::make_unique<algorithms::Waiting>();
+  });
+  // Expected ratio: (n/2 * H(n-1)) / ((n-1)) ~ H(n)/2 * n/(n-1) ≈ 2.4 at
+  // n = 64; require at least a clear separation.
+  EXPECT_GT(w.interactions.mean() / ga.interactions.mean(), 1.8);
+}
+
+TEST(Thm7Statistical, LastTransmissionCostsQuadratic) {
+  // The final transfer needs ~ n(n-1)/2 interactions in expectation: the
+  // gap between Waiting's last two transmissions behaves like the full
+  // coupon wait. We measure the tail gap of Waiting runs.
+  MeasureConfig config;
+  config.node_count = 24;
+  config.trials = 400;
+  config.seed = 1004;
+  util::Rng master(config.seed);
+  util::RunningStats tail_gap;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    adversary::RandomizedAdversary adv(config.node_count, master());
+    algorithms::Waiting w;
+    core::Engine engine({config.node_count, 0},
+                        core::AggregationFunction::count());
+    const auto r = engine.run(w, adv);
+    ASSERT_TRUE(r.terminated);
+    const auto& sched = r.schedule;
+    ASSERT_GE(sched.size(), 2u);
+    tail_gap.add(static_cast<double>(sched.back().time -
+                                     sched[sched.size() - 2].time));
+  }
+  // The last Waiting transfer waits for one specific pair out of n(n-1)/2:
+  // expectation exactly n(n-1)/2.
+  const double expected = cf::lastTransmissionExpected(config.node_count);
+  EXPECT_NEAR(tail_gap.mean() / expected, 1.0, 0.15);
+}
+
+TEST(Thm8Statistical, OfflineOptimalMatchesNLogN) {
+  // E[opt(0) + 1] = (n-1) H(n-1) (broadcast reversal argument).
+  MeasureConfig config;
+  config.node_count = 64;
+  config.trials = 200;
+  config.seed = 1005;
+  const auto r = measureOfflineOptimal(config);
+  ASSERT_EQ(r.failed_trials, 0u);
+  const double expected = cf::broadcastExpected(config.node_count);
+  EXPECT_NEAR(r.interactions.mean() / expected, 1.0, 0.10);
+}
+
+TEST(Thm8Statistical, OfflineOptimalConcentrates) {
+  // Thm 8 also claims w.h.p. concentration; check the relative spread.
+  MeasureConfig config;
+  config.node_count = 96;
+  config.trials = 150;
+  config.seed = 1006;
+  const auto r = measureOfflineOptimal(config);
+  ASSERT_EQ(r.failed_trials, 0u);
+  EXPECT_LT(r.interactions.stddev() / r.interactions.mean(), 0.35);
+}
+
+TEST(Thm10Statistical, WaitingGreedyTerminatesWithinTauWhp) {
+  // Cor 3: WG with tau = n^1.5 sqrt(log n) finishes within tau w.h.p.
+  // At n = 64 the constant-1 horizon is tight, so allow a small-c margin.
+  MeasureConfig config;
+  config.node_count = 64;
+  config.trials = 120;
+  config.seed = 1007;
+  const auto tau = static_cast<core::Time>(
+      2.0 * cf::waitingGreedyTau(config.node_count));
+  const auto r = measureRandomized(config, [tau](TrialContext& ctx) {
+    return std::make_unique<algorithms::WaitingGreedy>(ctx.meet_time, tau);
+  });
+  ASSERT_EQ(r.failed_trials, 0u);
+  EXPECT_LT(r.interactions.mean(), static_cast<double>(tau));
+  EXPECT_LT(r.interactions.max(), 1.5 * static_cast<double>(tau));
+}
+
+TEST(Thm11Statistical, WaitingGreedyBeatsGatheringAtScale) {
+  // WG is asymptotically n^{1.5+o(1)} vs Gathering's n^2: by n = 192 the
+  // separation must be visible.
+  MeasureConfig config;
+  config.node_count = 192;
+  config.trials = 40;
+  config.seed = 1008;
+  const auto tau = static_cast<core::Time>(
+      cf::waitingGreedyTau(config.node_count));
+  const auto wg = measureRandomized(config, [tau](TrialContext& ctx) {
+    return std::make_unique<algorithms::WaitingGreedy>(ctx.meet_time, tau);
+  });
+  const auto ga = measureRandomized(config, [](TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  });
+  ASSERT_EQ(wg.failed_trials, 0u);
+  EXPECT_LT(wg.interactions.mean(), ga.interactions.mean());
+}
+
+TEST(ScalingExponents, GatheringIsQuadraticWaitingGreedyIsNot) {
+  // Fit empirical exponents over a size sweep: Gathering ~ n^2, WG ~ n^1.5.
+  std::vector<double> ns, ga_means, wg_means;
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    MeasureConfig config;
+    config.node_count = n;
+    config.trials = 30;
+    config.seed = 2000 + n;
+    const auto ga = measureRandomized(config, [](TrialContext&) {
+      return std::make_unique<algorithms::Gathering>();
+    });
+    const auto tau = static_cast<core::Time>(cf::waitingGreedyTau(n));
+    const auto wg = measureRandomized(config, [tau](TrialContext& ctx) {
+      return std::make_unique<algorithms::WaitingGreedy>(ctx.meet_time, tau);
+    });
+    ns.push_back(static_cast<double>(n));
+    ga_means.push_back(ga.interactions.mean());
+    wg_means.push_back(wg.interactions.mean());
+  }
+  const auto ga_fit = util::fitPowerLaw(ns, ga_means);
+  const auto wg_fit = util::fitPowerLaw(ns, wg_means);
+  EXPECT_NEAR(ga_fit.slope, 2.0, 0.15);
+  EXPECT_LT(wg_fit.slope, 1.85);
+  EXPECT_GT(wg_fit.slope, 1.2);
+}
+
+TEST(Lemma1Statistical, SinkMeetsThetaFnNodesInNFnInteractions) {
+  // Lemma 1: in n f(n) interactions, Theta(f(n)) distinct nodes meet the
+  // sink. For f(n) = sqrt(n) and n f(n) interactions, E[distinct] =
+  // (n-1)(1 - (1 - 2/n/(n-1) * ... )) — we check the Theta band [0.5, 1.5].
+  const std::size_t n = 256;
+  const double f = 16.0;  // sqrt(256)
+  const auto budget = static_cast<core::Time>(n * f);
+  util::Rng rng(3001);
+  util::RunningStats distinct;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto seq = dynagraph::traces::uniformRandom(n, budget, rng);
+    distinct.add(static_cast<double>(
+        analysis::distinctSinkContacts(seq, 0, budget)));
+  }
+  EXPECT_GT(distinct.mean(), 0.5 * f);
+  EXPECT_LT(distinct.mean(), 2.5 * f);
+}
+
+}  // namespace
+}  // namespace doda::sim

@@ -1,0 +1,129 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/full_knowledge.hpp"
+#include "algorithms/future_aware.hpp"
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting.hpp"
+#include "algorithms/waiting_greedy.hpp"
+
+namespace doda::sim {
+namespace {
+
+AlgorithmFactory gatheringFactory() {
+  return [](TrialContext&) { return std::make_unique<algorithms::Gathering>(); };
+}
+
+TEST(MeasureRandomized, RunsRequestedTrials) {
+  MeasureConfig config;
+  config.node_count = 8;
+  config.trials = 10;
+  const auto r = measureRandomized(config, gatheringFactory());
+  EXPECT_EQ(r.interactions.count() + r.failed_trials, 10u);
+  EXPECT_EQ(r.failed_trials, 0u);
+  EXPECT_GT(r.interactions.mean(), 0.0);
+}
+
+TEST(MeasureRandomized, SameSeedIsReproducible) {
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 8;
+  config.seed = 42;
+  const auto a = measureRandomized(config, gatheringFactory());
+  const auto b = measureRandomized(config, gatheringFactory());
+  EXPECT_DOUBLE_EQ(a.interactions.mean(), b.interactions.mean());
+  EXPECT_DOUBLE_EQ(a.interactions.stddev(), b.interactions.stddev());
+}
+
+TEST(MeasureRandomized, DifferentSeedsDiffer) {
+  MeasureConfig a, b;
+  a.node_count = b.node_count = 10;
+  a.trials = b.trials = 8;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ra = measureRandomized(a, gatheringFactory());
+  const auto rb = measureRandomized(b, gatheringFactory());
+  EXPECT_NE(ra.interactions.mean(), rb.interactions.mean());
+}
+
+TEST(MeasureRandomized, CapCausesFailures) {
+  MeasureConfig config;
+  config.node_count = 12;
+  config.trials = 5;
+  config.max_interactions = 3;  // far below any plausible termination
+  const auto r = measureRandomized(config, gatheringFactory());
+  EXPECT_EQ(r.failed_trials, 5u);
+  EXPECT_EQ(r.interactions.count(), 0u);
+}
+
+TEST(MeasureRandomized, WaitingGreedyFactoryGetsWorkingOracle) {
+  MeasureConfig config;
+  config.node_count = 12;
+  config.trials = 6;
+  const auto r = measureRandomized(config, [](TrialContext& ctx) {
+    return std::make_unique<algorithms::WaitingGreedy>(ctx.meet_time, 200);
+  });
+  EXPECT_EQ(r.failed_trials, 0u);
+}
+
+TEST(MeasureRandomized, ZipfAdversaryWorks) {
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 6;
+  config.zipf_exponent = 1.0;
+  const auto r = measureRandomized(config, gatheringFactory());
+  EXPECT_EQ(r.failed_trials, 0u);
+}
+
+TEST(MeasureOfflineOptimal, ProducesCostOne) {
+  MeasureConfig config;
+  config.node_count = 12;
+  config.trials = 6;
+  const auto r = measureOfflineOptimal(config);
+  EXPECT_EQ(r.failed_trials, 0u);
+  EXPECT_DOUBLE_EQ(r.cost.mean(), 1.0);
+  // The offline optimum can never beat n-1 interactions.
+  EXPECT_GE(r.interactions.min(), static_cast<double>(config.node_count - 1));
+}
+
+TEST(MeasureMaterialized, FullKnowledgeHasCostOne) {
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 6;
+  const auto r = measureMaterialized(
+      config, /*initial_length=*/600,
+      [](const dynagraph::InteractionSequence& seq, const core::SystemInfo&) {
+        return std::make_unique<algorithms::FullKnowledgeOptimal>(seq);
+      });
+  EXPECT_EQ(r.failed_trials, 0u);
+  EXPECT_DOUBLE_EQ(r.cost.mean(), 1.0);
+}
+
+TEST(MeasureMaterialized, FutureAwareCostIsSmall) {
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 6;
+  const auto r = measureMaterialized(
+      config, /*initial_length=*/1200,
+      [](const dynagraph::InteractionSequence& seq, const core::SystemInfo&) {
+        return std::make_unique<algorithms::FutureAware>(seq);
+      });
+  EXPECT_EQ(r.failed_trials, 0u);
+  // Paper Thm 6: cost <= n.
+  EXPECT_LE(r.cost.max(), static_cast<double>(config.node_count));
+}
+
+TEST(MeasureWithCost, GatheringCostAtLeastOne) {
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 6;
+  const auto r = measureWithCost(config, /*length_hint=*/2000,
+                                 gatheringFactory());
+  EXPECT_EQ(r.failed_trials, 0u);
+  EXPECT_GE(r.cost.min(), 1.0);
+  EXPECT_EQ(r.cost.count(), r.interactions.count());
+}
+
+}  // namespace
+}  // namespace doda::sim

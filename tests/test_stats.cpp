@@ -1,0 +1,168 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace doda::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95HalfWidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with Bessel correction: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 100 - 50;
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95HalfWidth(), large.ci95HalfWidth());
+}
+
+TEST(Summarize, EmptySample) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(FitPowerLaw, RecoversExactExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    xs.push_back(x);
+    ys.push_back(3.5 * std::pow(x, 1.75));
+  }
+  const auto fit = fitPowerLaw(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.75, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.5, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, RejectsBadInput) {
+  EXPECT_THROW(fitPowerLaw(std::vector<double>{1.0},
+                           std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fitPowerLaw(std::vector<double>{1.0, -2.0},
+                           std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fitPowerLaw(std::vector<double>{2.0, 2.0},
+                           std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(100), std::log(100.0) + 0.5772156649, 0.006);
+}
+
+TEST(ClosedForm, BroadcastMatchesFormula) {
+  // Thm 8: E = (n-1) H(n-1); n = 4 -> 3 * (1 + 1/2 + 1/3) = 5.5.
+  EXPECT_NEAR(closed_form::broadcastExpected(4), 5.5, 1e-12);
+}
+
+TEST(ClosedForm, WaitingMatchesFormula) {
+  // Thm 9: E[X_W] = n(n-1)/2 H(n-1); n = 3 -> 3 * 1.5 = 4.5.
+  EXPECT_NEAR(closed_form::waitingExpected(3), 4.5, 1e-12);
+}
+
+TEST(ClosedForm, GatheringMatchesFormula) {
+  // Thm 9: E[X_G] = n(n-1) sum_{i=1}^{n-1} 1/(i(i+1)); the sum telescopes
+  // to 1 - 1/n, so E[X_G] = (n-1)^2 * (n)/(n) ... check directly: n = 3 ->
+  // 6 * (1/2 + 1/6) = 4.
+  EXPECT_NEAR(closed_form::gatheringExpected(3), 4.0, 1e-12);
+  // Telescoping identity: E[X_G] = n(n-1)(1 - 1/n) = (n-1)^2.
+  EXPECT_NEAR(closed_form::gatheringExpected(10), 81.0, 1e-9);
+}
+
+TEST(ClosedForm, LastTransmissionIsQuadratic) {
+  EXPECT_DOUBLE_EQ(closed_form::lastTransmissionExpected(10), 45.0);
+}
+
+TEST(ClosedForm, WaitingGreedyTauGrowsAsPaperSays) {
+  // Cor 3: tau = n^1.5 sqrt(log n); check the scaling between two sizes.
+  const double t1 = closed_form::waitingGreedyTau(100);
+  const double t2 = closed_form::waitingGreedyTau(400);
+  // n^1.5 alone gives factor 8; the sqrt(log) adds a bit more.
+  EXPECT_GT(t2 / t1, 8.0);
+  EXPECT_LT(t2 / t1, 10.0);
+}
+
+}  // namespace
+}  // namespace doda::util
