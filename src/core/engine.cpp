@@ -1,25 +1,41 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <string>
 
 namespace doda::core {
 
+struct Engine::Scratch::Impl {
+  std::vector<Datum> data;
+  std::vector<bool> owns;
+  std::vector<TransmissionRecord> schedule;
+};
+
+Engine::Scratch::Scratch() : impl_(std::make_unique<Impl>()) {}
+Engine::Scratch::~Scratch() = default;
+Engine::Scratch::Scratch(Scratch&&) noexcept = default;
+Engine::Scratch& Engine::Scratch::operator=(Scratch&&) noexcept = default;
+
 namespace {
 
-/// Mutable execution state, exposed read-only through ExecutionView.
+/// Mutable execution state over a Scratch's storage, exposed read-only
+/// through ExecutionView. Resets the storage in place so repeated trials
+/// reuse vector capacity (including each Datum's source-set buffer).
 class State final : public ExecutionView {
  public:
   State(const SystemInfo& info, const AggregationFunction& aggregation,
-        const std::vector<double>& initial_values)
-      : info_(info), aggregation_(aggregation) {
-    data_.reserve(info.node_count);
+        const std::vector<double>& initial_values,
+        Engine::Scratch::Impl& scratch)
+      : info_(info), aggregation_(aggregation), scratch_(scratch) {
+    scratch_.data.resize(info.node_count);
     for (NodeId u = 0; u < info.node_count; ++u) {
-      const double v =
-          initial_values.empty() ? 1.0 : initial_values.at(u);
-      data_.push_back(Datum::origin(u, v));
+      Datum& d = scratch_.data[u];
+      d.value = initial_values.empty() ? 1.0 : initial_values.at(u);
+      d.sources.clear();
+      d.sources.push_back(u);
     }
-    owns_.assign(info.node_count, true);
+    scratch_.owns.assign(info.node_count, true);
+    scratch_.schedule.clear();
     owner_count_ = info.node_count;
   }
 
@@ -27,18 +43,18 @@ class State final : public ExecutionView {
 
   bool ownsData(NodeId u) const override {
     checkNode(u);
-    return owns_[u];
+    return scratch_.owns[u];
   }
 
   const Datum& datumOf(NodeId u) const override {
     checkNode(u);
-    return data_[u];
+    return scratch_.data[u];
   }
 
   std::size_t ownerCount() const override { return owner_count_; }
 
   const std::vector<TransmissionRecord>& schedule() const override {
-    return schedule_;
+    return scratch_.schedule;
   }
 
   Time now() const override { return now_; }
@@ -57,21 +73,20 @@ class State final : public ExecutionView {
   void transfer(Time t, NodeId sender, NodeId receiver) {
     if (sender == info_.sink)
       throw ModelViolation("the sink must never transmit");
-    if (!owns_[sender] || !owns_[receiver])
+    if (!scratch_.owns[sender] || !scratch_.owns[receiver])
       throw ModelViolation("transfer requires both endpoints to own data");
-    aggregation_.aggregateInto(data_[receiver], data_[sender]);
-    owns_[sender] = false;
+    aggregation_.aggregateInto(scratch_.data[receiver],
+                               scratch_.data[sender]);
+    scratch_.owns[sender] = false;
     --owner_count_;
-    schedule_.push_back({t, sender, receiver});
+    scratch_.schedule.push_back({t, sender, receiver});
   }
 
  private:
   const SystemInfo& info_;
   const AggregationFunction& aggregation_;
-  std::vector<Datum> data_;
-  std::vector<bool> owns_;
+  Engine::Scratch::Impl& scratch_;
   std::size_t owner_count_ = 0;
-  std::vector<TransmissionRecord> schedule_;
   Time now_ = 0;
 };
 
@@ -87,11 +102,18 @@ Engine::Engine(SystemInfo info, AggregationFunction aggregation)
 
 ExecutionResult Engine::run(DodaAlgorithm& algorithm, Adversary& adversary,
                             const RunOptions& options) {
+  Scratch scratch;
+  return runInto(scratch, algorithm, adversary, options);
+}
+
+ExecutionResult Engine::runInto(Scratch& scratch, DodaAlgorithm& algorithm,
+                                Adversary& adversary,
+                                const RunOptions& options) {
   if (!options.initial_values.empty() &&
       options.initial_values.size() != info_.node_count)
     throw std::invalid_argument("Engine::run: initial_values size mismatch");
 
-  State state(info_, aggregation_, options.initial_values);
+  State state(info_, aggregation_, options.initial_values, *scratch.impl_);
   algorithm.reset(info_);
   adversary.reset(info_);
 
@@ -125,10 +147,10 @@ ExecutionResult Engine::run(DodaAlgorithm& algorithm, Adversary& adversary,
 
   result.terminated = state.terminated();
   result.interactions_dispatched = state.now();
-  result.schedule = state.schedule();
+  if (options.capture_schedule) result.schedule = state.schedule();
   result.sink_datum = state.datumOf(info_.sink);
-  if (!result.schedule.empty() && !result.terminated)
-    result.last_transmission_time = result.schedule.back().time;
+  if (!state.schedule().empty() && !result.terminated)
+    result.last_transmission_time = state.schedule().back().time;
   return result;
 }
 
@@ -136,39 +158,41 @@ bool validateConvergecastSchedule(
     const std::vector<TransmissionRecord>& schedule,
     const dynagraph::InteractionSequence& sequence, const SystemInfo& info,
     std::string* error) {
-  auto fail = [&](const std::string& why) {
-    if (error) *error = why;
+  // Error strings are only materialized on the failure path; the success
+  // path does no formatting or allocation beyond the transmitted bitmap.
+  auto fail = [&](Time t, const char* why) {
+    if (error) *error = "t=" + std::to_string(t) + ": " + why;
     return false;
   };
   std::vector<bool> transmitted(info.node_count, false);
   Time prev = 0;
   bool first = true;
   for (const auto& rec : schedule) {
-    std::ostringstream at;
-    at << "t=" << rec.time << ": ";
     if (!first && rec.time <= prev)
-      return fail(at.str() + "times not strictly increasing");
+      return fail(rec.time, "times not strictly increasing");
     first = false;
     prev = rec.time;
     if (rec.time >= sequence.length())
-      return fail(at.str() + "time beyond sequence");
+      return fail(rec.time, "time beyond sequence");
     if (rec.sender >= info.node_count || rec.receiver >= info.node_count)
-      return fail(at.str() + "node out of range");
+      return fail(rec.time, "node out of range");
     if (rec.sender == info.sink)
-      return fail(at.str() + "sink transmitted");
+      return fail(rec.time, "sink transmitted");
     const Interaction expected(rec.sender, rec.receiver);
     if (sequence.at(rec.time) != expected)
-      return fail(at.str() + "transfer does not match interaction");
+      return fail(rec.time, "transfer does not match interaction");
     if (transmitted[rec.sender])
-      return fail(at.str() + "sender transmitted twice");
+      return fail(rec.time, "sender transmitted twice");
     if (transmitted[rec.receiver])
-      return fail(at.str() + "receiver already transmitted");
+      return fail(rec.time, "receiver already transmitted");
     transmitted[rec.sender] = true;
   }
   const auto count = static_cast<std::size_t>(
       std::count(transmitted.begin(), transmitted.end(), true));
-  if (count != info.node_count - 1)
-    return fail("not all non-sink nodes transmitted");
+  if (count != info.node_count - 1) {
+    if (error) *error = "not all non-sink nodes transmitted";
+    return false;
+  }
   return true;
 }
 

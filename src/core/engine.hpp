@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -32,6 +33,7 @@ struct ExecutionResult {
   /// Interactions dispatched in total (== the above when terminated).
   Time interactions_dispatched = 0;
   /// Every applied transfer, in time order (size == n-1 iff terminated).
+  /// Left empty when RunOptions::capture_schedule is false.
   std::vector<TransmissionRecord> schedule;
   /// The sink's datum at the end of the run.
   Datum sink_datum;
@@ -43,6 +45,11 @@ struct RunOptions {
   Time max_interactions = Time{1} << 32;
   /// Initial per-node values; empty means every node starts at 1.0.
   std::vector<double> initial_values;
+  /// Whether to copy the transmission schedule into the result. The
+  /// schedule is always recorded during the run (algorithms and adversaries
+  /// may consult ExecutionView::schedule()); measurement loops that only
+  /// need the scalar outcome skip the copy.
+  bool capture_schedule = true;
 };
 
 /// Executes a DODA algorithm against an adversary and enforces the model
@@ -51,6 +58,25 @@ struct RunOptions {
 /// unit (one interaction).
 class Engine {
  public:
+  /// Reusable per-execution storage (node data, ownership flags, schedule).
+  /// A Scratch handed to consecutive runInto() calls lets the engine reuse
+  /// vector capacity instead of reallocating every trial; each worker
+  /// thread of a parallel measurement owns one. A Scratch must not be used
+  /// by two runs concurrently.
+  class Scratch {
+   public:
+    struct Impl;  // defined in engine.cpp
+
+    Scratch();
+    ~Scratch();
+    Scratch(Scratch&&) noexcept;
+    Scratch& operator=(Scratch&&) noexcept;
+
+   private:
+    friend class Engine;
+    std::unique_ptr<Impl> impl_;
+  };
+
   Engine(SystemInfo info, AggregationFunction aggregation);
 
   const SystemInfo& system() const noexcept { return info_; }
@@ -60,6 +86,11 @@ class Engine {
   /// reached.
   ExecutionResult run(DodaAlgorithm& algorithm, Adversary& adversary,
                       const RunOptions& options = {});
+
+  /// As run(), but reusing `scratch`'s storage for the execution state.
+  ExecutionResult runInto(Scratch& scratch, DodaAlgorithm& algorithm,
+                          Adversary& adversary,
+                          const RunOptions& options = {});
 
  private:
   SystemInfo info_;

@@ -17,8 +17,12 @@ const Interaction& InteractionSequence::at(Time t) const {
 }
 
 void InteractionSequence::appendAll(const InteractionSequence& other) {
-  interactions_.insert(interactions_.end(), other.interactions_.begin(),
-                       other.interactions_.end());
+  // Self-append must read the pre-append contents; iterators into
+  // interactions_ would be invalidated by the growth, so index instead.
+  const std::size_t n = other.interactions_.size();
+  interactions_.reserve(interactions_.size() + n);
+  for (std::size_t i = 0; i < n; ++i)
+    interactions_.push_back(other.interactions_[i]);
 }
 
 InteractionSequence InteractionSequence::slice(Time from, Time to) const {
@@ -52,25 +56,48 @@ std::size_t InteractionSequence::minNodeCount() const {
   std::size_t max_id = 0;
   bool any = false;
   for (const auto& i : interactions_) {
+    // Consider both endpoints: Interaction normalizes a() < b() today, but
+    // minNodeCount must not silently depend on that representation detail.
+    max_id = std::max<std::size_t>(max_id, i.a());
     max_id = std::max<std::size_t>(max_id, i.b());
     any = true;
   }
   return any ? max_id + 1 : 0;
 }
 
+void InteractionSequence::ensureTimeline() const {
+  for (; timeline_scanned_ < interactions_.size(); ++timeline_scanned_) {
+    const Interaction& i = interactions_[timeline_scanned_];
+    const auto needed =
+        static_cast<std::size_t>(std::max(i.a(), i.b())) + 1;
+    if (timeline_.size() < needed) timeline_.resize(needed);
+    const Time t = timeline_scanned_;
+    timeline_[i.a()].push_back(t);
+    timeline_[i.b()].push_back(t);
+  }
+}
+
 std::vector<Time> InteractionSequence::timesInvolving(NodeId u,
                                                       Time from) const {
-  std::vector<Time> out;
-  for (Time t = from; t < interactions_.size(); ++t)
-    if (interactions_[static_cast<std::size_t>(t)].involves(u))
-      out.push_back(t);
-  return out;
+  ensureTimeline();
+  if (u >= timeline_.size()) return {};
+  const auto& times = timeline_[u];
+  const auto begin = std::lower_bound(times.begin(), times.end(), from);
+  return std::vector<Time>(begin, times.end());
 }
 
 Time InteractionSequence::nextOccurrence(NodeId u, NodeId v, Time from) const {
   const Interaction target(u, v);
-  for (Time t = from; t < interactions_.size(); ++t)
-    if (interactions_[static_cast<std::size_t>(t)] == target) return t;
+  ensureTimeline();
+  if (u >= timeline_.size() || v >= timeline_.size()) return kNever;
+  // Walk the sparser endpoint's timeline; each candidate is checked against
+  // the actual interaction, so only times involving *both* nodes match.
+  const auto& times = timeline_[u].size() <= timeline_[v].size()
+                          ? timeline_[u]
+                          : timeline_[v];
+  for (auto it = std::lower_bound(times.begin(), times.end(), from);
+       it != times.end(); ++it)
+    if (interactions_[static_cast<std::size_t>(*it)] == target) return *it;
   return kNever;
 }
 

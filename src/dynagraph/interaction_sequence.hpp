@@ -12,6 +12,14 @@ namespace doda::dynagraph {
 ///
 /// The index of an interaction is its time of occurrence (paper §2). This is
 /// the oblivious-adversary object: the whole execution is fixed up front.
+///
+/// Per-node queries (timesInvolving, nextOccurrence) are served from a
+/// lazily built inverted timeline (node -> ascending involvement times), so
+/// repeated queries cost O(log T + answer) instead of rescanning the whole
+/// sequence. The timeline extends incrementally on append and is built on
+/// first query; building it mutates cache members, so concurrent *first*
+/// queries from multiple threads on a shared sequence are not safe (the
+/// experiment harness gives every trial its own sequence).
 class InteractionSequence {
  public:
   InteractionSequence() = default;
@@ -55,11 +63,24 @@ class InteractionSequence {
   /// First time t >= from with I_t = {u, v}; kNever if none.
   Time nextOccurrence(NodeId u, NodeId v, Time from = 0) const;
 
-  friend bool operator==(const InteractionSequence&,
-                         const InteractionSequence&) = default;
+  /// Two sequences are equal iff their interactions are equal (the cached
+  /// inverted timeline is derived state and never observable).
+  friend bool operator==(const InteractionSequence& lhs,
+                         const InteractionSequence& rhs) {
+    return lhs.interactions_ == rhs.interactions_;
+  }
 
  private:
+  /// Extends the inverted timeline to cover every appended interaction.
+  void ensureTimeline() const;
+
   std::vector<Interaction> interactions_;
+  // Lazily built inverted timeline: for each node, the ascending times of
+  // the interactions involving it. `timeline_scanned_` is how much of
+  // `interactions_` has been folded in (appends only grow the sequence, so
+  // the timeline extends incrementally and is never invalidated).
+  mutable std::vector<std::vector<Time>> timeline_;
+  mutable std::size_t timeline_scanned_ = 0;
 };
 
 }  // namespace doda::dynagraph

@@ -7,7 +7,11 @@ namespace doda::dynagraph {
 
 MeetTimeIndex::MeetTimeIndex(const InteractionSequence& sequence, NodeId sink,
                              std::size_t node_count)
-    : fixed_(&sequence), sink_(sink), meetings_(node_count) {
+    : fixed_(&sequence),
+      sink_(sink),
+      meetings_(node_count),
+      cursor_(node_count, 0),
+      last_query_(node_count, 0) {
   if (sink >= node_count)
     throw std::out_of_range("MeetTimeIndex: sink out of range");
 }
@@ -17,7 +21,9 @@ MeetTimeIndex::MeetTimeIndex(LazySequence& sequence, NodeId sink,
     : lazy_(&sequence),
       sink_(sink),
       extension_chunk_(extension_chunk),
-      meetings_(node_count) {
+      meetings_(node_count),
+      cursor_(node_count, 0),
+      last_query_(node_count, 0) {
   if (sink >= node_count)
     throw std::out_of_range("MeetTimeIndex: sink out of range");
   if (extension_chunk_ == 0)
@@ -56,8 +62,17 @@ Time MeetTimeIndex::meetTime(NodeId u, Time t) {
   for (;;) {
     scanUpTo(view().length());
     const auto& times = meetings_[u];
-    auto it = std::upper_bound(times.begin(), times.end(), t);
-    if (it != times.end()) return *it;
+    std::size_t& cursor = cursor_[u];
+    if (t < last_query_[u]) {
+      // Backwards query (not the engine's access pattern): binary search
+      // and reposition the cursor.
+      cursor = static_cast<std::size_t>(
+          std::upper_bound(times.begin(), times.end(), t) - times.begin());
+    } else {
+      while (cursor < times.size() && times[cursor] <= t) ++cursor;
+    }
+    last_query_[u] = t;
+    if (cursor < times.size()) return times[cursor];
     if (!tryExtendBacking()) return kNever;
   }
 }

@@ -19,7 +19,12 @@ namespace doda::dynagraph {
 ///    committed randomness on demand until a meeting is found or the
 ///    sequence's max-length guard trips (then kNever).
 ///
-/// Queries are O(log m) after incremental O(1)-per-interaction indexing.
+/// Queries keep a monotone cursor per node: during an execution, meetTime
+/// is queried with nondecreasing t (the engine's clock only advances), so
+/// each query advances the node's cursor by at most the number of meetings
+/// skipped — amortized O(1) per query instead of a binary search over the
+/// full meeting list. Queries that go *back* in time (tests, analysis) fall
+/// back to a binary search and reposition the cursor.
 class MeetTimeIndex {
  public:
   /// Index over a fixed sequence. The sequence must outlive the index.
@@ -55,6 +60,11 @@ class MeetTimeIndex {
   Time extension_chunk_ = 0;
   Time scanned_ = 0;
   std::vector<std::vector<Time>> meetings_;  // per node, ascending
+  // Monotone query cursors: every meeting of u at an index < cursor_[u] is
+  // known to be <= last_query_[u], so a query at t >= last_query_[u] only
+  // advances the cursor.
+  std::vector<std::size_t> cursor_;
+  std::vector<Time> last_query_;
 };
 
 }  // namespace doda::dynagraph

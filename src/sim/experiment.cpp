@@ -38,64 +38,75 @@ InteractionSequence drawSequence(const MeasureConfig& config, Time length,
   return dynagraph::traces::uniformRandom(config.node_count, length, rng);
 }
 
+core::RunOptions measurementRunOptions(Time max_interactions) {
+  core::RunOptions options;
+  options.max_interactions = max_interactions;
+  options.capture_schedule = false;  // only the scalar outcome is folded
+  return options;
+}
+
 }  // namespace
 
 MeasureResult measureRandomized(const MeasureConfig& config,
                                 const AlgorithmFactory& factory) {
   const SystemInfo info = systemOf(config);
-  util::Rng master(config.seed);
-  MeasureResult out;
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    const std::uint64_t trial_seed = master();
-    auto adversary = makeAdversary(config, trial_seed);
-    // Both adversary flavours expose their committed randomness; build the
-    // meetTime oracle on it.
-    dynagraph::MeetTimeIndex index =
-        config.zipf_exponent > 0.0
-            ? static_cast<adversary::NonUniformAdversary&>(*adversary)
-                  .makeMeetTimeIndex(config.sink)
-            : static_cast<adversary::RandomizedAdversary&>(*adversary)
-                  .makeMeetTimeIndex(config.sink);
-    TrialContext context{info, *adversary, index};
-    const auto algorithm = factory(context);
-    core::Engine engine(info, core::AggregationFunction::count());
-    core::RunOptions options;
-    options.max_interactions = config.max_interactions;
-    const auto result = engine.run(*algorithm, *adversary, options);
-    if (result.terminated)
-      out.interactions.add(
-          static_cast<double>(result.interactions_to_terminate));
-    else
-      ++out.failed_trials;
-  }
-  return out;
+  return runTrials(
+      config.trials, config.seed, config.threads,
+      [&](std::size_t /*trial*/, std::uint64_t seed,
+          core::Engine::Scratch& scratch) {
+        auto adversary = makeAdversary(config, seed);
+        // Both adversary flavours expose their committed randomness; build
+        // the meetTime oracle on it.
+        dynagraph::MeetTimeIndex index =
+            config.zipf_exponent > 0.0
+                ? static_cast<adversary::NonUniformAdversary&>(*adversary)
+                      .makeMeetTimeIndex(config.sink)
+                : static_cast<adversary::RandomizedAdversary&>(*adversary)
+                      .makeMeetTimeIndex(config.sink);
+        TrialContext context{info, *adversary, index};
+        const auto algorithm = factory(context);
+        core::Engine engine(info, core::AggregationFunction::count());
+        const auto result =
+            engine.runInto(scratch, *algorithm, *adversary,
+                           measurementRunOptions(config.max_interactions));
+        TrialOutcome outcome;
+        if (!result.terminated) return TrialOutcome::failure();
+        outcome.success = true;
+        outcome.interactions =
+            static_cast<double>(result.interactions_to_terminate);
+        return outcome;
+      });
 }
 
 MeasureResult measureOfflineOptimal(const MeasureConfig& config) {
-  util::Rng master(config.seed);
-  MeasureResult out;
   const auto n = static_cast<double>(config.node_count);
   const Time initial = std::max<Time>(
       16, static_cast<Time>(4.0 * n * std::log(std::max(2.0, n))));
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    util::Rng rng(master());
-    InteractionSequence seq = drawSequence(config, initial, rng);
-    Time opt = kNever;
-    while (true) {
-      opt = analysis::optCompletion(seq, config.node_count, config.sink, 0);
-      if (opt != kNever || seq.length() >= config.max_interactions) break;
-      // Double by appending fresh randomness (the prefix stays committed).
-      InteractionSequence more = drawSequence(config, seq.length(), rng);
-      seq.appendAll(more);
-    }
-    if (opt == kNever) {
-      ++out.failed_trials;
-      continue;
-    }
-    out.interactions.add(static_cast<double>(opt + 1));
-    out.cost.add(1.0);  // the offline optimum has cost 1 by definition
-  }
-  return out;
+  return runTrials(
+      config.trials, config.seed, config.threads,
+      [&, initial](std::size_t /*trial*/, std::uint64_t seed,
+                   core::Engine::Scratch& /*scratch*/) {
+        util::Rng rng(seed);
+        InteractionSequence seq = drawSequence(config, initial, rng);
+        Time opt = kNever;
+        while (true) {
+          opt = analysis::optCompletion(seq, config.node_count, config.sink,
+                                        0);
+          if (opt != kNever || seq.length() >= config.max_interactions)
+            break;
+          // Double by appending fresh randomness (the prefix stays
+          // committed).
+          InteractionSequence more = drawSequence(config, seq.length(), rng);
+          seq.appendAll(more);
+        }
+        if (opt == kNever) return TrialOutcome::failure();
+        TrialOutcome outcome;
+        outcome.success = true;
+        outcome.interactions = static_cast<double>(opt + 1);
+        outcome.cost = 1.0;  // the offline optimum has cost 1 by definition
+        outcome.has_cost = true;
+        return outcome;
+      });
 }
 
 MeasureResult measureMaterialized(const MeasureConfig& config,
@@ -103,71 +114,74 @@ MeasureResult measureMaterialized(const MeasureConfig& config,
                                   const SequenceAlgorithmFactory& factory,
                                   std::size_t max_doublings) {
   const SystemInfo info = systemOf(config);
-  util::Rng master(config.seed);
-  MeasureResult out;
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    util::Rng rng(master());
-    bool done = false;
-    Time length = initial_length;
-    for (std::size_t attempt = 0; attempt <= max_doublings && !done;
-         ++attempt, length *= 2) {
-      const InteractionSequence seq = drawSequence(config, length, rng);
-      const auto algorithm = factory(seq, info);
-      adversary::SequenceAdversary seq_adversary(seq);
-      core::Engine engine(info, core::AggregationFunction::count());
-      core::RunOptions options;
-      options.max_interactions = std::min<Time>(length, config.max_interactions);
-      const auto result = engine.run(*algorithm, seq_adversary, options);
-      if (!result.terminated) continue;
-      out.interactions.add(
-          static_cast<double>(result.interactions_to_terminate));
-      out.cost.add(static_cast<double>(analysis::costOf(
-          seq, config.node_count, config.sink,
-          result.last_transmission_time)));
-      done = true;
-    }
-    if (!done) ++out.failed_trials;
-  }
-  return out;
+  return runTrials(
+      config.trials, config.seed, config.threads,
+      [&, initial_length](std::size_t /*trial*/, std::uint64_t seed,
+                          core::Engine::Scratch& scratch) {
+        util::Rng rng(seed);
+        Time length = initial_length;
+        for (std::size_t attempt = 0; attempt <= max_doublings;
+             ++attempt, length *= 2) {
+          const InteractionSequence seq = drawSequence(config, length, rng);
+          const auto algorithm = factory(seq, info);
+          adversary::SequenceAdversary seq_adversary(seq);
+          core::Engine engine(info, core::AggregationFunction::count());
+          const auto result = engine.runInto(
+              scratch, *algorithm, seq_adversary,
+              measurementRunOptions(
+                  std::min<Time>(length, config.max_interactions)));
+          if (!result.terminated) continue;
+          TrialOutcome outcome;
+          outcome.success = true;
+          outcome.interactions =
+              static_cast<double>(result.interactions_to_terminate);
+          outcome.cost = static_cast<double>(
+              analysis::costOf(seq, config.node_count, config.sink,
+                               result.last_transmission_time));
+          outcome.has_cost = true;
+          return outcome;
+        }
+        return TrialOutcome::failure();
+      });
 }
 
 MeasureResult measureWithCost(const MeasureConfig& config, Time length_hint,
                               const AlgorithmFactory& factory,
                               std::size_t max_doublings) {
   const SystemInfo info = systemOf(config);
-  util::Rng master(config.seed);
-  MeasureResult out;
-  for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    util::Rng rng(master());
-    InteractionSequence seq = drawSequence(config, length_hint, rng);
-    bool done = false;
-    for (std::size_t attempt = 0; attempt <= max_doublings && !done;
-         ++attempt) {
-      adversary::SequenceAdversary seq_adversary(seq);
-      dynagraph::MeetTimeIndex index(seq_adversary.sequence(), config.sink,
-                                     config.node_count);
-      TrialContext context{info, seq_adversary, index};
-      const auto algorithm = factory(context);
-      core::Engine engine(info, core::AggregationFunction::count());
-      core::RunOptions options;
-      options.max_interactions =
-          std::min<Time>(seq.length(), config.max_interactions);
-      const auto result = engine.run(*algorithm, seq_adversary, options);
-      if (result.terminated) {
-        out.interactions.add(
-            static_cast<double>(result.interactions_to_terminate));
-        out.cost.add(static_cast<double>(analysis::costOf(
-            seq, config.node_count, config.sink,
-            result.last_transmission_time)));
-        done = true;
-      } else {
-        // Extend the committed prefix with fresh randomness and rerun.
-        seq.appendAll(drawSequence(config, seq.length(), rng));
-      }
-    }
-    if (!done) ++out.failed_trials;
-  }
-  return out;
+  return runTrials(
+      config.trials, config.seed, config.threads,
+      [&, length_hint](std::size_t /*trial*/, std::uint64_t seed,
+                       core::Engine::Scratch& scratch) {
+        util::Rng rng(seed);
+        InteractionSequence seq = drawSequence(config, length_hint, rng);
+        for (std::size_t attempt = 0; attempt <= max_doublings; ++attempt) {
+          adversary::SequenceAdversary seq_adversary(seq);
+          dynagraph::MeetTimeIndex index(seq_adversary.sequence(),
+                                         config.sink, config.node_count);
+          TrialContext context{info, seq_adversary, index};
+          const auto algorithm = factory(context);
+          core::Engine engine(info, core::AggregationFunction::count());
+          const auto result = engine.runInto(
+              scratch, *algorithm, seq_adversary,
+              measurementRunOptions(
+                  std::min<Time>(seq.length(), config.max_interactions)));
+          if (result.terminated) {
+            TrialOutcome outcome;
+            outcome.success = true;
+            outcome.interactions =
+                static_cast<double>(result.interactions_to_terminate);
+            outcome.cost = static_cast<double>(
+                analysis::costOf(seq, config.node_count, config.sink,
+                                 result.last_transmission_time));
+            outcome.has_cost = true;
+            return outcome;
+          }
+          // Extend the committed prefix with fresh randomness and rerun.
+          seq.appendAll(drawSequence(config, seq.length(), rng));
+        }
+        return TrialOutcome::failure();
+      });
 }
 
 }  // namespace doda::sim

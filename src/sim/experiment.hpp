@@ -6,6 +6,7 @@
 #include "adversary/randomized_adversary.hpp"
 #include "core/engine.hpp"
 #include "dynagraph/meet_time_index.hpp"
+#include "sim/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace doda::sim {
@@ -19,12 +20,16 @@ struct TrialContext {
   dynagraph::MeetTimeIndex& meet_time;
 };
 
-/// Builds the algorithm instance for one trial.
+/// Builds the algorithm instance for one trial. Invoked concurrently from
+/// worker threads when MeasureConfig::threads != 1, so the factory must not
+/// mutate shared state (returning a fresh algorithm per call, as every
+/// existing factory does, is safe).
 using AlgorithmFactory =
     std::function<std::unique_ptr<core::DodaAlgorithm>(TrialContext&)>;
 
 /// Builds an algorithm that needs the materialized sequence up front
-/// (FullKnowledgeOptimal, FutureAware).
+/// (FullKnowledgeOptimal, FutureAware). Same concurrency contract as
+/// AlgorithmFactory.
 using SequenceAlgorithmFactory =
     std::function<std::unique_ptr<core::DodaAlgorithm>(
         const dynagraph::InteractionSequence&, const core::SystemInfo&)>;
@@ -40,17 +45,14 @@ struct MeasureConfig {
   core::Time max_interactions = core::Time{1} << 32;
   /// Zipf popularity exponent; 0 = the paper's uniform adversary.
   double zipf_exponent = 0.0;
+  /// Worker threads for the trial fan-out: 0 = hardware concurrency,
+  /// 1 = the legacy serial path. Results are bit-identical for every
+  /// value (per-trial seeds are pre-drawn and outcomes folded in trial
+  /// order — see sim/parallel.hpp).
+  std::size_t threads = 0;
 };
 
-/// Aggregate outcome of a measurement.
-struct MeasureResult {
-  /// Interactions to terminate, over successful trials.
-  util::RunningStats interactions;
-  /// The paper's cost (§2.3) — only filled by measure functions documented
-  /// to compute it (it requires materialized sequences).
-  util::RunningStats cost;
-  std::size_t failed_trials = 0;
-};
+// MeasureResult lives in sim/parallel.hpp (it is the executor's fold type).
 
 /// Runs `trials` independent executions of the factory-built algorithm
 /// against the (uniform or Zipf) randomized adversary and aggregates the

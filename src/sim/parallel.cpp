@@ -1,0 +1,97 @@
+#include "sim/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace doda::sim {
+
+void MeasureResult::merge(const MeasureResult& other) {
+  interactions.merge(other.interactions);
+  cost.merge(other.cost);
+  failed_trials += other.failed_trials;
+}
+
+std::size_t resolveThreads(std::size_t requested, std::size_t trials) {
+  std::size_t threads = requested;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;  // hardware_concurrency may be unknown
+  }
+  if (trials > 0 && threads > trials) threads = trials;
+  return threads > 0 ? threads : 1;
+}
+
+namespace {
+
+void fold(MeasureResult& out, const TrialOutcome& outcome) {
+  if (!outcome.success) {
+    ++out.failed_trials;
+    return;
+  }
+  out.interactions.add(outcome.interactions);
+  if (outcome.has_cost) out.cost.add(outcome.cost);
+}
+
+}  // namespace
+
+MeasureResult runTrials(std::size_t trials, std::uint64_t master_seed,
+                        std::size_t threads, const TrialBody& body) {
+  // Pre-draw every trial seed so randomness is a function of the trial
+  // index alone — the determinism anchor of the whole subsystem.
+  util::Rng master(master_seed);
+  std::vector<std::uint64_t> seeds(trials);
+  for (auto& seed : seeds) seed = master();
+
+  MeasureResult out;
+  threads = resolveThreads(threads, trials);
+
+  if (threads <= 1) {
+    // Legacy serial path: same seeds, same fold order, no thread spawn.
+    core::Engine::Scratch scratch;
+    for (std::size_t trial = 0; trial < trials; ++trial)
+      fold(out, body(trial, seeds[trial], scratch));
+    return out;
+  }
+
+  std::vector<TrialOutcome> outcomes(trials);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    core::Engine::Scratch scratch;
+    for (;;) {
+      const std::size_t trial = next.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= trials || stop.load(std::memory_order_relaxed)) return;
+      try {
+        outcomes[trial] = body(trial, seeds[trial], scratch);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Ordered fold: trial 0, 1, 2, ... regardless of which worker ran what,
+  // so the floating-point accumulation is identical to the serial path.
+  for (const auto& outcome : outcomes) fold(out, outcome);
+  return out;
+}
+
+}  // namespace doda::sim

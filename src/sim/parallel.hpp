@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/engine.hpp"
+#include "util/stats.hpp"
+
+namespace doda::sim {
+
+/// Aggregate outcome of a measurement (declared here, shared with
+/// experiment.hpp).
+struct MeasureResult {
+  /// Interactions to terminate, over successful trials.
+  util::RunningStats interactions;
+  /// The paper's cost (§2.3) — only filled by measure functions documented
+  /// to compute it (it requires materialized sequences).
+  util::RunningStats cost;
+  std::size_t failed_trials = 0;
+
+  /// Combines another result into this one (Welford merge of both
+  /// accumulators). Exact in the algebraic sense; bit-identity across
+  /// different partition shapes is provided by runTrials' ordered fold, not
+  /// by merge order.
+  void merge(const MeasureResult& other);
+};
+
+/// Scalar outcome of one trial, produced by a TrialBody.
+struct TrialOutcome {
+  bool success = false;
+  double interactions = 0.0;
+  /// Paper cost of the trial; folded only when has_cost is set.
+  double cost = 0.0;
+  bool has_cost = false;
+
+  static TrialOutcome failure() { return {}; }
+};
+
+/// The work of one trial. Must be a pure function of (trial, seed) — it
+/// runs concurrently with other trials and must not touch shared mutable
+/// state. `scratch` is a per-worker core::Engine::Scratch for allocation
+/// reuse across the trials a worker executes.
+using TrialBody = std::function<TrialOutcome(
+    std::size_t trial, std::uint64_t seed, core::Engine::Scratch& scratch)>;
+
+/// Resolves a MeasureConfig::threads knob: 0 means
+/// std::thread::hardware_concurrency(), and the result is clamped to
+/// [1, trials] (no point spawning idle workers).
+std::size_t resolveThreads(std::size_t requested, std::size_t trials);
+
+/// Deterministic parallel trial executor — the experiment subsystem's core.
+///
+/// Per-trial seeds are drawn up front from a master RNG seeded with
+/// `master_seed` (seed_i = the i-th draw), so a trial's randomness depends
+/// only on its index, never on scheduling. Workers pull trial indices from
+/// a shared counter and store each TrialOutcome in a per-trial slot; the
+/// outcomes are then folded into the MeasureResult in trial order. Results
+/// are therefore bit-identical for every thread count, including 1 (which
+/// runs inline without spawning).
+///
+/// An exception thrown by any trial body stops the run (workers drain
+/// quickly) and is rethrown to the caller.
+MeasureResult runTrials(std::size_t trials, std::uint64_t master_seed,
+                        std::size_t threads, const TrialBody& body);
+
+}  // namespace doda::sim

@@ -93,6 +93,51 @@ TEST(Engine, InitialValuesFlowThroughAggregation) {
   EXPECT_DOUBLE_EQ(r.sink_datum.value, 60.0);
 }
 
+TEST(Engine, RunIntoReusesScratchAcrossTrials) {
+  // The same scratch serves many runs; every run must behave exactly like
+  // a fresh-state run (no leakage of ownership flags, data, or schedule).
+  algorithms::Gathering ga;
+  Engine engine({3, 0}, AggregationFunction::count());
+  Engine::Scratch scratch;
+  const InteractionSequence seq{ix(1, 2), ix(0, 1)};
+  for (int trial = 0; trial < 3; ++trial) {
+    adversary::SequenceAdversary adv(seq);
+    const auto r = engine.runInto(scratch, ga, adv);
+    EXPECT_TRUE(r.terminated);
+    EXPECT_EQ(r.interactions_to_terminate, 2u);
+    ASSERT_EQ(r.schedule.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.sink_datum.value, 3.0);
+    EXPECT_EQ(r.sink_datum.sources, (std::vector<NodeId>{0, 1, 2}));
+  }
+  // The scratch also adapts to a different system size.
+  Engine bigger({5, 0}, AggregationFunction::count());
+  algorithms::Gathering ga2;
+  adversary::SequenceAdversary adv(
+      InteractionSequence{ix(3, 4), ix(2, 3), ix(1, 2), ix(0, 1)});
+  const auto r = bigger.runInto(scratch, ga2, adv);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_DOUBLE_EQ(r.sink_datum.value, 5.0);
+}
+
+TEST(Engine, CaptureScheduleOffOmitsOnlyTheSchedule) {
+  algorithms::Gathering ga;
+  Engine engine({3, 0}, AggregationFunction::count());
+  const InteractionSequence seq{ix(1, 2), ix(0, 1)};
+  RunOptions options;
+  options.capture_schedule = false;
+  adversary::SequenceAdversary adv(seq);
+  const auto r = engine.run(ga, adv, options);
+  EXPECT_TRUE(r.terminated);
+  EXPECT_TRUE(r.schedule.empty());
+  // Everything else matches the capturing run.
+  adversary::SequenceAdversary adv2(seq);
+  const auto full = engine.run(ga, adv2);
+  EXPECT_EQ(r.interactions_to_terminate, full.interactions_to_terminate);
+  EXPECT_EQ(r.last_transmission_time, full.last_transmission_time);
+  EXPECT_DOUBLE_EQ(r.sink_datum.value, full.sink_datum.value);
+  EXPECT_EQ(full.schedule.size(), 2u);
+}
+
 TEST(Engine, InitialValuesSizeMismatchThrows) {
   algorithms::Gathering ga;
   Engine engine({3, 0}, AggregationFunction::sum());

@@ -104,6 +104,46 @@ TEST(MeetTimeIndex, LazyAnswersAreStableAcrossExtensions) {
   EXPECT_EQ(idx.meetTime(2, 0), first);
 }
 
+TEST(MeetTimeIndex, MonotoneCursorMatchesBinarySearchReference) {
+  // The engine queries meetTime with nondecreasing t; the monotone cursor
+  // must agree with the old upper_bound-over-the-full-list implementation
+  // (naiveMeetTime is that reference, one scan per query).
+  util::Rng rng(2024);
+  const std::size_t n = 10;
+  const auto seq = traces::uniformRandom(n, 500, rng);
+  MeetTimeIndex idx(seq, 0, n);
+  Time t = 0;
+  while (t < 520) {
+    for (NodeId u = 0; u < n; ++u)
+      EXPECT_EQ(idx.meetTime(u, t), naiveMeetTime(seq, 0, u, t))
+          << "u=" << u << " t=" << t;
+    t += 1 + rng.below(7);
+  }
+}
+
+TEST(MeetTimeIndex, CursorRecoversFromBackwardsQueries) {
+  // Interleave forward and backward queries per node: the cursor must
+  // reposition on a backwards query and stay correct afterwards.
+  util::Rng rng(31337);
+  const auto seq = traces::uniformRandom(6, 300, rng);
+  MeetTimeIndex idx(seq, 2, 6);
+  const Time probes[] = {0, 50, 250, 10, 11, 290, 0, 299, 5};
+  for (NodeId u = 0; u < 6; ++u)
+    for (Time t : probes)
+      EXPECT_EQ(idx.meetTime(u, t), naiveMeetTime(seq, 2, u, t))
+          << "u=" << u << " t=" << t;
+}
+
+TEST(MeetTimeIndex, RepeatedQueryAtSameTimeIsStable) {
+  InteractionSequence seq{Interaction(0, 1), Interaction(0, 1),
+                          Interaction(0, 1)};
+  MeetTimeIndex idx(seq, 0, 2);
+  EXPECT_EQ(idx.meetTime(1, 0), 1u);
+  EXPECT_EQ(idx.meetTime(1, 0), 1u);  // cursor must not over-advance
+  EXPECT_EQ(idx.meetTime(1, 1), 2u);
+  EXPECT_EQ(idx.meetTime(1, 1), 2u);
+}
+
 TEST(MeetTimeIndex, LazyExhaustionReturnsNever) {
   // A backing sequence that can never contain a sink meeting for node 2.
   LazySequence lazy([](Time) { return Interaction(0, 1); }, 256);

@@ -1,0 +1,200 @@
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace doda::sim {
+namespace {
+
+AlgorithmFactory gatheringFactory() {
+  return [](TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  };
+}
+
+AlgorithmFactory waitingGreedyFactory(core::Time tau) {
+  return [tau](TrialContext& context) {
+    return std::make_unique<algorithms::WaitingGreedy>(context.meet_time,
+                                                       tau);
+  };
+}
+
+/// The executor's headline contract: identical statistics for every thread
+/// count. EXPECT_EQ on doubles on purpose — the fold order is fixed, so
+/// the results must be bit-identical, not merely close.
+void expectIdentical(const MeasureResult& a, const MeasureResult& b) {
+  EXPECT_EQ(a.interactions.count(), b.interactions.count());
+  EXPECT_EQ(a.interactions.mean(), b.interactions.mean());
+  EXPECT_EQ(a.interactions.variance(), b.interactions.variance());
+  EXPECT_EQ(a.interactions.min(), b.interactions.min());
+  EXPECT_EQ(a.interactions.max(), b.interactions.max());
+  EXPECT_EQ(a.cost.count(), b.cost.count());
+  EXPECT_EQ(a.cost.mean(), b.cost.mean());
+  EXPECT_EQ(a.cost.variance(), b.cost.variance());
+  EXPECT_EQ(a.failed_trials, b.failed_trials);
+}
+
+TEST(ParallelDeterminism, MeasureRandomizedIdenticalAcrossThreadCounts) {
+  MeasureConfig config;
+  config.node_count = 12;
+  config.trials = 24;
+  config.seed = 2026;
+  config.threads = 1;
+  const auto serial = measureRandomized(config, gatheringFactory());
+  ASSERT_GT(serial.interactions.count(), 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    expectIdentical(serial, measureRandomized(config, gatheringFactory()));
+  }
+}
+
+TEST(ParallelDeterminism, MeasureRandomizedWithOracleAlgorithm) {
+  // WaitingGreedy exercises the meetTime oracle (and thus the monotone
+  // cursors) inside worker threads.
+  MeasureConfig config;
+  config.node_count = 16;
+  config.trials = 16;
+  config.seed = 7;
+  config.threads = 1;
+  const auto factory = waitingGreedyFactory(180);
+  const auto serial = measureRandomized(config, factory);
+  for (std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    expectIdentical(serial, measureRandomized(config, factory));
+  }
+}
+
+TEST(ParallelDeterminism, MeasureWithCostIdenticalAcrossThreadCounts) {
+  MeasureConfig config;
+  config.node_count = 8;
+  config.trials = 12;
+  config.seed = 99;
+  config.threads = 1;
+  const auto serial = measureWithCost(config, 64, gatheringFactory());
+  ASSERT_GT(serial.cost.count(), 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    expectIdentical(serial, measureWithCost(config, 64, gatheringFactory()));
+  }
+}
+
+TEST(ParallelDeterminism, MeasureOfflineOptimalIdenticalAcrossThreadCounts) {
+  MeasureConfig config;
+  config.node_count = 8;
+  config.trials = 10;
+  config.seed = 123;
+  config.threads = 1;
+  const auto serial = measureOfflineOptimal(config);
+  ASSERT_GT(serial.interactions.count(), 0u);
+  for (std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    expectIdentical(serial, measureOfflineOptimal(config));
+  }
+}
+
+TEST(ParallelDeterminism, ZipfAdversaryIdenticalAcrossThreadCounts) {
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 12;
+  config.seed = 5;
+  config.zipf_exponent = 0.8;
+  config.threads = 1;
+  const auto serial = measureRandomized(config, gatheringFactory());
+  config.threads = 8;
+  expectIdentical(serial, measureRandomized(config, gatheringFactory()));
+}
+
+TEST(RunTrials, SeedsDependOnIndexOnly) {
+  // Record the seed each trial sees and check it matches the master draw.
+  util::Rng master(4242);
+  std::vector<std::uint64_t> expected(20);
+  for (auto& s : expected) s = master();
+
+  std::vector<std::uint64_t> seen(20, 0);
+  runTrials(20, 4242, 4,
+            [&](std::size_t trial, std::uint64_t seed,
+                core::Engine::Scratch&) {
+              seen[trial] = seed;
+              TrialOutcome outcome;
+              outcome.success = true;
+              outcome.interactions = static_cast<double>(trial);
+              return outcome;
+            });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(RunTrials, FoldsFailuresAndCosts) {
+  const auto result = runTrials(
+      10, 1, 4,
+      [](std::size_t trial, std::uint64_t, core::Engine::Scratch&) {
+        if (trial % 2 == 0) return TrialOutcome::failure();
+        TrialOutcome outcome;
+        outcome.success = true;
+        outcome.interactions = static_cast<double>(trial);
+        outcome.cost = 2.0;
+        outcome.has_cost = true;
+        return outcome;
+      });
+  EXPECT_EQ(result.failed_trials, 5u);
+  EXPECT_EQ(result.interactions.count(), 5u);
+  EXPECT_DOUBLE_EQ(result.interactions.mean(), 5.0);  // (1+3+5+7+9)/5
+  EXPECT_EQ(result.cost.count(), 5u);
+  EXPECT_DOUBLE_EQ(result.cost.mean(), 2.0);
+}
+
+TEST(RunTrials, PropagatesTrialExceptions) {
+  auto boom = [](std::size_t trial, std::uint64_t,
+                 core::Engine::Scratch&) -> TrialOutcome {
+    if (trial == 3) throw std::runtime_error("trial 3 exploded");
+    TrialOutcome outcome;
+    outcome.success = true;
+    return outcome;
+  };
+  EXPECT_THROW(runTrials(8, 1, 4, boom), std::runtime_error);
+  EXPECT_THROW(runTrials(8, 1, 1, boom), std::runtime_error);
+}
+
+TEST(RunTrials, ZeroTrialsIsEmpty) {
+  const auto result =
+      runTrials(0, 1, 0, [](std::size_t, std::uint64_t,
+                            core::Engine::Scratch&) { return TrialOutcome(); });
+  EXPECT_EQ(result.interactions.count(), 0u);
+  EXPECT_EQ(result.failed_trials, 0u);
+}
+
+TEST(ResolveThreads, KnobSemantics) {
+  EXPECT_EQ(resolveThreads(1, 100), 1u);
+  EXPECT_EQ(resolveThreads(4, 100), 4u);
+  EXPECT_EQ(resolveThreads(4, 2), 2u);   // clamp to trial count
+  EXPECT_GE(resolveThreads(0, 100), 1u);  // auto resolves to >= 1
+}
+
+TEST(MeasureResultMerge, MatchesOrderedFold) {
+  // Welford-merge of disjoint partials reproduces the one-shot
+  // accumulation up to floating-point rounding.
+  util::Rng rng(9);
+  MeasureResult whole, left, right;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform() * 1000.0;
+    whole.interactions.add(x);
+    (i < 77 ? left : right).interactions.add(x);
+  }
+  left.failed_trials = 3;
+  right.failed_trials = 4;
+  left.merge(right);
+  EXPECT_EQ(left.interactions.count(), whole.interactions.count());
+  EXPECT_NEAR(left.interactions.mean(), whole.interactions.mean(), 1e-9);
+  EXPECT_NEAR(left.interactions.variance(), whole.interactions.variance(),
+              1e-6);
+  EXPECT_EQ(left.failed_trials, 7u);
+}
+
+}  // namespace
+}  // namespace doda::sim

@@ -54,6 +54,29 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(left.max(), whole.max());
 }
 
+TEST(RunningStats, MergeManyPartitionsMatchesOneShot) {
+  // Per-worker partials of a parallel measurement: fold the same samples
+  // into k accumulators and merge them, for several partition shapes.
+  for (std::size_t partitions : {2u, 3u, 8u, 16u}) {
+    Rng rng(partitions);
+    RunningStats whole;
+    std::vector<RunningStats> parts(partitions);
+    for (int i = 0; i < 400; ++i) {
+      const double x = rng.uniform() * 1e6;
+      whole.add(x);
+      parts[static_cast<std::size_t>(i) % partitions].add(x);
+    }
+    RunningStats merged;
+    for (const auto& part : parts) merged.merge(part);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), whole.mean() * 1e-12);
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                whole.variance() * 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  }
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a, empty;
   a.add(1.0);
