@@ -1,0 +1,251 @@
+// Trace-replay throughput benchmark for the recorded-workload subsystem.
+//
+// Records a uniform randomized-adversary workload into a sharded binary
+// store in a scratch directory, then measures how fast the shard-parallel
+// replay executor (sim/trace_replay) pushes it through the engine:
+// materialized replay (per-trial decode + meetTime oracle, WaitingGreedy)
+// and fully streamed replay (zero materialization, Gathering), each
+// serially and with a worker pool. Results go to stdout and a JSON file so
+// the perf trajectory is tracked across PRs and gated in CI.
+//
+// Usage: bench_trace_replay [--quick] [--out PATH] [--threads K] [--keep DIR]
+//   --quick    smoke mode for CI: smaller workload
+//   --out      JSON output path (default BENCH_trace_replay.json)
+//   --threads  worker count for the parallel legs (default 0 = all cores)
+//   --keep     record into DIR and leave the store on disk (default: a
+//              scratch directory under the system temp dir, removed after)
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using doda::sim::MeasureResult;
+using doda::sim::ReplayConfig;
+
+struct Leg {
+  std::string name;
+  double seconds = 0.0;
+  double trials_per_sec = 0.0;
+  double interactions_per_sec = 0.0;
+};
+
+double secondsOf(const std::function<MeasureResult()>& run,
+                 MeasureResult& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out = run();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+void expectIdentical(const MeasureResult& a, const MeasureResult& b,
+                     const char* what) {
+  if (a.interactions.count() != b.interactions.count() ||
+      a.interactions.mean() != b.interactions.mean() ||
+      a.interactions.variance() != b.interactions.variance() ||
+      a.failed_trials != b.failed_trials) {
+    std::cerr << "FATAL: " << what << " statistics diverge\n";
+    std::exit(2);
+  }
+}
+
+doda::sim::AlgorithmFactory waitingGreedy(std::size_t n) {
+  const auto tau = static_cast<doda::core::Time>(
+      doda::util::closed_form::waitingGreedyTau(n));
+  return [tau](doda::sim::TrialContext& context) {
+    return std::make_unique<doda::algorithms::WaitingGreedy>(
+        context.meet_time, tau);
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_trace_replay.json";
+  std::string keep_dir;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--keep" && i + 1 < argc) {
+      keep_dir = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      try {
+        threads = std::stoul(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "--threads: expected a number, got '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "usage: bench_trace_replay [--quick] [--out PATH] "
+                   "[--threads K] [--keep DIR]\n";
+      return 1;
+    }
+  }
+
+  // Fail on a bad output path before the measurement, not after.
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+
+  const std::size_t n = quick ? 64 : 128;
+  const std::size_t trials = quick ? 32 : 128;
+  const doda::core::Time length =
+      static_cast<doda::core::Time>(8 * n * n);
+  const std::uint32_t shards = 8;
+
+  doda::sim::MeasureConfig config;
+  config.node_count = n;
+  config.trials = trials;
+  config.seed = 0x7ace + n;
+
+  // Pid-unique scratch path so concurrent bench runs on one machine never
+  // record into (or clean up) each other's live store.
+  const std::string dir =
+      !keep_dir.empty()
+          ? keep_dir
+          : (std::filesystem::temp_directory_path() /
+             ("doda_bench_trace_store_" + std::to_string(n) + "_" +
+              std::to_string(::getpid())))
+                .string();
+
+  std::printf("recording n=%zu trials=%zu length=%llu shards=%u ...",
+              n, trials, static_cast<unsigned long long>(length), shards);
+  std::fflush(stdout);
+  const auto record_start = std::chrono::steady_clock::now();
+  doda::sim::recordSynthetic(dir, config, length, shards);
+  const double record_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    record_start)
+          .count();
+
+  const auto store = doda::dynagraph::TraceStore::open(dir);
+  std::uint64_t store_bytes = 0;
+  for (const auto& header : store.shardHeaders())
+    store_bytes += doda::dynagraph::kTraceHeaderSize + header.payload_bytes;
+  const double total_interactions =
+      static_cast<double>(trials) * static_cast<double>(length);
+  std::printf(" %.0f interactions, %llu bytes (%.2f B/interaction)\n",
+              total_interactions,
+              static_cast<unsigned long long>(store_bytes),
+              static_cast<double>(store_bytes) / total_interactions);
+
+  ReplayConfig serial_cfg;
+  serial_cfg.threads = 1;
+  ReplayConfig parallel_cfg;
+  parallel_cfg.threads = threads;
+
+  const auto materialized = waitingGreedy(n);
+  const auto streamed = [](const doda::core::SystemInfo&) {
+    return std::make_unique<doda::algorithms::Gathering>();
+  };
+  const auto gathering_materialized = [](doda::sim::TrialContext&) {
+    return std::make_unique<doda::algorithms::Gathering>();
+  };
+
+  std::vector<Leg> legs;
+  legs.push_back({"record", record_seconds, trials / record_seconds,
+                  total_interactions / record_seconds});
+
+  auto runLeg = [&](const std::string& name,
+                    const std::function<MeasureResult()>& run,
+                    MeasureResult& out) {
+    Leg leg;
+    leg.name = name;
+    leg.seconds = secondsOf(run, out);
+    leg.trials_per_sec = trials / leg.seconds;
+    leg.interactions_per_sec = total_interactions / leg.seconds;
+    std::printf("%-28s %8.1f trials/s  %12.0f interactions/s\n",
+                name.c_str(), leg.trials_per_sec,
+                leg.interactions_per_sec);
+    legs.push_back(leg);
+    return leg;
+  };
+
+  MeasureResult mat_serial, mat_parallel, stream_serial, stream_parallel;
+  runLeg("replay_materialized_serial",
+         [&] { return replayTrace(store, serial_cfg, materialized); },
+         mat_serial);
+  runLeg("replay_materialized_pool",
+         [&] { return replayTrace(store, parallel_cfg, materialized); },
+         mat_parallel);
+  runLeg("replay_streaming_serial",
+         [&] { return replayTraceStreaming(store, serial_cfg, streamed); },
+         stream_serial);
+  runLeg("replay_streaming_pool",
+         [&] {
+           return replayTraceStreaming(store, parallel_cfg, streamed);
+         },
+         stream_parallel);
+
+  // The executor's contract, enforced on every bench run: thread count
+  // never changes the statistics, and the streamed path agrees with the
+  // materialized path for the same (online) algorithm.
+  expectIdentical(mat_serial, mat_parallel, "materialized serial/pool");
+  expectIdentical(stream_serial, stream_parallel, "streaming serial/pool");
+  MeasureResult gathering_check;
+  secondsOf(
+      [&] {
+        return replayTrace(store, serial_cfg, gathering_materialized);
+      },
+      gathering_check);
+  expectIdentical(stream_serial, gathering_check,
+                  "streaming vs materialized (Gathering)");
+
+  if (mat_serial.interactions.count() == 0) {
+    std::cerr << "FATAL: every materialized trial failed — lengthen the "
+                 "recorded trace\n";
+    return 2;
+  }
+
+  json << "{\n"
+       << "  \"bench\": \"trace_replay\",\n"
+       << "  \"workload\": \"recordSynthetic + WaitingGreedy(tau*) / "
+          "Gathering\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"n\": " << n << ",\n"
+       << "  \"trials\": " << trials << ",\n"
+       << "  \"length\": " << length << ",\n"
+       << "  \"shards\": " << shards << ",\n"
+       << "  \"store_bytes\": " << store_bytes << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    const Leg& leg = legs[i];
+    json << "    {\"leg\": \"" << leg.name
+         << "\", \"trials_per_sec\": " << leg.trials_per_sec
+         << ", \"interactions_per_sec\": " << leg.interactions_per_sec
+         << "}" << (i + 1 < legs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (keep_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);  // best-effort scratch cleanup
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the plain-binary benches.
+
+Compares a freshly produced bench JSON (bench_throughput --quick,
+bench_trace_replay --quick) against a committed baseline and fails when
+any throughput metric regressed beyond the tolerance band.
+
+Matching: entries of the top-level ``results`` array are keyed by their
+``leg`` field if present, otherwise by ``n``. Within a matched pair,
+every numeric field ending in ``_per_sec`` (higher is better) is
+compared; a current value below ``baseline * (1 - tolerance)`` is a
+regression. Faster-than-baseline results always pass (print a note so
+baselines can be refreshed when hardware improves).
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT [--tolerance 0.25]
+
+Refreshing a baseline after an intentional perf change:
+    ./build/bench_throughput --quick --out ci/baselines/bench_throughput_ci.json
+    ./build/bench_trace_replay --quick --out ci/baselines/bench_trace_replay_ci.json
+
+Exit codes: 0 ok, 1 regression detected, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def entry_key(entry: dict) -> str:
+    if "leg" in entry:
+        return f"leg={entry['leg']}"
+    if "n" in entry:
+        return f"n={entry['n']}"
+    return "?"
+
+
+def load_results(path: str) -> tuple[dict, dict[str, dict]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        print(f"error: {path} has no 'results' array", file=sys.stderr)
+        sys.exit(2)
+    table = {entry_key(e): e for e in results if isinstance(e, dict)}
+    return doc, table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced bench JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: --tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    base_doc, baseline = load_results(args.baseline)
+    _, current = load_results(args.current)
+
+    bench = base_doc.get("bench", "?")
+    floor_factor = 1.0 - args.tolerance
+    regressions = 0
+    compared = 0
+
+    print(f"bench '{bench}': comparing {args.current} against {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    header = f"{'entry':<34} {'metric':<24} {'baseline':>12} {'current':>12} {'ratio':>7}"
+    print(header)
+    print("-" * len(header))
+
+    for key, base_entry in baseline.items():
+        cur_entry = current.get(key)
+        if cur_entry is None:
+            print(f"{key:<34} {'<missing from current>':<24}")
+            regressions += 1
+            continue
+        for metric, base_value in base_entry.items():
+            if not metric.endswith("_per_sec"):
+                continue
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            cur_value = cur_entry.get(metric)
+            if not isinstance(cur_value, (int, float)):
+                print(f"{key:<34} {metric:<24} {'<missing metric>':>12}")
+                regressions += 1
+                continue
+            compared += 1
+            ratio = cur_value / base_value
+            verdict = ""
+            if cur_value < base_value * floor_factor:
+                verdict = "  REGRESSION"
+                regressions += 1
+            elif ratio > 1.0 / floor_factor:
+                verdict = "  (faster — consider refreshing baseline)"
+            print(f"{key:<34} {metric:<24} {base_value:>12.1f} "
+                  f"{cur_value:>12.1f} {ratio:>6.2f}x{verdict}")
+
+    if compared == 0:
+        print("error: no comparable *_per_sec metrics found", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\nFAIL: {regressions} regression(s) beyond the "
+              f"{args.tolerance:.0%} tolerance band")
+        return 1
+    print(f"\nOK: {compared} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,4 +30,30 @@ class SequenceAdversary final : public core::Adversary {
   dynagraph::InteractionSequence sequence_;
 };
 
+/// Zero-copy variant of SequenceAdversary: replays a borrowed
+/// InteractionSequenceView. The measurement loops use it to replay
+/// per-trial materialized sequences (and decoded trace-shard trials)
+/// without the per-trial copy SequenceAdversary would take. The viewed
+/// storage must outlive the adversary.
+class SequenceViewAdversary final : public core::Adversary {
+ public:
+  explicit SequenceViewAdversary(dynagraph::InteractionSequenceView view)
+      : view_(view) {}
+
+  std::string name() const override { return "oblivious-sequence-view"; }
+
+  std::optional<core::Interaction> next(
+      core::Time t, const core::ExecutionView& /*view*/) override {
+    if (t >= view_.length()) return std::nullopt;
+    return view_.at(t);
+  }
+
+  dynagraph::InteractionSequenceView sequence() const noexcept {
+    return view_;
+  }
+
+ private:
+  dynagraph::InteractionSequenceView view_;
+};
+
 }  // namespace doda::adversary

@@ -156,7 +156,7 @@ ExecutionResult Engine::runInto(Scratch& scratch, DodaAlgorithm& algorithm,
 
 bool validateConvergecastSchedule(
     const std::vector<TransmissionRecord>& schedule,
-    const dynagraph::InteractionSequence& sequence, const SystemInfo& info,
+    dynagraph::InteractionSequenceView sequence, const SystemInfo& info,
     std::string* error) {
   // Error strings are only materialized on the failure path; the success
   // path does no formatting or allocation beyond the transmitted bitmap.

@@ -102,9 +102,12 @@ class Engine {
 /// times strictly increase, no node transmits twice or after transmitting,
 /// the sink never transmits, and all n-1 non-sink nodes transmit.
 /// Returns true iff valid; if `error` is non-null, stores the reason.
+/// Takes a lightweight view so replayed (streamed / borrowed) trials can be
+/// validated without materializing an owned sequence; an
+/// InteractionSequence converts implicitly.
 bool validateConvergecastSchedule(
     const std::vector<TransmissionRecord>& schedule,
-    const dynagraph::InteractionSequence& sequence, const SystemInfo& info,
+    dynagraph::InteractionSequenceView sequence, const SystemInfo& info,
     std::string* error = nullptr);
 
 }  // namespace doda::core

@@ -38,6 +38,7 @@
 #include "dynagraph/traces.hpp"
 #include "graph/spanning_tree.hpp"
 #include "sim/experiment.hpp"
+#include "sim/trace_replay.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

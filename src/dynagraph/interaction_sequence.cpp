@@ -16,6 +16,12 @@ const Interaction& InteractionSequence::at(Time t) const {
   return interactions_[static_cast<std::size_t>(t)];
 }
 
+const Interaction& InteractionSequenceView::at(Time t) const {
+  if (t >= size_)
+    throw std::out_of_range("InteractionSequenceView::at: time out of range");
+  return data_[static_cast<std::size_t>(t)];
+}
+
 void InteractionSequence::appendAll(const InteractionSequence& other) {
   // Self-append must read the pre-append contents; iterators into
   // interactions_ would be invalidated by the growth, so index instead.

@@ -18,8 +18,11 @@ namespace doda::dynagraph {
 /// repeated queries cost O(log T + answer) instead of rescanning the whole
 /// sequence. The timeline extends incrementally on append and is built on
 /// first query; building it mutates cache members, so concurrent *first*
-/// queries from multiple threads on a shared sequence are not safe (the
-/// experiment harness gives every trial its own sequence).
+/// queries from multiple threads on a shared sequence are not safe. Analysis
+/// passes that share one sequence across threads must call buildTimelines()
+/// up front — once the timeline covers the whole sequence, the per-node
+/// queries are pure reads and safe to issue concurrently (as long as no
+/// thread appends).
 class InteractionSequence {
  public:
   InteractionSequence() = default;
@@ -63,6 +66,12 @@ class InteractionSequence {
   /// First time t >= from with I_t = {u, v}; kNever if none.
   Time nextOccurrence(NodeId u, NodeId v, Time from = 0) const;
 
+  /// Eagerly builds the inverted timeline over the whole sequence. Call
+  /// this before handing one sequence to several threads: afterwards the
+  /// per-node queries above no longer mutate cache state and are safe to
+  /// run concurrently (until the next append).
+  void buildTimelines() const { ensureTimeline(); }
+
   /// Two sequences are equal iff their interactions are equal (the cached
   /// inverted timeline is derived state and never observable).
   friend bool operator==(const InteractionSequence& lhs,
@@ -81,6 +90,44 @@ class InteractionSequence {
   // the timeline extends incrementally and is never invalidated).
   mutable std::vector<std::vector<Time>> timeline_;
   mutable std::size_t timeline_scanned_ = 0;
+};
+
+/// Non-owning, trivially copyable window onto a run of interactions — the
+/// streamed counterpart of InteractionSequence. The engine-facing consumers
+/// (schedule validation, replay adversaries) take this view so a trial can
+/// be served from a memory-mapped / block-read trace shard or a borrowed
+/// sequence without copying into an owned vector. The viewed storage must
+/// outlive the view (and must not be appended to while viewed: vector
+/// growth relocates the buffer).
+class InteractionSequenceView {
+ public:
+  constexpr InteractionSequenceView() = default;
+  constexpr InteractionSequenceView(const Interaction* data,
+                                    std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  /// Implicit on purpose: every API taking a view keeps accepting an
+  /// InteractionSequence unchanged.
+  InteractionSequenceView(const InteractionSequence& sequence) noexcept
+      : data_(sequence.interactions().data()),
+        size_(sequence.interactions().size()) {}
+
+  Time length() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Bounds-checked access, mirroring InteractionSequence::at.
+  const Interaction& at(Time t) const;
+
+  const Interaction* begin() const noexcept { return data_; }
+  const Interaction* end() const noexcept { return data_ + size_; }
+
+  /// Owned copy (for callers that need to outlive the backing storage).
+  InteractionSequence materialize() const {
+    return InteractionSequence(std::vector<Interaction>(begin(), end()));
+  }
+
+ private:
+  const Interaction* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 }  // namespace doda::dynagraph

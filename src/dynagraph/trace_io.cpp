@@ -1,6 +1,11 @@
 #include "dynagraph/trace_io.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -68,6 +73,409 @@ LoadedTrace loadTrace(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("loadTrace: cannot open " + path);
   return readTrace(in);
+}
+
+// ------------------------------------------------------------ binary store
+
+namespace {
+
+constexpr char kTraceMagic[8] = {'D', 'O', 'D', 'A', 'T', 'R', 'C', '1'};
+
+std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void storeU16(unsigned char* out, std::uint16_t value) {
+  out[0] = static_cast<unsigned char>(value);
+  out[1] = static_cast<unsigned char>(value >> 8);
+}
+
+void storeU32(unsigned char* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    out[i] = static_cast<unsigned char>(value >> (8 * i));
+}
+
+void storeU64(unsigned char* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out[i] = static_cast<unsigned char>(value >> (8 * i));
+}
+
+std::uint16_t loadU16(const unsigned char* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t loadU32(const unsigned char* in) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i)
+    value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return value;
+}
+
+std::uint64_t loadU64(const unsigned char* in) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return value;
+}
+
+std::array<unsigned char, kTraceHeaderSize> encodeHeader(
+    const TraceShardHeader& header) {
+  std::array<unsigned char, kTraceHeaderSize> bytes{};
+  for (int i = 0; i < 8; ++i)
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>(kTraceMagic[i]);
+  storeU16(&bytes[8], kTraceFormatVersion);
+  storeU16(&bytes[10], kTraceHeaderSize);
+  storeU32(&bytes[12], header.shard_index);
+  storeU32(&bytes[16], header.shard_count);
+  storeU32(&bytes[20], 0);  // reserved
+  storeU64(&bytes[24], header.node_count);
+  storeU64(&bytes[32], header.trial_count);
+  storeU64(&bytes[40], header.base_trial);
+  storeU64(&bytes[48], header.payload_bytes);
+  storeU64(&bytes[56], fnv1a(bytes.data(), 56));
+  return bytes;
+}
+
+std::uint64_t zigzagEncode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t zigzagDecode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+}  // namespace
+
+std::string traceShardFileName(std::uint32_t shard_index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%05u.trace", shard_index);
+  return name;
+}
+
+// ---------------------------------------------------------------- writer
+
+TraceStoreWriter::TraceStoreWriter(std::string directory,
+                                   std::size_t node_count,
+                                   std::uint64_t total_trials,
+                                   std::uint32_t shard_count)
+    : directory_(std::move(directory)),
+      node_count_(node_count),
+      total_trials_(total_trials),
+      shard_count_(shard_count) {
+  if (node_count_ < 2)
+    throw std::invalid_argument("TraceStoreWriter: need at least 2 nodes");
+  if (total_trials_ == 0)
+    throw std::invalid_argument("TraceStoreWriter: zero trials");
+  if (shard_count_ == 0 || shard_count_ > total_trials_)
+    throw std::invalid_argument(
+        "TraceStoreWriter: shard count must be in [1, total_trials]");
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec)
+    throw std::runtime_error("TraceStoreWriter: cannot create " + directory_ +
+                             ": " + ec.message());
+  chunk_.reserve(kTraceBlockBytes);
+  openShard(0);
+}
+
+TraceStoreWriter::~TraceStoreWriter() {
+  if (finished_) return;
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; an incomplete store is detectable by
+    // TraceStore::open (trial-count / size mismatch).
+  }
+}
+
+std::uint64_t TraceStoreWriter::trialsInShard(std::uint32_t index) const {
+  // Contiguous near-equal split; the first (total % shards) shards take one
+  // extra trial.
+  const std::uint64_t base = total_trials_ / shard_count_;
+  return base + (index < total_trials_ % shard_count_ ? 1 : 0);
+}
+
+void TraceStoreWriter::openShard(std::uint32_t index) {
+  const auto path =
+      (std::filesystem::path(directory_) / traceShardFileName(index))
+          .string();
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_)
+    throw std::runtime_error("TraceStoreWriter: cannot open " + path);
+  current_shard_ = index;
+  trials_in_current_ = 0;
+  payload_bytes_ = 0;
+  // Placeholder header; sealed with the real payload size in closeShard().
+  TraceShardHeader header;
+  header.shard_index = index;
+  header.shard_count = shard_count_;
+  header.node_count = node_count_;
+  header.trial_count = trialsInShard(index);
+  header.base_trial = trials_appended_;
+  header.payload_bytes = 0;
+  const auto bytes = encodeHeader(header);
+  out_.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+void TraceStoreWriter::closeShard() {
+  flushChunk();
+  TraceShardHeader header;
+  header.shard_index = current_shard_;
+  header.shard_count = shard_count_;
+  header.node_count = node_count_;
+  header.trial_count = trials_in_current_;
+  header.base_trial = trials_appended_ - trials_in_current_;
+  header.payload_bytes = payload_bytes_;
+  const auto bytes = encodeHeader(header);
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  out_.close();
+  if (!out_)
+    throw std::runtime_error("TraceStoreWriter: write failed on shard " +
+                             std::to_string(current_shard_));
+}
+
+void TraceStoreWriter::putByte(std::uint8_t byte) {
+  if (chunk_.size() == kTraceBlockBytes) flushChunk();
+  chunk_.push_back(static_cast<char>(byte));
+  ++payload_bytes_;
+}
+
+void TraceStoreWriter::putVarint(std::uint64_t value) {
+  while (value >= 0x80) {
+    putByte(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  putByte(static_cast<std::uint8_t>(value));
+}
+
+void TraceStoreWriter::flushChunk() {
+  if (chunk_.empty()) return;
+  out_.write(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
+  chunk_.clear();
+}
+
+void TraceStoreWriter::appendTrial(InteractionSequenceView trial) {
+  if (finished_)
+    throw std::logic_error("TraceStoreWriter: appendTrial after finish");
+  if (trials_appended_ == total_trials_)
+    throw std::logic_error("TraceStoreWriter: more trials than declared");
+  // Validate before emitting a single byte: a rejected trial must not
+  // leave a partial record in the payload (the caller may catch and
+  // continue, and the shard must stay decodable).
+  for (const Interaction& i : trial)
+    if (i.b() >= node_count_)
+      throw std::invalid_argument(
+          "TraceStoreWriter: interaction endpoint >= node_count");
+  if (trials_in_current_ == trialsInShard(current_shard_)) {
+    closeShard();
+    openShard(current_shard_ + 1);
+  }
+  putVarint(trial.length());
+  NodeId prev_a = 0;
+  for (const Interaction& i : trial) {
+    putVarint(zigzagEncode(static_cast<std::int64_t>(i.a()) -
+                           static_cast<std::int64_t>(prev_a)));
+    putVarint(i.b() - i.a() - 1);
+    prev_a = i.a();
+  }
+  ++trials_appended_;
+  ++trials_in_current_;
+}
+
+void TraceStoreWriter::finish() {
+  if (finished_) return;
+  if (trials_appended_ != total_trials_)
+    throw std::logic_error("TraceStoreWriter: appended " +
+                           std::to_string(trials_appended_) + " of " +
+                           std::to_string(total_trials_) +
+                           " declared trials");
+  closeShard();
+  finished_ = true;
+}
+
+// ---------------------------------------------------------------- reader
+
+TraceShardReader::TraceShardReader(std::string path, std::size_t block_bytes)
+    : path_(std::move(path)), in_(path_, std::ios::binary) {
+  if (!in_) fail("cannot open");
+  block_.resize(block_bytes > 0 ? block_bytes : kTraceBlockBytes);
+
+  std::array<unsigned char, kTraceHeaderSize> bytes{};
+  in_.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
+  if (in_.gcount() != static_cast<std::streamsize>(bytes.size()))
+    fail("truncated header");
+  for (int i = 0; i < 8; ++i)
+    if (bytes[static_cast<std::size_t>(i)] !=
+        static_cast<unsigned char>(kTraceMagic[i]))
+      fail("bad magic (not a doda binary trace shard)");
+  if (loadU16(&bytes[8]) != kTraceFormatVersion)
+    fail("unsupported format version " + std::to_string(loadU16(&bytes[8])));
+  if (loadU16(&bytes[10]) != kTraceHeaderSize)
+    fail("unexpected header size");
+  if (loadU64(&bytes[56]) != fnv1a(bytes.data(), 56))
+    fail("header checksum mismatch (corrupt header)");
+  header_.shard_index = loadU32(&bytes[12]);
+  header_.shard_count = loadU32(&bytes[16]);
+  header_.node_count = loadU64(&bytes[24]);
+  header_.trial_count = loadU64(&bytes[32]);
+  header_.base_trial = loadU64(&bytes[40]);
+  header_.payload_bytes = loadU64(&bytes[48]);
+  if (header_.node_count < 2) fail("header declares fewer than 2 nodes");
+  if (header_.node_count > std::numeric_limits<NodeId>::max())
+    fail("header node count exceeds the supported id range");
+  if (header_.shard_count == 0 || header_.shard_index >= header_.shard_count)
+    fail("header shard index/count inconsistent");
+
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec) fail("cannot stat: " + ec.message());
+  const std::uint64_t expected = kTraceHeaderSize + header_.payload_bytes;
+  if (size < expected) fail("truncated shard (payload shorter than header declares)");
+  if (size > expected) fail("trailing bytes after declared payload");
+  payload_left_ = header_.payload_bytes;
+}
+
+void TraceShardReader::fail(const std::string& why) const {
+  throw std::runtime_error("TraceShardReader: " + path_ + ": " + why);
+}
+
+std::uint8_t TraceShardReader::takeByte() {
+  if (block_pos_ == block_limit_) {
+    if (payload_left_ == 0) fail("truncated shard (payload exhausted)");
+    const auto want = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(block_.size(), payload_left_));
+    in_.read(block_.data(), want);
+    block_limit_ = static_cast<std::size_t>(in_.gcount());
+    block_pos_ = 0;
+    if (block_limit_ == 0) fail("truncated shard (unexpected EOF)");
+    payload_left_ -= block_limit_;
+  }
+  return static_cast<std::uint8_t>(block_[block_pos_++]);
+}
+
+std::uint64_t TraceShardReader::takeVarint() {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = takeByte();
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+  }
+  fail("varint overrun (corrupt payload)");
+}
+
+Interaction TraceShardReader::decodeOne() {
+  // The payload is not checksummed, so these range checks are the only
+  // defense against corruption: validate every decoded quantity *before*
+  // using it in arithmetic (no signed overflow, no unsigned wrap).
+  const std::int64_t delta = zigzagDecode(takeVarint());
+  const auto n = static_cast<std::int64_t>(header_.node_count);
+  const auto prev = static_cast<std::int64_t>(prev_a_);
+  if (delta < -prev || delta >= n - prev)
+    fail("decoded endpoint out of range (corrupt payload)");
+  const std::int64_t a = prev + delta;
+  const std::uint64_t gap = takeVarint();
+  if (gap >= header_.node_count - static_cast<std::uint64_t>(a) - 1)
+    fail("decoded endpoint out of range (corrupt payload)");
+  const std::uint64_t b = static_cast<std::uint64_t>(a) + 1 + gap;
+  prev_a_ = static_cast<NodeId>(a);
+  return Interaction(static_cast<NodeId>(a), static_cast<NodeId>(b));
+}
+
+bool TraceShardReader::beginTrial() {
+  if (trials_begun_ > 0) skipRest();
+  if (trials_begun_ == header_.trial_count) return false;
+  trial_length_ = takeVarint();
+  // Every interaction occupies at least two payload bytes (two varints),
+  // so a declared length beyond half the undelivered payload is corrupt —
+  // reject it here rather than letting readRest() reserve a huge vector.
+  const std::uint64_t bytes_left =
+      payload_left_ + (block_limit_ - block_pos_);
+  if (trial_length_ > bytes_left / 2)
+    fail("trial length exceeds remaining payload (corrupt payload)");
+  decoded_ = 0;
+  prev_a_ = 0;
+  ++trials_begun_;
+  return true;
+}
+
+std::optional<Interaction> TraceShardReader::next() {
+  if (decoded_ == trial_length_) return std::nullopt;
+  const Interaction i = decodeOne();
+  ++decoded_;
+  return i;
+}
+
+InteractionSequence TraceShardReader::readRest() {
+  std::vector<Interaction> interactions;
+  interactions.reserve(static_cast<std::size_t>(remainingInTrial()));
+  while (decoded_ < trial_length_) {
+    interactions.push_back(decodeOne());
+    ++decoded_;
+  }
+  return InteractionSequence(std::move(interactions));
+}
+
+void TraceShardReader::skipRest() {
+  while (decoded_ < trial_length_) {
+    decodeOne();
+    ++decoded_;
+  }
+}
+
+// ----------------------------------------------------------------- store
+
+std::string TraceStore::shardPath(std::size_t shard_index) const {
+  return (std::filesystem::path(directory_) /
+          traceShardFileName(static_cast<std::uint32_t>(shard_index)))
+      .string();
+}
+
+TraceShardReader TraceStore::openShard(std::size_t shard_index) const {
+  if (shard_index >= shards_.size())
+    throw std::out_of_range("TraceStore::openShard: shard index " +
+                            std::to_string(shard_index) + " of " +
+                            std::to_string(shards_.size()));
+  return TraceShardReader(shardPath(shard_index));
+}
+
+TraceStore TraceStore::open(const std::string& directory) {
+  TraceStore store;
+  store.directory_ = directory;
+  // Shard 0 names the shard count; every shard is then opened once to
+  // validate its header and the cross-shard invariants.
+  TraceShardReader first(store.shardPath(0));
+  const std::uint32_t shard_count = first.header().shard_count;
+  store.shards_.reserve(shard_count);
+  store.node_count_ = static_cast<std::size_t>(first.header().node_count);
+  for (std::uint32_t k = 0; k < shard_count; ++k) {
+    const TraceShardHeader header =
+        k == 0 ? first.header() : TraceShardReader(store.shardPath(k)).header();
+    auto fail = [&](const std::string& why) {
+      throw std::runtime_error("TraceStore: " + store.shardPath(k) + ": " +
+                               why);
+    };
+    if (header.shard_index != k) fail("shard index does not match file name");
+    if (header.shard_count != shard_count)
+      fail("shard count disagrees with shard 0");
+    if (header.node_count != first.header().node_count)
+      fail("node count disagrees with shard 0");
+    if (header.base_trial != store.trial_count_)
+      fail("base trial not contiguous with preceding shards");
+    store.trial_count_ += header.trial_count;
+    store.shards_.push_back(header);
+  }
+  if (store.trial_count_ == 0)
+    throw std::runtime_error("TraceStore: " + directory + ": empty store");
+  return store;
 }
 
 }  // namespace doda::dynagraph

@@ -1,24 +1,30 @@
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "dynagraph/interaction_sequence.hpp"
 
 namespace doda::dynagraph {
 
-/// Plain-text trace format for interaction sequences, for interchange with
-/// external tools and for the CLI runner:
-///
-/// ```
-/// # doda-trace v1
-/// # nodes <n>          (optional hint; inferred from content otherwise)
-/// <u> <v>              one interaction per line, time = line order
-/// ...
-/// ```
-///
-/// Lines starting with '#' are comments; blank lines are skipped. Node ids
-/// are decimal and a line's pair must be distinct.
+// ---------------------------------------------------------------------------
+// Plain-text trace format (single sequence, for interchange and the CLI
+// runner):
+//
+// ```
+// # doda-trace v1
+// # nodes <n>          (optional hint; inferred from content otherwise)
+// <u> <v>              one interaction per line, time = line order
+// ...
+// ```
+//
+// Lines starting with '#' are comments; blank lines are skipped. Node ids
+// are decimal and a line's pair must be distinct.
+// ---------------------------------------------------------------------------
 
 /// Writes `sequence` to `os` in the format above.
 void writeTrace(std::ostream& os, const InteractionSequence& sequence,
@@ -44,5 +50,201 @@ LoadedTrace readTrace(std::istream& is);
 /// Reads from a file. Throws std::runtime_error on open failure or
 /// malformed content.
 LoadedTrace loadTrace(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Binary sharded trace store (many trials, production-scale replay).
+//
+// A *store* is a directory of shard files, each holding a contiguous block
+// of recorded trials (one trial = one interaction sequence). Shards are the
+// parallelism unit of replay: the executor in sim/trace_replay hands one
+// shard to one task and streams its trials without ever materializing the
+// shard.
+//
+// Shard file layout (all integers little-endian):
+//
+//   offset size
+//   0      8    magic "DODATRC1"
+//   8      2    u16 format version (currently 1)
+//   10     2    u16 header size (currently 64)
+//   12     4    u32 shard index
+//   16     4    u32 shard count of the store
+//   20     4    u32 reserved (0)
+//   24     8    u64 node count
+//   32     8    u64 trial count in this shard
+//   40     8    u64 base trial (global index of this shard's first trial)
+//   48     8    u64 payload bytes following the header
+//   56     8    u64 FNV-1a checksum of header bytes [0, 56)
+//
+// The payload is a run of trial records:
+//
+//   varint  interaction count L
+//   L x     delta-encoded interaction: zigzag-varint(a - prev_a) followed
+//           by varint(b - a - 1), where {a, b} is the normalized pair
+//           (a < b) and prev_a is the previous interaction's `a` (0 at the
+//           start of each trial)
+//
+// Varints are LEB128 (7 bits per byte, little-endian groups). The delta
+// encoding makes locality cheap: uniform-random traces take ~2-3 bytes per
+// interaction versus 8 for raw u32 pairs, and the codec streams in both
+// directions — the writer emits fixed-size chunks, the reader block-reads
+// into a bounded buffer.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint16_t kTraceFormatVersion = 1;
+inline constexpr std::uint16_t kTraceHeaderSize = 64;
+inline constexpr std::size_t kTraceBlockBytes = std::size_t{1} << 16;
+
+/// Decoded, validated shard header.
+struct TraceShardHeader {
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+  std::uint64_t node_count = 0;
+  std::uint64_t trial_count = 0;
+  std::uint64_t base_trial = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Canonical shard file name within a store directory ("shard-00007.trace").
+std::string traceShardFileName(std::uint32_t shard_index);
+
+/// Writes a sharded binary trace store. Trials are appended in global
+/// order; the writer splits them into `shard_count` contiguous blocks of
+/// near-equal size (earlier shards get the remainder). finish() (or
+/// destruction) seals the last shard; appendTrial after finish() throws.
+class TraceStoreWriter {
+ public:
+  /// Creates `directory` (and parents) and opens the first shard. Throws
+  /// std::invalid_argument on a degenerate shape (zero trials, zero shards,
+  /// more shards than trials, node_count < 2) and std::runtime_error on I/O
+  /// failure.
+  TraceStoreWriter(std::string directory, std::size_t node_count,
+                   std::uint64_t total_trials, std::uint32_t shard_count);
+  ~TraceStoreWriter();
+
+  TraceStoreWriter(const TraceStoreWriter&) = delete;
+  TraceStoreWriter& operator=(const TraceStoreWriter&) = delete;
+
+  const std::string& directory() const noexcept { return directory_; }
+
+  /// Appends the next trial. Every interaction endpoint must be
+  /// < node_count. Throws std::logic_error when more than `total_trials`
+  /// trials are appended.
+  void appendTrial(InteractionSequenceView trial);
+
+  /// Seals the current shard and validates that exactly `total_trials`
+  /// trials were appended (std::logic_error otherwise). Idempotent.
+  void finish();
+
+ private:
+  void openShard(std::uint32_t index);
+  void closeShard();
+  void putByte(std::uint8_t byte);
+  void putVarint(std::uint64_t value);
+  void flushChunk();
+  std::uint64_t trialsInShard(std::uint32_t index) const;
+
+  std::string directory_;
+  std::size_t node_count_;
+  std::uint64_t total_trials_;
+  std::uint32_t shard_count_;
+  std::ofstream out_;
+  std::vector<char> chunk_;
+  std::uint32_t current_shard_ = 0;
+  std::uint64_t trials_appended_ = 0;
+  std::uint64_t trials_in_current_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// Streams one shard file: validates the header on open (magic, version,
+/// checksum, and that the file size matches the declared payload — a short
+/// file fails fast as "truncated"), then decodes trials sequentially
+/// through a fixed-size block buffer. The whole shard is never resident.
+class TraceShardReader {
+ public:
+  /// Opens and validates `path`. Throws std::runtime_error on a missing
+  /// file, corrupt header, or truncated payload.
+  explicit TraceShardReader(std::string path,
+                            std::size_t block_bytes = kTraceBlockBytes);
+
+  const TraceShardHeader& header() const noexcept { return header_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Positions at the next trial (skipping any undecoded remainder of the
+  /// current one). Returns false when every trial of the shard has been
+  /// consumed. The global index of the trial just begun is
+  /// header().base_trial + trialsBegun() - 1.
+  bool beginTrial();
+
+  /// Trials begun so far (== local index of the current trial + 1).
+  std::uint64_t trialsBegun() const noexcept { return trials_begun_; }
+
+  /// Interaction count of the current trial.
+  std::uint64_t trialLength() const noexcept { return trial_length_; }
+
+  /// Interactions of the current trial not yet decoded.
+  std::uint64_t remainingInTrial() const noexcept {
+    return trial_length_ - decoded_;
+  }
+
+  /// Decodes the next interaction of the current trial; std::nullopt at
+  /// trial end. Throws std::runtime_error on a truncated or corrupt
+  /// payload (out-of-range endpoint, varint overrun, unexpected EOF).
+  std::optional<Interaction> next();
+
+  /// Materializes the undecoded remainder of the current trial.
+  InteractionSequence readRest();
+
+  /// Decodes and discards the remainder of the current trial.
+  void skipRest();
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const;
+  std::uint8_t takeByte();
+  std::uint64_t takeVarint();
+  Interaction decodeOne();
+
+  std::string path_;
+  std::ifstream in_;
+  std::vector<char> block_;
+  std::size_t block_pos_ = 0;
+  std::size_t block_limit_ = 0;
+  TraceShardHeader header_;
+  std::uint64_t payload_left_ = 0;  // undelivered payload bytes (file-side)
+  std::uint64_t trials_begun_ = 0;
+  std::uint64_t trial_length_ = 0;
+  std::uint64_t decoded_ = 0;
+  NodeId prev_a_ = 0;
+};
+
+/// A validated handle on a sharded store directory: opens every shard
+/// header once, checks cross-shard consistency (same node count and shard
+/// count, shard indices and base trials contiguous), and hands out
+/// per-shard readers. Copyable; holds no file descriptors.
+class TraceStore {
+ public:
+  /// Opens the store at `directory`. Throws std::runtime_error when shards
+  /// are missing, corrupt, or mutually inconsistent.
+  static TraceStore open(const std::string& directory);
+
+  const std::string& directory() const noexcept { return directory_; }
+  std::size_t nodeCount() const noexcept { return node_count_; }
+  std::uint64_t trialCount() const noexcept { return trial_count_; }
+  std::size_t shardCount() const noexcept { return shards_.size(); }
+  const std::vector<TraceShardHeader>& shardHeaders() const noexcept {
+    return shards_;
+  }
+
+  std::string shardPath(std::size_t shard_index) const;
+  TraceShardReader openShard(std::size_t shard_index) const;
+
+ private:
+  TraceStore() = default;
+
+  std::string directory_;
+  std::vector<TraceShardHeader> shards_;
+  std::uint64_t trial_count_ = 0;
+  std::size_t node_count_ = 0;
+};
 
 }  // namespace doda::dynagraph

@@ -6,6 +6,7 @@
 #include "adversary/sequence_adversary.hpp"
 #include "analysis/convergecast.hpp"
 #include "dynagraph/traces.hpp"
+#include "sim/trace_replay.hpp"
 #include "util/rng.hpp"
 
 namespace doda::sim {
@@ -28,14 +29,6 @@ std::unique_ptr<core::Adversary> makeAdversary(const MeasureConfig& config,
         config.node_count, config.zipf_exponent, seed);
   return std::make_unique<adversary::RandomizedAdversary>(config.node_count,
                                                           seed);
-}
-
-InteractionSequence drawSequence(const MeasureConfig& config, Time length,
-                                 util::Rng& rng) {
-  if (config.zipf_exponent > 0.0)
-    return dynagraph::traces::zipfRandom(config.node_count, length,
-                                         config.zipf_exponent, rng);
-  return dynagraph::traces::uniformRandom(config.node_count, length, rng);
 }
 
 core::RunOptions measurementRunOptions(Time max_interactions) {
@@ -87,7 +80,7 @@ MeasureResult measureOfflineOptimal(const MeasureConfig& config) {
       [&, initial](std::size_t /*trial*/, std::uint64_t seed,
                    core::Engine::Scratch& /*scratch*/) {
         util::Rng rng(seed);
-        InteractionSequence seq = drawSequence(config, initial, rng);
+        InteractionSequence seq = drawAdversarySequence(config, initial, rng);
         Time opt = kNever;
         while (true) {
           opt = analysis::optCompletion(seq, config.node_count, config.sink,
@@ -96,7 +89,8 @@ MeasureResult measureOfflineOptimal(const MeasureConfig& config) {
             break;
           // Double by appending fresh randomness (the prefix stays
           // committed).
-          InteractionSequence more = drawSequence(config, seq.length(), rng);
+          InteractionSequence more =
+              drawAdversarySequence(config, seq.length(), rng);
           seq.appendAll(more);
         }
         if (opt == kNever) return TrialOutcome::failure();
@@ -122,9 +116,10 @@ MeasureResult measureMaterialized(const MeasureConfig& config,
         Time length = initial_length;
         for (std::size_t attempt = 0; attempt <= max_doublings;
              ++attempt, length *= 2) {
-          const InteractionSequence seq = drawSequence(config, length, rng);
+          const InteractionSequence seq =
+              drawAdversarySequence(config, length, rng);
           const auto algorithm = factory(seq, info);
-          adversary::SequenceAdversary seq_adversary(seq);
+          adversary::SequenceViewAdversary seq_adversary{seq};
           core::Engine engine(info, core::AggregationFunction::count());
           const auto result = engine.runInto(
               scratch, *algorithm, seq_adversary,
@@ -154,11 +149,12 @@ MeasureResult measureWithCost(const MeasureConfig& config, Time length_hint,
       [&, length_hint](std::size_t /*trial*/, std::uint64_t seed,
                        core::Engine::Scratch& scratch) {
         util::Rng rng(seed);
-        InteractionSequence seq = drawSequence(config, length_hint, rng);
+        InteractionSequence seq =
+            drawAdversarySequence(config, length_hint, rng);
         for (std::size_t attempt = 0; attempt <= max_doublings; ++attempt) {
-          adversary::SequenceAdversary seq_adversary(seq);
-          dynagraph::MeetTimeIndex index(seq_adversary.sequence(),
-                                         config.sink, config.node_count);
+          adversary::SequenceViewAdversary seq_adversary{seq};
+          dynagraph::MeetTimeIndex index(seq, config.sink,
+                                         config.node_count);
           TrialContext context{info, seq_adversary, index};
           const auto algorithm = factory(context);
           core::Engine engine(info, core::AggregationFunction::count());
@@ -178,10 +174,49 @@ MeasureResult measureWithCost(const MeasureConfig& config, Time length_hint,
             return outcome;
           }
           // Extend the committed prefix with fresh randomness and rerun.
-          seq.appendAll(drawSequence(config, seq.length(), rng));
+          seq.appendAll(drawAdversarySequence(config, seq.length(), rng));
         }
         return TrialOutcome::failure();
       });
+}
+
+InteractionSequence drawAdversarySequence(const MeasureConfig& config,
+                                          Time length, util::Rng& rng) {
+  if (config.zipf_exponent > 0.0)
+    return dynagraph::traces::zipfRandom(config.node_count, length,
+                                         config.zipf_exponent, rng);
+  return dynagraph::traces::uniformRandom(config.node_count, length, rng);
+}
+
+namespace {
+
+ReplayConfig replayConfigOf(const dynagraph::TraceStore& store,
+                            const MeasureConfig& config, bool compute_cost) {
+  if (store.nodeCount() != config.node_count)
+    throw std::invalid_argument(
+        "measureReplayed: store records " +
+        std::to_string(store.nodeCount()) + " nodes, config expects " +
+        std::to_string(config.node_count));
+  ReplayConfig replay;
+  replay.sink = config.sink;
+  replay.threads = config.threads;
+  replay.max_interactions = config.max_interactions;
+  replay.compute_cost = compute_cost;
+  return replay;
+}
+
+}  // namespace
+
+MeasureResult measureReplayed(const dynagraph::TraceStore& store,
+                              const MeasureConfig& config,
+                              const AlgorithmFactory& factory) {
+  return replayTrace(store, replayConfigOf(store, config, false), factory);
+}
+
+MeasureResult measureReplayedWithCost(const dynagraph::TraceStore& store,
+                                      const MeasureConfig& config,
+                                      const AlgorithmFactory& factory) {
+  return replayTrace(store, replayConfigOf(store, config, true), factory);
 }
 
 }  // namespace doda::sim

@@ -26,9 +26,7 @@ std::size_t resolveThreads(std::size_t requested, std::size_t trials) {
   return threads > 0 ? threads : 1;
 }
 
-namespace {
-
-void fold(MeasureResult& out, const TrialOutcome& outcome) {
+void foldOutcome(MeasureResult& out, const TrialOutcome& outcome) {
   if (!outcome.success) {
     ++out.failed_trials;
     return;
@@ -37,28 +35,17 @@ void fold(MeasureResult& out, const TrialOutcome& outcome) {
   if (outcome.has_cost) out.cost.add(outcome.cost);
 }
 
-}  // namespace
-
-MeasureResult runTrials(std::size_t trials, std::uint64_t master_seed,
-                        std::size_t threads, const TrialBody& body) {
-  // Pre-draw every trial seed so randomness is a function of the trial
-  // index alone — the determinism anchor of the whole subsystem.
-  util::Rng master(master_seed);
-  std::vector<std::uint64_t> seeds(trials);
-  for (auto& seed : seeds) seed = master();
-
-  MeasureResult out;
-  threads = resolveThreads(threads, trials);
+void runIndexedTasks(std::size_t count, std::size_t threads,
+                     const IndexedTask& task) {
+  threads = resolveThreads(threads, count);
 
   if (threads <= 1) {
-    // Legacy serial path: same seeds, same fold order, no thread spawn.
+    // Serial path: same tasks, index order, no thread spawn.
     core::Engine::Scratch scratch;
-    for (std::size_t trial = 0; trial < trials; ++trial)
-      fold(out, body(trial, seeds[trial], scratch));
-    return out;
+    for (std::size_t index = 0; index < count; ++index) task(index, scratch);
+    return;
   }
 
-  std::vector<TrialOutcome> outcomes(trials);
   std::atomic<std::size_t> next{0};
   std::atomic<bool> stop{false};
   std::exception_ptr first_error;
@@ -67,10 +54,10 @@ MeasureResult runTrials(std::size_t trials, std::uint64_t master_seed,
   auto worker = [&] {
     core::Engine::Scratch scratch;
     for (;;) {
-      const std::size_t trial = next.fetch_add(1, std::memory_order_relaxed);
-      if (trial >= trials || stop.load(std::memory_order_relaxed)) return;
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count || stop.load(std::memory_order_relaxed)) return;
       try {
-        outcomes[trial] = body(trial, seeds[trial], scratch);
+        task(index, scratch);
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mutex);
@@ -87,10 +74,27 @@ MeasureResult runTrials(std::size_t trials, std::uint64_t master_seed,
   for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
   for (auto& thread : pool) thread.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+MeasureResult runTrials(std::size_t trials, std::uint64_t master_seed,
+                        std::size_t threads, const TrialBody& body) {
+  // Pre-draw every trial seed so randomness is a function of the trial
+  // index alone — the determinism anchor of the whole subsystem.
+  util::Rng master(master_seed);
+  std::vector<std::uint64_t> seeds(trials);
+  for (auto& seed : seeds) seed = master();
+
+  std::vector<TrialOutcome> outcomes(trials);
+  runIndexedTasks(trials, threads,
+                  [&](std::size_t trial, core::Engine::Scratch& scratch) {
+                    outcomes[trial] = body(trial, seeds[trial], scratch);
+                  });
 
   // Ordered fold: trial 0, 1, 2, ... regardless of which worker ran what,
-  // so the floating-point accumulation is identical to the serial path.
-  for (const auto& outcome : outcomes) fold(out, outcome);
+  // so the floating-point accumulation is identical for every thread
+  // count.
+  MeasureResult out;
+  for (const auto& outcome : outcomes) foldOutcome(out, outcome);
   return out;
 }
 

@@ -48,6 +48,25 @@ using TrialBody = std::function<TrialOutcome(
 /// [1, trials] (no point spawning idle workers).
 std::size_t resolveThreads(std::size_t requested, std::size_t trials);
 
+/// Folds one trial outcome into the aggregate: failures count, successes
+/// add interactions (and cost when present). Shared by every executor so
+/// the synthetic and trace-replay folds are the same code.
+void foldOutcome(MeasureResult& out, const TrialOutcome& outcome);
+
+/// One unit of pool work, keyed by index. Owns no state; each worker
+/// thread supplies one reusable core::Engine::Scratch.
+using IndexedTask =
+    std::function<void(std::size_t index, core::Engine::Scratch& scratch)>;
+
+/// The shared worker-pool core of runTrials and the trace-replay executor
+/// (sim/trace_replay): runs `count` indexed tasks, inline in index order
+/// when the resolved thread count is 1, otherwise on a pool of workers
+/// pulling indices from a shared counter. The first exception stops the
+/// pool (workers drain quickly) and is rethrown to the caller. Tasks must
+/// not touch shared mutable state beyond their own index's slots.
+void runIndexedTasks(std::size_t count, std::size_t threads,
+                     const IndexedTask& task);
+
 /// Deterministic parallel trial executor — the experiment subsystem's core.
 ///
 /// Per-trial seeds are drawn up front from a master RNG seeded with

@@ -1,0 +1,172 @@
+#include "sim/trace_replay.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "adversary/sequence_adversary.hpp"
+#include "analysis/convergecast.hpp"
+#include "dynagraph/meet_time_index.hpp"
+#include "util/rng.hpp"
+
+namespace doda::sim {
+
+using core::SystemInfo;
+using core::Time;
+using dynagraph::InteractionSequence;
+using dynagraph::TraceShardReader;
+using dynagraph::TraceStore;
+
+namespace {
+
+/// Streams one shard's trials through `body`, storing outcomes into the
+/// global slot array. The reader realigns itself at each beginTrial, so a
+/// body that stops decoding early (streamed replay terminating before the
+/// trace ends) cannot desync the shard cursor.
+void runShard(const TraceStore& store, std::size_t shard,
+              const ReplayTrialBody& body, core::Engine::Scratch& scratch,
+              std::vector<TrialOutcome>& slots) {
+  TraceShardReader reader = store.openShard(shard);
+  while (reader.beginTrial()) {
+    const std::size_t global = static_cast<std::size_t>(
+        reader.header().base_trial + reader.trialsBegun() - 1);
+    slots[global] = body(global, reader, scratch);
+  }
+}
+
+core::RunOptions replayRunOptions(const ReplayConfig& config,
+                                  std::uint64_t trial_length) {
+  core::RunOptions options;
+  options.max_interactions =
+      std::min<Time>(trial_length, config.max_interactions);
+  options.capture_schedule = false;  // only the scalar outcome is folded
+  return options;
+}
+
+}  // namespace
+
+MeasureResult replayShards(const TraceStore& store, std::size_t threads,
+                           const ReplayTrialBody& body) {
+  std::vector<TrialOutcome> slots(
+      static_cast<std::size_t>(store.trialCount()));
+  // One shard per pool task: each shard file is streamed once,
+  // sequentially, by one worker.
+  runIndexedTasks(store.shardCount(), threads,
+                  [&](std::size_t shard, core::Engine::Scratch& scratch) {
+                    runShard(store, shard, body, scratch, slots);
+                  });
+
+  // Ordered fold: global trial 0, 1, 2, ... regardless of shard placement,
+  // so the floating-point accumulation matches the synthetic executor's.
+  MeasureResult out;
+  for (const auto& outcome : slots) foldOutcome(out, outcome);
+  return out;
+}
+
+MeasureResult replayTrace(const TraceStore& store, const ReplayConfig& config,
+                          const AlgorithmFactory& factory) {
+  const SystemInfo info{store.nodeCount(), config.sink};
+  return replayShards(
+      store, config.threads,
+      [&](std::size_t /*global_trial*/, TraceShardReader& reader,
+          core::Engine::Scratch& scratch) {
+        const std::uint64_t length = reader.trialLength();
+        const InteractionSequence seq = reader.readRest();
+        adversary::SequenceViewAdversary seq_adversary{seq};
+        dynagraph::MeetTimeIndex index(seq, config.sink, info.node_count);
+        TrialContext context{info, seq_adversary, index};
+        const auto algorithm = factory(context);
+        core::Engine engine(info, core::AggregationFunction::count());
+        const auto result =
+            engine.runInto(scratch, *algorithm, seq_adversary,
+                           replayRunOptions(config, length));
+        if (!result.terminated) return TrialOutcome::failure();
+        TrialOutcome outcome;
+        outcome.success = true;
+        outcome.interactions =
+            static_cast<double>(result.interactions_to_terminate);
+        if (config.compute_cost) {
+          outcome.cost = static_cast<double>(
+              analysis::costOf(seq, info.node_count, config.sink,
+                               result.last_transmission_time));
+          outcome.has_cost = true;
+        }
+        return outcome;
+      });
+}
+
+namespace {
+
+/// Single-use adversary pulling interactions straight from a shard
+/// reader's block buffer — the streamed InteractionSequence view the
+/// engine consumes during zero-materialization replay.
+class StreamedTrialAdversary final : public core::Adversary {
+ public:
+  explicit StreamedTrialAdversary(TraceShardReader& reader)
+      : reader_(reader) {}
+
+  std::string name() const override { return "trace-replay-stream"; }
+
+  std::optional<core::Interaction> next(
+      core::Time /*t*/, const core::ExecutionView& /*view*/) override {
+    return reader_.next();
+  }
+
+ private:
+  TraceShardReader& reader_;
+};
+
+}  // namespace
+
+MeasureResult replayTraceStreaming(const TraceStore& store,
+                                   const ReplayConfig& config,
+                                   const StreamedAlgorithmFactory& factory) {
+  const SystemInfo info{store.nodeCount(), config.sink};
+  return replayShards(
+      store, config.threads,
+      [&](std::size_t /*global_trial*/, TraceShardReader& reader,
+          core::Engine::Scratch& scratch) {
+        StreamedTrialAdversary adversary(reader);
+        const auto algorithm = factory(info);
+        core::Engine engine(info, core::AggregationFunction::count());
+        const auto result =
+            engine.runInto(scratch, *algorithm, adversary,
+                           replayRunOptions(config, reader.trialLength()));
+        if (!result.terminated) return TrialOutcome::failure();
+        TrialOutcome outcome;
+        outcome.success = true;
+        outcome.interactions =
+            static_cast<double>(result.interactions_to_terminate);
+        return outcome;
+      });
+}
+
+void recordTrials(const std::string& directory, std::size_t node_count,
+                  std::size_t trials, std::uint64_t master_seed,
+                  std::uint32_t shard_count,
+                  const TrialGenerator& generator) {
+  // Identical seed scheme to runTrials: trial i's randomness is the i-th
+  // draw from the master RNG, so recorded sequences match what the
+  // in-memory synthetic run generates from the same master seed.
+  util::Rng master(master_seed);
+  std::vector<std::uint64_t> seeds(trials);
+  for (auto& seed : seeds) seed = master();
+
+  dynagraph::TraceStoreWriter writer(directory, node_count, trials,
+                                     shard_count);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    util::Rng rng(seeds[trial]);
+    writer.appendTrial(generator(trial, rng));
+  }
+  writer.finish();
+}
+
+void recordSynthetic(const std::string& directory,
+                     const MeasureConfig& config, Time length,
+                     std::uint32_t shard_count) {
+  recordTrials(directory, config.node_count, config.trials, config.seed,
+               shard_count, [&](std::size_t /*trial*/, util::Rng& rng) {
+                 return drawAdversarySequence(config, length, rng);
+               });
+}
+
+}  // namespace doda::sim

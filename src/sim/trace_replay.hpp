@@ -1,0 +1,96 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dynagraph/trace_io.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace doda::sim {
+
+/// Configuration of a recorded-trace replay measurement.
+struct ReplayConfig {
+  core::NodeId sink = 0;
+  /// Worker threads fanning over trace shards: 0 = hardware concurrency,
+  /// 1 = serial. Results are bit-identical for every value (outcomes are
+  /// folded in global trial order, exactly like the synthetic path).
+  std::size_t threads = 0;
+  /// Per-trial cap on dispatched interactions.
+  core::Time max_interactions = core::Time{1} << 32;
+  /// Whether replayTrace additionally computes the paper cost (§2.3) of
+  /// each successful trial (requires the materialized path).
+  bool compute_cost = false;
+};
+
+/// The work of one replayed trial. `reader` is positioned at the start of
+/// the trial's payload (trialLength() interactions pending); the body may
+/// stream interactions with next() or materialize them with readRest(),
+/// and need not consume the remainder — the executor realigns the shard
+/// cursor. Same purity contract as TrialBody: runs concurrently, keyed by
+/// `global_trial` only.
+using ReplayTrialBody = std::function<TrialOutcome(
+    std::size_t global_trial, dynagraph::TraceShardReader& reader,
+    core::Engine::Scratch& scratch)>;
+
+/// Deterministic shard-parallel replay executor — the recorded-trace
+/// counterpart of runTrials.
+///
+/// Workers pull whole *shards* from a shared counter (one shard per task,
+/// so a shard's file is streamed once, sequentially, by one thread) and
+/// store each trial's outcome in a per-trial slot; the slots are then
+/// folded into the MeasureResult in global trial order. Results are
+/// therefore bit-identical for every thread count. An exception thrown by
+/// any trial body (or a corrupt shard) stops the run and is rethrown.
+MeasureResult replayShards(const dynagraph::TraceStore& store,
+                           std::size_t threads, const ReplayTrialBody& body);
+
+/// Replays every recorded trial through a factory-built algorithm. Each
+/// trial is decoded into a per-trial sequence (one trial resident per
+/// worker, never a whole shard), so the factory gets the full TrialContext
+/// — including a meetTime oracle over the recorded interactions — exactly
+/// like the synthetic measureWithCost path. With `config.compute_cost`,
+/// successful trials also fold the paper cost.
+MeasureResult replayTrace(const dynagraph::TraceStore& store,
+                          const ReplayConfig& config,
+                          const AlgorithmFactory& factory);
+
+/// Builds an algorithm that needs only the system shape (no oracle, no
+/// materialized future): the pure-online algorithms (Gathering, Waiting).
+using StreamedAlgorithmFactory =
+    std::function<std::unique_ptr<core::DodaAlgorithm>(
+        const core::SystemInfo&)>;
+
+/// Fully streamed replay: interactions flow from the shard's block buffer
+/// straight into the engine via a single-use adversary — no trial is ever
+/// materialized. For the same store and algorithm the statistics are
+/// bit-identical to replayTrace (both run the identical engine loop).
+MeasureResult replayTraceStreaming(const dynagraph::TraceStore& store,
+                                   const ReplayConfig& config,
+                                   const StreamedAlgorithmFactory& factory);
+
+/// Generates the sequence of one recorded trial from its pre-drawn
+/// per-trial RNG.
+using TrialGenerator = std::function<dynagraph::InteractionSequence(
+    std::size_t trial, util::Rng& rng)>;
+
+/// Records `trials` generator-built sequences into a sharded store under
+/// `directory`. Per-trial randomness uses the same pre-drawn seed scheme
+/// as runTrials (trial i's RNG is seeded with the i-th draw from a master
+/// RNG seeded with `master_seed`), the determinism anchor every recorded
+/// workload shares.
+void recordTrials(const std::string& directory, std::size_t node_count,
+                  std::size_t trials, std::uint64_t master_seed,
+                  std::uint32_t shard_count, const TrialGenerator& generator);
+
+/// Records the randomized-adversary workload of `config` (uniform or Zipf)
+/// as `config.trials` sequences of `length` interactions each, sharded
+/// into `shard_count` files under `directory`. Replaying the store is
+/// bit-identical to the equivalent in-memory run (measureWithCost with the
+/// same config and length, provided no trial needs extension).
+void recordSynthetic(const std::string& directory,
+                     const MeasureConfig& config, core::Time length,
+                     std::uint32_t shard_count);
+
+}  // namespace doda::sim

@@ -1,0 +1,508 @@
+// Tests for the binary sharded trace store (dynagraph/trace_io) and the
+// shard-parallel replay executor (sim/trace_replay): codec round-trips,
+// record -> shard -> replay bit-identity with the in-memory synthetic run
+// across thread counts, corrupt/truncated shard error paths, and the
+// thread-safe bulk-built inverted timeline.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "dynagraph/trace_io.hpp"
+#include "dynagraph/traces.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace doda {
+namespace {
+
+using dynagraph::Interaction;
+using dynagraph::InteractionSequence;
+using dynagraph::TraceShardReader;
+using dynagraph::TraceStore;
+using dynagraph::TraceStoreWriter;
+using sim::MeasureConfig;
+using sim::MeasureResult;
+
+/// Fresh scratch directory under the test temp root. ctest runs each test
+/// in its own process, possibly concurrently, so the name must be unique
+/// per call *and* per process (tag + pid + counter).
+std::string scratchDir(const std::string& tag) {
+  static int counter = 0;
+  const auto dir = std::filesystem::path(testing::TempDir()) /
+                   ("doda_trace_" + tag + "_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+InteractionSequence randomSequence(std::size_t n, core::Time length,
+                                   util::Rng& rng) {
+  return dynagraph::traces::uniformRandom(n, length, rng);
+}
+
+void expectIdentical(const MeasureResult& a, const MeasureResult& b) {
+  // EXPECT_EQ on doubles on purpose: the fold order is fixed, so results
+  // must be bit-identical, not merely close.
+  EXPECT_EQ(a.interactions.count(), b.interactions.count());
+  EXPECT_EQ(a.interactions.mean(), b.interactions.mean());
+  EXPECT_EQ(a.interactions.variance(), b.interactions.variance());
+  EXPECT_EQ(a.interactions.min(), b.interactions.min());
+  EXPECT_EQ(a.interactions.max(), b.interactions.max());
+  EXPECT_EQ(a.cost.count(), b.cost.count());
+  EXPECT_EQ(a.cost.mean(), b.cost.mean());
+  EXPECT_EQ(a.cost.variance(), b.cost.variance());
+  EXPECT_EQ(a.failed_trials, b.failed_trials);
+}
+
+TEST(TraceStoreRoundTrip, PreservesEveryTrialAcrossShards) {
+  const std::string dir = scratchDir("roundtrip");
+  util::Rng rng(11);
+  std::vector<InteractionSequence> trials;
+  trials.push_back(InteractionSequence{});  // empty trial is representable
+  trials.push_back(InteractionSequence{Interaction(0, 1)});
+  for (std::size_t i = 0; i < 9; ++i)
+    trials.push_back(randomSequence(24, 50 + i * 37, rng));
+
+  {
+    TraceStoreWriter writer(dir, 24, trials.size(), 4);
+    for (const auto& trial : trials) writer.appendTrial(trial);
+    writer.finish();
+  }
+
+  const auto store = TraceStore::open(dir);
+  EXPECT_EQ(store.nodeCount(), 24u);
+  EXPECT_EQ(store.trialCount(), trials.size());
+  EXPECT_EQ(store.shardCount(), 4u);
+
+  std::size_t global = 0;
+  for (std::size_t s = 0; s < store.shardCount(); ++s) {
+    auto reader = store.openShard(s);
+    EXPECT_EQ(reader.header().base_trial, global);
+    while (reader.beginTrial()) {
+      ASSERT_LT(global, trials.size());
+      EXPECT_EQ(reader.trialLength(), trials[global].length());
+      EXPECT_EQ(reader.readRest(), trials[global]) << "trial " << global;
+      ++global;
+    }
+  }
+  EXPECT_EQ(global, trials.size());
+}
+
+TEST(TraceStoreRoundTrip, StreamingDecodeMatchesMaterialized) {
+  const std::string dir = scratchDir("stream");
+  util::Rng rng(7);
+  const auto trial = randomSequence(50, 400, rng);
+  {
+    TraceStoreWriter writer(dir, 50, 1, 1);
+    writer.appendTrial(trial);
+    writer.finish();
+  }
+  auto reader = TraceStore::open(dir).openShard(0);
+  ASSERT_TRUE(reader.beginTrial());
+  for (core::Time t = 0; t < trial.length(); ++t) {
+    const auto i = reader.next();
+    ASSERT_TRUE(i.has_value()) << "t=" << t;
+    EXPECT_EQ(*i, trial.at(t));
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.beginTrial());
+}
+
+TEST(TraceStoreRoundTrip, PartialConsumptionRealignsAtNextTrial) {
+  const std::string dir = scratchDir("realign");
+  util::Rng rng(3);
+  std::vector<InteractionSequence> trials;
+  for (int i = 0; i < 4; ++i) trials.push_back(randomSequence(16, 120, rng));
+  {
+    TraceStoreWriter writer(dir, 16, trials.size(), 1);
+    for (const auto& trial : trials) writer.appendTrial(trial);
+    writer.finish();
+  }
+  auto reader = TraceStore::open(dir).openShard(0);
+  // Consume only 5 interactions of each trial; beginTrial must skip the
+  // rest and land exactly on the next trial record.
+  for (std::size_t k = 0; k < trials.size(); ++k) {
+    ASSERT_TRUE(reader.beginTrial());
+    for (int j = 0; j < 5; ++j) EXPECT_EQ(*reader.next(), trials[k].at(j));
+  }
+  EXPECT_FALSE(reader.beginTrial());
+}
+
+TEST(TraceStoreWriterErrors, RejectsDegenerateShapes) {
+  EXPECT_THROW(TraceStoreWriter(scratchDir("bad"), 1, 4, 1),
+               std::invalid_argument);  // < 2 nodes
+  EXPECT_THROW(TraceStoreWriter(scratchDir("bad"), 8, 0, 1),
+               std::invalid_argument);  // zero trials
+  EXPECT_THROW(TraceStoreWriter(scratchDir("bad"), 8, 4, 0),
+               std::invalid_argument);  // zero shards
+  EXPECT_THROW(TraceStoreWriter(scratchDir("bad"), 8, 4, 5),
+               std::invalid_argument);  // more shards than trials
+}
+
+TEST(TraceStoreWriterErrors, EnforcesDeclaredTrialCountAndNodeRange) {
+  const std::string dir = scratchDir("writer_misuse");
+  TraceStoreWriter writer(dir, 8, 2, 1);
+  EXPECT_THROW(writer.appendTrial(InteractionSequence{Interaction(0, 8)}),
+               std::invalid_argument);  // endpoint >= node_count
+  writer.appendTrial(InteractionSequence{Interaction(0, 1)});
+  EXPECT_THROW(writer.finish(), std::logic_error);  // one trial short
+  writer.appendTrial(InteractionSequence{Interaction(2, 3)});
+  EXPECT_THROW(writer.appendTrial(InteractionSequence{Interaction(4, 5)}),
+               std::logic_error);  // more trials than declared
+  writer.finish();
+
+  // The rejected trial must not have left partial bytes behind: the store
+  // still decodes cleanly after the caller caught and continued.
+  const auto store = TraceStore::open(dir);
+  EXPECT_EQ(store.trialCount(), 2u);
+  auto reader = store.openShard(0);
+  ASSERT_TRUE(reader.beginTrial());
+  EXPECT_EQ(reader.readRest(), (InteractionSequence{Interaction(0, 1)}));
+  ASSERT_TRUE(reader.beginTrial());
+  EXPECT_EQ(reader.readRest(), (InteractionSequence{Interaction(2, 3)}));
+  EXPECT_FALSE(reader.beginTrial());
+}
+
+class TraceStoreCorruption : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = scratchDir("corrupt");
+    util::Rng rng(5);
+    TraceStoreWriter writer(dir_, 12, 3, 2);
+    for (int i = 0; i < 3; ++i)
+      writer.appendTrial(randomSequence(12, 200, rng));
+    writer.finish();
+    shard0_ = (std::filesystem::path(dir_) /
+               dynagraph::traceShardFileName(0))
+                  .string();
+  }
+
+  std::vector<char> readFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  }
+
+  void writeFile(const std::string& path, const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+  std::string shard0_;
+};
+
+TEST_F(TraceStoreCorruption, BadMagicIsRejected) {
+  auto bytes = readFile(shard0_);
+  bytes[0] = 'X';
+  writeFile(shard0_, bytes);
+  EXPECT_THROW(
+      try { TraceStore::open(dir_); } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+        throw;
+      },
+      std::runtime_error);
+}
+
+TEST_F(TraceStoreCorruption, FlippedHeaderFieldFailsChecksum) {
+  auto bytes = readFile(shard0_);
+  bytes[24] = static_cast<char>(bytes[24] ^ 0x01);  // node count field
+  writeFile(shard0_, bytes);
+  EXPECT_THROW(
+      try { TraceShardReader reader(shard0_); } catch (
+          const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+        throw;
+      },
+      std::runtime_error);
+}
+
+TEST_F(TraceStoreCorruption, TruncatedPayloadIsDetectedAtOpen) {
+  auto bytes = readFile(shard0_);
+  bytes.resize(bytes.size() - 17);
+  writeFile(shard0_, bytes);
+  EXPECT_THROW(
+      try { TraceShardReader reader(shard0_); } catch (
+          const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+        throw;
+      },
+      std::runtime_error);
+}
+
+TEST_F(TraceStoreCorruption, TruncatedHeaderIsDetectedAtOpen) {
+  auto bytes = readFile(shard0_);
+  bytes.resize(dynagraph::kTraceHeaderSize / 2);
+  writeFile(shard0_, bytes);
+  EXPECT_THROW(TraceShardReader reader(shard0_), std::runtime_error);
+}
+
+TEST_F(TraceStoreCorruption, TrailingGarbageIsRejected) {
+  auto bytes = readFile(shard0_);
+  bytes.push_back('!');
+  writeFile(shard0_, bytes);
+  EXPECT_THROW(TraceShardReader reader(shard0_), std::runtime_error);
+}
+
+TEST_F(TraceStoreCorruption, CorruptPayloadEndpointIsRejected) {
+  auto bytes = readFile(shard0_);
+  // Stomp a run of payload bytes; the decoder must fail loudly (endpoint
+  // out of range or varint overrun), never return garbage interactions.
+  for (std::size_t i = dynagraph::kTraceHeaderSize + 3;
+       i < bytes.size() && i < dynagraph::kTraceHeaderSize + 40; ++i)
+    bytes[i] = static_cast<char>(0xff);
+  writeFile(shard0_, bytes);
+  TraceShardReader reader(shard0_);
+  EXPECT_THROW(
+      {
+        while (reader.beginTrial()) reader.skipRest();
+      },
+      std::runtime_error);
+}
+
+TEST_F(TraceStoreCorruption, OversizedTrialLengthIsRejected) {
+  auto bytes = readFile(shard0_);
+  // Rewrite the first trial's length varint to a huge value: the reader
+  // must reject it against the remaining payload size instead of letting
+  // readRest() attempt a giant reserve.
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[dynagraph::kTraceHeaderSize + i] = static_cast<char>(0xff);
+  bytes[dynagraph::kTraceHeaderSize + 8] = 0x7f;
+  writeFile(shard0_, bytes);
+  TraceShardReader reader(shard0_);
+  EXPECT_THROW(reader.beginTrial(), std::runtime_error);
+}
+
+TEST_F(TraceStoreCorruption, MissingShardFailsStoreOpen) {
+  std::filesystem::remove(std::filesystem::path(dir_) /
+                          dynagraph::traceShardFileName(1));
+  EXPECT_THROW(TraceStore::open(dir_), std::runtime_error);
+}
+
+TEST(TraceStoreErrors, MissingDirectoryFailsOpen) {
+  EXPECT_THROW(TraceStore::open(scratchDir("missing")), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- replay
+
+sim::AlgorithmFactory gatheringFactory() {
+  return [](sim::TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  };
+}
+
+sim::AlgorithmFactory waitingGreedyFactory(core::Time tau) {
+  return [tau](sim::TrialContext& context) {
+    return std::make_unique<algorithms::WaitingGreedy>(context.meet_time,
+                                                       tau);
+  };
+}
+
+TEST(TraceReplay, BitIdenticalToInMemorySyntheticRun) {
+  // The acceptance contract: record -> shard -> replay reproduces the
+  // equivalent in-memory synthetic run (measureWithCost on the same
+  // config/length, which draws identical per-trial sequences from the
+  // identical pre-drawn seeds) bit-for-bit, for threads 1, 2 and 8.
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 14;
+  config.seed = 20260728;
+  const core::Time length = 2048;
+
+  config.threads = 1;
+  const auto in_memory = measureWithCost(config, length, gatheringFactory());
+  ASSERT_EQ(in_memory.failed_trials, 0u)
+      << "trace too short: in-memory run extended a sequence";
+  ASSERT_GT(in_memory.interactions.count(), 0u);
+
+  const std::string dir = scratchDir("equiv");
+  sim::recordSynthetic(dir, config, length, 4);
+  const auto store = TraceStore::open(dir);
+  EXPECT_EQ(store.trialCount(), config.trials);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    config.threads = threads;
+    expectIdentical(in_memory, measureReplayedWithCost(store, config,
+                                                       gatheringFactory()));
+  }
+}
+
+TEST(TraceReplay, OracleAlgorithmBitIdenticalAcrossThreadCounts) {
+  // WaitingGreedy replays the recorded randomness through the meetTime
+  // oracle inside worker threads.
+  MeasureConfig config;
+  config.node_count = 12;
+  config.trials = 10;
+  config.seed = 99;
+  const core::Time length = 4096;
+
+  config.threads = 1;
+  const auto factory = waitingGreedyFactory(64);
+  const auto in_memory = measureWithCost(config, length, factory);
+  ASSERT_EQ(in_memory.failed_trials, 0u);
+
+  const std::string dir = scratchDir("oracle");
+  sim::recordSynthetic(dir, config, length, 5);
+  const auto store = TraceStore::open(dir);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    config.threads = threads;
+    expectIdentical(in_memory,
+                    measureReplayedWithCost(store, config, factory));
+  }
+}
+
+TEST(TraceReplay, StreamingMatchesMaterializedReplay) {
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 12;
+  config.seed = 4;
+  const std::string dir = scratchDir("streamed");
+  sim::recordSynthetic(dir, config, 2048, 3);
+  const auto store = TraceStore::open(dir);
+
+  sim::ReplayConfig replay;
+  replay.threads = 1;
+  const auto materialized =
+      replayTrace(store, replay, gatheringFactory());
+  ASSERT_GT(materialized.interactions.count(), 0u);
+
+  const auto streamed_factory = [](const core::SystemInfo&) {
+    return std::make_unique<algorithms::Gathering>();
+  };
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    replay.threads = threads;
+    expectIdentical(materialized,
+                    replayTraceStreaming(store, replay, streamed_factory));
+  }
+}
+
+TEST(TraceReplay, ZipfWorkloadRoundTrips) {
+  MeasureConfig config;
+  config.node_count = 10;
+  config.trials = 8;
+  config.seed = 31;
+  config.zipf_exponent = 0.9;
+  const core::Time length = 4096;
+
+  config.threads = 1;
+  const auto in_memory = measureWithCost(config, length, gatheringFactory());
+  ASSERT_EQ(in_memory.failed_trials, 0u);
+
+  const std::string dir = scratchDir("zipf");
+  sim::recordSynthetic(dir, config, length, 2);
+  const auto store = TraceStore::open(dir);
+  config.threads = 8;
+  expectIdentical(in_memory, measureReplayedWithCost(store, config,
+                                                     gatheringFactory()));
+}
+
+TEST(TraceReplay, NodeCountMismatchIsRejected) {
+  MeasureConfig config;
+  config.node_count = 8;
+  config.trials = 4;
+  const std::string dir = scratchDir("mismatch");
+  sim::recordSynthetic(dir, config, 64, 2);
+  const auto store = TraceStore::open(dir);
+  config.node_count = 16;
+  EXPECT_THROW(measureReplayed(store, config, gatheringFactory()),
+               std::invalid_argument);
+}
+
+TEST(TraceReplay, BodyExceptionsPropagate) {
+  MeasureConfig config;
+  config.node_count = 8;
+  config.trials = 6;
+  const std::string dir = scratchDir("throwing");
+  sim::recordSynthetic(dir, config, 64, 3);
+  const auto store = TraceStore::open(dir);
+
+  auto boom = [](std::size_t global_trial, TraceShardReader&,
+                 core::Engine::Scratch&) -> sim::TrialOutcome {
+    if (global_trial == 4) throw std::runtime_error("trial 4 exploded");
+    sim::TrialOutcome outcome;
+    outcome.success = true;
+    return outcome;
+  };
+  EXPECT_THROW(sim::replayShards(store, 1, boom), std::runtime_error);
+  EXPECT_THROW(sim::replayShards(store, 3, boom), std::runtime_error);
+}
+
+TEST(TraceReplay, FoldsInGlobalTrialOrderForAnyShardShape) {
+  MeasureConfig config;
+  config.node_count = 8;
+  config.trials = 9;
+  config.seed = 8;
+  const std::string dir_a = scratchDir("shape_a");
+  const std::string dir_b = scratchDir("shape_b");
+  sim::recordSynthetic(dir_a, config, 128, 1);
+  sim::recordSynthetic(dir_b, config, 128, 4);
+
+  auto lengthOutcome = [](std::size_t, TraceShardReader& reader,
+                          core::Engine::Scratch&) {
+    sim::TrialOutcome outcome;
+    outcome.success = true;
+    outcome.interactions = static_cast<double>(reader.trialLength());
+    return outcome;
+  };
+  // Same trials, different shard split, any thread count: identical fold.
+  const auto mono = sim::replayShards(TraceStore::open(dir_a), 1, lengthOutcome);
+  expectIdentical(mono,
+                  sim::replayShards(TraceStore::open(dir_a), 8, lengthOutcome));
+  expectIdentical(mono,
+                  sim::replayShards(TraceStore::open(dir_b), 8, lengthOutcome));
+}
+
+// ------------------------------------------------- shared timeline, view
+
+TEST(InteractionSequenceTimeline, BulkBuildAllowsConcurrentQueries) {
+  util::Rng rng(17);
+  const auto seq = randomSequence(40, 5000, rng);
+
+  // Serial reference answers first (on a copy, so the shared instance's
+  // timeline is untouched until buildTimelines()).
+  const InteractionSequence reference = seq;
+  std::vector<std::vector<core::Time>> expected(40);
+  for (core::NodeId u = 0; u < 40; ++u)
+    expected[u] = reference.timesInvolving(u);
+
+  // ROADMAP item: analysis passes that share one sequence across threads
+  // must be able to query it concurrently after one bulk build.
+  seq.buildTimelines();
+  std::vector<std::vector<core::Time>> got(40);
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < 8; ++w)
+    pool.emplace_back([&, w] {
+      for (std::size_t u = w; u < 40; u += 8)
+        got[u] = seq.timesInvolving(static_cast<core::NodeId>(u));
+    });
+  for (auto& thread : pool) thread.join();
+  EXPECT_EQ(got, expected);
+}
+
+TEST(InteractionSequenceView, ValidatesScheduleWithoutOwnedSequence) {
+  // A schedule validated against a raw interaction buffer — the streamed
+  // consumer path of validateConvergecastSchedule.
+  const std::vector<Interaction> raw{Interaction(1, 2), Interaction(0, 1)};
+  const dynagraph::InteractionSequenceView view(raw.data(), raw.size());
+  const std::vector<core::TransmissionRecord> schedule{{0, 2, 1}, {1, 1, 0}};
+  std::string error;
+  EXPECT_TRUE(core::validateConvergecastSchedule(schedule, view, {3, 0},
+                                                 &error))
+      << error;
+  EXPECT_EQ(view.materialize(),
+            (InteractionSequence{Interaction(1, 2), Interaction(0, 1)}));
+}
+
+}  // namespace
+}  // namespace doda
