@@ -1,48 +1,222 @@
 // E2 — Paper Thm 8: the best full-knowledge algorithm terminates in
-// Theta(n log n) interactions, in expectation and w.h.p. (via the
-// convergecast = reversed broadcast argument).
+// Theta(n log n) interactions (convergecast = reversed broadcast).
 //
-// Reproduction: measure opt(0)+1 under the randomized adversary and compare
-// with the closed form (n-1) * H(n-1); also report the relative spread
-// (concentration) and the fitted scaling exponent across the sweep.
+// Two jobs in one binary:
+//  * reproduction: mean opt(0)+1 under the randomized adversary vs the
+//    closed form (n-1)*H(n-1) (reported per leg as a JSON field);
+//  * engineering: offline-optimal oracle throughput. The oracle legs time
+//    optCompletion on pre-drawn sequences (generation excluded), the chain
+//    leg times the full T(i) chain, and the measure leg times the
+//    end-to-end measureOfflineOptimal path. The *_per_sec fields feed the
+//    CI perf-regression gate (scripts/check_bench_regression.py).
+//
+// Usage: bench_offline_optimal [--quick] [--out PATH]
+//   --quick    smoke mode for CI: fewer sizes and trials
+//   --out      JSON output path (default BENCH_offline_optimal.json)
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "analysis/convergecast.hpp"
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
 
-namespace doda {
 namespace {
 
-std::vector<double> g_ns, g_means;
+using doda::core::Time;
+using doda::dynagraph::InteractionSequence;
+using doda::dynagraph::kNever;
 
-void BM_OfflineOptimal(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  sim::MeasureResult r;
-  for (auto _ : state)
-    r = sim::measureOfflineOptimal(bench::configFor(n, 0xE2 + n));
-  const double paper = util::closed_form::broadcastExpected(n);
-  state.counters["opt_mean"] = r.interactions.mean();
-  state.counters["paper_(n-1)H(n-1)"] = paper;
-  state.counters["ratio"] = r.interactions.mean() / paper;
-  state.counters["rel_stddev"] =
-      r.interactions.stddev() / r.interactions.mean();
-  g_ns.push_back(static_cast<double>(n));
-  g_means.push_back(r.interactions.mean());
-  if (g_ns.size() >= 5)
-    state.counters["fitted_exponent"] =
-        util::fitPowerLaw(g_ns, g_means).slope;  // ~1 + o(1) for n log n
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string leg;
+  std::size_t n = 0;
+  std::size_t trials = 0;
+  double seconds = 0.0;
+  double units = 0.0;          // interactions examined / chain terms
+  double mean_opt = 0.0;       // mean opt(0)+1 (oracle and measure legs)
+  double paper_ratio = 0.0;    // mean / ((n-1) H(n-1))
+
+  double trialsPerSec() const { return trials / std::max(seconds, 1e-9); }
+  double unitsPerSec() const { return units / std::max(seconds, 1e-9); }
+};
+
+InteractionSequence feasibleSequence(const doda::sim::MeasureConfig& config,
+                                     Time initial, doda::util::Rng& rng) {
+  InteractionSequence seq =
+      doda::sim::drawAdversarySequence(config, initial, rng);
+  while (doda::analysis::optCompletion(seq, config.node_count, config.sink) ==
+         kNever)
+    seq.appendAll(doda::sim::drawAdversarySequence(config, seq.length(), rng));
+  return seq;
 }
 
-BENCHMARK(BM_OfflineOptimal)
-    ->Arg(32)
-    ->Arg(64)
-    ->Arg(128)
-    ->Arg(256)
-    ->Arg(512)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+// Every leg runs one untimed warm-up round and then `rounds` timed
+// rounds, reporting the *fastest* round. Interference on a shared runner
+// only ever slows a round down, so best-of-K is the stable estimator the
+// 25% CI tolerance band needs; the rounds also keep each timed window in
+// the tens-of-milliseconds range.
+Row benchOracle(std::size_t n, std::size_t trials, std::size_t rounds) {
+  doda::sim::MeasureConfig config;
+  config.node_count = n;
+  const auto dn = static_cast<double>(n);
+  const Time initial =
+      std::max<Time>(16, static_cast<Time>(4.0 * dn * std::log(dn)));
+
+  doda::util::Rng rng(0xE2E2 + n);
+  std::vector<InteractionSequence> sequences;
+  sequences.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t)
+    sequences.push_back(feasibleSequence(config, initial, rng));
+
+  Row row;
+  row.leg = "oracle_n" + std::to_string(n);
+  row.n = n;
+  row.trials = trials;
+  double opt_sum = 0.0;
+  double units = 0.0;
+  double best = 0.0;
+  for (std::size_t r = 0; r <= rounds; ++r) {  // round 0 is the warm-up
+    units = 0.0;
+    const auto t0 = Clock::now();
+    for (const auto& seq : sequences) {
+      const Time opt = doda::analysis::optCompletion(seq, n, 0);
+      if (opt == kNever) {
+        std::cerr << "FATAL: pre-validated sequence became infeasible\n";
+        std::exit(2);
+      }
+      if (r == 0) opt_sum += static_cast<double>(opt + 1);
+      units += static_cast<double>(opt + 1);  // window examined
+    }
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (r == 1 || (r > 1 && s < best)) best = s;
+  }
+  row.seconds = best;
+  row.units = units;
+  row.mean_opt = opt_sum / static_cast<double>(trials);
+  row.paper_ratio =
+      row.mean_opt / doda::util::closed_form::broadcastExpected(n);
+  return row;
+}
+
+Row benchChain(std::size_t n, Time length, std::size_t rounds) {
+  doda::sim::MeasureConfig config;
+  config.node_count = n;
+  doda::util::Rng rng(0xC4A1 + n);
+  const InteractionSequence seq =
+      doda::sim::drawAdversarySequence(config, length, rng);
+
+  Row row;
+  row.leg = "chain_n" + std::to_string(n);
+  row.n = n;
+  row.trials = 1;
+  double best = 0.0;
+  for (std::size_t r = 0; r <= rounds; ++r) {
+    const auto t0 = Clock::now();
+    const auto chain = doda::analysis::convergecastChain(seq, n, 0);
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    row.units = static_cast<double>(chain.size());
+    if (r == 1 || (r > 1 && s < best)) best = s;
+  }
+  row.seconds = best;
+  return row;
+}
+
+Row benchMeasure(std::size_t n, std::size_t trials, std::size_t rounds) {
+  doda::sim::MeasureConfig config;
+  config.node_count = n;
+  config.trials = trials;
+  config.seed = 0xE2 + n;
+  config.threads = 1;
+
+  Row row;
+  row.leg = "measure_n" + std::to_string(n);
+  row.n = n;
+  row.trials = trials;
+  doda::sim::MeasureResult result;
+  double best = 0.0;
+  for (std::size_t r = 0; r <= rounds; ++r) {
+    const auto t0 = Clock::now();
+    result = doda::sim::measureOfflineOptimal(config);
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (r == 1 || (r > 1 && s < best)) best = s;
+  }
+  row.seconds = best;
+  row.units = result.interactions.mean() * static_cast<double>(trials);
+  row.mean_opt = result.interactions.mean();
+  row.paper_ratio =
+      row.mean_opt / doda::util::closed_form::broadcastExpected(n);
+  return row;
+}
 
 }  // namespace
-}  // namespace doda
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_offline_optimal.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_offline_optimal [--quick] [--out PATH]\n";
+      return 1;
+    }
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+
+  std::vector<Row> rows;
+  if (quick) {
+    rows.push_back(benchOracle(256, 400, 5));
+    rows.push_back(benchOracle(1024, 100, 5));
+    rows.push_back(benchChain(64, Time{1} << 19, 5));
+    rows.push_back(benchMeasure(256, 100, 5));
+  } else {
+    rows.push_back(benchOracle(256, 1000, 5));
+    rows.push_back(benchOracle(1024, 200, 5));
+    rows.push_back(benchOracle(4096, 30, 5));
+    rows.push_back(benchChain(64, Time{1} << 20, 5));
+    rows.push_back(benchMeasure(1024, 50, 5));
+  }
+
+  for (const auto& row : rows)
+    std::printf(
+        "%-14s n=%-5zu trials=%-4zu %10.1f trials/s %12.3e units/s "
+        "mean_opt=%.1f ratio=%.3f\n",
+        row.leg.c_str(), row.n, row.trials, row.trialsPerSec(),
+        row.unitsPerSec(), row.mean_opt, row.paper_ratio);
+
+  json << "{\n"
+       << "  \"bench\": \"offline_optimal\",\n"
+       << "  \"workload\": \"ConvergecastFrontier optCompletion / chain / "
+          "measureOfflineOptimal\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"leg\": \"" << row.leg << "\", \"n\": " << row.n
+         << ", \"trials\": " << row.trials
+         << ", \"trials_per_sec\": " << row.trialsPerSec()
+         << ", \"units_per_sec\": " << row.unitsPerSec()
+         << ", \"mean_opt\": " << row.mean_opt
+         << ", \"paper_ratio\": " << row.paper_ratio << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "algorithms/gathering.hpp"
 #include "algorithms/waiting_greedy.hpp"
 #include "sim/experiment.hpp"
 #include "util/stats.hpp"
@@ -30,6 +31,7 @@ using doda::sim::MeasureConfig;
 using doda::sim::MeasureResult;
 
 struct Row {
+  std::string leg;  // non-empty for the non-default workloads
   std::size_t n = 0;
   std::size_t trials = 0;
   double serial_seconds = 0.0;
@@ -51,6 +53,12 @@ doda::sim::AlgorithmFactory waitingGreedy(std::size_t n) {
   };
 }
 
+doda::sim::AlgorithmFactory gathering() {
+  return [](doda::sim::TrialContext&) {
+    return std::make_unique<doda::algorithms::Gathering>();
+  };
+}
+
 double secondsOf(const std::function<MeasureResult()>& run,
                  MeasureResult& out) {
   const auto start = std::chrono::steady_clock::now();
@@ -59,14 +67,16 @@ double secondsOf(const std::function<MeasureResult()>& run,
   return std::chrono::duration<double>(end - start).count();
 }
 
-Row benchOne(std::size_t n, std::size_t trials, std::size_t threads) {
+Row benchOne(std::size_t n, std::size_t trials, std::size_t threads,
+             const doda::sim::AlgorithmFactory& factory,
+             std::string leg = {}) {
   MeasureConfig config;
   config.node_count = n;
   config.trials = trials;
   config.seed = 0xbe9c'0000 + n;
-  const auto factory = waitingGreedy(n);
 
   Row row;
+  row.leg = std::move(leg);
   row.n = n;
   row.trials = trials;
   row.parallel_threads = doda::sim::resolveThreads(threads, trials);
@@ -139,30 +149,50 @@ int main(int argc, char** argv) {
   const std::vector<Point> points =
       quick ? std::vector<Point>{{64, 40}, {256, 16}}
             : std::vector<Point>{{64, 1000}, {256, 500}, {1024, 100}};
+  // Aggregation-heavy case: Gathering transfers eagerly, so the sink-side
+  // source sets grow to n entries and every late merge runs through the
+  // spilled (bitset) SourceSet representation — the workload the
+  // zero-allocation hot path is built for.
+  const std::vector<Point> agg_points =
+      quick ? std::vector<Point>{{256, 8}}
+            : std::vector<Point>{{1024, 24}, {4096, 6}};
 
   std::vector<Row> rows;
-  for (const auto& point : points) {
-    std::printf("n=%-5zu trials=%-5zu ...", point.n, point.trials);
+  auto runPoint = [&](const Point& point,
+                      const doda::sim::AlgorithmFactory& factory,
+                      std::string leg) {
+    std::printf("%-20s n=%-5zu trials=%-5zu ...",
+                leg.empty() ? "waiting_greedy" : leg.c_str(), point.n,
+                point.trials);
     std::fflush(stdout);
-    const Row row = benchOne(point.n, point.trials, threads);
+    const Row row =
+        benchOne(point.n, point.trials, threads, factory, std::move(leg));
     std::printf(
         " serial %8.1f trials/s | parallel(x%zu) %8.1f trials/s | "
         "speedup %.2fx\n",
         row.serialRate(), row.parallel_threads, row.parallelRate(),
         row.speedup());
     rows.push_back(row);
-  }
+  };
+  for (const auto& point : points)
+    runPoint(point, waitingGreedy(point.n), {});
+  for (const auto& point : agg_points)
+    runPoint(point, gathering(),
+             "aggregation_n" + std::to_string(point.n));
 
   json << "{\n"
        << "  \"bench\": \"throughput\",\n"
-       << "  \"workload\": \"measureRandomized + WaitingGreedy(tau*)\",\n"
+       << "  \"workload\": \"measureRandomized + WaitingGreedy(tau*) / "
+          "Gathering (aggregation legs)\",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    json << "    {\"n\": " << row.n << ", \"trials\": " << row.trials
+    json << "    {";
+    if (!row.leg.empty()) json << "\"leg\": \"" << row.leg << "\", ";
+    json << "\"n\": " << row.n << ", \"trials\": " << row.trials
          << ", \"serial_trials_per_sec\": " << row.serialRate()
          << ", \"parallel_trials_per_sec\": " << row.parallelRate()
          << ", \"parallel_threads\": " << row.parallel_threads

@@ -6,10 +6,15 @@ RandomizedAdversary::RandomizedAdversary(std::size_t node_count,
                                          std::uint64_t seed,
                                          core::Time max_length)
     : node_count_(node_count), rng_(seed) {
+  // Batched committed randomness: each LazySequence chunk is one tight
+  // appendUniform fill (same rng draw order as per-pair sampling, so the
+  // committed sequence is bit-identical to the legacy per-item generator).
   sequence_ = std::make_unique<dynagraph::LazySequence>(
-      [this](core::Time) {
-        return dynagraph::traces::uniformPair(node_count_, rng_);
-      },
+      dynagraph::LazySequence::BlockGenerator(
+          [this](core::Time, std::size_t count,
+                 std::vector<core::Interaction>& out) {
+            dynagraph::traces::appendUniform(node_count_, count, rng_, out);
+          }),
       max_length);
 }
 
@@ -26,7 +31,12 @@ NonUniformAdversary::NonUniformAdversary(std::size_t node_count,
       distribution_(node_count, zipf_exponent),
       rng_(seed) {
   sequence_ = std::make_unique<dynagraph::LazySequence>(
-      [this](core::Time) { return distribution_.sample(rng_); }, max_length);
+      dynagraph::LazySequence::BlockGenerator(
+          [this](core::Time, std::size_t count,
+                 std::vector<core::Interaction>& out) {
+            distribution_.append(count, rng_, out);
+          }),
+      max_length);
 }
 
 dynagraph::MeetTimeIndex NonUniformAdversary::makeMeetTimeIndex(

@@ -5,8 +5,8 @@
 namespace doda::algorithms {
 
 FullKnowledgeOptimal::FullKnowledgeOptimal(
-    dynagraph::InteractionSequence sequence, core::Time start)
-    : sequence_(std::move(sequence)), start_(start) {}
+    dynagraph::InteractionSequenceView sequence, core::Time start)
+    : sequence_(sequence), start_(start) {}
 
 void FullKnowledgeOptimal::reset(const core::SystemInfo& info) {
   plan_.clear();

@@ -17,10 +17,16 @@ namespace doda::algorithms {
 class FullKnowledgeOptimal final : public core::DodaAlgorithm {
  public:
   /// `sequence` is the full-knowledge oracle: the exact sequence the
-  /// adversary will play (copied). `start` is the first time the schedule
-  /// may use.
-  explicit FullKnowledgeOptimal(dynagraph::InteractionSequence sequence,
+  /// adversary will play, *borrowed* — the viewed storage must outlive the
+  /// algorithm (an InteractionSequence converts implicitly). Borrowing lets
+  /// measurement and replay loops hand the per-trial sequence to the
+  /// algorithm without a copy. `start` is the first time the schedule may
+  /// use.
+  explicit FullKnowledgeOptimal(dynagraph::InteractionSequenceView sequence,
                                 core::Time start = 0);
+  /// A temporary sequence would dangle behind the borrowed view — name it.
+  explicit FullKnowledgeOptimal(dynagraph::InteractionSequence&&,
+                                core::Time = 0) = delete;
 
   std::string name() const override { return "FullKnowledgeOptimal"; }
   bool isOblivious() const override { return true; }
@@ -36,7 +42,7 @@ class FullKnowledgeOptimal final : public core::DodaAlgorithm {
   bool feasible() const noexcept { return !plan_.empty(); }
 
  private:
-  dynagraph::InteractionSequence sequence_;
+  dynagraph::InteractionSequenceView sequence_;
   core::Time start_;
   /// time -> receiver of the transfer planned at that time.
   std::unordered_map<core::Time, core::NodeId> plan_;

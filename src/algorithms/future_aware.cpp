@@ -10,8 +10,8 @@ using core::NodeId;
 using core::Time;
 using dynagraph::kNever;
 
-FutureAware::FutureAware(dynagraph::InteractionSequence sequence)
-    : sequence_(std::move(sequence)) {}
+FutureAware::FutureAware(dynagraph::InteractionSequenceView sequence)
+    : sequence_(sequence) {}
 
 void FutureAware::reset(const core::SystemInfo& info) {
   plan_.clear();

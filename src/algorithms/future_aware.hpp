@@ -27,7 +27,11 @@ class FutureAware final : public core::DodaAlgorithm {
  public:
   /// `sequence` is the ground-truth dynamic graph from which each node's
   /// future is derived (the per-node futures are exactly its restriction).
-  explicit FutureAware(dynagraph::InteractionSequence sequence);
+  /// Borrowed: the viewed storage must outlive the algorithm (an
+  /// InteractionSequence converts implicitly).
+  explicit FutureAware(dynagraph::InteractionSequenceView sequence);
+  /// A temporary sequence would dangle behind the borrowed view — name it.
+  explicit FutureAware(dynagraph::InteractionSequence&&) = delete;
 
   std::string name() const override { return "FutureAware"; }
   /// Nodes accumulate received futures between interactions.
@@ -48,7 +52,7 @@ class FutureAware final : public core::DodaAlgorithm {
   bool feasible() const noexcept { return !plan_.empty(); }
 
  private:
-  dynagraph::InteractionSequence sequence_;
+  dynagraph::InteractionSequenceView sequence_;
   core::Time t_star_ = dynagraph::kNever;
   std::unordered_map<core::Time, core::NodeId> plan_;
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "analysis/convergecast_frontier.hpp"
 #include "dynagraph/interaction.hpp"
 
 namespace doda::analysis {
@@ -13,100 +14,51 @@ namespace {
 using dynagraph::Interaction;
 using dynagraph::kNever;
 
-/// Greedy broadcast from `sink` over the *time-reversed* window
-/// [start, end] of `sequence` (inclusive bounds). Returns, for each node,
-/// the original-time index at which it was reached (kNever if not), plus
-/// the reached count and the informer of each node.
-struct ReversedBroadcast {
-  std::vector<Time> reached_at;  // original time indices
-  std::vector<std::optional<NodeId>> informer;
-  std::size_t reached_count = 0;
-};
-
-ReversedBroadcast reversedBroadcast(const InteractionSequence& sequence,
-                                    std::size_t node_count, NodeId sink,
-                                    Time start, Time end) {
-  ReversedBroadcast r;
-  r.reached_at.assign(node_count, kNever);
-  r.informer.assign(node_count, std::nullopt);
-  r.reached_at[sink] = end;  // markers only; sink has no transmission
-  r.reached_count = 1;
-  for (Time t = end + 1; t-- > start;) {
-    if (r.reached_count == node_count) break;
-    const Interaction& i = sequence.at(t);
-    const bool a_in = r.reached_at[i.a()] != kNever;
-    const bool b_in = r.reached_at[i.b()] != kNever;
-    if (a_in == b_in) continue;
-    const NodeId newly = a_in ? i.b() : i.a();
-    r.reached_at[newly] = t;
-    r.informer[newly] = a_in ? i.a() : i.b();
-    ++r.reached_count;
-  }
-  return r;
-}
-
-void checkArgs(const InteractionSequence& sequence, std::size_t node_count,
+void checkArgs(InteractionSequenceView sequence, std::size_t node_count,
                NodeId sink) {
   if (sink >= node_count)
     throw std::out_of_range("convergecast: sink out of range");
-  if (sequence.minNodeCount() > node_count)
+  // Branchless max-reduce (vectorizes); a() <= b() by normalization.
+  NodeId max_b = 0;
+  for (const Interaction& i : sequence) max_b = std::max(max_b, i.b());
+  if (max_b >= node_count && !sequence.empty())
     throw std::invalid_argument(
         "convergecast: sequence references nodes >= node_count");
 }
 
-}  // namespace
-
-Time optCompletion(const InteractionSequence& sequence,
-                   std::size_t node_count, NodeId sink, Time start) {
-  checkArgs(sequence, node_count, sink);
+/// optCompletion after argument validation — the chain/cost loops validate
+/// once instead of re-scanning the whole sequence per chain step.
+Time optCompletionChecked(InteractionSequenceView sequence,
+                          std::size_t node_count, NodeId sink, Time start) {
   if (node_count == 1) return start == 0 ? 0 : start - 1;  // degenerate
   if (start >= sequence.length()) return kNever;
-  const Time last = sequence.length() - 1;
-  auto feasible = [&](Time end) {
-    return reversedBroadcast(sequence, node_count, sink, start, end)
-               .reached_count == node_count;
-  };
-  // Galloping search for the first feasible window end (feasibility is
-  // monotone in the end): costs O(w log w) where w is the answer's window
-  // size, independent of the sequence length — essential when chaining
-  // thousands of convergecasts over long sequences.
-  Time span = node_count - 1;  // a convergecast needs >= n-1 interactions
-  Time lo = start;             // largest end known infeasible, plus one
-  Time hi;
-  for (;;) {
-    hi = (span >= last - start) ? last : start + span;
-    if (feasible(hi)) break;
-    if (hi == last) return kNever;
-    lo = hi + 1;
-    span *= 2;
-  }
-  // Binary search in [lo, hi]; everything below lo is known infeasible.
-  while (lo < hi) {
-    const Time mid = lo + (hi - lo) / 2;
-    if (feasible(mid))
-      hi = mid;
-    else
-      lo = mid + 1;
-  }
-  return lo;
+  ConvergecastFrontier frontier(sequence, node_count, sink, start);
+  return frontier.firstCompleteEnd();
+}
+
+}  // namespace
+
+Time optCompletion(InteractionSequenceView sequence, std::size_t node_count,
+                   NodeId sink, Time start) {
+  checkArgs(sequence, node_count, sink);
+  return optCompletionChecked(sequence, node_count, sink, start);
 }
 
 std::vector<TransmissionRecord> optimalSchedule(
-    const InteractionSequence& sequence, std::size_t node_count, NodeId sink,
+    InteractionSequenceView sequence, std::size_t node_count, NodeId sink,
     Time start) {
-  const Time end = optCompletion(sequence, node_count, sink, start);
-  if (end == kNever) return {};
-  const auto rb = reversedBroadcast(sequence, node_count, sink, start, end);
-  // Node u (!= sink) reached at original time t via informer p corresponds
-  // to the transfer "u sends to p at time t": p is reached later in
-  // reversed time, i.e. transmits at an earlier... (p transmits at a LATER
-  // original time than u receives from its own children), so at time t both
-  // u and p still own data and the schedule is a valid convergecast.
+  checkArgs(sequence, node_count, sink);
+  if (node_count == 1 || start >= sequence.length()) return {};
+  ConvergecastFrontier frontier(sequence, node_count, sink, start);
+  if (frontier.firstCompleteEnd() == kNever) return {};
+  // Node u with reach time t and informer p transmits at t to p: p's own
+  // reach time is strictly later, so at time t both still own data and the
+  // schedule is a valid convergecast ending at the minimal window end.
   std::vector<TransmissionRecord> schedule;
   schedule.reserve(node_count - 1);
   for (NodeId u = 0; u < node_count; ++u) {
     if (u == sink) continue;
-    schedule.push_back({rb.reached_at[u], u, *rb.informer[u]});
+    schedule.push_back({frontier.reachTime(u), u, frontier.informerOf(u)});
   }
   std::sort(schedule.begin(), schedule.end(),
             [](const TransmissionRecord& x, const TransmissionRecord& y) {
@@ -115,13 +67,14 @@ std::vector<TransmissionRecord> optimalSchedule(
   return schedule;
 }
 
-std::vector<Time> convergecastChain(const InteractionSequence& sequence,
+std::vector<Time> convergecastChain(InteractionSequenceView sequence,
                                     std::size_t node_count, NodeId sink,
                                     std::size_t max_terms) {
+  checkArgs(sequence, node_count, sink);
   std::vector<Time> chain;
   Time start = 0;
   while (chain.size() < max_terms) {
-    const Time end = optCompletion(sequence, node_count, sink, start);
+    const Time end = optCompletionChecked(sequence, node_count, sink, start);
     chain.push_back(end);
     if (end == kNever) break;
     start = end + 1;
@@ -129,11 +82,12 @@ std::vector<Time> convergecastChain(const InteractionSequence& sequence,
   return chain;
 }
 
-std::size_t costOf(const InteractionSequence& sequence,
-                   std::size_t node_count, NodeId sink, Time ending_time) {
+std::size_t costOf(InteractionSequenceView sequence, std::size_t node_count,
+                   NodeId sink, Time ending_time) {
+  checkArgs(sequence, node_count, sink);
   Time start = 0;
   for (std::size_t i = 1;; ++i) {
-    const Time t_i = optCompletion(sequence, node_count, sink, start);
+    const Time t_i = optCompletionChecked(sequence, node_count, sink, start);
     // T(i) = infinity: any finite duration fits, and if the algorithm never
     // terminated this i is the paper's i_max.
     if (t_i == kNever) return i;
@@ -142,7 +96,7 @@ std::size_t costOf(const InteractionSequence& sequence,
   }
 }
 
-Time bruteForceOptCompletion(const InteractionSequence& sequence,
+Time bruteForceOptCompletion(InteractionSequenceView sequence,
                              std::size_t node_count, NodeId sink,
                              Time start) {
   checkArgs(sequence, node_count, sink);

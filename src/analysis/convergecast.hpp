@@ -9,6 +9,7 @@ namespace doda::analysis {
 
 using core::TransmissionRecord;
 using dynagraph::InteractionSequence;
+using dynagraph::InteractionSequenceView;
 using dynagraph::NodeId;
 using dynagraph::Time;
 
@@ -19,27 +20,33 @@ using dynagraph::Time;
 /// of the window, and transmission times strictly increase along every path
 /// to the sink. Reversing time turns such a schedule into a broadcast from
 /// the sink, and greedy broadcast is optimal — so the minimum-duration
-/// convergecast ("performed by an offline optimal algorithm") is computed
-/// exactly by binary searching the window end over a reversed greedy
-/// broadcast.
+/// convergecast ("performed by an offline optimal algorithm") is found by
+/// growing the window end over an incrementally maintained reverse
+/// reachability frontier (analysis/convergecast_frontier.hpp), one linear
+/// pass instead of the former per-probe re-broadcasts.
+///
+/// All entry points take a lightweight InteractionSequenceView so borrowed
+/// and streamed trials avoid materializing an owned sequence; an
+/// InteractionSequence converts implicitly. The viewed storage must stay
+/// alive for the duration of the call.
 
 /// Completion time opt(start): the smallest time index e such that a full
 /// convergecast to `sink` fits within interactions [start, e]; kNever if
 /// no such e exists within the sequence.
-Time optCompletion(const InteractionSequence& sequence,
-                   std::size_t node_count, NodeId sink, Time start = 0);
+Time optCompletion(InteractionSequenceView sequence, std::size_t node_count,
+                   NodeId sink, Time start = 0);
 
 /// An optimal convergecast schedule starting at `start` (empty if
 /// impossible). The schedule is valid per validateConvergecastSchedule and
 /// its last transmission happens at optCompletion(...).
 std::vector<TransmissionRecord> optimalSchedule(
-    const InteractionSequence& sequence, std::size_t node_count, NodeId sink,
+    InteractionSequenceView sequence, std::size_t node_count, NodeId sink,
     Time start = 0);
 
 /// The T(i) chain of paper §2.3: T(1) = opt(0), T(i+1) = opt(T(i)+1).
 /// Returns T(1), T(2), ... stopping after the first kNever entry (which is
 /// included) or after `max_terms` entries.
-std::vector<Time> convergecastChain(const InteractionSequence& sequence,
+std::vector<Time> convergecastChain(InteractionSequenceView sequence,
                                     std::size_t node_count, NodeId sink,
                                     std::size_t max_terms = 1u << 20);
 
@@ -50,14 +57,14 @@ std::vector<Time> convergecastChain(const InteractionSequence& sequence,
 /// always finite: if the algorithm did not terminate, this returns
 /// i_max = min{ i | T(i) = infinity } as defined in the paper. cost == 1
 /// iff the algorithm matched the offline optimum.
-std::size_t costOf(const InteractionSequence& sequence,
-                   std::size_t node_count, NodeId sink, Time ending_time);
+std::size_t costOf(InteractionSequenceView sequence, std::size_t node_count,
+                   NodeId sink, Time ending_time);
 
 /// Exact optimal convergecast completion by exhaustive search with
 /// memoization over (time, set-of-data-owners). Exponential: requires
 /// node_count <= 20 and a short sequence. Used to cross-validate
 /// optCompletion in tests.
-Time bruteForceOptCompletion(const InteractionSequence& sequence,
+Time bruteForceOptCompletion(InteractionSequenceView sequence,
                              std::size_t node_count, NodeId sink,
                              Time start = 0);
 

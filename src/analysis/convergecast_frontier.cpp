@@ -1,0 +1,128 @@
+#include "analysis/convergecast_frontier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace doda::analysis {
+
+using dynagraph::Interaction;
+using dynagraph::kNever;
+
+ConvergecastFrontier::ConvergecastFrontier(InteractionSequenceView sequence,
+                                           std::size_t node_count,
+                                           NodeId sink, Time start)
+    : sequence_(sequence),
+      node_count_(node_count),
+      sink_(sink),
+      start_(start),
+      scanned_end_(start == 0 ? kNever : start - 1),  // nothing scanned yet
+      first_complete_end_(kNever) {
+  if (sink >= node_count)
+    throw std::out_of_range("ConvergecastFrontier: sink out of range");
+  cover_.assign(node_count, kNever);
+  cover_[sink] = start;
+  if (node_count == 1) first_complete_end_ = start == 0 ? 0 : start - 1;
+}
+
+void ConvergecastFrontier::coverPass(Time end) {
+  const Interaction* const data = sequence_.begin();
+  // Each pass starts from scratch: values surviving from a smaller-window
+  // pass were recorded at smaller times, so seeding them here would splice
+  // a larger edge after a smaller one and break the decreasing-path
+  // invariant. The geometric growth keeps total re-scan work linear.
+  cover_.assign(node_count_, kNever);
+  cover_[sink_] = start_;
+  std::size_t covered = 1;  // the sink
+  // Backward pass: when edge {x,y} at t is processed, every already-known
+  // path (cover_[x] finite) was recorded at a larger time, so its smallest
+  // edge exceeds t and appending t keeps the times strictly decreasing.
+  const NodeId sink = sink_;
+  Time* const cover = cover_.data();
+  for (Time t = end + 1; t-- > start_;) {
+    const Interaction& i = data[t];
+    const NodeId x = i.a();
+    const NodeId y = i.b();
+    if (y >= node_count_)  // a() <= b() by Interaction's normalization
+      throw std::invalid_argument(
+          "ConvergecastFrontier: interaction references node >= node_count");
+    if (x == sink) {
+      if (t < cover[y]) cover[y] = t;  // path of length 1, top time t
+    } else if (y == sink) {
+      if (t < cover[x]) cover[x] = t;
+    } else {
+      // Branchless symmetric min: whichever endpoint has the better path,
+      // the other inherits it across the edge at t (kNever is the max
+      // Time, so uncovered endpoints fall out naturally).
+      const Time cx = cover[x];
+      const Time cy = cover[y];
+      const Time m = cx < cy ? cx : cy;
+      cover[x] = m;
+      cover[y] = m;
+    }
+  }
+  for (NodeId u = 0; u < node_count_; ++u)
+    if (u != sink_ && cover_[u] != kNever) ++covered;
+  covered_count_ = covered;
+  scanned_end_ = end;
+}
+
+Time ConvergecastFrontier::firstCompleteEnd() {
+  if (first_complete_end_ != kNever || node_count_ == 1)
+    return first_complete_end_;
+  if (start_ >= sequence_.length()) return kNever;
+  const Time last = sequence_.length() - 1;
+  // Geometric window growth: each pass costs one window scan, so the total
+  // work is a constant multiple of the final (minimal) window size.
+  Time span = node_count_ - 1;  // a convergecast needs >= n-1 interactions
+  for (;;) {
+    const Time end =
+        (span >= last - start_) ? last : start_ + span;
+    if (scanned_end_ == kNever || end > scanned_end_) coverPass(end);
+    if (complete()) break;
+    if (end == last) return kNever;
+    span *= 2;
+  }
+  Time opt = start_;
+  for (NodeId u = 0; u < node_count_; ++u)
+    if (u != sink_) opt = std::max(opt, cover_[u]);
+  first_complete_end_ = opt;
+  return opt;
+}
+
+void ConvergecastFrontier::ensureTree() {
+  if (tree_built_) return;
+  if (!complete() || first_complete_end_ == kNever)
+    throw std::logic_error(
+        "ConvergecastFrontier: schedule queried before completion");
+  // Reversed greedy broadcast over the minimal window [start, opt]: the
+  // first-infection times in reversed order are per-node transmission
+  // slots, distinct by construction (one interaction per time).
+  reach_.assign(node_count_, kNever);
+  parent_.assign(node_count_, sink_);
+  const Interaction* const data = sequence_.begin();
+  std::size_t reached = 1;
+  for (Time t = first_complete_end_ + 1;
+       t-- > start_ && reached < node_count_;) {
+    const Interaction& i = data[t];
+    const bool a_in = i.a() == sink_ || reach_[i.a()] != kNever;
+    const bool b_in = i.b() == sink_ || reach_[i.b()] != kNever;
+    if (a_in == b_in) continue;
+    const NodeId newly = a_in ? i.b() : i.a();
+    reach_[newly] = t;
+    parent_[newly] = a_in ? i.a() : i.b();
+    ++reached;
+  }
+  tree_built_ = true;
+}
+
+Time ConvergecastFrontier::reachTime(NodeId u) {
+  ensureTree();
+  return reach_.at(u);
+}
+
+NodeId ConvergecastFrontier::informerOf(NodeId u) {
+  ensureTree();
+  return parent_.at(u);
+}
+
+}  // namespace doda::analysis

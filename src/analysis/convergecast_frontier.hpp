@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynagraph/interaction_sequence.hpp"
+
+namespace doda::analysis {
+
+using dynagraph::InteractionSequenceView;
+using dynagraph::NodeId;
+using dynagraph::Time;
+
+/// Incremental informed-frontier for offline-optimal convergecast queries
+/// (paper §2.3 / Thm 8) over a growing window [start, end].
+///
+/// A convergecast over [start, e] exists iff every node has a
+/// decreasing-time path from the sink whose top (first, largest) time is
+/// <= e — the reversal argument: reading such a path forward gives each
+/// node a transmission slot with strictly increasing times toward the
+/// sink. The frontier therefore maintains, per node, the *cover time*
+///
+///     m(u) = minimal top time over all decreasing-time paths sink -> u,
+///
+/// i.e. the window end at which the growing frontier first covers u; the
+/// set covered by window end e is exactly { u : m(u) <= e } and
+/// opt(start) = max_u m(u).
+///
+/// All cover times are computed together by one backward label pass over
+/// the window (per edge {x,y} at t: a path may extend x -> y, giving y the
+/// candidate top m(x), or start at the sink, giving top t). One pass costs
+/// exactly one reversed-broadcast scan; the window grows geometrically
+/// until every node is covered, so the whole computation costs O(opt)
+/// sequential work — replacing the former galloping + binary search whose
+/// per-probe re-broadcasts cost O(opt log opt).
+class ConvergecastFrontier {
+ public:
+  /// The viewed storage must outlive the frontier. Interactions inside the
+  /// processed window must reference ids < node_count (checked while
+  /// scanning; throws std::invalid_argument).
+  ConvergecastFrontier(InteractionSequenceView sequence,
+                       std::size_t node_count, NodeId sink, Time start = 0);
+
+  /// Grows the window until every node is covered and returns the minimal
+  /// feasible window end opt(start); kNever if the sequence is exhausted
+  /// first. Idempotent (the answer is cached).
+  Time firstCompleteEnd();
+
+  /// Nodes covered by the largest window examined so far.
+  std::size_t coveredCount() const noexcept { return covered_count_; }
+  bool complete() const noexcept { return covered_count_ == node_count_; }
+
+  /// The cover time m(u) over the examined window (kNever if uncovered;
+  /// `start` for the sink, which is covered from the outset).
+  Time coverTime(NodeId u) const { return cover_.at(u); }
+
+  /// The time of the interaction carrying `u`'s transmission in an optimal
+  /// schedule ending at firstCompleteEnd() (kNever for the sink, which
+  /// never transmits). Requires a complete frontier.
+  Time reachTime(NodeId u);
+
+  /// The receiver of `u`'s transmission (parent toward the sink) in that
+  /// schedule. Requires a complete frontier.
+  NodeId informerOf(NodeId u);
+
+ private:
+  /// One backward label pass over [start_, end]; updates cover_ and
+  /// covered_count_. Monotone in `end` (recomputation over a larger window
+  /// only lowers cover times), driven geometrically by firstCompleteEnd.
+  void coverPass(Time end);
+  /// Builds the transmission forest (reach_/parent_) for the minimal
+  /// window via one reversed greedy broadcast.
+  void ensureTree();
+
+  InteractionSequenceView sequence_;
+  std::size_t node_count_;
+  NodeId sink_;
+  Time start_;
+  Time scanned_end_;          // largest window end a cover pass has seen
+  Time first_complete_end_;   // kNever until coverage is complete
+  std::size_t covered_count_ = 1;  // the sink
+  std::vector<Time> cover_;
+  bool tree_built_ = false;
+  std::vector<Time> reach_;
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace doda::analysis

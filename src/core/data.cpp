@@ -1,16 +1,131 @@
 #include "core/data.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace doda::core {
 
-Datum Datum::origin(NodeId node, double value) {
-  return Datum{value, {node}};
+bool SourceSet::contains(NodeId id) const noexcept {
+  if (spilled_) return testBit(id);
+  for (std::uint32_t i = 0; i < size_; ++i)
+    if (inline_[i] == id) return true;
+  return false;
 }
 
-bool Datum::containsSource(NodeId node) const {
-  return std::binary_search(sources.begin(), sources.end(), node);
+NodeId SourceSet::maxInlineId() const noexcept {
+  NodeId max_id = 0;
+  for (std::uint32_t i = 0; i < size_; ++i)
+    max_id = std::max(max_id, inline_[i]);
+  return max_id;
+}
+
+void SourceSet::spill(std::size_t words) {
+  bits_.assign(words, 0);  // reuses retained capacity when large enough
+  for (std::uint32_t i = 0; i < size_; ++i) setBit(inline_[i]);
+  spilled_ = true;
+}
+
+void SourceSet::insert(NodeId id) {
+  if (contains(id))
+    throw std::invalid_argument("SourceSet::insert: id already present");
+  if (!spilled_) {
+    if (size_ < kInlineCapacity) {
+      inline_[size_++] = id;
+      return;
+    }
+    spill(std::max(wordsFor(maxInlineId()), wordsFor(id)));
+  } else if (bits_.size() < wordsFor(id)) {
+    bits_.resize(wordsFor(id), 0);
+  }
+  setBit(id);
+  ++size_;
+}
+
+void SourceSet::mergeDisjoint(const SourceSet& other) {
+  if (&other == this && size_ > 0)
+    throw std::invalid_argument("SourceSet::mergeDisjoint: sets overlap");
+  // Disjointness is checked fully before any mutation so a violation (a
+  // model bug in the caller) leaves the target intact.
+  if (!spilled_ && !other.spilled_ &&
+      size_ + other.size_ <= kInlineCapacity) {
+    for (std::uint32_t i = 0; i < other.size_; ++i)
+      if (contains(other.inline_[i]))
+        throw std::invalid_argument(
+            "SourceSet::mergeDisjoint: sets overlap");
+    for (std::uint32_t i = 0; i < other.size_; ++i)
+      inline_[size_++] = other.inline_[i];
+    return;
+  }
+
+  if (other.spilled_) {
+    const std::size_t shared =
+        spilled_ ? std::min(bits_.size(), other.bits_.size()) : 0;
+    for (std::size_t w = 0; w < shared; ++w)
+      if (bits_[w] & other.bits_[w])
+        throw std::invalid_argument(
+            "SourceSet::mergeDisjoint: sets overlap");
+    if (!spilled_)
+      for (std::uint32_t i = 0; i < size_; ++i)
+        if (other.testBit(inline_[i]))
+          throw std::invalid_argument(
+              "SourceSet::mergeDisjoint: sets overlap");
+    if (!spilled_)
+      spill(std::max(size_ ? wordsFor(maxInlineId()) : 1,
+                     other.bits_.size()));
+    else if (bits_.size() < other.bits_.size())
+      bits_.resize(other.bits_.size(), 0);
+    for (std::size_t w = 0; w < other.bits_.size(); ++w)
+      bits_[w] |= other.bits_[w];
+    size_ += other.size_;
+    return;
+  }
+
+  // `other` is inline; *this must spill (or already is spilled).
+  for (std::uint32_t i = 0; i < other.size_; ++i)
+    if (contains(other.inline_[i]))
+      throw std::invalid_argument("SourceSet::mergeDisjoint: sets overlap");
+  const std::size_t other_words =
+      other.size_ ? wordsFor(other.maxInlineId()) : 1;
+  if (!spilled_)
+    spill(std::max(size_ ? wordsFor(maxInlineId()) : 1, other_words));
+  else if (bits_.size() < other_words)
+    bits_.resize(other_words, 0);
+  for (std::uint32_t i = 0; i < other.size_; ++i) setBit(other.inline_[i]);
+  size_ += other.size_;
+}
+
+std::vector<NodeId> SourceSet::toSortedVector() const {
+  std::vector<NodeId> out;
+  out.reserve(size_);
+  if (!spilled_) {
+    out.assign(inline_.begin(), inline_.begin() + size_);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    std::uint64_t word = bits_[w];
+    while (word) {
+      const int bit = std::countr_zero(word);
+      out.push_back(static_cast<NodeId>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+bool operator==(const SourceSet& lhs, const SourceSet& rhs) {
+  if (lhs.size_ != rhs.size_) return false;
+  if (!lhs.spilled_) {
+    for (std::uint32_t i = 0; i < lhs.size_; ++i)
+      if (!rhs.contains(lhs.inline_[i])) return false;
+    return true;
+  }
+  return lhs.toSortedVector() == rhs.toSortedVector();
+}
+
+Datum Datum::origin(NodeId node, double value) {
+  return Datum{value, SourceSet(node)};
 }
 
 AggregationFunction::AggregationFunction(std::string name, Combine combine)
@@ -40,16 +155,8 @@ AggregationFunction AggregationFunction::count() {
 
 void AggregationFunction::aggregateInto(Datum& target,
                                         const Datum& incoming) const {
-  std::vector<NodeId> merged;
-  merged.reserve(target.sources.size() + incoming.sources.size());
-  std::merge(target.sources.begin(), target.sources.end(),
-             incoming.sources.begin(), incoming.sources.end(),
-             std::back_inserter(merged));
-  if (std::adjacent_find(merged.begin(), merged.end()) != merged.end())
-    throw std::invalid_argument(
-        "AggregationFunction: overlapping source sets");
+  target.sources.mergeDisjoint(incoming.sources);
   target.value = combine_(target.value, incoming.value);
-  target.sources = std::move(merged);
 }
 
 }  // namespace doda::core

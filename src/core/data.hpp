@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -9,6 +11,87 @@
 namespace doda::core {
 
 using graph::NodeId;
+
+/// Set of origin node ids carried by a Datum, engineered for the engine's
+/// hot path: every transfer unions the sender's set into the receiver's and
+/// must prove the two sets disjoint.
+///
+/// Two representations, switched automatically:
+///  * small: up to kInlineCapacity ids stored inline (no heap at all) —
+///    covers every datum early in a run and whole systems with n <= 8;
+///  * spilled: a word bitset (one bit per node id), giving O(words/64)
+///    disjointness check + merge for large sets.
+/// The bitset buffer is never released by reset(): a Datum living inside an
+/// Engine::Scratch keeps its words across trials, so after the first trial
+/// at a given size the engine performs no per-transfer allocation at all
+/// (the Scratch's datum vector is the pool the word buffers live in).
+class SourceSet {
+ public:
+  /// Ids held without heap storage. 8 keeps SourceSet at two cache lines
+  /// and makes every n <= 8 system allocation-free end to end.
+  static constexpr std::size_t kInlineCapacity = 8;
+
+  SourceSet() = default;
+  explicit SourceSet(NodeId origin) {
+    inline_[0] = origin;
+    size_ = 1;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// True while the set is in the inline (small) representation. Exposed so
+  /// tests can pin the crossover behaviour.
+  bool isInline() const noexcept { return !spilled_; }
+
+  bool contains(NodeId id) const noexcept;
+
+  /// Makes this the singleton {origin}, keeping any spilled word buffer's
+  /// capacity for later reuse (the engine resets every datum per trial).
+  void reset(NodeId origin) noexcept {
+    spilled_ = false;
+    bits_.clear();
+    size_ = 1;
+    inline_[0] = origin;
+  }
+
+  /// Adds one id. Throws std::invalid_argument if already present.
+  void insert(NodeId id);
+
+  /// Disjoint union: folds `other` into *this. Throws std::invalid_argument
+  /// if the sets overlap, leaving *this unchanged (the check runs before
+  /// any mutation).
+  void mergeDisjoint(const SourceSet& other);
+
+  /// The ids in ascending order (test/reporting helper, allocates).
+  std::vector<NodeId> toSortedVector() const;
+
+  /// Set equality, independent of representation.
+  friend bool operator==(const SourceSet& lhs, const SourceSet& rhs);
+
+ private:
+  static constexpr std::size_t wordsFor(NodeId id) noexcept {
+    return static_cast<std::size_t>(id) / 64 + 1;
+  }
+  NodeId maxInlineId() const noexcept;
+  /// Converts inline -> bitset with at least `words` words (zeroed).
+  void spill(std::size_t words);
+  void setBit(NodeId id) noexcept {
+    bits_[id >> 6] |= std::uint64_t{1} << (id & 63);
+  }
+  bool testBit(NodeId id) const noexcept {
+    const std::size_t w = id >> 6;
+    return w < bits_.size() && ((bits_[w] >> (id & 63)) & 1u);
+  }
+
+  std::uint32_t size_ = 0;
+  bool spilled_ = false;
+  std::array<NodeId, kInlineCapacity> inline_{};
+  // Invariant: empty() sized while inline (so copies of small sets never
+  // touch the heap), >= wordsFor(max id) words while spilled. clear() keeps
+  // capacity, which is what makes trial-over-trial reuse allocation-free.
+  std::vector<std::uint64_t> bits_;
+};
 
 /// The datum a node owns: a numeric payload plus the set of origin nodes
 /// whose initial data have been folded into it.
@@ -20,12 +103,12 @@ using graph::NodeId;
 /// answered by the datum itself.
 struct Datum {
   double value = 0.0;
-  std::vector<NodeId> sources;  // sorted, unique
+  SourceSet sources;
 
   /// A fresh datum originating at `origin`.
   static Datum origin(NodeId node, double value);
 
-  bool containsSource(NodeId node) const;
+  bool containsSource(NodeId node) const { return sources.contains(node); }
 };
 
 /// An associative, commutative fold of two data into one (paper §1: "an

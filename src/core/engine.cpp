@@ -31,8 +31,7 @@ class State final : public ExecutionView {
     for (NodeId u = 0; u < info.node_count; ++u) {
       Datum& d = scratch_.data[u];
       d.value = initial_values.empty() ? 1.0 : initial_values.at(u);
-      d.sources.clear();
-      d.sources.push_back(u);
+      d.sources.reset(u);
     }
     scratch_.owns.assign(info.node_count, true);
     scratch_.schedule.clear();
@@ -157,14 +156,15 @@ ExecutionResult Engine::runInto(Scratch& scratch, DodaAlgorithm& algorithm,
 bool validateConvergecastSchedule(
     const std::vector<TransmissionRecord>& schedule,
     dynagraph::InteractionSequenceView sequence, const SystemInfo& info,
-    std::string* error) {
+    ScheduleValidationScratch& scratch, std::string* error) {
   // Error strings are only materialized on the failure path; the success
-  // path does no formatting or allocation beyond the transmitted bitmap.
+  // path does no formatting and, with a reused scratch, no allocation.
   auto fail = [&](Time t, const char* why) {
     if (error) *error = "t=" + std::to_string(t) + ": " + why;
     return false;
   };
-  std::vector<bool> transmitted(info.node_count, false);
+  std::vector<char>& transmitted = scratch.transmitted;
+  transmitted.assign(info.node_count, 0);
   Time prev = 0;
   bool first = true;
   for (const auto& rec : schedule) {
@@ -185,15 +185,24 @@ bool validateConvergecastSchedule(
       return fail(rec.time, "sender transmitted twice");
     if (transmitted[rec.receiver])
       return fail(rec.time, "receiver already transmitted");
-    transmitted[rec.sender] = true;
+    transmitted[rec.sender] = 1;
   }
   const auto count = static_cast<std::size_t>(
-      std::count(transmitted.begin(), transmitted.end(), true));
+      std::count(transmitted.begin(), transmitted.end(), char{1}));
   if (count != info.node_count - 1) {
     if (error) *error = "not all non-sink nodes transmitted";
     return false;
   }
   return true;
+}
+
+bool validateConvergecastSchedule(
+    const std::vector<TransmissionRecord>& schedule,
+    dynagraph::InteractionSequenceView sequence, const SystemInfo& info,
+    std::string* error) {
+  ScheduleValidationScratch scratch;
+  return validateConvergecastSchedule(schedule, sequence, info, scratch,
+                                      error);
 }
 
 }  // namespace doda::core

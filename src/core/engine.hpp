@@ -97,6 +97,13 @@ class Engine {
   AggregationFunction aggregation_;
 };
 
+/// Reusable storage for validateConvergecastSchedule's transmitted bitmap.
+/// Callers validating many schedules (replay loops, fuzzers) hand the same
+/// scratch to every call so the success path performs no allocation.
+struct ScheduleValidationScratch {
+  std::vector<char> transmitted;
+};
+
 /// Validates that `schedule` is a correct convergecast for an n-node system
 /// over `sequence`: every transfer matches the interaction at its time,
 /// times strictly increase, no node transmits twice or after transmitting,
@@ -105,6 +112,12 @@ class Engine {
 /// Takes a lightweight view so replayed (streamed / borrowed) trials can be
 /// validated without materializing an owned sequence; an
 /// InteractionSequence converts implicitly.
+bool validateConvergecastSchedule(
+    const std::vector<TransmissionRecord>& schedule,
+    dynagraph::InteractionSequenceView sequence, const SystemInfo& info,
+    ScheduleValidationScratch& scratch, std::string* error = nullptr);
+
+/// Convenience overload allocating a fresh scratch per call.
 bool validateConvergecastSchedule(
     const std::vector<TransmissionRecord>& schedule,
     dynagraph::InteractionSequenceView sequence, const SystemInfo& info,

@@ -47,7 +47,9 @@ class ExecutionView {
   /// The datum currently held at `u` (last-held datum if `u` transmitted).
   /// Algorithms may inspect the data of the two *interacting* nodes — data
   /// content travels with the interaction — but must not use it as remote
-  /// knowledge about third parties.
+  /// knowledge about third parties. The returned reference points into
+  /// engine scratch storage: query it (containsSource, size), don't copy
+  /// it per decision — the SourceSet copy may heap-allocate for large n.
   virtual const Datum& datumOf(NodeId u) const = 0;
 
   /// Number of nodes still owning data.

@@ -27,6 +27,7 @@
 #include "algorithms/waiting_greedy.hpp"
 #include "analysis/broadcast.hpp"
 #include "analysis/convergecast.hpp"
+#include "analysis/convergecast_frontier.hpp"
 #include "analysis/meetings.hpp"
 #include "analysis/reachability.hpp"
 #include "analysis/schedule_metrics.hpp"

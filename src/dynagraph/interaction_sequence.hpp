@@ -1,6 +1,7 @@
 #pragma once
 
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "dynagraph/interaction.hpp"
@@ -37,6 +38,12 @@ class InteractionSequence {
   const Interaction& at(Time t) const;
   void append(Interaction i) { interactions_.push_back(i); }
   void appendAll(const InteractionSequence& other);
+  /// Bulk append of a generated block (the batched-generation entry point:
+  /// chunk producers fill a scratch buffer, the sequence absorbs it in one
+  /// reserve + copy instead of per-interaction appends).
+  void appendSpan(std::span<const Interaction> block) {
+    interactions_.insert(interactions_.end(), block.begin(), block.end());
+  }
 
   const std::vector<Interaction>& interactions() const noexcept {
     return interactions_;

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <stdexcept>
+#include <vector>
 
 #include "dynagraph/interaction_sequence.hpp"
 
@@ -12,11 +13,31 @@ namespace doda::dynagraph {
 /// The randomized adversary (paper §4) conceptually commits to an infinite
 /// random sequence; algorithms with `meetTime` or `future` knowledge read
 /// that committed randomness. LazySequence realizes this: interactions are
-/// generated on demand (in chunks) and, once generated, never change — so
-/// the oracle answers and the actual execution always agree.
+/// generated on demand and, once generated, never change — so the oracle
+/// answers and the actual execution always agree.
+///
+/// Two generator flavours:
+///  * the per-item Generator produces exactly the interactions demanded
+///    (generatedLength() == t+1 after ensure(t));
+///  * the batched BlockGenerator produces whole chunks, amortizing the
+///    std::function dispatch over kChunk interactions — the engine hot
+///    path's per-interaction generation cost collapses to a bounds check.
+///    Chunked generation commits randomness slightly ahead of demand,
+///    which is exactly the committed-randomness model (the values at any
+///    given time are identical either way; only how far the prefix has
+///    been realized differs).
 class LazySequence {
  public:
   using Generator = std::function<Interaction(Time)>;
+  /// Appends exactly `count` interactions (times begin, begin+1, ...) to
+  /// `out`. Must be a pure function of its own captured state called with
+  /// contiguous, strictly increasing blocks.
+  using BlockGenerator =
+      std::function<void(Time begin, std::size_t count,
+                         std::vector<Interaction>& out)>;
+
+  /// Interactions generated per BlockGenerator call.
+  static constexpr std::size_t kChunk = 256;
 
   /// `generator(t)` must return I_t and be called with strictly increasing t.
   /// `max_length` bounds total generation (throws std::length_error beyond
@@ -24,11 +45,17 @@ class LazySequence {
   explicit LazySequence(Generator generator,
                         Time max_length = Time{1} << 34);
 
+  /// Batched flavour: `generator(begin, count, out)` appends the block
+  /// [begin, begin + count) in one call.
+  explicit LazySequence(BlockGenerator generator,
+                        Time max_length = Time{1} << 34);
+
   /// The interaction at time t, generating it (and everything before it)
   /// if needed.
   const Interaction& at(Time t);
 
-  /// Extends generation so that times [0, t] exist.
+  /// Extends generation so that times [0, t] exist (a block generator may
+  /// commit up to a chunk further).
   void ensure(Time t);
 
   /// How many interactions exist so far.
@@ -41,7 +68,9 @@ class LazySequence {
 
  private:
   Generator generator_;
+  BlockGenerator block_generator_;
   InteractionSequence buffer_;
+  std::vector<Interaction> chunk_scratch_;
   Time max_length_;
 };
 

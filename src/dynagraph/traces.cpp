@@ -15,11 +15,22 @@ Interaction uniformPair(std::size_t n, util::Rng& rng) {
   return Interaction(u, v);
 }
 
+void appendUniform(std::size_t n, std::size_t count, util::Rng& rng,
+                   std::vector<Interaction>& out) {
+  if (n < 2) throw std::invalid_argument("appendUniform: need n >= 2");
+  out.reserve(out.size() + count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    auto v = static_cast<NodeId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    out.emplace_back(u, v);
+  }
+}
+
 InteractionSequence uniformRandom(std::size_t n, Time length,
                                   util::Rng& rng) {
   std::vector<Interaction> out;
-  out.reserve(static_cast<std::size_t>(length));
-  for (Time t = 0; t < length; ++t) out.push_back(uniformPair(n, rng));
+  appendUniform(n, static_cast<std::size_t>(length), rng, out);
   return InteractionSequence(std::move(out));
 }
 
@@ -40,12 +51,17 @@ Interaction ZipfPairDistribution::sample(util::Rng& rng) const {
   }
 }
 
+void ZipfPairDistribution::append(std::size_t count, util::Rng& rng,
+                                  std::vector<Interaction>& out) const {
+  out.reserve(out.size() + count);
+  for (std::size_t k = 0; k < count; ++k) out.push_back(sample(rng));
+}
+
 InteractionSequence zipfRandom(std::size_t n, Time length, double exponent,
                                util::Rng& rng) {
   const ZipfPairDistribution dist(n, exponent);
   std::vector<Interaction> out;
-  out.reserve(static_cast<std::size_t>(length));
-  for (Time t = 0; t < length; ++t) out.push_back(dist.sample(rng));
+  dist.append(static_cast<std::size_t>(length), rng, out);
   return InteractionSequence(std::move(out));
 }
 

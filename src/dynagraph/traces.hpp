@@ -13,6 +13,14 @@ namespace doda::dynagraph::traces {
 /// the randomized adversary's distribution (paper §4). Requires n >= 2.
 Interaction uniformPair(std::size_t n, util::Rng& rng);
 
+/// Appends `count` uniform random interactions to `out` in one tight loop —
+/// the batched generation primitive behind the randomized adversary and
+/// drawAdversarySequence. Draws from `rng` in exactly the order repeated
+/// uniformPair calls would (two Lemire draws per pair), so batched and
+/// per-item generation commit bit-identical sequences from the same seed.
+void appendUniform(std::size_t n, std::size_t count, util::Rng& rng,
+                   std::vector<Interaction>& out);
+
 /// A fixed-length sequence of uniform random interactions.
 InteractionSequence uniformRandom(std::size_t n, Time length, util::Rng& rng);
 
@@ -25,6 +33,11 @@ class ZipfPairDistribution {
   ZipfPairDistribution(std::size_t n, double exponent);
 
   Interaction sample(util::Rng& rng) const;
+
+  /// Batched counterpart of sample(): appends `count` interactions drawing
+  /// from `rng` in exactly the order repeated sample() calls would.
+  void append(std::size_t count, util::Rng& rng,
+              std::vector<Interaction>& out) const;
 
   const std::vector<double>& weights() const noexcept { return weights_; }
 

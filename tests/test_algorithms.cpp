@@ -260,7 +260,8 @@ TEST(FutureAware, TerminatesAndScheduleValidates) {
 }
 
 TEST(FutureAware, IsNotOblivious) {
-  FutureAware fa(InteractionSequence{ix(0, 1)});
+  const InteractionSequence seq{ix(0, 1)};
+  FutureAware fa(seq);
   EXPECT_FALSE(fa.isOblivious());
   EXPECT_EQ(fa.knowledge(), "future");
 }

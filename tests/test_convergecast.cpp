@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/convergecast_frontier.hpp"
 #include "analysis/meetings.hpp"
 #include "core/engine.hpp"
 #include "dynagraph/traces.hpp"
@@ -155,6 +156,99 @@ TEST(CostOf, InvariantUnderDuplicatedInteractions) {
 TEST(BruteForce, RejectsLargeInstances) {
   const InteractionSequence seq{ix(0, 1)};
   EXPECT_THROW(bruteForceOptCompletion(seq, 21, 0), std::invalid_argument);
+}
+
+TEST(ConvergecastFrontier, CoverTimesMatchPerNodeFeasibility) {
+  // m(u) must be the minimal window end covering u — cross-checked by
+  // running optCompletion on truncated prefixes.
+  util::Rng rng(31);
+  const std::size_t n = 6;
+  const auto seq = dynagraph::traces::uniformRandom(n, 400, rng);
+  ConvergecastFrontier frontier(seq, n, 0, 0);
+  const auto opt = frontier.firstCompleteEnd();
+  ASSERT_NE(opt, kNever);
+  EXPECT_EQ(opt, optCompletion(seq, n, 0));
+  EXPECT_TRUE(frontier.complete());
+  EXPECT_EQ(frontier.coveredCount(), n);
+  // opt is the max cover time, and truncating the sequence just below any
+  // node's cover time makes that window infeasible.
+  core::Time max_cover = 0;
+  for (core::NodeId u = 1; u < n; ++u) {
+    const auto c = frontier.coverTime(u);
+    ASSERT_NE(c, kNever);
+    max_cover = std::max(max_cover, c);
+    if (c > 0) {
+      EXPECT_EQ(optCompletion(seq.slice(0, c), n, 0), kNever)
+          << "node " << u;
+    }
+  }
+  EXPECT_EQ(max_cover, opt);
+  EXPECT_EQ(frontier.coverTime(0), 0u);  // the sink is covered from start
+}
+
+TEST(ConvergecastFrontier, InducedScheduleIsValidAndOptimal) {
+  util::Rng rng(32);
+  core::ScheduleValidationScratch scratch;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 4 + rng.below(6);
+    const auto seq = dynagraph::traces::uniformRandom(n, 200 * n, rng);
+    ConvergecastFrontier frontier(seq, n, 0, 0);
+    const auto opt = frontier.firstCompleteEnd();
+    ASSERT_NE(opt, kNever);
+    std::vector<TransmissionRecord> schedule;
+    for (core::NodeId u = 1; u < n; ++u)
+      schedule.push_back({frontier.reachTime(u), u, frontier.informerOf(u)});
+    std::sort(schedule.begin(), schedule.end(),
+              [](const TransmissionRecord& x, const TransmissionRecord& y) {
+                return x.time < y.time;
+              });
+    std::string err;
+    EXPECT_TRUE(core::validateConvergecastSchedule(schedule, seq, {n, 0},
+                                                   scratch, &err))
+        << err;
+    EXPECT_EQ(schedule.back().time, opt);
+  }
+}
+
+TEST(ConvergecastFrontier, ExhaustedSequenceReportsNever) {
+  const InteractionSequence seq{ix(1, 2), ix(1, 2)};
+  ConvergecastFrontier frontier(seq, 3, 0, 0);
+  EXPECT_EQ(frontier.firstCompleteEnd(), kNever);
+  EXPECT_FALSE(frontier.complete());
+  EXPECT_LT(frontier.coveredCount(), 3u);
+}
+
+TEST(ConvergecastFrontier, SinkOutOfRangeThrows) {
+  const InteractionSequence seq{ix(0, 1)};
+  EXPECT_THROW(ConvergecastFrontier(seq, 2, 7, 0), std::out_of_range);
+  ConvergecastFrontier bad(seq, 2, 0, 0);
+  EXPECT_EQ(bad.firstCompleteEnd(), 0u);  // {0,1} at t=0 covers node 1
+  EXPECT_THROW(optCompletion(seq, 1, 0), std::invalid_argument);
+}
+
+TEST(ValidateSchedule, ScratchOverloadMatchesAllocatingOverload) {
+  util::Rng rng(33);
+  core::ScheduleValidationScratch scratch;
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 3 + rng.below(6);
+    const auto seq = dynagraph::traces::uniformRandom(n, 60 * n, rng);
+    auto sched = optimalSchedule(seq, n, 0);
+    const bool feasible = !sched.empty();
+    EXPECT_EQ(core::validateConvergecastSchedule(sched, seq, {n, 0},
+                                                 scratch),
+              feasible ? true : false);
+    if (feasible) {
+      // Corrupt the schedule; both overloads must agree on rejection.
+      sched.front().time = seq.length();
+      std::string e1, e2;
+      const bool with_scratch = core::validateConvergecastSchedule(
+          sched, seq, {n, 0}, scratch, &e1);
+      const bool allocating =
+          core::validateConvergecastSchedule(sched, seq, {n, 0}, &e2);
+      EXPECT_EQ(with_scratch, allocating);
+      EXPECT_EQ(e1, e2);
+    }
+  }
 }
 
 TEST(Meetings, DistinctSinkContactsCounts) {

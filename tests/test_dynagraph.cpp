@@ -206,7 +206,41 @@ TEST(LazySequence, MaxLengthGuardThrows) {
 }
 
 TEST(LazySequence, NullGeneratorThrows) {
-  EXPECT_THROW(LazySequence(nullptr), std::invalid_argument);
+  EXPECT_THROW(LazySequence(LazySequence::Generator{}),
+               std::invalid_argument);
+  EXPECT_THROW(LazySequence(LazySequence::BlockGenerator{}),
+               std::invalid_argument);
+}
+
+TEST(LazySequence, BlockGeneratorCommitsIdenticalPrefix) {
+  // The batched generator must realize the same committed sequence as the
+  // per-item generator from the same seed — only how far ahead it commits
+  // may differ (chunk granularity).
+  util::Rng per_item_rng(77), block_rng(77);
+  LazySequence per_item(
+      [&per_item_rng](Time) { return traces::uniformPair(9, per_item_rng); });
+  LazySequence block(LazySequence::BlockGenerator(
+      [&block_rng](Time, std::size_t count, std::vector<Interaction>& out) {
+        traces::appendUniform(9, count, block_rng, out);
+      }));
+  per_item.ensure(999);
+  block.ensure(999);
+  EXPECT_GE(block.generatedLength(), 1000u);
+  for (Time t = 0; t < 1000; ++t)
+    EXPECT_EQ(per_item.at(t), block.at(t)) << "t=" << t;
+}
+
+TEST(LazySequence, BlockGeneratorRespectsMaxLengthGuard) {
+  util::Rng rng(5);
+  LazySequence seq(LazySequence::BlockGenerator(
+                       [&rng](Time, std::size_t count,
+                              std::vector<Interaction>& out) {
+                         traces::appendUniform(4, count, rng, out);
+                       }),
+                   10);
+  seq.ensure(9);
+  EXPECT_EQ(seq.generatedLength(), 10u);  // clamped to max_length
+  EXPECT_THROW(seq.ensure(10), std::length_error);
 }
 
 TEST(Traces, UniformPairIsValidAndCoversAll) {

@@ -1,0 +1,172 @@
+// Golden statistics pinned from the pre-SourceSet / pre-frontier /
+// pre-batched-generation implementation (hexfloat, so the comparison is
+// bit-exact). These lock three refactor-invariance contracts at once:
+//
+//  * the batched adversary generators draw from the RNG in exactly the
+//    legacy per-pair order (the sequences are bit-identical);
+//  * the frontier-based offline-optimal oracle returns exactly the values
+//    the galloping reverse-broadcast search returned;
+//  * the parallel executor folds outcomes identically for every thread
+//    count (each config is checked at threads 1, 2 and 8).
+
+#include <gtest/gtest.h>
+
+#include "algorithms/full_knowledge.hpp"
+#include "algorithms/future_aware.hpp"
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "sim/experiment.hpp"
+
+namespace doda::sim {
+namespace {
+
+struct Golden {
+  std::size_t count;
+  double mean, variance, min, max;
+  std::size_t cost_count = 0;
+  double cost_mean = 0.0, cost_variance = 0.0;
+  std::size_t failed = 0;
+};
+
+void expectMatches(const MeasureResult& r, const Golden& g,
+                   std::size_t threads) {
+  EXPECT_EQ(r.interactions.count(), g.count) << "threads=" << threads;
+  EXPECT_EQ(r.interactions.mean(), g.mean) << "threads=" << threads;
+  EXPECT_EQ(r.interactions.variance(), g.variance) << "threads=" << threads;
+  EXPECT_EQ(r.interactions.min(), g.min) << "threads=" << threads;
+  EXPECT_EQ(r.interactions.max(), g.max) << "threads=" << threads;
+  EXPECT_EQ(r.cost.count(), g.cost_count) << "threads=" << threads;
+  if (g.cost_count > 0) {
+    EXPECT_EQ(r.cost.mean(), g.cost_mean) << "threads=" << threads;
+    EXPECT_EQ(r.cost.variance(), g.cost_variance) << "threads=" << threads;
+  }
+  EXPECT_EQ(r.failed_trials, g.failed) << "threads=" << threads;
+}
+
+AlgorithmFactory gatheringFactory() {
+  return [](TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  };
+}
+
+TEST(GoldenStats, MeasureRandomizedGathering) {
+  const Golden golden{24, 0x1.046aaaaaaaaabp+7, 0x1.fd5e8cfc4a34p+11,
+                      0x1.b8p+5, 0x1.2bp+8};
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    MeasureConfig config;
+    config.node_count = 12;
+    config.trials = 24;
+    config.seed = 2026;
+    config.threads = threads;
+    expectMatches(measureRandomized(config, gatheringFactory()), golden,
+                  threads);
+  }
+}
+
+TEST(GoldenStats, MeasureRandomizedWaitingGreedy) {
+  // Exercises the meetTime oracle over the batched committed randomness.
+  const Golden golden{16, 0x1.5d3ffffffffffp+7, 0x1.eeaaaaaaaaaacp+4,
+                      0x1.48p+7, 0x1.6ap+7};
+  const AlgorithmFactory factory = [](TrialContext& context) {
+    return std::make_unique<algorithms::WaitingGreedy>(context.meet_time,
+                                                       180);
+  };
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    MeasureConfig config;
+    config.node_count = 16;
+    config.trials = 16;
+    config.seed = 7;
+    config.threads = threads;
+    expectMatches(measureRandomized(config, factory), golden, threads);
+  }
+}
+
+TEST(GoldenStats, MeasureWithCostGathering) {
+  // Pins the paper-cost computation (frontier-backed costOf chain).
+  Golden golden{12,        0x1.7755555555555p+5, 0x1.030aaaaaaaaabp+9,
+                0x1.4p+3,  0x1.78p+6,            12,
+                0x1.8aaaaaaaaaaaap+1, 0x1.b83e0f83e0f84p+0};
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    MeasureConfig config;
+    config.node_count = 8;
+    config.trials = 12;
+    config.seed = 99;
+    config.threads = threads;
+    expectMatches(measureWithCost(config, 64, gatheringFactory()), golden,
+                  threads);
+  }
+}
+
+TEST(GoldenStats, MeasureOfflineOptimal) {
+  // Pins opt(0)+1 — the frontier must agree with the legacy galloping
+  // search on every trial, not just on average.
+  Golden golden{10,       0x1.319999999999ap+4, 0x1.c45b05b05b05cp+5,
+                0x1.4p+3, 0x1.fp+4,             10,
+                0x1p+0,   0x0p+0};
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    MeasureConfig config;
+    config.node_count = 8;
+    config.trials = 10;
+    config.seed = 123;
+    config.threads = threads;
+    expectMatches(measureOfflineOptimal(config), golden, threads);
+  }
+}
+
+TEST(GoldenStats, MeasureRandomizedZipf) {
+  const Golden golden{12, 0x1.28p+6, 0x1.c4745d1745d17p+10, 0x1.6p+4,
+                      0x1.5cp+7};
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    MeasureConfig config;
+    config.node_count = 10;
+    config.trials = 12;
+    config.seed = 5;
+    config.zipf_exponent = 0.8;
+    config.threads = threads;
+    expectMatches(measureRandomized(config, gatheringFactory()), golden,
+                  threads);
+  }
+}
+
+TEST(GoldenStats, MeasureMaterializedFullKnowledge) {
+  Golden golden{10,       0x1.acccccccccccdp+4, 0x1.7fa4fa4fa4fa4p+5,
+                0x1.1p+4, 0x1.4p+5,             10,
+                0x1p+0,   0x0p+0};
+  const SequenceAlgorithmFactory factory =
+      [](const dynagraph::InteractionSequence& seq,
+         const core::SystemInfo&) {
+        return std::make_unique<algorithms::FullKnowledgeOptimal>(seq);
+      };
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    MeasureConfig config;
+    config.node_count = 10;
+    config.trials = 10;
+    config.seed = 31;
+    config.threads = threads;
+    expectMatches(measureMaterialized(config, 256, factory), golden,
+                  threads);
+  }
+}
+
+TEST(GoldenStats, MeasureMaterializedFutureAware) {
+  Golden golden{10,        0x1.f4p+5, 0x1.7ce38e38e38e4p+5,
+                0x1.a8p+5, 0x1.2p+6,  10,
+                0x1.4p+1,  0x1.1c71c71c71c72p-2};
+  const SequenceAlgorithmFactory factory =
+      [](const dynagraph::InteractionSequence& seq,
+         const core::SystemInfo&) {
+        return std::make_unique<algorithms::FutureAware>(seq);
+      };
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    MeasureConfig config;
+    config.node_count = 10;
+    config.trials = 10;
+    config.seed = 32;
+    config.threads = threads;
+    expectMatches(measureMaterialized(config, 512, factory), golden,
+                  threads);
+  }
+}
+
+}  // namespace
+}  // namespace doda::sim

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/data.hpp"
+#include "util/rng.hpp"
+
+namespace doda::core {
+namespace {
+
+std::vector<NodeId> sorted(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SourceSet, EmptyAndSingleton) {
+  SourceSet empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.contains(0));
+
+  SourceSet s(7);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(6));
+  EXPECT_TRUE(s.isInline());
+  EXPECT_EQ(s.toSortedVector(), std::vector<NodeId>{7});
+}
+
+TEST(SourceSet, StaysInlineUpToCapacityThenSpills) {
+  SourceSet s(0);
+  for (NodeId id = 1; id < SourceSet::kInlineCapacity; ++id) s.insert(id);
+  EXPECT_TRUE(s.isInline());
+  EXPECT_EQ(s.size(), SourceSet::kInlineCapacity);
+
+  s.insert(1000);  // crossover: one past the inline capacity
+  EXPECT_FALSE(s.isInline());
+  EXPECT_EQ(s.size(), SourceSet::kInlineCapacity + 1);
+  for (NodeId id = 0; id < SourceSet::kInlineCapacity; ++id)
+    EXPECT_TRUE(s.contains(id));
+  EXPECT_TRUE(s.contains(1000));
+  EXPECT_FALSE(s.contains(999));
+}
+
+TEST(SourceSet, MergeCrossesRepresentations) {
+  // inline + inline staying inline
+  SourceSet a(0);
+  SourceSet b(1);
+  a.mergeDisjoint(b);
+  EXPECT_TRUE(a.isInline());
+  EXPECT_EQ(a.toSortedVector(), (std::vector<NodeId>{0, 1}));
+
+  // inline + inline forced to spill
+  SourceSet c(10);
+  for (NodeId id = 11; id < 10 + SourceSet::kInlineCapacity; ++id)
+    c.insert(id);
+  SourceSet d(90);
+  d.insert(91);
+  c.mergeDisjoint(d);
+  EXPECT_FALSE(c.isInline());
+  EXPECT_EQ(c.size(), SourceSet::kInlineCapacity + 2);
+  EXPECT_TRUE(c.contains(91));
+  EXPECT_TRUE(c.contains(10));
+
+  // spilled + inline
+  SourceSet e(200);
+  c.mergeDisjoint(e);
+  EXPECT_TRUE(c.contains(200));
+
+  // inline + spilled
+  SourceSet f(300);
+  f.mergeDisjoint(c);
+  EXPECT_FALSE(f.isInline());
+  EXPECT_EQ(f.size(), c.size() + 1);
+  EXPECT_TRUE(f.contains(300));
+  EXPECT_TRUE(f.contains(10));
+
+  // spilled + spilled
+  SourceSet g(400);
+  for (NodeId id = 401; id < 420; ++id) g.insert(id);
+  ASSERT_FALSE(g.isInline());
+  f.mergeDisjoint(g);
+  EXPECT_EQ(f.size(), c.size() + 1 + 20);
+  EXPECT_TRUE(f.contains(419));
+}
+
+TEST(SourceSet, OverlapThrowsAndLeavesTargetIntact) {
+  SourceSet a(0);
+  a.insert(5);
+  SourceSet dup(5);
+  EXPECT_THROW(a.mergeDisjoint(dup), std::invalid_argument);
+  EXPECT_EQ(a.toSortedVector(), (std::vector<NodeId>{0, 5}));
+
+  // Overlap detection across every representation pairing.
+  SourceSet big(100);
+  for (NodeId id = 101; id < 130; ++id) big.insert(id);
+  ASSERT_FALSE(big.isInline());
+  SourceSet small_hit(115);
+  EXPECT_THROW(big.mergeDisjoint(small_hit), std::invalid_argument);
+  EXPECT_THROW(small_hit.mergeDisjoint(big), std::invalid_argument);
+  SourceSet big_hit(129);
+  for (NodeId id = 200; id < 220; ++id) big_hit.insert(id);
+  ASSERT_FALSE(big_hit.isInline());
+  EXPECT_THROW(big.mergeDisjoint(big_hit), std::invalid_argument);
+  EXPECT_EQ(big.size(), 30u);
+
+  EXPECT_THROW(big.mergeDisjoint(big), std::invalid_argument);
+  EXPECT_THROW(a.insert(5), std::invalid_argument);
+}
+
+TEST(SourceSet, ResetReturnsToInlineAndReusesCapacity) {
+  SourceSet s(0);
+  for (NodeId id = 1; id < 40; ++id) s.insert(id);
+  ASSERT_FALSE(s.isInline());
+  s.reset(3);
+  EXPECT_TRUE(s.isInline());
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(0));
+  // A reused set behaves exactly like a fresh one.
+  SourceSet fresh(3);
+  EXPECT_EQ(s, fresh);
+  s.insert(17);
+  EXPECT_EQ(s.toSortedVector(), (std::vector<NodeId>{3, 17}));
+}
+
+TEST(SourceSet, EqualityIsRepresentationIndependent) {
+  SourceSet spilled(0);
+  for (NodeId id = 1; id <= SourceSet::kInlineCapacity; ++id)
+    spilled.insert(id);
+  ASSERT_FALSE(spilled.isInline());
+  spilled.reset(1);
+  SourceSet inline_one(1);
+  EXPECT_EQ(spilled, inline_one);
+  EXPECT_EQ(inline_one, spilled);
+  inline_one.insert(2);
+  EXPECT_FALSE(spilled == inline_one);
+}
+
+TEST(SourceSet, RandomizedMergesMatchSortedVectorReference) {
+  // Fuzz the disjoint-merge tree against the old sorted-vector semantics:
+  // partition random ids into k sets, merge them pairwise in random order,
+  // and compare the survivor with a std::merge-based reference fold.
+  util::Rng rng(0x50fa);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t universe = 2 + rng.below(300);
+    std::vector<NodeId> ids(universe);
+    for (std::size_t i = 0; i < universe; ++i)
+      ids[i] = static_cast<NodeId>(i);
+    rng.shuffle(ids);
+    const std::size_t used = 1 + rng.below(universe);
+
+    const std::size_t parts = 1 + rng.below(8);
+    std::vector<SourceSet> sets(parts);
+    std::vector<std::vector<NodeId>> reference(parts);
+    for (std::size_t i = 0; i < used; ++i) {
+      const std::size_t p = rng.below(parts);
+      if (reference[p].empty())
+        sets[p] = SourceSet(ids[i]);
+      else
+        sets[p].insert(ids[i]);
+      reference[p].push_back(ids[i]);
+    }
+
+    // Fold every non-empty part into the first non-empty one.
+    std::size_t target = parts;
+    for (std::size_t p = 0; p < parts; ++p) {
+      if (reference[p].empty()) continue;
+      if (target == parts) {
+        target = p;
+        continue;
+      }
+      sets[target].mergeDisjoint(sets[p]);
+      std::vector<NodeId> merged;
+      std::sort(reference[p].begin(), reference[p].end());
+      std::sort(reference[target].begin(), reference[target].end());
+      std::merge(reference[target].begin(), reference[target].end(),
+                 reference[p].begin(), reference[p].end(),
+                 std::back_inserter(merged));
+      reference[target] = std::move(merged);
+      ASSERT_EQ(sets[target].toSortedVector(), reference[target])
+          << "round " << round;
+      ASSERT_EQ(sets[target].size(), reference[target].size());
+    }
+    ASSERT_NE(target, parts);
+    for (NodeId id : reference[target])
+      EXPECT_TRUE(sets[target].contains(id));
+    EXPECT_EQ(sorted(reference[target]), sets[target].toSortedVector());
+  }
+}
+
+TEST(Datum, ContainsSourceDelegatesToSet) {
+  auto d = Datum::origin(4, 1.0);
+  EXPECT_TRUE(d.containsSource(4));
+  EXPECT_FALSE(d.containsSource(5));
+  AggregationFunction::count().aggregateInto(d, Datum::origin(9, 1.0));
+  EXPECT_TRUE(d.containsSource(9));
+  EXPECT_DOUBLE_EQ(d.value, 2.0);
+}
+
+}  // namespace
+}  // namespace doda::core
