@@ -1,18 +1,25 @@
 // Trace-replay throughput benchmark for the recorded-workload subsystem.
 //
-// Records a uniform randomized-adversary workload into a sharded binary
-// store in a scratch directory, then measures how fast the shard-parallel
-// replay executor (sim/trace_replay) pushes it through the engine:
-// materialized replay (per-trial decode + meetTime oracle, WaitingGreedy)
-// and fully streamed replay (zero materialization, Gathering), each
-// serially and with a worker pool. Results go to stdout and a JSON file so
-// the perf trajectory is tracked across PRs and gated in CI.
+// Records one uniform randomized-adversary workload as BOTH a v1 store and
+// a compressed v2 store (dynagraph/trace_io) in scratch directories, plus
+// an imported contact-event CSV (dynagraph/trace_import), then measures
+// how fast the shard-parallel replay executor (sim/trace_replay) pushes
+// each through the engine: materialized replay (per-trial decode +
+// meetTime oracle, WaitingGreedy) and fully streamed replay (zero
+// materialization, Gathering), serially and with a worker pool, on the
+// mmap-backed reader (kAuto) — with a buffered-stream v1 leg pinning the
+// exact PR-2 configuration so the legacy path is regression-gated too.
+// Every leg cross-checks the executor's contract: thread count, store
+// format and reader backend never change the statistics.
+//
+// Results go to stdout and a JSON file so the perf trajectory is tracked
+// across PRs and gated in CI (scripts/check_bench_regression.py).
 //
 // Usage: bench_trace_replay [--quick] [--out PATH] [--threads K] [--keep DIR]
 //   --quick    smoke mode for CI: smaller workload
 //   --out      JSON output path (default BENCH_trace_replay.json)
 //   --threads  worker count for the parallel legs (default 0 = all cores)
-//   --keep     record into DIR and leave the store on disk (default: a
+//   --keep     record into DIR and leave the stores on disk (default: a
 //              scratch directory under the system temp dir, removed after)
 
 #include <unistd.h>
@@ -30,11 +37,15 @@
 
 #include "algorithms/gathering.hpp"
 #include "algorithms/waiting_greedy.hpp"
+#include "dynagraph/trace_import.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/stats.hpp"
 
 namespace {
 
+using doda::dynagraph::TraceReadBackend;
+using doda::dynagraph::TraceStore;
+using doda::dynagraph::TraceWriterOptions;
 using doda::sim::MeasureResult;
 using doda::sim::ReplayConfig;
 
@@ -45,10 +56,9 @@ struct Leg {
   double interactions_per_sec = 0.0;
 };
 
-double secondsOf(const std::function<MeasureResult()>& run,
-                 MeasureResult& out) {
+double secondsOf(const std::function<void()>& run) {
   const auto start = std::chrono::steady_clock::now();
-  out = run();
+  run();
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count();
 }
@@ -71,6 +81,11 @@ doda::sim::AlgorithmFactory waitingGreedy(std::size_t n) {
     return std::make_unique<doda::algorithms::WaitingGreedy>(
         context.meet_time, tau);
   };
+}
+
+std::unique_ptr<doda::core::DodaAlgorithm> gatheringStreamed(
+    const doda::core::SystemInfo&) {
+  return std::make_unique<doda::algorithms::Gathering>();
 }
 
 }  // namespace
@@ -122,95 +137,114 @@ int main(int argc, char** argv) {
   config.seed = 0x7ace + n;
 
   // Pid-unique scratch path so concurrent bench runs on one machine never
-  // record into (or clean up) each other's live store.
-  const std::string dir =
+  // record into (or clean up) each other's live stores.
+  const std::string root =
       !keep_dir.empty()
           ? keep_dir
           : (std::filesystem::temp_directory_path() /
              ("doda_bench_trace_store_" + std::to_string(n) + "_" +
               std::to_string(::getpid())))
                 .string();
+  const std::string dir_v1 = root + "/v1";
+  const std::string dir_v2 = root + "/v2";
+  const std::string dir_import_v1 = root + "/import_v1";
+  const std::string dir_import_v2 = root + "/import_v2";
+  const std::string events_csv = root + "/events.csv";
 
-  std::printf("recording n=%zu trials=%zu length=%llu shards=%u ...",
-              n, trials, static_cast<unsigned long long>(length), shards);
-  std::fflush(stdout);
-  const auto record_start = std::chrono::steady_clock::now();
-  doda::sim::recordSynthetic(dir, config, length, shards);
-  const double record_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    record_start)
-          .count();
+  TraceWriterOptions v1_format;
+  v1_format.format_version = doda::dynagraph::kTraceFormatVersionV1;
 
-  const auto store = doda::dynagraph::TraceStore::open(dir);
-  std::uint64_t store_bytes = 0;
-  for (const auto& header : store.shardHeaders())
-    store_bytes += doda::dynagraph::kTraceHeaderSize + header.payload_bytes;
   const double total_interactions =
       static_cast<double>(trials) * static_cast<double>(length);
-  std::printf(" %.0f interactions, %llu bytes (%.2f B/interaction)\n",
-              total_interactions,
-              static_cast<unsigned long long>(store_bytes),
-              static_cast<double>(store_bytes) / total_interactions);
+  std::printf("recording n=%zu trials=%zu length=%llu shards=%u ...\n",
+              n, trials, static_cast<unsigned long long>(length), shards);
+
+  std::vector<Leg> legs;
+  auto runLeg = [&](const std::string& name, double leg_trials,
+                    double leg_interactions, const std::function<void()>& run) {
+    Leg leg;
+    leg.name = name;
+    leg.seconds = secondsOf(run);
+    leg.trials_per_sec = leg_trials / leg.seconds;
+    leg.interactions_per_sec = leg_interactions / leg.seconds;
+    std::printf("%-28s %8.1f trials/s  %12.0f interactions/s\n",
+                name.c_str(), leg.trials_per_sec, leg.interactions_per_sec);
+    legs.push_back(leg);
+  };
+
+  const double t = static_cast<double>(trials);
+
+  // -------------------------------------------------------------- record
+  runLeg("record", t, total_interactions, [&] {
+    doda::sim::recordSynthetic(dir_v2, config, length, shards);
+  });
+  runLeg("record_v1", t, total_interactions, [&] {
+    doda::sim::recordSynthetic(dir_v1, config, length, shards, v1_format);
+  });
+
+  const auto store_v2 = TraceStore::open(dir_v2);
+  const auto store_v1 = TraceStore::open(dir_v1);
+  const std::uint64_t bytes_v1 = store_v1.totalFileBytes();
+  const std::uint64_t bytes_v2 = store_v2.totalFileBytes();
+  const double ratio =
+      static_cast<double>(bytes_v1) / static_cast<double>(bytes_v2);
+  std::printf(
+      "store: %.0f interactions, v1 %llu bytes (%.3f B/i), v2 %llu bytes "
+      "(%.3f B/i), ratio %.2fx\n",
+      total_interactions, static_cast<unsigned long long>(bytes_v1),
+      bytes_v1 / total_interactions,
+      static_cast<unsigned long long>(bytes_v2),
+      bytes_v2 / total_interactions, ratio);
 
   ReplayConfig serial_cfg;
   serial_cfg.threads = 1;
-  ReplayConfig parallel_cfg;
-  parallel_cfg.threads = threads;
+  ReplayConfig pool_cfg;
+  pool_cfg.threads = threads;
+  ReplayConfig bufio_cfg;  // the exact PR-2 configuration
+  bufio_cfg.threads = 1;
+  bufio_cfg.backend = TraceReadBackend::kStream;
 
   const auto materialized = waitingGreedy(n);
-  const auto streamed = [](const doda::core::SystemInfo&) {
-    return std::make_unique<doda::algorithms::Gathering>();
-  };
   const auto gathering_materialized = [](doda::sim::TrialContext&) {
     return std::make_unique<doda::algorithms::Gathering>();
   };
 
-  std::vector<Leg> legs;
-  legs.push_back({"record", record_seconds, trials / record_seconds,
-                  total_interactions / record_seconds});
+  // -------------------------------------------------------------- replay
+  MeasureResult mat_serial, mat_pool, stream_serial, stream_pool;
+  MeasureResult stream_v1_serial, stream_v1_bufio;
+  runLeg("replay_materialized_serial", t, total_interactions, [&] {
+    mat_serial = replayTrace(store_v2, serial_cfg, materialized);
+  });
+  runLeg("replay_materialized_pool", t, total_interactions, [&] {
+    mat_pool = replayTrace(store_v2, pool_cfg, materialized);
+  });
+  runLeg("replay_streaming_serial", t, total_interactions, [&] {
+    stream_serial =
+        replayTraceStreaming(store_v2, serial_cfg, gatheringStreamed);
+  });
+  runLeg("replay_streaming_pool", t, total_interactions, [&] {
+    stream_pool = replayTraceStreaming(store_v2, pool_cfg, gatheringStreamed);
+  });
+  runLeg("replay_streaming_v1_serial", t, total_interactions, [&] {
+    stream_v1_serial =
+        replayTraceStreaming(store_v1, serial_cfg, gatheringStreamed);
+  });
+  runLeg("replay_streaming_v1_bufio", t, total_interactions, [&] {
+    stream_v1_bufio =
+        replayTraceStreaming(store_v1, bufio_cfg, gatheringStreamed);
+  });
 
-  auto runLeg = [&](const std::string& name,
-                    const std::function<MeasureResult()>& run,
-                    MeasureResult& out) {
-    Leg leg;
-    leg.name = name;
-    leg.seconds = secondsOf(run, out);
-    leg.trials_per_sec = trials / leg.seconds;
-    leg.interactions_per_sec = total_interactions / leg.seconds;
-    std::printf("%-28s %8.1f trials/s  %12.0f interactions/s\n",
-                name.c_str(), leg.trials_per_sec,
-                leg.interactions_per_sec);
-    legs.push_back(leg);
-    return leg;
-  };
-
-  MeasureResult mat_serial, mat_parallel, stream_serial, stream_parallel;
-  runLeg("replay_materialized_serial",
-         [&] { return replayTrace(store, serial_cfg, materialized); },
-         mat_serial);
-  runLeg("replay_materialized_pool",
-         [&] { return replayTrace(store, parallel_cfg, materialized); },
-         mat_parallel);
-  runLeg("replay_streaming_serial",
-         [&] { return replayTraceStreaming(store, serial_cfg, streamed); },
-         stream_serial);
-  runLeg("replay_streaming_pool",
-         [&] {
-           return replayTraceStreaming(store, parallel_cfg, streamed);
-         },
-         stream_parallel);
-
-  // The executor's contract, enforced on every bench run: thread count
-  // never changes the statistics, and the streamed path agrees with the
-  // materialized path for the same (online) algorithm.
-  expectIdentical(mat_serial, mat_parallel, "materialized serial/pool");
-  expectIdentical(stream_serial, stream_parallel, "streaming serial/pool");
+  // The executor's contract, enforced on every bench run: thread count,
+  // store format and reader backend never change the statistics, and the
+  // streamed path agrees with the materialized path for the same (online)
+  // algorithm.
+  expectIdentical(mat_serial, mat_pool, "materialized serial/pool");
+  expectIdentical(stream_serial, stream_pool, "streaming serial/pool");
+  expectIdentical(stream_serial, stream_v1_serial, "streaming v2/v1");
+  expectIdentical(stream_v1_serial, stream_v1_bufio,
+                  "streaming v1 mmap/bufio");
   MeasureResult gathering_check;
-  secondsOf(
-      [&] {
-        return replayTrace(store, serial_cfg, gathering_materialized);
-      },
-      gathering_check);
+  gathering_check = replayTrace(store_v2, serial_cfg, gathering_materialized);
   expectIdentical(stream_serial, gathering_check,
                   "streaming vs materialized (Gathering)");
 
@@ -220,10 +254,63 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // -------------------------------------------------------------- import
+  // The external-workload path: dump a Zipf-flavored contact log as CSV
+  // (not timed), then time parse -> renumber -> compressed sharded store,
+  // and replay the imported store. The import is also written as v1 to
+  // report the compression ratio on a structured, real-world-shaped
+  // workload (the uniform store above is entropy-floor-limited; see the
+  // README's format notes).
+  const std::size_t import_events = quick ? 262144 : 1048576;
+  {
+    doda::sim::MeasureConfig import_config = config;
+    import_config.zipf_exponent = 0.9;
+    doda::util::Rng rng(0xc0ffee);
+    const auto seq = doda::sim::drawAdversarySequence(
+        import_config, static_cast<doda::core::Time>(import_events), rng);
+    std::ofstream csv(events_csv, std::ios::trunc);
+    csv << "# synthetic zipf contact log (t u v)\n";
+    for (doda::core::Time i = 0; i < seq.length(); ++i)
+      csv << i / 4 << '\t' << seq.at(i).a() << '\t' << seq.at(i).b()
+          << '\n';
+  }
+  doda::dynagraph::ContactImportOptions import_options;
+  import_options.trials = shards;  // one segment per shard
+  runLeg("import", static_cast<double>(shards),
+         static_cast<double>(import_events), [&] {
+           doda::dynagraph::importContactTrace(events_csv, dir_import_v2,
+                                               shards, import_options);
+         });
+  doda::dynagraph::importContactTrace(events_csv, dir_import_v1, shards,
+                                      import_options, v1_format);
+  const auto import_store = TraceStore::open(dir_import_v2);
+  const std::uint64_t import_bytes_v1 =
+      TraceStore::open(dir_import_v1).totalFileBytes();
+  const std::uint64_t import_bytes_v2 = import_store.totalFileBytes();
+  const double import_ratio = static_cast<double>(import_bytes_v1) /
+                              static_cast<double>(import_bytes_v2);
+  std::printf("import: %zu events, v1 %llu bytes (%.3f B/i), v2 %llu bytes "
+              "(%.3f B/i), ratio %.2fx\n",
+              import_events, static_cast<unsigned long long>(import_bytes_v1),
+              import_bytes_v1 / static_cast<double>(import_events),
+              static_cast<unsigned long long>(import_bytes_v2),
+              import_bytes_v2 / static_cast<double>(import_events),
+              import_ratio);
+
+  MeasureResult import_serial, import_pool;
+  runLeg("replay_import_serial", static_cast<double>(shards),
+         static_cast<double>(import_events), [&] {
+           import_serial = replayTraceStreaming(import_store, serial_cfg,
+                                                gatheringStreamed);
+         });
+  import_pool =
+      replayTraceStreaming(import_store, pool_cfg, gatheringStreamed);
+  expectIdentical(import_serial, import_pool, "import serial/pool");
+
   json << "{\n"
        << "  \"bench\": \"trace_replay\",\n"
-       << "  \"workload\": \"recordSynthetic + WaitingGreedy(tau*) / "
-          "Gathering\",\n"
+       << "  \"workload\": \"recordSynthetic v1+v2 + contact import + "
+          "WaitingGreedy(tau*) / Gathering\",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
@@ -231,7 +318,13 @@ int main(int argc, char** argv) {
        << "  \"trials\": " << trials << ",\n"
        << "  \"length\": " << length << ",\n"
        << "  \"shards\": " << shards << ",\n"
-       << "  \"store_bytes\": " << store_bytes << ",\n"
+       << "  \"store_bytes_v1\": " << bytes_v1 << ",\n"
+       << "  \"store_bytes_v2\": " << bytes_v2 << ",\n"
+       << "  \"compression_ratio\": " << ratio << ",\n"
+       << "  \"import_events\": " << import_events << ",\n"
+       << "  \"import_bytes_v1\": " << import_bytes_v1 << ",\n"
+       << "  \"import_bytes_v2\": " << import_bytes_v2 << ",\n"
+       << "  \"import_compression_ratio\": " << import_ratio << ",\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < legs.size(); ++i) {
     const Leg& leg = legs[i];
@@ -245,7 +338,7 @@ int main(int argc, char** argv) {
 
   if (keep_dir.empty()) {
     std::error_code ec;
-    std::filesystem::remove_all(dir, ec);  // best-effort scratch cleanup
+    std::filesystem::remove_all(root, ec);  // best-effort scratch cleanup
   }
   return 0;
 }

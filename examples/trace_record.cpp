@@ -1,7 +1,8 @@
 // trace_record — dump recorded workloads into a sharded binary trace store.
 //
-// Records `--trials` independent runs of a workload generator as a
-// directory of delta-encoded binary shards (dynagraph/trace_io), ready for
+// Records `--trials` independent runs of a workload generator — or imports
+// an external contact-trace dataset — as a directory of binary shards
+// (dynagraph/trace_io; compressed v2 by default), ready for
 // production-scale replay through the shard-parallel executor
 // (sim/trace_replay, bench_trace_replay, measureReplayed*).
 //
@@ -9,6 +10,11 @@
 //   trace_record --out DIR --n N --trials T --length L
 //                [--seed S] [--shards K]
 //                [--zipf EXPONENT | --edge-markov P_ON P_OFF]
+//                [--format v1|v2] [--no-compress] [--block-bytes B]
+//                [--verify]
+//   trace_record --out DIR --import FILE [--trials T] [--shards K]
+//                [--keep-self-loops] [--max-events M]
+//                [--format v1|v2] [--no-compress] [--block-bytes B]
 //                [--verify]
 //
 // Workloads:
@@ -19,6 +25,9 @@
 //   --zipf E       Zipf-popularity randomized adversary (same seed scheme)
 //   --edge-markov  edge-Markov dynamic graph; --length is the number of
 //                  Markov steps per trial (interaction counts vary)
+//   --import FILE  external contact events ("t u v" or "u v" lines, CSV /
+//                  TSV / whitespace; SocioPatterns-style lists), densely
+//                  renumbered, time-ordered, split into --trials segments
 //
 // --verify reopens the store, streams every shard once, and runs a small
 // multi-threaded contact-profile analysis over the first recorded trial.
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "dynagraph/edge_markov.hpp"
+#include "dynagraph/trace_import.hpp"
 #include "dynagraph/trace_io.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/rng.hpp"
@@ -41,6 +51,7 @@ using namespace doda;
 
 struct Options {
   std::string out_dir;
+  std::string import_path;
   std::size_t n = 0;
   std::size_t trials = 0;
   core::Time length = 0;
@@ -51,12 +62,22 @@ struct Options {
   double p_on = 0.05;
   double p_off = 0.30;
   bool verify = false;
+  bool keep_self_loops = false;
+  std::uint64_t max_events = 0;
+  dynagraph::TraceWriterOptions writer;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --out DIR --n N --trials T --length L [--seed S]"
                " [--shards K] [--zipf E | --edge-markov P_ON P_OFF]"
+               " [--format v1|v2] [--no-compress] [--block-bytes B]"
+               " [--verify]\n"
+               "       "
+            << argv0
+            << " --out DIR --import FILE [--trials T] [--shards K]"
+               " [--keep-self-loops] [--max-events M]"
+               " [--format v1|v2] [--no-compress] [--block-bytes B]"
                " [--verify]\n";
   std::exit(2);
 }
@@ -71,6 +92,9 @@ Options parse(int argc, char** argv) {
     if (arg == "--out") {
       need(1);
       opt.out_dir = argv[++i];
+    } else if (arg == "--import") {
+      need(1);
+      opt.import_path = argv[++i];
     } else if (arg == "--n") {
       need(1);
       opt.n = std::strtoull(argv[++i], nullptr, 10);
@@ -95,20 +119,47 @@ Options parse(int argc, char** argv) {
       opt.edge_markov = true;
       opt.p_on = std::strtod(argv[++i], nullptr);
       opt.p_off = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--format") {
+      need(1);
+      const std::string format = argv[++i];
+      if (format == "v1") {
+        opt.writer.format_version = dynagraph::kTraceFormatVersionV1;
+      } else if (format == "v2") {
+        opt.writer.format_version = dynagraph::kTraceFormatVersionV2;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--no-compress") {
+      opt.writer.compress = false;
+    } else if (arg == "--block-bytes") {
+      need(1);
+      opt.writer.block_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--keep-self-loops") {
+      opt.keep_self_loops = true;
+    } else if (arg == "--max-events") {
+      need(1);
+      opt.max_events = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--verify") {
       opt.verify = true;
     } else {
       usage(argv[0]);
     }
   }
-  if (opt.out_dir.empty() || opt.n < 2 || opt.trials == 0 ||
-      opt.length == 0)
-    usage(argv[0]);
-  if (opt.shards == 0) opt.shards = 1;
-  // Shards are the replay parallelism unit; clamp to the trial count
-  // instead of collapsing to one shard when asked for more than exist.
-  if (opt.shards > opt.trials)
-    opt.shards = static_cast<std::uint32_t>(opt.trials);
+  if (opt.out_dir.empty()) usage(argv[0]);
+  if (opt.import_path.empty()) {
+    if (opt.n < 2 || opt.trials == 0 || opt.length == 0) usage(argv[0]);
+    if (opt.shards == 0) opt.shards = 1;
+    // Shards are the replay parallelism unit; clamp to the trial count
+    // instead of collapsing to one shard when asked for more than exist.
+    if (opt.shards > opt.trials)
+      opt.shards = static_cast<std::uint32_t>(opt.trials);
+  } else {
+    // Generator-only flags must not be silently dropped in import mode.
+    if (opt.n != 0 || opt.length != 0 || opt.zipf != 0.0 ||
+        opt.edge_markov || opt.seed != 0x5eed)
+      usage(argv[0]);
+    if (opt.trials == 0) opt.trials = 1;
+  }
   return opt;
 }
 
@@ -119,10 +170,28 @@ void recordEdgeMarkov(const Options& opt) {
   config.p_off = opt.p_off;
   config.steps = opt.length;
 
-  sim::recordTrials(opt.out_dir, opt.n, opt.trials, opt.seed, opt.shards,
-                    [&](std::size_t /*trial*/, util::Rng& rng) {
-                      return dynagraph::traces::edgeMarkovTrace(config, rng);
-                    });
+  sim::recordTrials(
+      opt.out_dir, opt.n, opt.trials, opt.seed, opt.shards,
+      [&](std::size_t /*trial*/, util::Rng& rng) {
+        return dynagraph::traces::edgeMarkovTrace(config, rng);
+      },
+      opt.writer);
+}
+
+void importContacts(const Options& opt) {
+  dynagraph::ContactImportOptions import;
+  import.skip_self_loops = !opt.keep_self_loops;
+  import.trials = opt.trials;
+  import.max_events = opt.max_events;
+  const auto stats = dynagraph::importContactTrace(
+      opt.import_path, opt.out_dir, opt.shards, import, opt.writer);
+  std::cout << "imported " << stats.events << " events over "
+            << stats.node_count << " nodes from " << opt.import_path;
+  if (stats.timestamped)
+    std::cout << " (t = " << stats.t_min << " .. " << stats.t_max << ")";
+  if (stats.self_loops != 0)
+    std::cout << ", skipped " << stats.self_loops << " self-loops";
+  std::cout << "\n";
 }
 
 /// Multi-threaded contact-profile analysis over one shared sequence: the
@@ -150,17 +219,17 @@ std::vector<std::size_t> contactProfile(
 int verifyStore(const Options& opt) {
   const auto store = dynagraph::TraceStore::open(opt.out_dir);
   std::uint64_t interactions = 0;
-  std::uint64_t bytes = 0;
   for (std::size_t s = 0; s < store.shardCount(); ++s) {
     auto reader = store.openShard(s);
-    bytes += dynagraph::kTraceHeaderSize + reader.header().payload_bytes;
     while (reader.beginTrial()) {
       interactions += reader.trialLength();
       reader.skipRest();
     }
   }
+  const std::uint64_t bytes = store.totalFileBytes();
   std::cout << "verify: " << store.trialCount() << " trials in "
-            << store.shardCount() << " shards, " << interactions
+            << store.shardCount() << " shards (format v"
+            << store.formatVersion() << "), " << interactions
             << " interactions, " << bytes << " bytes ("
             << (interactions == 0
                     ? 0.0
@@ -187,7 +256,9 @@ int verifyStore(const Options& opt) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   try {
-    if (opt.edge_markov) {
+    if (!opt.import_path.empty()) {
+      importContacts(opt);
+    } else if (opt.edge_markov) {
       recordEdgeMarkov(opt);
     } else {
       sim::MeasureConfig config;
@@ -195,7 +266,8 @@ int main(int argc, char** argv) {
       config.trials = opt.trials;
       config.seed = opt.seed;
       config.zipf_exponent = opt.zipf;
-      sim::recordSynthetic(opt.out_dir, config, opt.length, opt.shards);
+      sim::recordSynthetic(opt.out_dir, config, opt.length, opt.shards,
+                           opt.writer);
     }
     const auto store = dynagraph::TraceStore::open(opt.out_dir);
     std::cout << "recorded " << store.trialCount() << " trials over "

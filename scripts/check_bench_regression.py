@@ -2,8 +2,9 @@
 """CI perf-regression gate for the plain-binary benches.
 
 Compares a freshly produced bench JSON (bench_throughput --quick,
-bench_trace_replay --quick) against a committed baseline and fails when
-any throughput metric regressed beyond the tolerance band.
+bench_trace_replay --quick, bench_offline_optimal --quick) against a
+committed baseline and fails when any throughput metric regressed beyond
+the tolerance band.
 
 Matching: entries of the top-level ``results`` array are keyed by their
 ``leg`` field if present, otherwise by ``n``. Within a matched pair,
@@ -12,8 +13,20 @@ compared; a current value below ``baseline * (1 - tolerance)`` is a
 regression. Faster-than-baseline results always pass (print a note so
 baselines can be refreshed when hardware improves).
 
+Noise hardening (the CI container is 1-2 shared cores):
+
+* ``--leg-tolerance LEG=TOL`` (repeatable) widens the band for an
+  individually noisy leg (short legs such as ``record_v1`` jitter more
+  than long replay legs) without loosening the whole gate.
+* ``--retries N --rerun-cmd CMD`` re-runs the bench command when a
+  regression is found and keeps the *best* value seen per metric
+  (best-of-N): a transient scheduling hiccup must lose to the gate, a
+  real regression must survive it. CMD is run through the shell and must
+  rewrite the CURRENT json in place.
+
 Usage:
     check_bench_regression.py BASELINE CURRENT [--tolerance 0.25]
+        [--leg-tolerance LEG=TOL ...] [--retries N] [--rerun-cmd CMD]
 
 Refreshing a baseline after an intentional perf change:
     ./build/bench_throughput --quick --out ci/baselines/bench_throughput_ci.json
@@ -26,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 
 
@@ -52,36 +66,38 @@ def load_results(path: str) -> tuple[dict, dict[str, dict]]:
     return doc, table
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly produced bench JSON")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.25,
-        help="allowed fractional slowdown before failing (default 0.25)",
-    )
-    args = parser.parse_args()
-    if not 0.0 <= args.tolerance < 1.0:
-        print("error: --tolerance must be in [0, 1)", file=sys.stderr)
-        return 2
+def merge_best(best: dict[str, dict], fresh: dict[str, dict]) -> None:
+    """Folds a re-run into ``best``, keeping the max of every metric."""
+    for key, fresh_entry in fresh.items():
+        entry = best.setdefault(key, dict(fresh_entry))
+        for metric, value in fresh_entry.items():
+            if not metric.endswith("_per_sec"):
+                continue
+            if not isinstance(value, (int, float)):
+                continue
+            old = entry.get(metric)
+            if not isinstance(old, (int, float)) or value > old:
+                entry[metric] = value
 
-    base_doc, baseline = load_results(args.baseline)
-    _, current = load_results(args.current)
 
-    bench = base_doc.get("bench", "?")
-    floor_factor = 1.0 - args.tolerance
+def tolerance_for(key: str, default: float, overrides: dict[str, float]) -> float:
+    """Per-leg override: keys look like 'leg=replay_streaming_serial'."""
+    name = key.split("=", 1)[1] if "=" in key else key
+    return overrides.get(name, default)
+
+
+def evaluate(baseline: dict[str, dict], current: dict[str, dict],
+             default_tolerance: float,
+             overrides: dict[str, float]) -> tuple[int, int]:
     regressions = 0
     compared = 0
-
-    print(f"bench '{bench}': comparing {args.current} against {args.baseline} "
-          f"(tolerance {args.tolerance:.0%})")
-    header = f"{'entry':<34} {'metric':<24} {'baseline':>12} {'current':>12} {'ratio':>7}"
+    header = (f"{'entry':<34} {'metric':<24} {'baseline':>12} "
+              f"{'current':>12} {'ratio':>7}")
     print(header)
     print("-" * len(header))
-
     for key, base_entry in baseline.items():
+        tolerance = tolerance_for(key, default_tolerance, overrides)
+        floor_factor = 1.0 - tolerance
         cur_entry = current.get(key)
         if cur_entry is None:
             print(f"{key:<34} {'<missing from current>':<24}")
@@ -101,22 +117,111 @@ def main() -> int:
             ratio = cur_value / base_value
             verdict = ""
             if cur_value < base_value * floor_factor:
-                verdict = "  REGRESSION"
+                verdict = f"  REGRESSION (band {tolerance:.0%})"
                 regressions += 1
             elif ratio > 1.0 / floor_factor:
                 verdict = "  (faster — consider refreshing baseline)"
             print(f"{key:<34} {metric:<24} {base_value:>12.1f} "
                   f"{cur_value:>12.1f} {ratio:>6.2f}x{verdict}")
+    return regressions, compared
 
-    if compared == 0:
-        print("error: no comparable *_per_sec metrics found", file=sys.stderr)
+
+def parse_leg_tolerance(spec: str) -> tuple[str, float]:
+    if "=" not in spec:
+        raise argparse.ArgumentTypeError(
+            f"--leg-tolerance expects LEG=TOL, got '{spec}'")
+    name, _, value = spec.partition("=")
+    try:
+        tol = float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--leg-tolerance {spec}: bad tolerance") from exc
+    if not 0.0 <= tol < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"--leg-tolerance {spec}: tolerance must be in [0, 1)")
+    return name, tol
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced bench JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--leg-tolerance",
+        type=parse_leg_tolerance,
+        action="append",
+        default=[],
+        metavar="LEG=TOL",
+        help="per-leg tolerance override (repeatable), e.g. record_v1=0.4",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run the bench up to N times on regression, keeping the "
+             "best value per metric (requires --rerun-cmd)",
+    )
+    parser.add_argument(
+        "--rerun-cmd",
+        default="",
+        help="shell command that regenerates CURRENT in place",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: --tolerance must be in [0, 1)", file=sys.stderr)
         return 2
-    if regressions:
-        print(f"\nFAIL: {regressions} regression(s) beyond the "
-              f"{args.tolerance:.0%} tolerance band")
-        return 1
-    print(f"\nOK: {compared} metrics within tolerance")
-    return 0
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.retries > 0 and not args.rerun_cmd:
+        print("error: --retries needs --rerun-cmd", file=sys.stderr)
+        return 2
+    overrides = dict(args.leg_tolerance)
+
+    base_doc, baseline = load_results(args.baseline)
+    _, current = load_results(args.current)
+
+    bench = base_doc.get("bench", "?")
+    print(f"bench '{bench}': comparing {args.current} against "
+          f"{args.baseline} (tolerance {args.tolerance:.0%}"
+          + (f", overrides {overrides}" if overrides else "") + ")")
+
+    best = {key: dict(entry) for key, entry in current.items()}
+    attempt = 0
+    while True:
+        regressions, compared = evaluate(baseline, best, args.tolerance,
+                                         overrides)
+        if compared == 0:
+            print("error: no comparable *_per_sec metrics found",
+                  file=sys.stderr)
+            return 2
+        if regressions == 0:
+            print(f"\nOK: {compared} metrics within tolerance"
+                  + (f" (after {attempt} re-run(s))" if attempt else ""))
+            return 0
+        if attempt >= args.retries:
+            print(f"\nFAIL: {regressions} regression(s) beyond the "
+                  f"tolerance band"
+                  + (f" (best of {attempt + 1} runs)" if attempt else ""))
+            return 1
+        attempt += 1
+        print(f"\nregression detected — re-running bench "
+              f"({attempt}/{args.retries}): {args.rerun_cmd}")
+        proc = subprocess.run(args.rerun_cmd, shell=True)
+        if proc.returncode != 0:
+            print(f"error: re-run command failed with exit "
+                  f"{proc.returncode}", file=sys.stderr)
+            return 2
+        _, fresh = load_results(args.current)
+        merge_best(best, fresh)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,234 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace doda::dynagraph::codec {
+
+// ---------------------------------------------------------------------------
+// Entropy codec of the v2 trace block payload (see trace_io.hpp for the
+// container format).
+//
+// The coder is a carry-propagating binary range coder (the LZMA
+// construction: 32-bit range, 11-bit adaptive probabilities, shift-5
+// adaptation) driving bit-tree byte models. Each byte of the v1-equivalent
+// record stream (varint bytes of trial lengths, zigzag deltas and gaps) is
+// coded as 8 binary decisions through a 255-node probability tree selected
+// by the byte's *class* and, for the value-carrying first bytes, a context
+// bucket of the record anchor:
+//
+//   length bytes      one tree for first bytes, one for continuations
+//   delta first byte  bucketed by prev_a (delta = a - prev_a, so the
+//                     support and shape of the distribution depend on it;
+//                     conditioning recovers H(a) instead of H(a - prev_a))
+//   gap first byte    bucketed by a (gap = b - a - 1 lives in [0, n-1-a))
+//   continuations     one tree each for delta / gap continuation bytes
+//
+// Buckets split [0, node_count) into kContextBuckets equal ranges (a shift,
+// no division). Models adapt within a block and reset at block boundaries,
+// so every block decodes independently given the record-layer state
+// (prev_a, remaining trial length) carried across the boundary.
+// ---------------------------------------------------------------------------
+
+inline constexpr unsigned kProbBits = 11;
+inline constexpr std::uint16_t kProbOne = 1u << kProbBits;
+inline constexpr std::uint16_t kProbInit = kProbOne / 2;
+inline constexpr unsigned kAdaptShift = 5;
+inline constexpr std::uint32_t kTopValue = 1u << 24;
+inline constexpr std::size_t kContextBuckets = 32;
+
+/// Byte-class of each symbol in the record stream. The writer and reader
+/// derive the class (and bucket) from record state, so it is never stored.
+enum class SymbolClass : std::uint8_t {
+  kLengthFirst,
+  kLengthCont,
+  kDeltaFirst,
+  kDeltaCont,
+  kGapFirst,
+  kGapCont,
+};
+
+/// Right-shift that maps ids in [0, node_count) onto kContextBuckets
+/// buckets.
+inline unsigned bucketShiftFor(std::uint64_t node_count) noexcept {
+  const unsigned bits =
+      std::bit_width(node_count > 1 ? node_count - 1 : std::uint64_t{1});
+  constexpr unsigned bucket_bits = std::bit_width(kContextBuckets - 1);
+  return bits > bucket_bits ? bits - bucket_bits : 0;
+}
+
+inline unsigned contextBucket(std::uint64_t value, unsigned shift) noexcept {
+  const std::uint64_t bucket = value >> shift;
+  return bucket < kContextBuckets ? static_cast<unsigned>(bucket)
+                                  : static_cast<unsigned>(kContextBuckets - 1);
+}
+
+/// Adaptive bit-tree model over one byte (255 node probabilities).
+struct ByteModel {
+  std::array<std::uint16_t, 255> prob;
+  void reset() noexcept { prob.fill(kProbInit); }
+};
+
+class RangeEncoder {
+ public:
+  /// (Re)starts the encoder, appending output to `*out`.
+  void start(std::vector<std::uint8_t>* out) noexcept {
+    out_ = out;
+    low_ = 0;
+    range_ = 0xFFFFFFFFu;
+    cache_ = 0;
+    cache_size_ = 1;
+  }
+
+  void encodeBit(std::uint16_t& prob, unsigned bit) {
+    const std::uint32_t bound = (range_ >> kProbBits) * prob;
+    if (bit == 0) {
+      range_ = bound;
+      prob = static_cast<std::uint16_t>(prob + ((kProbOne - prob) >> kAdaptShift));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      prob = static_cast<std::uint16_t>(prob - (prob >> kAdaptShift));
+    }
+    while (range_ < kTopValue) {
+      shiftLow();
+      range_ <<= 8;
+    }
+  }
+
+  void encodeByte(ByteModel& model, std::uint8_t byte) {
+    unsigned ctx = 1;
+    for (int i = 7; i >= 0; --i) {
+      const unsigned bit = (byte >> i) & 1u;
+      encodeBit(model.prob[ctx - 1], bit);
+      ctx = (ctx << 1) | bit;
+    }
+  }
+
+  /// Flushes the coder state; the output is complete afterwards.
+  void finish() {
+    for (int i = 0; i < 5; ++i) shiftLow();
+  }
+
+ private:
+  void shiftLow() {
+    if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      std::uint8_t carry_byte = cache_;
+      const auto carry = static_cast<std::uint8_t>(low_ >> 32);
+      do {
+        out_->push_back(static_cast<std::uint8_t>(carry_byte + carry));
+        carry_byte = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ << 8) & 0xFFFFFFFFull;
+  }
+
+  std::vector<std::uint8_t>* out_ = nullptr;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 0;
+};
+
+class RangeDecoder {
+ public:
+  /// (Re)starts the decoder over `[data, data + size)`. Reading past the
+  /// end never faults: it feeds zero bytes and raises the overrun flag,
+  /// which the caller must treat as a corrupt block.
+  void start(const std::uint8_t* data, std::size_t size) noexcept {
+    data_ = data;
+    size_ = size;
+    pos_ = 0;
+    range_ = 0xFFFFFFFFu;
+    code_ = 0;
+    overrun_ = false;
+    takeByte();  // leading zero byte of the encoder's first shiftLow
+    for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | takeByte();
+  }
+
+  unsigned decodeBit(std::uint16_t& prob) {
+    const std::uint32_t bound = (range_ >> kProbBits) * prob;
+    unsigned bit;
+    if (code_ < bound) {
+      range_ = bound;
+      prob = static_cast<std::uint16_t>(prob + ((kProbOne - prob) >> kAdaptShift));
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      prob = static_cast<std::uint16_t>(prob - (prob >> kAdaptShift));
+      bit = 1;
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | takeByte();
+    }
+    return bit;
+  }
+
+  std::uint8_t decodeByte(ByteModel& model) {
+    unsigned ctx = 1;
+    for (int i = 0; i < 8; ++i) ctx = (ctx << 1) | decodeBit(model.prob[ctx - 1]);
+    return static_cast<std::uint8_t>(ctx & 0xFFu);
+  }
+
+  bool overrun() const noexcept { return overrun_; }
+
+ private:
+  std::uint8_t takeByte() {
+    if (pos_ < size_) return data_[pos_++];
+    overrun_ = true;
+    return 0;
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  std::uint32_t range_ = 0;
+  std::uint32_t code_ = 0;
+  bool overrun_ = false;
+};
+
+/// The full model set of one trace block (reset at every block boundary).
+struct TraceModels {
+  ByteModel length_first;
+  ByteModel length_cont;
+  ByteModel delta_cont;
+  ByteModel gap_cont;
+  std::array<ByteModel, kContextBuckets> delta_first;
+  std::array<ByteModel, kContextBuckets> gap_first;
+
+  void reset() noexcept {
+    length_first.reset();
+    length_cont.reset();
+    delta_cont.reset();
+    gap_cont.reset();
+    for (auto& model : delta_first) model.reset();
+    for (auto& model : gap_first) model.reset();
+  }
+
+  ByteModel& select(SymbolClass cls, unsigned bucket) noexcept {
+    switch (cls) {
+      case SymbolClass::kLengthFirst:
+        return length_first;
+      case SymbolClass::kLengthCont:
+        return length_cont;
+      case SymbolClass::kDeltaFirst:
+        return delta_first[bucket];
+      case SymbolClass::kDeltaCont:
+        return delta_cont;
+      case SymbolClass::kGapFirst:
+        return gap_first[bucket];
+      case SymbolClass::kGapCont:
+      default:
+        return gap_cont;
+    }
+  }
+};
+
+}  // namespace doda::dynagraph::codec

@@ -1,0 +1,196 @@
+#include "dynagraph/trace_import.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace doda::dynagraph {
+
+namespace {
+
+bool isSeparator(char c) {
+  return c == ' ' || c == '\t' || c == ',' || c == ';';
+}
+
+/// Splits `line` into fields at runs of separators.
+void splitFields(std::string_view line, std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && isSeparator(line[pos])) ++pos;
+    const std::size_t start = pos;
+    while (pos < line.size() && !isSeparator(line[pos])) ++pos;
+    if (pos > start) out.push_back(line.substr(start, pos - start));
+  }
+}
+
+bool parseU64(std::string_view field, std::uint64_t& value) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parseDouble(std::string_view field, double& value) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  // Non-finite timestamps ("nan"/"inf" parse successfully) would break
+  // the sort's strict weak ordering — reject them as malformed.
+  return ec == std::errc() && ptr == end && std::isfinite(value);
+}
+
+struct RawEvent {
+  double time;
+  std::uint64_t u;
+  std::uint64_t v;
+  std::uint64_t order;  // file order, the stable-sort tiebreak
+};
+
+}  // namespace
+
+ContactTrace readContactEvents(std::istream& is,
+                               const ContactImportOptions& options) {
+  ContactTrace trace;
+  ContactImportStats& stats = trace.stats;
+  std::vector<RawEvent> raw;
+  std::vector<std::string_view> fields;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_event_row = false;
+  int column_shape = 0;  // 0 = undecided, 2 = "u v", 3 = "t u v"
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("readContactEvents: line " +
+                             std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    ++stats.lines;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    splitFields(line, fields);
+    if (fields.empty() || fields[0].front() == '#' ||
+        fields[0].front() == '%') {
+      ++stats.skipped;
+      continue;
+    }
+    if (options.max_events != 0 && raw.size() >= options.max_events) break;
+
+    const int shape = fields.size() >= 3 ? 3 : static_cast<int>(fields.size());
+    RawEvent event{0.0, 0, 0, static_cast<std::uint64_t>(raw.size())};
+    bool numeric;
+    if (shape >= 3) {
+      numeric = parseDouble(fields[0], event.time) &&
+                parseU64(fields[1], event.u) && parseU64(fields[2], event.v);
+    } else {
+      numeric = fields.size() == 2 && parseU64(fields[0], event.u) &&
+                parseU64(fields[1], event.v);
+    }
+    if (!numeric) {
+      // A single leading non-numeric row is a column header; anything
+      // after the first event row is malformed data.
+      if (!saw_event_row) {
+        ++stats.skipped;
+        continue;
+      }
+      fail("expected numeric fields ('t u v' or 'u v'): '" + line + "'");
+    }
+    if (column_shape == 0) {
+      column_shape = shape;
+    } else if (column_shape != shape) {
+      fail("inconsistent column count (file mixes 't u v' and 'u v' rows)");
+    }
+    saw_event_row = true;
+    if (event.u == event.v) {
+      if (!options.skip_self_loops) fail("self-loop event");
+      ++stats.self_loops;
+      continue;
+    }
+    raw.push_back(event);
+  }
+
+  if (raw.empty())
+    throw std::runtime_error("readContactEvents: no events in input");
+  stats.timestamped = column_shape == 3;
+  if (stats.timestamped) {
+    // Stability via the explicit file-order tiebreak (equal timestamps
+    // keep file order) — plain sort, no temporary buffer.
+    std::sort(raw.begin(), raw.end(),
+              [](const RawEvent& a, const RawEvent& b) {
+                return a.time < b.time ||
+                       (a.time == b.time && a.order < b.order);
+              });
+    stats.t_min = raw.front().time;
+    stats.t_max = raw.back().time;
+  }
+
+  // Dense renumbering: sorted external ids -> [0, n).
+  trace.external_ids.reserve(raw.size() * 2);
+  for (const RawEvent& event : raw) {
+    trace.external_ids.push_back(event.u);
+    trace.external_ids.push_back(event.v);
+  }
+  std::sort(trace.external_ids.begin(), trace.external_ids.end());
+  trace.external_ids.erase(
+      std::unique(trace.external_ids.begin(), trace.external_ids.end()),
+      trace.external_ids.end());
+  trace.external_ids.shrink_to_fit();
+  std::unordered_map<std::uint64_t, NodeId> dense;
+  dense.reserve(trace.external_ids.size());
+  for (std::size_t i = 0; i < trace.external_ids.size(); ++i)
+    dense.emplace(trace.external_ids[i], static_cast<NodeId>(i));
+
+  trace.events.reserve(raw.size());
+  for (const RawEvent& event : raw)
+    trace.events.emplace_back(dense.at(event.u), dense.at(event.v));
+  stats.events = trace.events.size();
+  stats.node_count = trace.external_ids.size();
+  return trace;
+}
+
+ContactTrace loadContactEvents(const std::string& path,
+                               const ContactImportOptions& options) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("loadContactEvents: cannot open " + path);
+  return readContactEvents(in, options);
+}
+
+ContactImportStats importContactTrace(const std::string& input_path,
+                                      const std::string& directory,
+                                      std::uint32_t shard_count,
+                                      const ContactImportOptions& options,
+                                      const TraceWriterOptions& writer_options) {
+  const ContactTrace trace = loadContactEvents(input_path, options);
+
+  // Near-equal contiguous split into trials (the first `events % trials`
+  // trials take one extra event), mirroring the writer's shard split.
+  std::size_t trials = options.trials == 0 ? 1 : options.trials;
+  trials = std::min(trials, trace.events.size());
+  if (shard_count == 0) shard_count = 1;
+  shard_count =
+      std::min<std::uint32_t>(shard_count, static_cast<std::uint32_t>(trials));
+
+  TraceStoreWriter writer(directory, trace.stats.node_count, trials,
+                          shard_count, writer_options);
+  const std::size_t base = trace.events.size() / trials;
+  const std::size_t extra = trace.events.size() % trials;
+  std::size_t offset = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const std::size_t length = base + (trial < extra ? 1 : 0);
+    writer.appendTrial(
+        InteractionSequenceView(trace.events.data() + offset, length));
+    offset += length;
+  }
+  writer.finish();
+  return trace.stats;
+}
+
+}  // namespace doda::dynagraph

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dynagraph/interaction_sequence.hpp"
+#include "dynagraph/trace_io.hpp"
+
+namespace doda::dynagraph {
+
+// ---------------------------------------------------------------------------
+// External contact-trace ingestion: converts real-world contact event lists
+// (the common interchange shape of SocioPatterns / CRAWDAD-style datasets)
+// into sharded binary trace stores so recorded replay gains real workloads
+// next to the synthetic generators.
+//
+// Accepted input, one event per line:
+//
+//   <t> <u> <v> [extra columns ignored]     timestamped contact
+//   <u> <v>                                 untimed contact (file order)
+//
+// Fields are separated by any run of spaces, tabs, commas or semicolons.
+// Lines starting with '#' or '%' are comments; a leading non-numeric
+// header line is skipped. All rows of a file must agree on whether they
+// carry a timestamp. Node ids are arbitrary unsigned integers and are
+// densely renumbered (sorted external id -> dense id); timestamped events
+// are stably sorted by time, so simultaneous contacts keep file order.
+// ---------------------------------------------------------------------------
+
+/// Options of the external contact-trace importer.
+struct ContactImportOptions {
+  /// Skip events whose endpoints coincide (real datasets contain them);
+  /// when false such an event is a hard error.
+  bool skip_self_loops = true;
+  /// Split the time-ordered event list into this many near-equal
+  /// consecutive trials (replay's unit of measurement). Clamped to the
+  /// event count.
+  std::size_t trials = 1;
+  /// Stop after this many imported events (0 = no cap) — lets a smoke job
+  /// ingest the head of a huge dataset.
+  std::uint64_t max_events = 0;
+};
+
+struct ContactImportStats {
+  std::uint64_t lines = 0;       ///< input lines consumed
+  std::uint64_t events = 0;      ///< imported interactions
+  std::uint64_t self_loops = 0;  ///< skipped self-loop events
+  std::uint64_t skipped = 0;     ///< comment / blank / header lines
+  std::size_t node_count = 0;    ///< dense ids assigned
+  bool timestamped = false;      ///< rows carried a time column
+  double t_min = 0.0;            ///< earliest timestamp (when timestamped)
+  double t_max = 0.0;            ///< latest timestamp (when timestamped)
+};
+
+/// A parsed external contact trace: densely renumbered events in time
+/// order plus the mapping back to the original ids.
+struct ContactTrace {
+  std::vector<Interaction> events;
+  /// dense id -> external id (sorted ascending).
+  std::vector<std::uint64_t> external_ids;
+  ContactImportStats stats;
+};
+
+/// Parses an event list. Throws std::runtime_error with a line number on
+/// malformed input (non-numeric field, inconsistent column count, fewer
+/// than two distinct nodes, no events).
+ContactTrace readContactEvents(std::istream& is,
+                               const ContactImportOptions& options = {});
+
+/// Reads from a file. Throws std::runtime_error on open failure or
+/// malformed content.
+ContactTrace loadContactEvents(const std::string& path,
+                               const ContactImportOptions& options = {});
+
+/// Converts the event list at `input_path` into a sharded binary store
+/// under `directory` (options.trials consecutive segments, shard_count
+/// clamped to the trial count), written in the format `writer_options`
+/// selects. Returns the import statistics.
+ContactImportStats importContactTrace(
+    const std::string& input_path, const std::string& directory,
+    std::uint32_t shard_count, const ContactImportOptions& options = {},
+    const TraceWriterOptions& writer_options = {});
+
+}  // namespace doda::dynagraph

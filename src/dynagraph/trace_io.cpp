@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DODA_TRACE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace doda::dynagraph {
 
@@ -80,6 +89,8 @@ LoadedTrace loadTrace(const std::string& path) {
 namespace {
 
 constexpr char kTraceMagic[8] = {'D', 'O', 'D', 'A', 'T', 'R', 'C', '1'};
+constexpr std::size_t kTraceMinBlockBytes = 16;
+constexpr std::size_t kTraceMaxBlockBytes = std::size_t{1} << 26;
 
 std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
@@ -123,22 +134,31 @@ std::uint64_t loadU64(const unsigned char* in) {
   return value;
 }
 
-std::array<unsigned char, kTraceHeaderSize> encodeHeader(
-    const TraceShardHeader& header) {
-  std::array<unsigned char, kTraceHeaderSize> bytes{};
+/// Serializes a header for either format version (header.format_version
+/// picks the layout; the returned vector is the exact on-disk size).
+std::vector<unsigned char> encodeHeader(const TraceShardHeader& header) {
+  std::vector<unsigned char> bytes(header.headerSize(), 0);
   for (int i = 0; i < 8; ++i)
     bytes[static_cast<std::size_t>(i)] =
         static_cast<unsigned char>(kTraceMagic[i]);
-  storeU16(&bytes[8], kTraceFormatVersion);
-  storeU16(&bytes[10], kTraceHeaderSize);
+  storeU16(&bytes[8], header.format_version);
+  storeU16(&bytes[10], header.headerSize());
   storeU32(&bytes[12], header.shard_index);
   storeU32(&bytes[16], header.shard_count);
-  storeU32(&bytes[20], 0);  // reserved
   storeU64(&bytes[24], header.node_count);
   storeU64(&bytes[32], header.trial_count);
   storeU64(&bytes[40], header.base_trial);
   storeU64(&bytes[48], header.payload_bytes);
-  storeU64(&bytes[56], fnv1a(bytes.data(), 56));
+  if (header.format_version >= kTraceFormatVersionV2) {
+    storeU32(&bytes[20], header.codec);
+    storeU64(&bytes[56], header.raw_payload_bytes);
+    storeU32(&bytes[64], header.block_bytes);
+    storeU32(&bytes[68], 0);  // reserved
+    storeU64(&bytes[72], fnv1a(bytes.data(), 72));
+  } else {
+    storeU32(&bytes[20], 0);  // reserved
+    storeU64(&bytes[56], fnv1a(bytes.data(), 56));
+  }
   return bytes;
 }
 
@@ -160,16 +180,86 @@ std::string traceShardFileName(std::uint32_t shard_index) {
   return name;
 }
 
+// ------------------------------------------------------------ mmap region
+
+namespace detail {
+
+MmapRegion::~MmapRegion() { unmap(); }
+
+MmapRegion::MmapRegion(MmapRegion&& other) noexcept
+    : data(other.data), size(other.size) {
+  other.data = nullptr;
+  other.size = 0;
+}
+
+MmapRegion& MmapRegion::operator=(MmapRegion&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data = other.data;
+    size = other.size;
+    other.data = nullptr;
+    other.size = 0;
+  }
+  return *this;
+}
+
+bool MmapRegion::map([[maybe_unused]] const std::string& path,
+                     std::string& error) {
+#if DODA_TRACE_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    error = "cannot open";
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    error = "cannot stat";
+    return false;
+  }
+  const auto file_size = static_cast<std::size_t>(st.st_size);
+  if (file_size == 0) {
+    ::close(fd);
+    error = "empty file";
+    return false;
+  }
+  void* mapped = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping outlives the descriptor
+  if (mapped == MAP_FAILED) {
+    error = "mmap failed";
+    return false;
+  }
+  data = static_cast<const unsigned char*>(mapped);
+  size = file_size;
+  return true;
+#else
+  error = "mmap unsupported on this platform";
+  return false;
+#endif
+}
+
+void MmapRegion::unmap() noexcept {
+#if DODA_TRACE_HAS_MMAP
+  if (data != nullptr) ::munmap(const_cast<unsigned char*>(data), size);
+#endif
+  data = nullptr;
+  size = 0;
+}
+
+}  // namespace detail
+
 // ---------------------------------------------------------------- writer
 
 TraceStoreWriter::TraceStoreWriter(std::string directory,
                                    std::size_t node_count,
                                    std::uint64_t total_trials,
-                                   std::uint32_t shard_count)
+                                   std::uint32_t shard_count,
+                                   TraceWriterOptions options)
     : directory_(std::move(directory)),
       node_count_(node_count),
       total_trials_(total_trials),
-      shard_count_(shard_count) {
+      shard_count_(shard_count),
+      options_(options) {
   if (node_count_ < 2)
     throw std::invalid_argument("TraceStoreWriter: need at least 2 nodes");
   if (total_trials_ == 0)
@@ -177,12 +267,25 @@ TraceStoreWriter::TraceStoreWriter(std::string directory,
   if (shard_count_ == 0 || shard_count_ > total_trials_)
     throw std::invalid_argument(
         "TraceStoreWriter: shard count must be in [1, total_trials]");
+  if (options_.format_version != kTraceFormatVersionV1 &&
+      options_.format_version != kTraceFormatVersionV2)
+    throw std::invalid_argument(
+        "TraceStoreWriter: unsupported format version " +
+        std::to_string(options_.format_version));
+  if (options_.block_bytes < kTraceMinBlockBytes ||
+      options_.block_bytes > kTraceMaxBlockBytes)
+    throw std::invalid_argument("TraceStoreWriter: block size out of range");
+  bucket_shift_ = codec::bucketShiftFor(node_count_);
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   if (ec)
     throw std::runtime_error("TraceStoreWriter: cannot create " + directory_ +
                              ": " + ec.message());
-  chunk_.reserve(kTraceBlockBytes);
+  if (options_.format_version == kTraceFormatVersionV1) {
+    chunk_.reserve(options_.block_bytes);
+  } else {
+    raw_block_.reserve(options_.block_bytes);
+  }
   openShard(0);
 }
 
@@ -213,54 +316,120 @@ void TraceStoreWriter::openShard(std::uint32_t index) {
   current_shard_ = index;
   trials_in_current_ = 0;
   payload_bytes_ = 0;
+  raw_payload_bytes_ = 0;
+  chunk_.clear();
+  raw_block_.clear();
+  if (options_.format_version >= kTraceFormatVersionV2 && options_.compress) {
+    encoded_.clear();
+    encoder_.start(&encoded_);
+    models_.reset();
+  }
   // Placeholder header; sealed with the real payload size in closeShard().
   TraceShardHeader header;
+  header.format_version = options_.format_version;
   header.shard_index = index;
   header.shard_count = shard_count_;
   header.node_count = node_count_;
   header.trial_count = trialsInShard(index);
   header.base_trial = trials_appended_;
-  header.payload_bytes = 0;
   const auto bytes = encodeHeader(header);
-  out_.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
 }
 
 void TraceStoreWriter::closeShard() {
-  flushChunk();
+  if (options_.format_version >= kTraceFormatVersionV2) {
+    flushBlock();
+  } else {
+    flushChunk();
+    raw_payload_bytes_ = payload_bytes_;
+  }
   TraceShardHeader header;
+  header.format_version = options_.format_version;
   header.shard_index = current_shard_;
   header.shard_count = shard_count_;
   header.node_count = node_count_;
   header.trial_count = trials_in_current_;
   header.base_trial = trials_appended_ - trials_in_current_;
   header.payload_bytes = payload_bytes_;
+  if (options_.format_version >= kTraceFormatVersionV2) {
+    header.codec = options_.compress ? kTraceCodecRangeCoded : kTraceCodecRaw;
+    header.block_bytes = static_cast<std::uint32_t>(options_.block_bytes);
+    header.raw_payload_bytes = raw_payload_bytes_;
+  }
   const auto bytes = encodeHeader(header);
   out_.seekp(0);
-  out_.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
   out_.close();
   if (!out_)
     throw std::runtime_error("TraceStoreWriter: write failed on shard " +
                              std::to_string(current_shard_));
 }
 
-void TraceStoreWriter::putByte(std::uint8_t byte) {
-  if (chunk_.size() == kTraceBlockBytes) flushChunk();
+void TraceStoreWriter::putByte(std::uint8_t byte, codec::SymbolClass cls,
+                               unsigned bucket) {
+  if (options_.format_version >= kTraceFormatVersionV2) {
+    raw_block_.push_back(byte);
+    if (options_.compress) encoder_.encodeByte(models_.select(cls, bucket), byte);
+    if (raw_block_.size() == options_.block_bytes) flushBlock();
+    return;
+  }
+  if (chunk_.size() == options_.block_bytes) flushChunk();
   chunk_.push_back(static_cast<char>(byte));
   ++payload_bytes_;
 }
 
-void TraceStoreWriter::putVarint(std::uint64_t value) {
+void TraceStoreWriter::putVarint(std::uint64_t value,
+                                 codec::SymbolClass first_cls,
+                                 codec::SymbolClass cont_cls,
+                                 unsigned bucket) {
+  codec::SymbolClass cls = first_cls;
   while (value >= 0x80) {
-    putByte(static_cast<std::uint8_t>(value) | 0x80);
+    putByte(static_cast<std::uint8_t>(value) | 0x80, cls, bucket);
     value >>= 7;
+    cls = cont_cls;
   }
-  putByte(static_cast<std::uint8_t>(value));
+  putByte(static_cast<std::uint8_t>(value), cls, bucket);
 }
 
 void TraceStoreWriter::flushChunk() {
   if (chunk_.empty()) return;
   out_.write(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
   chunk_.clear();
+}
+
+void TraceStoreWriter::flushBlock() {
+  if (raw_block_.empty()) return;
+  const std::uint8_t* stored = raw_block_.data();
+  std::size_t stored_size = raw_block_.size();
+  std::uint8_t block_codec = static_cast<std::uint8_t>(kTraceCodecRaw);
+  if (options_.compress) {
+    encoder_.finish();
+    // Raw fallback: an incompressible block is stored verbatim, so a v2
+    // store never expands beyond the per-block framing.
+    if (encoded_.size() < raw_block_.size()) {
+      stored = encoded_.data();
+      stored_size = encoded_.size();
+      block_codec = static_cast<std::uint8_t>(kTraceCodecRangeCoded);
+    }
+  }
+  unsigned char frame[kTraceBlockFrameBytes];
+  storeU32(frame, static_cast<std::uint32_t>(raw_block_.size()));
+  storeU32(frame + 4, static_cast<std::uint32_t>(stored_size));
+  frame[8] = block_codec;
+  storeU64(frame + 9, fnv1a(stored, stored_size));
+  out_.write(reinterpret_cast<const char*>(frame), sizeof(frame));
+  out_.write(reinterpret_cast<const char*>(stored),
+             static_cast<std::streamsize>(stored_size));
+  payload_bytes_ += kTraceBlockFrameBytes + stored_size;
+  raw_payload_bytes_ += raw_block_.size();
+  raw_block_.clear();
+  if (options_.compress) {
+    encoded_.clear();
+    encoder_.start(&encoded_);
+    models_.reset();
+  }
 }
 
 void TraceStoreWriter::appendTrial(InteractionSequenceView trial) {
@@ -279,12 +448,18 @@ void TraceStoreWriter::appendTrial(InteractionSequenceView trial) {
     closeShard();
     openShard(current_shard_ + 1);
   }
-  putVarint(trial.length());
+  using codec::SymbolClass;
+  putVarint(trial.length(), SymbolClass::kLengthFirst,
+            SymbolClass::kLengthCont, 0);
   NodeId prev_a = 0;
   for (const Interaction& i : trial) {
     putVarint(zigzagEncode(static_cast<std::int64_t>(i.a()) -
-                           static_cast<std::int64_t>(prev_a)));
-    putVarint(i.b() - i.a() - 1);
+                           static_cast<std::int64_t>(prev_a)),
+              SymbolClass::kDeltaFirst, SymbolClass::kDeltaCont,
+              codec::contextBucket(prev_a, bucket_shift_));
+    putVarint(i.b() - i.a() - 1, SymbolClass::kGapFirst,
+              SymbolClass::kGapCont,
+              codec::contextBucket(i.a(), bucket_shift_));
     prev_a = i.a();
   }
   ++trials_appended_;
@@ -304,85 +479,297 @@ void TraceStoreWriter::finish() {
 
 // ---------------------------------------------------------------- reader
 
-TraceShardReader::TraceShardReader(std::string path, std::size_t block_bytes)
-    : path_(std::move(path)), in_(path_, std::ios::binary) {
-  if (!in_) fail("cannot open");
-  block_.resize(block_bytes > 0 ? block_bytes : kTraceBlockBytes);
+bool TraceShardReader::mmapSupported() noexcept {
+#if DODA_TRACE_HAS_MMAP
+  return true;
+#else
+  return false;
+#endif
+}
 
-  std::array<unsigned char, kTraceHeaderSize> bytes{};
-  in_.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
-  if (in_.gcount() != static_cast<std::streamsize>(bytes.size()))
-    fail("truncated header");
-  for (int i = 0; i < 8; ++i)
-    if (bytes[static_cast<std::size_t>(i)] !=
-        static_cast<unsigned char>(kTraceMagic[i]))
-      fail("bad magic (not a doda binary trace shard)");
-  if (loadU16(&bytes[8]) != kTraceFormatVersion)
-    fail("unsupported format version " + std::to_string(loadU16(&bytes[8])));
-  if (loadU16(&bytes[10]) != kTraceHeaderSize)
-    fail("unexpected header size");
-  if (loadU64(&bytes[56]) != fnv1a(bytes.data(), 56))
-    fail("header checksum mismatch (corrupt header)");
-  header_.shard_index = loadU32(&bytes[12]);
-  header_.shard_count = loadU32(&bytes[16]);
-  header_.node_count = loadU64(&bytes[24]);
-  header_.trial_count = loadU64(&bytes[32]);
-  header_.base_trial = loadU64(&bytes[40]);
-  header_.payload_bytes = loadU64(&bytes[48]);
-  if (header_.node_count < 2) fail("header declares fewer than 2 nodes");
-  if (header_.node_count > std::numeric_limits<NodeId>::max())
-    fail("header node count exceeds the supported id range");
-  if (header_.shard_count == 0 || header_.shard_index >= header_.shard_count)
-    fail("header shard index/count inconsistent");
-
+TraceShardReader::TraceShardReader(std::string path, std::size_t block_bytes,
+                                   TraceReadBackend backend)
+    : path_(std::move(path)),
+      stream_block_bytes_(block_bytes > 0 ? block_bytes : kTraceBlockBytes) {
+  // Stat before choosing a backend so a missing / zero-length file fails
+  // with the same message on every backend.
   std::error_code ec;
-  const auto size = std::filesystem::file_size(path_, ec);
-  if (ec) fail("cannot stat: " + ec.message());
-  const std::uint64_t expected = kTraceHeaderSize + header_.payload_bytes;
-  if (size < expected) fail("truncated shard (payload shorter than header declares)");
-  if (size > expected) fail("trailing bytes after declared payload");
-  payload_left_ = header_.payload_bytes;
+  const auto file_size = std::filesystem::file_size(path_, ec);
+  if (ec) {
+    if (!std::filesystem::exists(path_)) fail("cannot open");
+    fail("cannot stat: " + ec.message());
+  }
+  if (file_size < kTraceHeaderSize) fail("truncated header");
+
+  if (backend != TraceReadBackend::kStream) {
+    std::string error;
+    if (!map_.map(path_, error)) {
+      if (backend == TraceReadBackend::kMmap)
+        fail("mmap backend unavailable: " + error);
+      // kAuto: fall back to buffered streams below.
+    }
+  }
+  if (!usingMmap()) {
+    in_.open(path_, std::ios::binary);
+    if (!in_) fail("cannot open");
+  }
+
+  parseHeader();
+
+  const std::uint64_t expected = header_.fileBytes();
+  if (file_size < expected)
+    fail("truncated shard (payload shorter than header declares)");
+  if (file_size > expected) fail("trailing bytes after declared payload");
+
+  if (usingMmap()) {
+    payload_ptr_ = map_.data + header_.headerSize();
+    payload_end_ = map_.data + map_.size;
+    if (header_.format_version == kTraceFormatVersionV1) {
+      // v1 + mmap: the whole payload is the symbol window — zero copies,
+      // one bounds check per byte.
+      sym_buf_ = payload_ptr_;
+      sym_pos_ = 0;
+      sym_limit_ = static_cast<std::size_t>(header_.payload_bytes);
+      payload_ptr_ = payload_end_;
+    }
+  } else {
+    payload_left_ = header_.payload_bytes;
+    if (header_.format_version == kTraceFormatVersionV1)
+      stream_buf_.resize(stream_block_bytes_);
+  }
+  raw_left_base_ = header_.raw_payload_bytes;
+  bucket_shift_ = codec::bucketShiftFor(header_.node_count);
 }
 
 void TraceShardReader::fail(const std::string& why) const {
   throw std::runtime_error("TraceShardReader: " + path_ + ": " + why);
 }
 
-std::uint8_t TraceShardReader::takeByte() {
-  if (block_pos_ == block_limit_) {
-    if (payload_left_ == 0) fail("truncated shard (payload exhausted)");
-    const auto want = static_cast<std::streamsize>(
-        std::min<std::uint64_t>(block_.size(), payload_left_));
-    in_.read(block_.data(), want);
-    block_limit_ = static_cast<std::size_t>(in_.gcount());
-    block_pos_ = 0;
-    if (block_limit_ == 0) fail("truncated shard (unexpected EOF)");
-    payload_left_ -= block_limit_;
+void TraceShardReader::parseHeader() {
+  std::array<unsigned char, kTraceHeaderSizeV2> bytes{};
+  auto readHeaderBytes = [&](std::size_t offset, std::size_t count) {
+    if (usingMmap()) {
+      if (map_.size < offset + count) fail("truncated header");
+      std::memcpy(bytes.data() + offset, map_.data + offset, count);
+      return;
+    }
+    in_.read(reinterpret_cast<char*>(bytes.data() + offset),
+             static_cast<std::streamsize>(count));
+    if (in_.gcount() != static_cast<std::streamsize>(count))
+      fail("truncated header");
+  };
+
+  readHeaderBytes(0, kTraceHeaderSize);
+  for (int i = 0; i < 8; ++i)
+    if (bytes[static_cast<std::size_t>(i)] !=
+        static_cast<unsigned char>(kTraceMagic[i]))
+      fail("bad magic (not a doda binary trace shard)");
+  const std::uint16_t version = loadU16(&bytes[8]);
+  const std::uint16_t header_size = loadU16(&bytes[10]);
+  if (version == kTraceFormatVersionV1) {
+    if (header_size != kTraceHeaderSize) fail("unexpected header size");
+    if (loadU64(&bytes[56]) != fnv1a(bytes.data(), 56))
+      fail("header checksum mismatch (corrupt header)");
+  } else if (version == kTraceFormatVersionV2) {
+    if (header_size != kTraceHeaderSizeV2) fail("unexpected header size");
+    readHeaderBytes(kTraceHeaderSize, kTraceHeaderSizeV2 - kTraceHeaderSize);
+    if (loadU64(&bytes[72]) != fnv1a(bytes.data(), 72))
+      fail("header checksum mismatch (corrupt header)");
+  } else {
+    fail("unsupported format version " + std::to_string(version));
   }
-  return static_cast<std::uint8_t>(block_[block_pos_++]);
+
+  header_.format_version = version;
+  header_.shard_index = loadU32(&bytes[12]);
+  header_.shard_count = loadU32(&bytes[16]);
+  header_.node_count = loadU64(&bytes[24]);
+  header_.trial_count = loadU64(&bytes[32]);
+  header_.base_trial = loadU64(&bytes[40]);
+  header_.payload_bytes = loadU64(&bytes[48]);
+  if (version == kTraceFormatVersionV2) {
+    header_.codec = loadU32(&bytes[20]);
+    header_.raw_payload_bytes = loadU64(&bytes[56]);
+    header_.block_bytes = loadU32(&bytes[64]);
+    if (header_.codec > kTraceCodecRangeCoded)
+      fail("unsupported payload codec " + std::to_string(header_.codec));
+    if (header_.block_bytes < kTraceMinBlockBytes ||
+        header_.block_bytes > kTraceMaxBlockBytes)
+      fail("header block size out of range");
+    if (header_.raw_payload_bytes > 0 && header_.payload_bytes == 0)
+      fail("header payload sizes inconsistent");
+  } else {
+    header_.codec = kTraceCodecRaw;
+    header_.block_bytes = 0;
+    header_.raw_payload_bytes = header_.payload_bytes;
+  }
+  if (header_.node_count < 2) fail("header declares fewer than 2 nodes");
+  if (header_.node_count > std::numeric_limits<NodeId>::max())
+    fail("header node count exceeds the supported id range");
+  if (header_.shard_count == 0 || header_.shard_index >= header_.shard_count)
+    fail("header shard index/count inconsistent");
 }
 
-std::uint64_t TraceShardReader::takeVarint() {
+std::uint64_t TraceShardReader::payloadSourceLeft() const noexcept {
+  if (usingMmap())
+    return static_cast<std::uint64_t>(payload_end_ - payload_ptr_);
+  return payload_left_;
+}
+
+void TraceShardReader::readPayloadBytes(unsigned char* dst,
+                                        std::size_t count) {
+  if (usingMmap()) {
+    if (static_cast<std::size_t>(payload_end_ - payload_ptr_) < count)
+      fail("truncated shard (unexpected EOF)");
+    std::memcpy(dst, payload_ptr_, count);
+    payload_ptr_ += count;
+    return;
+  }
+  if (payload_left_ < count) fail("truncated shard (unexpected EOF)");
+  in_.read(reinterpret_cast<char*>(dst),
+           static_cast<std::streamsize>(count));
+  if (in_.gcount() != static_cast<std::streamsize>(count))
+    fail("truncated shard (unexpected EOF)");
+  payload_left_ -= count;
+}
+
+const unsigned char* TraceShardReader::borrowPayloadBytes(std::size_t count) {
+  if (usingMmap()) {
+    if (static_cast<std::size_t>(payload_end_ - payload_ptr_) < count)
+      fail("truncated shard (unexpected EOF)");
+    const unsigned char* ptr = payload_ptr_;
+    payload_ptr_ += count;
+    return ptr;
+  }
+  if (block_buf_.size() < count) block_buf_.resize(count);
+  readPayloadBytes(block_buf_.data(), count);
+  return block_buf_.data();
+}
+
+void TraceShardReader::loadNextBlock() {
+  beginWindow();
+  if (payloadSourceLeft() == 0)
+    fail("truncated shard (payload exhausted)");
+  unsigned char frame[kTraceBlockFrameBytes];
+  readPayloadBytes(frame, sizeof(frame));
+  const std::uint32_t raw_size = loadU32(frame);
+  const std::uint32_t stored_size = loadU32(frame + 4);
+  const std::uint8_t block_codec = frame[8];
+  const std::uint64_t checksum = loadU64(frame + 9);
+  if (raw_size == 0 || raw_size > header_.block_bytes)
+    fail("block raw size out of range (corrupt block)");
+  if (raw_size > raw_left_base_)
+    fail("block sizes disagree with header (corrupt block)");
+  if (block_codec == kTraceCodecRaw) {
+    if (stored_size != raw_size)
+      fail("raw block sizes disagree (corrupt block)");
+  } else if (block_codec == kTraceCodecRangeCoded) {
+    if (header_.codec != kTraceCodecRangeCoded)
+      fail("range-coded block in an uncompressed shard (corrupt block)");
+    if (stored_size >= raw_size)
+      fail("compressed block larger than raw (corrupt block)");
+  } else {
+    fail("unknown block codec (corrupt block)");
+  }
+  const unsigned char* stored = borrowPayloadBytes(stored_size);
+  if (fnv1a(stored, stored_size) != checksum)
+    fail("block checksum mismatch (corrupt block)");
+  if (block_codec == kTraceCodecRaw) {
+    sym_buf_ = stored;
+    sym_limit_ = raw_size;
+  } else {
+    models_.reset();
+    decoder_.start(stored, stored_size);
+    rc_block_raw_ = raw_size;
+    rc_symbols_left_ = raw_size;
+  }
+}
+
+void TraceShardReader::refillSymbols() {
+  if (header_.format_version >= kTraceFormatVersionV2) {
+    loadNextBlock();
+    return;
+  }
+  // v1: windowed refill of the bare record stream (stream backend only —
+  // the mmap backend serves the whole payload as one window).
+  beginWindow();
+  if (payload_left_ == 0) fail("truncated shard (payload exhausted)");
+  const auto want = static_cast<std::streamsize>(
+      std::min<std::uint64_t>(stream_buf_.size(), payload_left_));
+  in_.read(reinterpret_cast<char*>(stream_buf_.data()), want);
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  if (got == 0) fail("truncated shard (unexpected EOF)");
+  payload_left_ -= got;
+  sym_buf_ = stream_buf_.data();
+  sym_limit_ = got;
+}
+
+std::uint8_t TraceShardReader::takeByte(codec::SymbolClass cls,
+                                        unsigned bucket) {
+  // Iterative, not recursive: the raw-window fast path must stay
+  // inlinable into the varint/record decoders (v1 and raw-block decode
+  // throughput hinges on it). Record-stream accounting is windowed
+  // (rawLeft()), so serving a byte touches no extra state.
+  for (;;) {
+    if (sym_pos_ < sym_limit_) return sym_buf_[sym_pos_++];
+    if (rc_symbols_left_ > 0) {
+      const std::uint8_t byte =
+          decoder_.decodeByte(models_.select(cls, bucket));
+      if (decoder_.overrun())
+        fail("compressed block overruns its payload (corrupt block)");
+      --rc_symbols_left_;
+      return byte;
+    }
+    refillSymbols();
+  }
+}
+
+std::uint64_t TraceShardReader::rawLeft() const noexcept {
+  // Record-stream bytes not yet served: the remainder when the current
+  // window (raw bytes or range-coded block) was installed, minus what the
+  // window has served since. Exactly one of the two window terms is live.
+  return raw_left_base_ - sym_pos_ - (rc_block_raw_ - rc_symbols_left_);
+}
+
+void TraceShardReader::beginWindow() {
+  raw_left_base_ = rawLeft();
+  sym_buf_ = nullptr;
+  sym_pos_ = 0;
+  sym_limit_ = 0;
+  rc_block_raw_ = 0;
+  rc_symbols_left_ = 0;
+}
+
+std::uint64_t TraceShardReader::takeVarint(codec::SymbolClass first_cls,
+                                           codec::SymbolClass cont_cls,
+                                           unsigned bucket) {
   std::uint64_t value = 0;
+  codec::SymbolClass cls = first_cls;
   for (int shift = 0; shift < 64; shift += 7) {
-    const std::uint8_t byte = takeByte();
+    const std::uint8_t byte = takeByte(cls, bucket);
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) return value;
+    cls = cont_cls;
   }
   fail("varint overrun (corrupt payload)");
 }
 
 Interaction TraceShardReader::decodeOne() {
-  // The payload is not checksummed, so these range checks are the only
-  // defense against corruption: validate every decoded quantity *before*
-  // using it in arithmetic (no signed overflow, no unsigned wrap).
-  const std::int64_t delta = zigzagDecode(takeVarint());
+  // Range checks guard every decoded quantity *before* it is used in
+  // arithmetic (no signed overflow, no unsigned wrap): v1 payloads are not
+  // checksummed, and even checksummed v2 blocks defend in depth.
+  using codec::SymbolClass;
+  const std::int64_t delta = zigzagDecode(
+      takeVarint(SymbolClass::kDeltaFirst, SymbolClass::kDeltaCont,
+                 codec::contextBucket(prev_a_, bucket_shift_)));
   const auto n = static_cast<std::int64_t>(header_.node_count);
   const auto prev = static_cast<std::int64_t>(prev_a_);
   if (delta < -prev || delta >= n - prev)
     fail("decoded endpoint out of range (corrupt payload)");
   const std::int64_t a = prev + delta;
-  const std::uint64_t gap = takeVarint();
+  const std::uint64_t gap =
+      takeVarint(SymbolClass::kGapFirst, SymbolClass::kGapCont,
+                 codec::contextBucket(static_cast<std::uint64_t>(a),
+                                      bucket_shift_));
   if (gap >= header_.node_count - static_cast<std::uint64_t>(a) - 1)
     fail("decoded endpoint out of range (corrupt payload)");
   const std::uint64_t b = static_cast<std::uint64_t>(a) + 1 + gap;
@@ -392,14 +779,21 @@ Interaction TraceShardReader::decodeOne() {
 
 bool TraceShardReader::beginTrial() {
   if (trials_begun_ > 0) skipRest();
-  if (trials_begun_ == header_.trial_count) return false;
-  trial_length_ = takeVarint();
-  // Every interaction occupies at least two payload bytes (two varints),
-  // so a declared length beyond half the undelivered payload is corrupt —
-  // reject it here rather than letting readRest() reserve a huge vector.
-  const std::uint64_t bytes_left =
-      payload_left_ + (block_limit_ - block_pos_);
-  if (trial_length_ > bytes_left / 2)
+  if (trials_begun_ == header_.trial_count) {
+    // v2 accounts the record stream exactly: a well-formed shard has no
+    // undecoded remainder once every trial is consumed.
+    if (header_.format_version >= kTraceFormatVersionV2 &&
+        (rawLeft() != 0 || payloadSourceLeft() != 0))
+      fail("trailing bytes after the last trial (corrupt shard)");
+    return false;
+  }
+  trial_length_ = takeVarint(codec::SymbolClass::kLengthFirst,
+                             codec::SymbolClass::kLengthCont, 0);
+  // Every interaction occupies at least two record-stream bytes (two
+  // varints), so a declared length beyond half the remaining stream is
+  // corrupt — reject it here rather than letting readRest() reserve a
+  // huge vector.
+  if (trial_length_ > rawLeft() / 2)
     fail("trial length exceeds remaining payload (corrupt payload)");
   decoded_ = 0;
   prev_a_ = 0;
@@ -439,26 +833,38 @@ std::string TraceStore::shardPath(std::size_t shard_index) const {
       .string();
 }
 
-TraceShardReader TraceStore::openShard(std::size_t shard_index) const {
+TraceShardReader TraceStore::openShard(std::size_t shard_index,
+                                       TraceReadBackend backend) const {
   if (shard_index >= shards_.size())
     throw std::out_of_range("TraceStore::openShard: shard index " +
                             std::to_string(shard_index) + " of " +
                             std::to_string(shards_.size()));
-  return TraceShardReader(shardPath(shard_index));
+  return TraceShardReader(shardPath(shard_index), kTraceBlockBytes, backend);
+}
+
+std::uint64_t TraceStore::totalFileBytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& header : shards_) total += header.fileBytes();
+  return total;
 }
 
 TraceStore TraceStore::open(const std::string& directory) {
   TraceStore store;
   store.directory_ = directory;
   // Shard 0 names the shard count; every shard is then opened once to
-  // validate its header and the cross-shard invariants.
-  TraceShardReader first(store.shardPath(0));
+  // validate its header and the cross-shard invariants. Header validation
+  // does not need the payload, so the cheap stream backend is used.
+  TraceShardReader first(store.shardPath(0), kTraceBlockBytes,
+                         TraceReadBackend::kStream);
   const std::uint32_t shard_count = first.header().shard_count;
   store.shards_.reserve(shard_count);
   store.node_count_ = static_cast<std::size_t>(first.header().node_count);
   for (std::uint32_t k = 0; k < shard_count; ++k) {
     const TraceShardHeader header =
-        k == 0 ? first.header() : TraceShardReader(store.shardPath(k)).header();
+        k == 0 ? first.header()
+               : TraceShardReader(store.shardPath(k), kTraceBlockBytes,
+                                  TraceReadBackend::kStream)
+                     .header();
     auto fail = [&](const std::string& why) {
       throw std::runtime_error("TraceStore: " + store.shardPath(k) + ": " +
                                why);
@@ -468,6 +874,8 @@ TraceStore TraceStore::open(const std::string& directory) {
       fail("shard count disagrees with shard 0");
     if (header.node_count != first.header().node_count)
       fail("node count disagrees with shard 0");
+    if (header.format_version != first.header().format_version)
+      fail("format version disagrees with shard 0");
     if (header.base_trial != store.trial_count_)
       fail("base trial not contiguous with preceding shards");
     store.trial_count_ += header.trial_count;

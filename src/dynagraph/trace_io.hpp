@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dynagraph/interaction_sequence.hpp"
+#include "dynagraph/trace_codec.hpp"
 
 namespace doda::dynagraph {
 
@@ -60,12 +61,15 @@ LoadedTrace loadTrace(const std::string& path);
 // shard to one task and streams its trials without ever materializing the
 // shard.
 //
-// Shard file layout (all integers little-endian):
+// Two on-disk formats share the "DODATRC1" magic and are told apart by the
+// header's version field. Version 1 (the PR-2 format) stays fully readable.
+//
+// v1 shard layout (all integers little-endian):
 //
 //   offset size
 //   0      8    magic "DODATRC1"
-//   8      2    u16 format version (currently 1)
-//   10     2    u16 header size (currently 64)
+//   8      2    u16 format version (1)
+//   10     2    u16 header size (64)
 //   12     4    u32 shard index
 //   16     4    u32 shard count of the store
 //   20     4    u32 reserved (0)
@@ -75,7 +79,7 @@ LoadedTrace loadTrace(const std::string& path);
 //   48     8    u64 payload bytes following the header
 //   56     8    u64 FNV-1a checksum of header bytes [0, 56)
 //
-// The payload is a run of trial records:
+// The v1 payload is the bare *record stream*, a run of trial records:
 //
 //   varint  interaction count L
 //   L x     delta-encoded interaction: zigzag-varint(a - prev_a) followed
@@ -83,29 +87,130 @@ LoadedTrace loadTrace(const std::string& path);
 //           (a < b) and prev_a is the previous interaction's `a` (0 at the
 //           start of each trial)
 //
-// Varints are LEB128 (7 bits per byte, little-endian groups). The delta
-// encoding makes locality cheap: uniform-random traces take ~2-3 bytes per
-// interaction versus 8 for raw u32 pairs, and the codec streams in both
-// directions — the writer emits fixed-size chunks, the reader block-reads
-// into a bounded buffer.
+// Varints are LEB128 (7 bits per byte, little-endian groups).
+//
+// v2 shard layout (the current writer default):
+//
+//   offset size
+//   0      8    magic "DODATRC1"
+//   8      2    u16 format version (2)
+//   10     2    u16 header size (80)
+//   12     4    u32 shard index
+//   16     4    u32 shard count of the store
+//   20     4    u32 codec (0 = raw blocks, 1 = range-coded blocks allowed)
+//   24     8    u64 node count
+//   32     8    u64 trial count in this shard
+//   40     8    u64 base trial
+//   48     8    u64 payload bytes following the header (block frames
+//               included)
+//   56     8    u64 raw payload bytes (length of the decoded record stream)
+//   64     4    u32 block capacity (max raw bytes per block)
+//   68     4    u32 reserved (0)
+//   72     8    u64 FNV-1a checksum of header bytes [0, 72)
+//
+// The v2 payload is a run of independently checksummed *blocks* framing the
+// same record stream (a trial — even a varint — may span blocks):
+//
+//   u32  raw size      decoded bytes of this block, in (0, block capacity]
+//   u32  stored size   bytes stored on disk (== raw size when codec 0,
+//                      < raw size when codec 1)
+//   u8   codec         0 = raw copy of the record stream, 1 = range-coded
+//                      (trace_codec.hpp: adaptive binary range coder with
+//                      per-class bit-tree byte models, reset per block)
+//   u64  FNV-1a checksum of the stored bytes
+//   ...  stored bytes
+//
+// A writer that finds a block incompressible stores it raw (codec 0), so a
+// v2 store never expands beyond framing overhead. Readers verify the block
+// checksum before decoding, making payload corruption detectable even when
+// the damaged bytes would happen to decode in range.
 // ---------------------------------------------------------------------------
 
-inline constexpr std::uint16_t kTraceFormatVersion = 1;
-inline constexpr std::uint16_t kTraceHeaderSize = 64;
+inline constexpr std::uint16_t kTraceFormatVersionV1 = 1;
+inline constexpr std::uint16_t kTraceFormatVersionV2 = 2;
+/// Default format written by TraceStoreWriter.
+inline constexpr std::uint16_t kTraceFormatVersion = kTraceFormatVersionV2;
+inline constexpr std::uint16_t kTraceHeaderSize = 64;    // v1
+inline constexpr std::uint16_t kTraceHeaderSizeV2 = 80;  // v2
 inline constexpr std::size_t kTraceBlockBytes = std::size_t{1} << 16;
+inline constexpr std::size_t kTraceBlockFrameBytes = 17;
+
+/// Block codec ids (v2 header and block frames).
+inline constexpr std::uint32_t kTraceCodecRaw = 0;
+inline constexpr std::uint32_t kTraceCodecRangeCoded = 1;
 
 /// Decoded, validated shard header.
 struct TraceShardHeader {
+  std::uint16_t format_version = kTraceFormatVersionV1;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 0;
+  /// v2: kTraceCodecRaw or kTraceCodecRangeCoded; always 0 for v1.
+  std::uint32_t codec = 0;
+  /// v2: max raw bytes per block; 0 for v1.
+  std::uint32_t block_bytes = 0;
   std::uint64_t node_count = 0;
   std::uint64_t trial_count = 0;
   std::uint64_t base_trial = 0;
+  /// On-disk payload bytes following the header.
   std::uint64_t payload_bytes = 0;
+  /// Decoded record-stream bytes (== payload_bytes for v1).
+  std::uint64_t raw_payload_bytes = 0;
+
+  std::uint16_t headerSize() const noexcept {
+    return format_version >= kTraceFormatVersionV2 ? kTraceHeaderSizeV2
+                                                   : kTraceHeaderSize;
+  }
+  /// Total shard file size implied by this header.
+  std::uint64_t fileBytes() const noexcept {
+    return headerSize() + payload_bytes;
+  }
 };
 
 /// Canonical shard file name within a store directory ("shard-00007.trace").
 std::string traceShardFileName(std::uint32_t shard_index);
+
+/// Writer-side format knobs. Defaults produce a compressed v2 store.
+struct TraceWriterOptions {
+  /// kTraceFormatVersionV1 reproduces the PR-2 format byte for byte.
+  std::uint16_t format_version = kTraceFormatVersion;
+  /// v2 only: entropy-code blocks (incompressible blocks fall back to raw
+  /// storage automatically). false writes raw, checksummed blocks.
+  bool compress = true;
+  /// v2 only: raw bytes per block. Smaller blocks localize corruption and
+  /// reset the models more often; larger blocks compress slightly better.
+  std::size_t block_bytes = kTraceBlockBytes;
+};
+
+/// How TraceShardReader accesses the shard file.
+enum class TraceReadBackend : std::uint8_t {
+  /// mmap when the platform supports it, buffered streams otherwise.
+  kAuto,
+  /// Require mmap; constructor throws where unavailable.
+  kMmap,
+  /// Force buffered-stream reads (the PR-2 behavior).
+  kStream,
+};
+
+namespace detail {
+/// Read-only mapping of a whole shard file (POSIX mmap). Empty on
+/// platforms without mmap support.
+struct MmapRegion {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+
+  MmapRegion() = default;
+  ~MmapRegion();
+  MmapRegion(MmapRegion&& other) noexcept;
+  MmapRegion& operator=(MmapRegion&& other) noexcept;
+  MmapRegion(const MmapRegion&) = delete;
+  MmapRegion& operator=(const MmapRegion&) = delete;
+
+  /// Maps `path` read-only. Returns false (leaving the region empty) when
+  /// mmap is unsupported or fails; `error` receives the reason.
+  bool map(const std::string& path, std::string& error);
+  void unmap() noexcept;
+};
+}  // namespace detail
 
 /// Writes a sharded binary trace store. Trials are appended in global
 /// order; the writer splits them into `shard_count` contiguous blocks of
@@ -115,16 +220,18 @@ class TraceStoreWriter {
  public:
   /// Creates `directory` (and parents) and opens the first shard. Throws
   /// std::invalid_argument on a degenerate shape (zero trials, zero shards,
-  /// more shards than trials, node_count < 2) and std::runtime_error on I/O
-  /// failure.
+  /// more shards than trials, node_count < 2, bad options) and
+  /// std::runtime_error on I/O failure.
   TraceStoreWriter(std::string directory, std::size_t node_count,
-                   std::uint64_t total_trials, std::uint32_t shard_count);
+                   std::uint64_t total_trials, std::uint32_t shard_count,
+                   TraceWriterOptions options = {});
   ~TraceStoreWriter();
 
   TraceStoreWriter(const TraceStoreWriter&) = delete;
   TraceStoreWriter& operator=(const TraceStoreWriter&) = delete;
 
   const std::string& directory() const noexcept { return directory_; }
+  const TraceWriterOptions& options() const noexcept { return options_; }
 
   /// Appends the next trial. Every interaction endpoint must be
   /// < node_count. Throws std::logic_error when more than `total_trials`
@@ -138,37 +245,56 @@ class TraceStoreWriter {
  private:
   void openShard(std::uint32_t index);
   void closeShard();
-  void putByte(std::uint8_t byte);
-  void putVarint(std::uint64_t value);
-  void flushChunk();
+  void putByte(std::uint8_t byte, codec::SymbolClass cls, unsigned bucket);
+  void putVarint(std::uint64_t value, codec::SymbolClass first_cls,
+                 codec::SymbolClass cont_cls, unsigned bucket);
+  void flushChunk();  // v1: buffered write of the bare record stream
+  void flushBlock();  // v2: seal and emit the current block
   std::uint64_t trialsInShard(std::uint32_t index) const;
 
   std::string directory_;
   std::size_t node_count_;
   std::uint64_t total_trials_;
   std::uint32_t shard_count_;
+  TraceWriterOptions options_;
+  unsigned bucket_shift_ = 0;
   std::ofstream out_;
-  std::vector<char> chunk_;
+  std::vector<char> chunk_;                // v1 write buffer
+  std::vector<std::uint8_t> raw_block_;    // v2: raw record bytes of the block
+  std::vector<std::uint8_t> encoded_;      // v2: range-coder output
+  codec::RangeEncoder encoder_;
+  codec::TraceModels models_;
   std::uint32_t current_shard_ = 0;
   std::uint64_t trials_appended_ = 0;
   std::uint64_t trials_in_current_ = 0;
   std::uint64_t payload_bytes_ = 0;
+  std::uint64_t raw_payload_bytes_ = 0;
   bool finished_ = false;
 };
 
 /// Streams one shard file: validates the header on open (magic, version,
 /// checksum, and that the file size matches the declared payload — a short
-/// file fails fast as "truncated"), then decodes trials sequentially
-/// through a fixed-size block buffer. The whole shard is never resident.
+/// file fails fast as "truncated"), then decodes trials sequentially. The
+/// backend is mmap where available (zero-copy for raw payloads) with a
+/// buffered-stream fallback; v2 block payloads are additionally verified
+/// against their per-block checksum before decoding. The whole shard is
+/// never resident beyond the mapping.
 class TraceShardReader {
  public:
   /// Opens and validates `path`. Throws std::runtime_error on a missing
-  /// file, corrupt header, or truncated payload.
+  /// file, corrupt header, truncated payload, or (backend kMmap) when mmap
+  /// is unavailable.
   explicit TraceShardReader(std::string path,
-                            std::size_t block_bytes = kTraceBlockBytes);
+                            std::size_t block_bytes = kTraceBlockBytes,
+                            TraceReadBackend backend = TraceReadBackend::kAuto);
+
+  /// Whether this platform can mmap shard files at all.
+  static bool mmapSupported() noexcept;
 
   const TraceShardHeader& header() const noexcept { return header_; }
   const std::string& path() const noexcept { return path_; }
+  /// Whether this reader serves bytes from a memory mapping.
+  bool usingMmap() const noexcept { return map_.data != nullptr; }
 
   /// Positions at the next trial (skipping any undecoded remainder of the
   /// current one). Returns false when every trial of the shard has been
@@ -189,7 +315,8 @@ class TraceShardReader {
 
   /// Decodes the next interaction of the current trial; std::nullopt at
   /// trial end. Throws std::runtime_error on a truncated or corrupt
-  /// payload (out-of-range endpoint, varint overrun, unexpected EOF).
+  /// payload (out-of-range endpoint, varint overrun, block checksum
+  /// mismatch, unexpected EOF).
   std::optional<Interaction> next();
 
   /// Materializes the undecoded remainder of the current trial.
@@ -200,17 +327,41 @@ class TraceShardReader {
 
  private:
   [[noreturn]] void fail(const std::string& why) const;
-  std::uint8_t takeByte();
-  std::uint64_t takeVarint();
+  void parseHeader();
+  void readPayloadBytes(unsigned char* dst, std::size_t count);
+  const unsigned char* borrowPayloadBytes(std::size_t count);
+  std::uint64_t payloadSourceLeft() const noexcept;
+  void refillSymbols();
+  void loadNextBlock();
+  void beginWindow();
+  std::uint64_t rawLeft() const noexcept;
+  std::uint8_t takeByte(codec::SymbolClass cls, unsigned bucket);
+  std::uint64_t takeVarint(codec::SymbolClass first_cls,
+                           codec::SymbolClass cont_cls, unsigned bucket);
   Interaction decodeOne();
 
   std::string path_;
+  detail::MmapRegion map_;
   std::ifstream in_;
-  std::vector<char> block_;
-  std::size_t block_pos_ = 0;
-  std::size_t block_limit_ = 0;
+  std::vector<unsigned char> stream_buf_;  // stream backend read window
+  std::vector<unsigned char> block_buf_;   // stream backend v2 block bytes
   TraceShardHeader header_;
-  std::uint64_t payload_left_ = 0;  // undelivered payload bytes (file-side)
+  unsigned bucket_shift_ = 0;
+  std::size_t stream_block_bytes_ = 0;
+  // On-disk payload cursor.
+  const unsigned char* payload_ptr_ = nullptr;  // mmap backend
+  const unsigned char* payload_end_ = nullptr;
+  std::uint64_t payload_left_ = 0;  // stream backend: undelivered file bytes
+  // Decoded-symbol window (raw blocks / v1 payloads serve directly from it).
+  const unsigned char* sym_buf_ = nullptr;
+  std::size_t sym_pos_ = 0;
+  std::size_t sym_limit_ = 0;
+  // Range-coded block state.
+  codec::RangeDecoder decoder_;
+  codec::TraceModels models_;
+  std::uint64_t rc_block_raw_ = 0;     // raw size of the live rc block
+  std::uint64_t rc_symbols_left_ = 0;
+  std::uint64_t raw_left_base_ = 0;  // rawLeft() when the window began
   std::uint64_t trials_begun_ = 0;
   std::uint64_t trial_length_ = 0;
   std::uint64_t decoded_ = 0;
@@ -218,9 +369,9 @@ class TraceShardReader {
 };
 
 /// A validated handle on a sharded store directory: opens every shard
-/// header once, checks cross-shard consistency (same node count and shard
-/// count, shard indices and base trials contiguous), and hands out
-/// per-shard readers. Copyable; holds no file descriptors.
+/// header once, checks cross-shard consistency (same node count, shard
+/// count and format, shard indices and base trials contiguous), and hands
+/// out per-shard readers. Copyable; holds no file descriptors.
 class TraceStore {
  public:
   /// Opens the store at `directory`. Throws std::runtime_error when shards
@@ -231,12 +382,19 @@ class TraceStore {
   std::size_t nodeCount() const noexcept { return node_count_; }
   std::uint64_t trialCount() const noexcept { return trial_count_; }
   std::size_t shardCount() const noexcept { return shards_.size(); }
+  std::uint16_t formatVersion() const noexcept {
+    return shards_.empty() ? kTraceFormatVersion : shards_[0].format_version;
+  }
   const std::vector<TraceShardHeader>& shardHeaders() const noexcept {
     return shards_;
   }
+  /// Total bytes of every shard file (headers + payloads).
+  std::uint64_t totalFileBytes() const noexcept;
 
   std::string shardPath(std::size_t shard_index) const;
-  TraceShardReader openShard(std::size_t shard_index) const;
+  TraceShardReader openShard(
+      std::size_t shard_index,
+      TraceReadBackend backend = TraceReadBackend::kAuto) const;
 
  private:
   TraceStore() = default;

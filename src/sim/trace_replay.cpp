@@ -24,8 +24,9 @@ namespace {
 /// trace ends) cannot desync the shard cursor.
 void runShard(const TraceStore& store, std::size_t shard,
               const ReplayTrialBody& body, core::Engine::Scratch& scratch,
-              std::vector<TrialOutcome>& slots) {
-  TraceShardReader reader = store.openShard(shard);
+              std::vector<TrialOutcome>& slots,
+              dynagraph::TraceReadBackend backend) {
+  TraceShardReader reader = store.openShard(shard, backend);
   while (reader.beginTrial()) {
     const std::size_t global = static_cast<std::size_t>(
         reader.header().base_trial + reader.trialsBegun() - 1);
@@ -45,14 +46,15 @@ core::RunOptions replayRunOptions(const ReplayConfig& config,
 }  // namespace
 
 MeasureResult replayShards(const TraceStore& store, std::size_t threads,
-                           const ReplayTrialBody& body) {
+                           const ReplayTrialBody& body,
+                           dynagraph::TraceReadBackend backend) {
   std::vector<TrialOutcome> slots(
       static_cast<std::size_t>(store.trialCount()));
   // One shard per pool task: each shard file is streamed once,
   // sequentially, by one worker.
   runIndexedTasks(store.shardCount(), threads,
                   [&](std::size_t shard, core::Engine::Scratch& scratch) {
-                    runShard(store, shard, body, scratch, slots);
+                    runShard(store, shard, body, scratch, slots, backend);
                   });
 
   // Ordered fold: global trial 0, 1, 2, ... regardless of shard placement,
@@ -91,7 +93,8 @@ MeasureResult replayTrace(const TraceStore& store, const ReplayConfig& config,
           outcome.has_cost = true;
         }
         return outcome;
-      });
+      },
+      config.backend);
 }
 
 namespace {
@@ -137,13 +140,15 @@ MeasureResult replayTraceStreaming(const TraceStore& store,
         outcome.interactions =
             static_cast<double>(result.interactions_to_terminate);
         return outcome;
-      });
+      },
+      config.backend);
 }
 
 void recordTrials(const std::string& directory, std::size_t node_count,
                   std::size_t trials, std::uint64_t master_seed,
                   std::uint32_t shard_count,
-                  const TrialGenerator& generator) {
+                  const TrialGenerator& generator,
+                  dynagraph::TraceWriterOptions writer_options) {
   // Identical seed scheme to runTrials: trial i's randomness is the i-th
   // draw from the master RNG, so recorded sequences match what the
   // in-memory synthetic run generates from the same master seed.
@@ -152,7 +157,7 @@ void recordTrials(const std::string& directory, std::size_t node_count,
   for (auto& seed : seeds) seed = master();
 
   dynagraph::TraceStoreWriter writer(directory, node_count, trials,
-                                     shard_count);
+                                     shard_count, writer_options);
   for (std::size_t trial = 0; trial < trials; ++trial) {
     util::Rng rng(seeds[trial]);
     writer.appendTrial(generator(trial, rng));
@@ -162,11 +167,14 @@ void recordTrials(const std::string& directory, std::size_t node_count,
 
 void recordSynthetic(const std::string& directory,
                      const MeasureConfig& config, Time length,
-                     std::uint32_t shard_count) {
-  recordTrials(directory, config.node_count, config.trials, config.seed,
-               shard_count, [&](std::size_t /*trial*/, util::Rng& rng) {
-                 return drawAdversarySequence(config, length, rng);
-               });
+                     std::uint32_t shard_count,
+                     dynagraph::TraceWriterOptions writer_options) {
+  recordTrials(
+      directory, config.node_count, config.trials, config.seed, shard_count,
+      [&](std::size_t /*trial*/, util::Rng& rng) {
+        return drawAdversarySequence(config, length, rng);
+      },
+      writer_options);
 }
 
 }  // namespace doda::sim

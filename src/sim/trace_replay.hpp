@@ -22,6 +22,9 @@ struct ReplayConfig {
   /// Whether replayTrace additionally computes the paper cost (§2.3) of
   /// each successful trial (requires the materialized path).
   bool compute_cost = false;
+  /// How shard files are read (mmap where available by default). Never
+  /// affects the statistics, only the I/O path.
+  dynagraph::TraceReadBackend backend = dynagraph::TraceReadBackend::kAuto;
 };
 
 /// The work of one replayed trial. `reader` is positioned at the start of
@@ -43,8 +46,10 @@ using ReplayTrialBody = std::function<TrialOutcome(
 /// folded into the MeasureResult in global trial order. Results are
 /// therefore bit-identical for every thread count. An exception thrown by
 /// any trial body (or a corrupt shard) stops the run and is rethrown.
-MeasureResult replayShards(const dynagraph::TraceStore& store,
-                           std::size_t threads, const ReplayTrialBody& body);
+MeasureResult replayShards(
+    const dynagraph::TraceStore& store, std::size_t threads,
+    const ReplayTrialBody& body,
+    dynagraph::TraceReadBackend backend = dynagraph::TraceReadBackend::kAuto);
 
 /// Replays every recorded trial through a factory-built algorithm. Each
 /// trial is decoded into a per-trial sequence (one trial resident per
@@ -79,10 +84,12 @@ using TrialGenerator = std::function<dynagraph::InteractionSequence(
 /// `directory`. Per-trial randomness uses the same pre-drawn seed scheme
 /// as runTrials (trial i's RNG is seeded with the i-th draw from a master
 /// RNG seeded with `master_seed`), the determinism anchor every recorded
-/// workload shares.
+/// workload shares. `writer_options` picks the store format (compressed
+/// v2 by default); the recorded *content* is identical for every format.
 void recordTrials(const std::string& directory, std::size_t node_count,
                   std::size_t trials, std::uint64_t master_seed,
-                  std::uint32_t shard_count, const TrialGenerator& generator);
+                  std::uint32_t shard_count, const TrialGenerator& generator,
+                  dynagraph::TraceWriterOptions writer_options = {});
 
 /// Records the randomized-adversary workload of `config` (uniform or Zipf)
 /// as `config.trials` sequences of `length` interactions each, sharded
@@ -91,6 +98,7 @@ void recordTrials(const std::string& directory, std::size_t node_count,
 /// same config and length, provided no trial needs extension).
 void recordSynthetic(const std::string& directory,
                      const MeasureConfig& config, core::Time length,
-                     std::uint32_t shard_count);
+                     std::uint32_t shard_count,
+                     dynagraph::TraceWriterOptions writer_options = {});
 
 }  // namespace doda::sim

@@ -173,12 +173,17 @@ TEST(TraceStoreWriterErrors, EnforcesDeclaredTrialCountAndNodeRange) {
   EXPECT_FALSE(reader.beginTrial());
 }
 
+// Corruption handling of the *v1* container (bare record stream, no
+// payload checksums — decode-time range checks are the only defense).
+// The v2 container's corruption paths live in test_trace_v2.cpp.
 class TraceStoreCorruption : public testing::Test {
  protected:
   void SetUp() override {
     dir_ = scratchDir("corrupt");
     util::Rng rng(5);
-    TraceStoreWriter writer(dir_, 12, 3, 2);
+    dynagraph::TraceWriterOptions v1;
+    v1.format_version = dynagraph::kTraceFormatVersionV1;
+    TraceStoreWriter writer(dir_, 12, 3, 2, v1);
     for (int i = 0; i < 3; ++i)
       writer.appendTrial(randomSequence(12, 200, rng));
     writer.finish();
