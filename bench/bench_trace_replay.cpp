@@ -1,16 +1,19 @@
 // Trace-replay throughput benchmark for the recorded-workload subsystem.
 //
-// Records one uniform randomized-adversary workload as BOTH a v1 store and
-// a compressed v2 store (dynagraph/trace_io) in scratch directories, plus
-// an imported contact-event CSV (dynagraph/trace_import), then measures
-// how fast the shard-parallel replay executor (sim/trace_replay) pushes
-// each through the engine: materialized replay (per-trial decode +
-// meetTime oracle, WaitingGreedy) and fully streamed replay (zero
-// materialization, Gathering), serially and with a worker pool, on the
-// mmap-backed reader (kAuto) — with a buffered-stream v1 leg pinning the
-// exact PR-2 configuration so the legacy path is regression-gated too.
-// Every leg cross-checks the executor's contract: thread count, store
-// format and reader backend never change the statistics.
+// Records one uniform randomized-adversary workload as a v1 store, a
+// compressed v2 store and a compressed block-indexed v3 store
+// (dynagraph/trace_io) in scratch directories, plus an imported
+// contact-event CSV (dynagraph/trace_import), then measures: pure
+// compressed-block decode throughput per codec (decode_v2 adaptive range
+// coder vs decode_v3 interleaved rANS — the PR-5 headline), materialized
+// replay (per-trial decode + meetTime oracle, WaitingGreedy), fully
+// streamed replay (zero materialization, Gathering) serially and with a
+// worker pool on the mmap-backed reader (kAuto), a buffered-stream v1 leg
+// pinning the exact PR-2 configuration, and a ranged replay of the middle
+// half of the trials riding the v3 block index. Live compression ratios
+// for every format are printed and emitted in the JSON. Every leg
+// cross-checks the executor's contract: thread count, store format,
+// reader backend and replay window never change the statistics.
 //
 // Results go to stdout and a JSON file so the perf trajectory is tracked
 // across PRs and gated in CI (scripts/check_bench_regression.py).
@@ -147,12 +150,15 @@ int main(int argc, char** argv) {
                 .string();
   const std::string dir_v1 = root + "/v1";
   const std::string dir_v2 = root + "/v2";
+  const std::string dir_v3 = root + "/v3";
   const std::string dir_import_v1 = root + "/import_v1";
-  const std::string dir_import_v2 = root + "/import_v2";
+  const std::string dir_import = root + "/import";
   const std::string events_csv = root + "/events.csv";
 
   TraceWriterOptions v1_format;
   v1_format.format_version = doda::dynagraph::kTraceFormatVersionV1;
+  TraceWriterOptions v2_format;
+  v2_format.format_version = doda::dynagraph::kTraceFormatVersionV2;
 
   const double total_interactions =
       static_cast<double>(trials) * static_cast<double>(length);
@@ -176,25 +182,59 @@ int main(int argc, char** argv) {
 
   // -------------------------------------------------------------- record
   runLeg("record", t, total_interactions, [&] {
-    doda::sim::recordSynthetic(dir_v2, config, length, shards);
+    doda::sim::recordSynthetic(dir_v3, config, length, shards);
+  });
+  runLeg("record_v2", t, total_interactions, [&] {
+    doda::sim::recordSynthetic(dir_v2, config, length, shards, v2_format);
   });
   runLeg("record_v1", t, total_interactions, [&] {
     doda::sim::recordSynthetic(dir_v1, config, length, shards, v1_format);
   });
 
+  const auto store_v3 = TraceStore::open(dir_v3);
   const auto store_v2 = TraceStore::open(dir_v2);
   const auto store_v1 = TraceStore::open(dir_v1);
   const std::uint64_t bytes_v1 = store_v1.totalFileBytes();
   const std::uint64_t bytes_v2 = store_v2.totalFileBytes();
+  const std::uint64_t bytes_v3 = store_v3.totalFileBytes();
   const double ratio =
       static_cast<double>(bytes_v1) / static_cast<double>(bytes_v2);
+  const double ratio_v3 =
+      static_cast<double>(bytes_v1) / static_cast<double>(bytes_v3);
   std::printf(
       "store: %.0f interactions, v1 %llu bytes (%.3f B/i), v2 %llu bytes "
-      "(%.3f B/i), ratio %.2fx\n",
+      "(%.3f B/i, %.2fx), v3 %llu bytes (%.3f B/i, %.2fx; %+.1f%% vs v2)\n",
       total_interactions, static_cast<unsigned long long>(bytes_v1),
       bytes_v1 / total_interactions,
       static_cast<unsigned long long>(bytes_v2),
-      bytes_v2 / total_interactions, ratio);
+      bytes_v2 / total_interactions, ratio,
+      static_cast<unsigned long long>(bytes_v3),
+      bytes_v3 / total_interactions, ratio_v3,
+      100.0 * (static_cast<double>(bytes_v3) / static_cast<double>(bytes_v2) -
+               1.0));
+
+  // -------------------------------------------------------------- decode
+  // Pure compressed-block decode (skip every trial without running the
+  // engine): the entropy-coder throughput in isolation. Repetitions keep
+  // each leg's wall time well above the gate's noise floor.
+  auto decodeStore = [](const TraceStore& store) {
+    for (std::size_t s = 0; s < store.shardCount(); ++s) {
+      auto reader = store.openShard(s);
+      while (reader.beginTrial()) reader.skipRest();
+    }
+  };
+  const int reps_v2 = 2;
+  const int reps_v3 = 8;
+  runLeg("decode_v2", t * reps_v2, total_interactions * reps_v2, [&] {
+    for (int rep = 0; rep < reps_v2; ++rep) decodeStore(store_v2);
+  });
+  runLeg("decode_v3", t * reps_v3, total_interactions * reps_v3, [&] {
+    for (int rep = 0; rep < reps_v3; ++rep) decodeStore(store_v3);
+  });
+  const double decode_speedup = legs.back().interactions_per_sec /
+                                legs[legs.size() - 2].interactions_per_sec;
+  std::printf("decode: v3 rANS %.2fx the v2 range-coder throughput\n",
+              decode_speedup);
 
   ReplayConfig serial_cfg;
   serial_cfg.threads = 1;
@@ -211,19 +251,23 @@ int main(int argc, char** argv) {
 
   // -------------------------------------------------------------- replay
   MeasureResult mat_serial, mat_pool, stream_serial, stream_pool;
-  MeasureResult stream_v1_serial, stream_v1_bufio;
+  MeasureResult stream_v2_serial, stream_v1_serial, stream_v1_bufio;
   runLeg("replay_materialized_serial", t, total_interactions, [&] {
-    mat_serial = replayTrace(store_v2, serial_cfg, materialized);
+    mat_serial = replayTrace(store_v3, serial_cfg, materialized);
   });
   runLeg("replay_materialized_pool", t, total_interactions, [&] {
-    mat_pool = replayTrace(store_v2, pool_cfg, materialized);
+    mat_pool = replayTrace(store_v3, pool_cfg, materialized);
   });
   runLeg("replay_streaming_serial", t, total_interactions, [&] {
     stream_serial =
-        replayTraceStreaming(store_v2, serial_cfg, gatheringStreamed);
+        replayTraceStreaming(store_v3, serial_cfg, gatheringStreamed);
   });
   runLeg("replay_streaming_pool", t, total_interactions, [&] {
-    stream_pool = replayTraceStreaming(store_v2, pool_cfg, gatheringStreamed);
+    stream_pool = replayTraceStreaming(store_v3, pool_cfg, gatheringStreamed);
+  });
+  runLeg("replay_streaming_v2_serial", t, total_interactions, [&] {
+    stream_v2_serial =
+        replayTraceStreaming(store_v2, serial_cfg, gatheringStreamed);
   });
   runLeg("replay_streaming_v1_serial", t, total_interactions, [&] {
     stream_v1_serial =
@@ -234,17 +278,46 @@ int main(int argc, char** argv) {
         replayTraceStreaming(store_v1, bufio_cfg, gatheringStreamed);
   });
 
+  // Ranged replay: the middle half of the trials, riding the v3 block
+  // index (v1 reaches the same window by sequential skip — the identity
+  // check below proves the window's statistics are format-independent).
+  doda::sim::ReplayTrialRange window{trials / 4, trials - trials / 4};
+  const double window_trials =
+      static_cast<double>(window.last - window.first);
+  ReplayConfig range_cfg = serial_cfg;
+  range_cfg.trial_range = window;
+  ReplayConfig range_pool_cfg = pool_cfg;
+  range_pool_cfg.trial_range = window;
+  ReplayConfig range_v1_cfg = serial_cfg;
+  range_v1_cfg.trial_range = window;
+  MeasureResult range_serial, range_pool, range_v1;
+  // Repetitions keep the (half-size) ranged leg above the gate's noise
+  // floor, like the decode legs.
+  const int reps_range = 4;
+  runLeg("replay_range", window_trials * reps_range,
+         window_trials * static_cast<double>(length) * reps_range, [&] {
+           for (int rep = 0; rep < reps_range; ++rep)
+             range_serial =
+                 replayTraceStreaming(store_v3, range_cfg, gatheringStreamed);
+         });
+  range_pool = replayTraceStreaming(store_v3, range_pool_cfg,
+                                    gatheringStreamed);
+  range_v1 = replayTraceStreaming(store_v1, range_v1_cfg, gatheringStreamed);
+
   // The executor's contract, enforced on every bench run: thread count,
-  // store format and reader backend never change the statistics, and the
-  // streamed path agrees with the materialized path for the same (online)
-  // algorithm.
+  // store format, reader backend and replay window never change the
+  // statistics, and the streamed path agrees with the materialized path
+  // for the same (online) algorithm.
   expectIdentical(mat_serial, mat_pool, "materialized serial/pool");
   expectIdentical(stream_serial, stream_pool, "streaming serial/pool");
-  expectIdentical(stream_serial, stream_v1_serial, "streaming v2/v1");
+  expectIdentical(stream_serial, stream_v2_serial, "streaming v3/v2");
+  expectIdentical(stream_serial, stream_v1_serial, "streaming v3/v1");
   expectIdentical(stream_v1_serial, stream_v1_bufio,
                   "streaming v1 mmap/bufio");
+  expectIdentical(range_serial, range_pool, "ranged serial/pool");
+  expectIdentical(range_serial, range_v1, "ranged v3/v1");
   MeasureResult gathering_check;
-  gathering_check = replayTrace(store_v2, serial_cfg, gathering_materialized);
+  gathering_check = replayTrace(store_v3, serial_cfg, gathering_materialized);
   expectIdentical(stream_serial, gathering_check,
                   "streaming vs materialized (Gathering)");
 
@@ -256,11 +329,12 @@ int main(int argc, char** argv) {
 
   // -------------------------------------------------------------- import
   // The external-workload path: dump a Zipf-flavored contact log as CSV
-  // (not timed), then time parse -> renumber -> compressed sharded store,
-  // and replay the imported store. The import is also written as v1 to
-  // report the compression ratio on a structured, real-world-shaped
-  // workload (the uniform store above is entropy-floor-limited; see the
-  // README's format notes).
+  // (time-sorted, so the streaming two-pass ingester applies), then time
+  // parse -> renumber -> compressed sharded v3 store, and replay the
+  // imported store. The import is also written as v1 to report the
+  // compression ratio on a structured, real-world-shaped workload (the
+  // uniform store above is entropy-floor-limited; see the README's format
+  // notes).
   const std::size_t import_events = quick ? 262144 : 1048576;
   {
     doda::sim::MeasureConfig import_config = config;
@@ -278,23 +352,23 @@ int main(int argc, char** argv) {
   import_options.trials = shards;  // one segment per shard
   runLeg("import", static_cast<double>(shards),
          static_cast<double>(import_events), [&] {
-           doda::dynagraph::importContactTrace(events_csv, dir_import_v2,
+           doda::dynagraph::importContactTrace(events_csv, dir_import,
                                                shards, import_options);
          });
   doda::dynagraph::importContactTrace(events_csv, dir_import_v1, shards,
                                       import_options, v1_format);
-  const auto import_store = TraceStore::open(dir_import_v2);
+  const auto import_store = TraceStore::open(dir_import);
   const std::uint64_t import_bytes_v1 =
       TraceStore::open(dir_import_v1).totalFileBytes();
-  const std::uint64_t import_bytes_v2 = import_store.totalFileBytes();
+  const std::uint64_t import_bytes = import_store.totalFileBytes();
   const double import_ratio = static_cast<double>(import_bytes_v1) /
-                              static_cast<double>(import_bytes_v2);
-  std::printf("import: %zu events, v1 %llu bytes (%.3f B/i), v2 %llu bytes "
+                              static_cast<double>(import_bytes);
+  std::printf("import: %zu events, v1 %llu bytes (%.3f B/i), v3 %llu bytes "
               "(%.3f B/i), ratio %.2fx\n",
               import_events, static_cast<unsigned long long>(import_bytes_v1),
               import_bytes_v1 / static_cast<double>(import_events),
-              static_cast<unsigned long long>(import_bytes_v2),
-              import_bytes_v2 / static_cast<double>(import_events),
+              static_cast<unsigned long long>(import_bytes),
+              import_bytes / static_cast<double>(import_events),
               import_ratio);
 
   MeasureResult import_serial, import_pool;
@@ -309,7 +383,7 @@ int main(int argc, char** argv) {
 
   json << "{\n"
        << "  \"bench\": \"trace_replay\",\n"
-       << "  \"workload\": \"recordSynthetic v1+v2 + contact import + "
+       << "  \"workload\": \"recordSynthetic v1+v2+v3 + contact import + "
           "WaitingGreedy(tau*) / Gathering\",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
@@ -320,10 +394,13 @@ int main(int argc, char** argv) {
        << "  \"shards\": " << shards << ",\n"
        << "  \"store_bytes_v1\": " << bytes_v1 << ",\n"
        << "  \"store_bytes_v2\": " << bytes_v2 << ",\n"
+       << "  \"store_bytes_v3\": " << bytes_v3 << ",\n"
        << "  \"compression_ratio\": " << ratio << ",\n"
+       << "  \"compression_ratio_v3\": " << ratio_v3 << ",\n"
+       << "  \"decode_speedup_v3_over_v2\": " << decode_speedup << ",\n"
        << "  \"import_events\": " << import_events << ",\n"
        << "  \"import_bytes_v1\": " << import_bytes_v1 << ",\n"
-       << "  \"import_bytes_v2\": " << import_bytes_v2 << ",\n"
+       << "  \"import_bytes_v3\": " << import_bytes << ",\n"
        << "  \"import_compression_ratio\": " << import_ratio << ",\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < legs.size(); ++i) {

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Unit tests for the CI perf-regression gate (check_bench_regression.py).
+
+Run directly (``python3 scripts/test_check_bench_regression.py``) or via
+unittest discovery; CI runs this as a workflow step before the gate itself
+so a gate change can't silently break the perf guardrail.
+
+Covers the gate's behavioral surface:
+* pass / regression verdicts around the tolerance band,
+* per-leg tolerance overrides (``--leg-tolerance LEG=TOL``),
+* best-of-N re-runs (``--retries N --rerun-cmd CMD``) keeping the max per
+  metric, including a rerun command that keeps failing,
+* missing legs and missing metrics counting as regressions,
+* malformed inputs (unreadable / non-JSON / empty results) exiting 2,
+* argument validation (bad tolerances, retries without a rerun command).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    os.path.join(_HERE, "check_bench_regression.py"))
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)
+
+
+def bench_doc(legs: dict[str, dict[str, float]]) -> dict:
+    return {
+        "bench": "unit-test",
+        "results": [{"leg": name, **metrics} for name, metrics in legs.items()],
+    }
+
+
+class GateHarness(unittest.TestCase):
+    """Runs the gate's main() against temp JSON files."""
+
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def path(self, name: str) -> str:
+        return os.path.join(self._dir.name, name)
+
+    def write(self, name: str, doc) -> str:
+        target = self.path(name)
+        with open(target, "w", encoding="utf-8") as fh:
+            if isinstance(doc, str):
+                fh.write(doc)
+            else:
+                json.dump(doc, fh)
+        return target
+
+    def run_gate(self, *argv: str) -> int:
+        old_argv = sys.argv
+        sys.argv = ["check_bench_regression.py", *argv]
+        try:
+            return gate.main()
+        except SystemExit as exc:  # load_results exits directly
+            return int(exc.code)
+        finally:
+            sys.argv = old_argv
+
+
+class VerdictTests(GateHarness):
+    def test_within_tolerance_passes(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 80.0}}))
+        self.assertEqual(self.run_gate(base, cur, "--tolerance", "0.25"), 0)
+
+    def test_beyond_tolerance_fails(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 70.0}}))
+        self.assertEqual(self.run_gate(base, cur, "--tolerance", "0.25"), 1)
+
+    def test_faster_than_baseline_passes(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 400.0}}))
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_non_per_sec_metrics_are_ignored(self):
+        base = self.write(
+            "base.json",
+            bench_doc({"a": {"x_per_sec": 100.0, "bytes": 5000.0}}))
+        cur = self.write(
+            "cur.json",
+            bench_doc({"a": {"x_per_sec": 99.0, "bytes": 1.0}}))
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_keyed_by_n_when_no_leg(self):
+        base = self.write(
+            "base.json",
+            {"results": [{"n": 64, "trials_per_sec": 100.0}]})
+        cur = self.write(
+            "cur.json",
+            {"results": [{"n": 64, "trials_per_sec": 50.0}]})
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+
+class LegToleranceTests(GateHarness):
+    def test_override_widens_one_leg_only(self):
+        base = self.write("base.json", bench_doc({
+            "noisy": {"x_per_sec": 100.0},
+            "stable": {"x_per_sec": 100.0},
+        }))
+        # Both at -30%: default band (25%) fails, the override (40%) passes.
+        cur_both = bench_doc({
+            "noisy": {"x_per_sec": 70.0},
+            "stable": {"x_per_sec": 70.0},
+        })
+        cur = self.write("cur.json", cur_both)
+        self.assertEqual(
+            self.run_gate(base, cur, "--leg-tolerance", "noisy=0.4"), 1,
+            "the non-overridden leg must still fail")
+        cur_noisy_only = bench_doc({
+            "noisy": {"x_per_sec": 70.0},
+            "stable": {"x_per_sec": 100.0},
+        })
+        self.write("cur.json", cur_noisy_only)
+        self.assertEqual(
+            self.run_gate(base, cur, "--leg-tolerance", "noisy=0.4"), 0,
+            "the override must absorb the noisy leg's slack")
+
+    def test_bad_override_spec_is_rejected(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 1.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        self.assertEqual(
+            self.run_gate(base, cur, "--leg-tolerance", "nodelimiter"), 2)
+        self.assertEqual(
+            self.run_gate(base, cur, "--leg-tolerance", "a=1.5"), 2)
+
+    def test_tolerance_out_of_range_is_rejected(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 1.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        self.assertEqual(self.run_gate(base, cur, "--tolerance", "1.5"), 2)
+        self.assertEqual(self.run_gate(base, cur, "--tolerance", "-0.1"), 2)
+
+
+class RetryTests(GateHarness):
+    def test_rerun_recovers_from_transient_dip(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 10.0}}))
+        good = self.write("good.json", bench_doc({"a": {"x_per_sec": 95.0}}))
+        rerun = f"cp {good} {cur}"
+        self.assertEqual(
+            self.run_gate(base, cur, "--retries", "2", "--rerun-cmd", rerun),
+            0)
+
+    def test_best_of_n_keeps_max_per_metric(self):
+        # Re-run is better on one metric, worse on the other; best-of-N
+        # must combine the maxima and pass.
+        base = self.write("base.json", bench_doc(
+            {"a": {"x_per_sec": 100.0, "y_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc(
+            {"a": {"x_per_sec": 95.0, "y_per_sec": 10.0}}))
+        second = self.write("second.json", bench_doc(
+            {"a": {"x_per_sec": 10.0, "y_per_sec": 95.0}}))
+        rerun = f"cp {second} {cur}"
+        self.assertEqual(
+            self.run_gate(base, cur, "--retries", "1", "--rerun-cmd", rerun),
+            0)
+
+    def test_persistent_regression_still_fails(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 10.0}}))
+        # The re-run rewrites the same regressed numbers.
+        bad = self.write("bad.json", bench_doc({"a": {"x_per_sec": 12.0}}))
+        rerun = f"cp {bad} {cur}"
+        self.assertEqual(
+            self.run_gate(base, cur, "--retries", "2", "--rerun-cmd", rerun),
+            1)
+
+    def test_failing_rerun_command_exits_2(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 10.0}}))
+        self.assertEqual(
+            self.run_gate(base, cur, "--retries", "1", "--rerun-cmd",
+                          "exit 7"),
+            2)
+
+    def test_retries_without_rerun_cmd_is_rejected(self):
+        base = self.write("base.json",
+                          bench_doc({"a": {"x_per_sec": 1.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        self.assertEqual(self.run_gate(base, cur, "--retries", "1"), 2)
+        self.assertEqual(self.run_gate(base, cur, "--retries", "-1"), 2)
+
+
+class MissingDataTests(GateHarness):
+    def test_missing_leg_is_a_regression(self):
+        base = self.write("base.json", bench_doc({
+            "a": {"x_per_sec": 100.0},
+            "gone": {"x_per_sec": 100.0},
+        }))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 100.0}}))
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_missing_metric_is_a_regression(self):
+        base = self.write("base.json", bench_doc(
+            {"a": {"x_per_sec": 100.0, "y_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 100.0}}))
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_extra_current_legs_are_ignored(self):
+        # A new bench leg without a baseline entry must not fail the gate
+        # (the baseline is refreshed in the same PR that adds the leg).
+        base = self.write("base.json", bench_doc({"a": {"x_per_sec": 100.0}}))
+        cur = self.write("cur.json", bench_doc({
+            "a": {"x_per_sec": 100.0},
+            "new": {"x_per_sec": 1.0},
+        }))
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_no_comparable_metrics_exits_2(self):
+        base = self.write("base.json", bench_doc({"a": {"bytes": 5.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"bytes": 5.0}}))
+        self.assertEqual(self.run_gate(base, cur), 2)
+
+
+class MalformedInputTests(GateHarness):
+    def test_unreadable_baseline_exits_2(self):
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        self.assertEqual(self.run_gate(self.path("absent.json"), cur), 2)
+
+    def test_non_json_current_exits_2(self):
+        base = self.write("base.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        cur = self.write("cur.json", "this is not json {")
+        self.assertEqual(self.run_gate(base, cur), 2)
+
+    def test_empty_results_exits_2(self):
+        base = self.write("base.json", {"results": []})
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        self.assertEqual(self.run_gate(base, cur), 2)
+
+    def test_results_not_a_list_exits_2(self):
+        base = self.write("base.json", {"results": {"a": 1}})
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        self.assertEqual(self.run_gate(base, cur), 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,6 +1,7 @@
 #include "analysis/convergecast.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -35,6 +36,34 @@ Time optCompletionChecked(InteractionSequenceView sequence,
   ConvergecastFrontier frontier(sequence, node_count, sink, start);
   return frontier.firstCompleteEnd();
 }
+
+/// The chain loops' segment evaluator: one frontier arena shared across
+/// every segment (reset() rewinds it in place), so a chain of k segments
+/// allocates the label arrays once instead of k times. Same computation,
+/// same integer results, as optCompletionChecked per segment.
+class ChainOracle {
+ public:
+  ChainOracle(InteractionSequenceView sequence, std::size_t node_count,
+              NodeId sink)
+      : sequence_(sequence), node_count_(node_count), sink_(sink) {}
+
+  Time optCompletion(Time start) {
+    if (node_count_ == 1) return start == 0 ? 0 : start - 1;  // degenerate
+    if (start >= sequence_.length()) return kNever;
+    if (!frontier_) {
+      frontier_.emplace(sequence_, node_count_, sink_, start);
+    } else {
+      frontier_->reset(start);
+    }
+    return frontier_->firstCompleteEnd();
+  }
+
+ private:
+  InteractionSequenceView sequence_;
+  std::size_t node_count_;
+  NodeId sink_;
+  std::optional<ConvergecastFrontier> frontier_;
+};
 
 }  // namespace
 
@@ -72,9 +101,10 @@ std::vector<Time> convergecastChain(InteractionSequenceView sequence,
                                     std::size_t max_terms) {
   checkArgs(sequence, node_count, sink);
   std::vector<Time> chain;
+  ChainOracle oracle(sequence, node_count, sink);
   Time start = 0;
   while (chain.size() < max_terms) {
-    const Time end = optCompletionChecked(sequence, node_count, sink, start);
+    const Time end = oracle.optCompletion(start);
     chain.push_back(end);
     if (end == kNever) break;
     start = end + 1;
@@ -85,9 +115,10 @@ std::vector<Time> convergecastChain(InteractionSequenceView sequence,
 std::size_t costOf(InteractionSequenceView sequence, std::size_t node_count,
                    NodeId sink, Time ending_time) {
   checkArgs(sequence, node_count, sink);
+  ChainOracle oracle(sequence, node_count, sink);
   Time start = 0;
   for (std::size_t i = 1;; ++i) {
-    const Time t_i = optCompletionChecked(sequence, node_count, sink, start);
+    const Time t_i = oracle.optCompletion(start);
     // T(i) = infinity: any finite duration fits, and if the algorithm never
     // terminated this i is the paper's i_max.
     if (t_i == kNever) return i;

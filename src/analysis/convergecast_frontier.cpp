@@ -11,17 +11,23 @@ using dynagraph::kNever;
 ConvergecastFrontier::ConvergecastFrontier(InteractionSequenceView sequence,
                                            std::size_t node_count,
                                            NodeId sink, Time start)
-    : sequence_(sequence),
-      node_count_(node_count),
-      sink_(sink),
-      start_(start),
-      scanned_end_(start == 0 ? kNever : start - 1),  // nothing scanned yet
-      first_complete_end_(kNever) {
+    : sequence_(sequence), node_count_(node_count), sink_(sink) {
   if (sink >= node_count)
     throw std::out_of_range("ConvergecastFrontier: sink out of range");
-  cover_.assign(node_count, kNever);
-  cover_[sink] = start;
-  if (node_count == 1) first_complete_end_ = start == 0 ? 0 : start - 1;
+  reset(start);
+}
+
+void ConvergecastFrontier::reset(Time start) {
+  start_ = start;
+  scanned_end_ = start == 0 ? kNever : start - 1;  // nothing scanned yet
+  first_complete_end_ = kNever;
+  covered_count_ = 1;  // the sink
+  tree_built_ = false;
+  // assign() reuses the arrays' capacity: across a chain of segments the
+  // per-segment cost is the fill, never an allocation.
+  cover_.assign(node_count_, kNever);
+  cover_[sink_] = start;
+  if (node_count_ == 1) first_complete_end_ = start == 0 ? 0 : start - 1;
 }
 
 void ConvergecastFrontier::coverPass(Time end) {

@@ -41,6 +41,12 @@ class ConvergecastFrontier {
   ConvergecastFrontier(InteractionSequenceView sequence,
                        std::size_t node_count, NodeId sink, Time start = 0);
 
+  /// Rewinds the frontier to a fresh query at `start` over the same
+  /// sequence/sink, reusing the label arrays — the chain loops in
+  /// costOf/convergecastChain share one arena across segments instead of
+  /// reallocating per segment. Equivalent to constructing a new frontier.
+  void reset(Time start);
+
   /// Grows the window until every node is covered and returns the minimal
   /// feasible window end opt(start); kNever if the sequence is exhausted
   /// first. Idempotent (the answer is cached).

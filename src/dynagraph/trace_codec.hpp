@@ -51,19 +51,22 @@ enum class SymbolClass : std::uint8_t {
   kGapCont,
 };
 
-/// Right-shift that maps ids in [0, node_count) onto kContextBuckets
-/// buckets.
-inline unsigned bucketShiftFor(std::uint64_t node_count) noexcept {
+/// Right-shift that maps ids in [0, node_count) onto `buckets` buckets
+/// (the v2 models use kContextBuckets; the coarser v3 rANS contexts pass
+/// their own count).
+inline unsigned bucketShiftFor(std::uint64_t node_count,
+                               std::size_t buckets = kContextBuckets) noexcept {
   const unsigned bits =
       std::bit_width(node_count > 1 ? node_count - 1 : std::uint64_t{1});
-  constexpr unsigned bucket_bits = std::bit_width(kContextBuckets - 1);
+  const unsigned bucket_bits = std::bit_width(buckets - 1);
   return bits > bucket_bits ? bits - bucket_bits : 0;
 }
 
-inline unsigned contextBucket(std::uint64_t value, unsigned shift) noexcept {
+inline unsigned contextBucket(std::uint64_t value, unsigned shift,
+                              std::size_t buckets = kContextBuckets) noexcept {
   const std::uint64_t bucket = value >> shift;
-  return bucket < kContextBuckets ? static_cast<unsigned>(bucket)
-                                  : static_cast<unsigned>(kContextBuckets - 1);
+  return bucket < buckets ? static_cast<unsigned>(bucket)
+                          : static_cast<unsigned>(buckets - 1);
 }
 
 /// Adaptive bit-tree model over one byte (255 node probabilities).

@@ -5,11 +5,13 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace doda::dynagraph {
 
@@ -47,6 +49,114 @@ bool parseDouble(std::string_view field, double& value) {
   return ec == std::errc() && ptr == end && std::isfinite(value);
 }
 
+/// One accepted event, in file order.
+struct ScannedEvent {
+  double time = 0.0;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+};
+
+/// Incremental contact-event scanner — the single parsing engine behind
+/// both the materialized reader and the streaming two-pass importer. Each
+/// next() yields one accepted event (self-loops skipped or rejected per
+/// the options, max_events honored) without retaining anything beyond the
+/// current line, so a scan is O(1) memory in the event count.
+class ContactEventScanner {
+ public:
+  ContactEventScanner(std::istream& is, const ContactImportOptions& options)
+      : is_(is), options_(options) {}
+
+  /// Advances to the next accepted event. Returns false at EOF or once
+  /// max_events have been yielded. Throws std::runtime_error with a line
+  /// number on malformed input.
+  bool next(ScannedEvent& event) {
+    if (options_.max_events != 0 && stats_.events >= options_.max_events)
+      return false;
+    while (std::getline(is_, line_)) {
+      ++line_no_;
+      ++stats_.lines;
+      if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+      splitFields(line_, fields_);
+      if (fields_.empty() || fields_[0].front() == '#' ||
+          fields_[0].front() == '%') {
+        ++stats_.skipped;
+        continue;
+      }
+      const int shape =
+          fields_.size() >= 3 ? 3 : static_cast<int>(fields_.size());
+      event = ScannedEvent{};
+      bool numeric;
+      if (shape >= 3) {
+        numeric = parseDouble(fields_[0], event.time) &&
+                  parseU64(fields_[1], event.u) &&
+                  parseU64(fields_[2], event.v);
+      } else {
+        numeric = fields_.size() == 2 && parseU64(fields_[0], event.u) &&
+                  parseU64(fields_[1], event.v);
+      }
+      if (!numeric) {
+        // A single leading non-numeric row is a column header; anything
+        // after the first event row is malformed data.
+        if (!saw_event_row_) {
+          ++stats_.skipped;
+          continue;
+        }
+        fail("expected numeric fields ('t u v' or 'u v'): '" + line_ + "'");
+      }
+      if (column_shape_ == 0) {
+        column_shape_ = shape;
+      } else if (column_shape_ != shape) {
+        fail(
+            "inconsistent column count (file mixes 't u v' and 'u v' rows)");
+      }
+      saw_event_row_ = true;
+      if (event.u == event.v) {
+        if (!options_.skip_self_loops) fail("self-loop event");
+        ++stats_.self_loops;
+        continue;
+      }
+      ++stats_.events;
+      if (timestamped()) {
+        if (stats_.events == 1) {
+          stats_.t_min = stats_.t_max = event.time;
+        } else {
+          stats_.t_min = std::min(stats_.t_min, event.time);
+          stats_.t_max = std::max(stats_.t_max, event.time);
+        }
+        time_ordered_ = time_ordered_ && event.time >= prev_time_;
+        prev_time_ = event.time;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  bool timestamped() const noexcept { return column_shape_ == 3; }
+  /// Whether every timestamp seen so far was non-decreasing (vacuously
+  /// true for untimed files).
+  bool timeOrdered() const noexcept { return time_ordered_; }
+  /// Scan-side statistics (node_count is filled by the caller, which owns
+  /// the id universe).
+  const ContactImportStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("readContactEvents: line " +
+                             std::to_string(line_no_) + ": " + why);
+  }
+
+  std::istream& is_;
+  const ContactImportOptions& options_;
+  ContactImportStats stats_;
+  std::string line_;
+  std::vector<std::string_view> fields_;
+  std::size_t line_no_ = 0;
+  int column_shape_ = 0;  // 0 = undecided, 2 = "u v", 3 = "t u v"
+  bool saw_event_row_ = false;
+  bool time_ordered_ = true;
+  double prev_time_ = -std::numeric_limits<double>::infinity();
+};
+
 struct RawEvent {
   double time;
   std::uint64_t u;
@@ -59,67 +169,18 @@ struct RawEvent {
 ContactTrace readContactEvents(std::istream& is,
                                const ContactImportOptions& options) {
   ContactTrace trace;
-  ContactImportStats& stats = trace.stats;
+  ContactEventScanner scanner(is, options);
   std::vector<RawEvent> raw;
-  std::vector<std::string_view> fields;
-  std::string line;
-  std::size_t line_no = 0;
-  bool saw_event_row = false;
-  int column_shape = 0;  // 0 = undecided, 2 = "u v", 3 = "t u v"
-  auto fail = [&](const std::string& why) {
-    throw std::runtime_error("readContactEvents: line " +
-                             std::to_string(line_no) + ": " + why);
-  };
-
-  while (std::getline(is, line)) {
-    ++line_no;
-    ++stats.lines;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    splitFields(line, fields);
-    if (fields.empty() || fields[0].front() == '#' ||
-        fields[0].front() == '%') {
-      ++stats.skipped;
-      continue;
-    }
-    if (options.max_events != 0 && raw.size() >= options.max_events) break;
-
-    const int shape = fields.size() >= 3 ? 3 : static_cast<int>(fields.size());
-    RawEvent event{0.0, 0, 0, static_cast<std::uint64_t>(raw.size())};
-    bool numeric;
-    if (shape >= 3) {
-      numeric = parseDouble(fields[0], event.time) &&
-                parseU64(fields[1], event.u) && parseU64(fields[2], event.v);
-    } else {
-      numeric = fields.size() == 2 && parseU64(fields[0], event.u) &&
-                parseU64(fields[1], event.v);
-    }
-    if (!numeric) {
-      // A single leading non-numeric row is a column header; anything
-      // after the first event row is malformed data.
-      if (!saw_event_row) {
-        ++stats.skipped;
-        continue;
-      }
-      fail("expected numeric fields ('t u v' or 'u v'): '" + line + "'");
-    }
-    if (column_shape == 0) {
-      column_shape = shape;
-    } else if (column_shape != shape) {
-      fail("inconsistent column count (file mixes 't u v' and 'u v' rows)");
-    }
-    saw_event_row = true;
-    if (event.u == event.v) {
-      if (!options.skip_self_loops) fail("self-loop event");
-      ++stats.self_loops;
-      continue;
-    }
-    raw.push_back(event);
-  }
+  ScannedEvent event;
+  while (scanner.next(event))
+    raw.push_back({event.time, event.u, event.v,
+                   static_cast<std::uint64_t>(raw.size())});
+  trace.stats = scanner.stats();
 
   if (raw.empty())
     throw std::runtime_error("readContactEvents: no events in input");
-  stats.timestamped = column_shape == 3;
-  if (stats.timestamped) {
+  trace.stats.timestamped = scanner.timestamped();
+  if (trace.stats.timestamped) {
     // Stability via the explicit file-order tiebreak (equal timestamps
     // keep file order) — plain sort, no temporary buffer.
     std::sort(raw.begin(), raw.end(),
@@ -127,15 +188,13 @@ ContactTrace readContactEvents(std::istream& is,
                 return a.time < b.time ||
                        (a.time == b.time && a.order < b.order);
               });
-    stats.t_min = raw.front().time;
-    stats.t_max = raw.back().time;
   }
 
   // Dense renumbering: sorted external ids -> [0, n).
   trace.external_ids.reserve(raw.size() * 2);
-  for (const RawEvent& event : raw) {
-    trace.external_ids.push_back(event.u);
-    trace.external_ids.push_back(event.v);
+  for (const RawEvent& e : raw) {
+    trace.external_ids.push_back(e.u);
+    trace.external_ids.push_back(e.v);
   }
   std::sort(trace.external_ids.begin(), trace.external_ids.end());
   trace.external_ids.erase(
@@ -148,10 +207,10 @@ ContactTrace readContactEvents(std::istream& is,
     dense.emplace(trace.external_ids[i], static_cast<NodeId>(i));
 
   trace.events.reserve(raw.size());
-  for (const RawEvent& event : raw)
-    trace.events.emplace_back(dense.at(event.u), dense.at(event.v));
-  stats.events = trace.events.size();
-  stats.node_count = trace.external_ids.size();
+  for (const RawEvent& e : raw)
+    trace.events.emplace_back(dense.at(e.u), dense.at(e.v));
+  trace.stats.events = trace.events.size();
+  trace.stats.node_count = trace.external_ids.size();
   return trace;
 }
 
@@ -168,29 +227,98 @@ ContactImportStats importContactTrace(const std::string& input_path,
                                       std::uint32_t shard_count,
                                       const ContactImportOptions& options,
                                       const TraceWriterOptions& writer_options) {
-  const ContactTrace trace = loadContactEvents(input_path, options);
+  // Pass 1: one streaming scan to size the store — event count, dense id
+  // universe, time order. Memory is O(distinct nodes), never O(events),
+  // and max_events stops the scan without materializing anything.
+  std::uint64_t events = 0;
+  bool timestamped = false;
+  bool time_ordered = true;
+  ContactImportStats stats;
+  std::unordered_set<std::uint64_t> id_set;
+  {
+    std::ifstream in(input_path);
+    if (!in)
+      throw std::runtime_error("importContactTrace: cannot open " +
+                               input_path);
+    ContactEventScanner scanner(in, options);
+    ScannedEvent event;
+    while (scanner.next(event)) {
+      id_set.insert(event.u);
+      id_set.insert(event.v);
+      ++events;
+    }
+    stats = scanner.stats();
+    timestamped = scanner.timestamped();
+    time_ordered = scanner.timeOrdered();
+  }
+  if (events == 0)
+    throw std::runtime_error("readContactEvents: no events in input");
+  stats.timestamped = timestamped;
+  stats.node_count = id_set.size();
+
+  std::vector<std::uint64_t> external(id_set.begin(), id_set.end());
+  std::sort(external.begin(), external.end());
+  std::unordered_map<std::uint64_t, NodeId> dense;
+  dense.reserve(external.size());
+  for (std::size_t i = 0; i < external.size(); ++i)
+    dense.emplace(external[i], static_cast<NodeId>(i));
 
   // Near-equal contiguous split into trials (the first `events % trials`
   // trials take one extra event), mirroring the writer's shard split.
-  std::size_t trials = options.trials == 0 ? 1 : options.trials;
-  trials = std::min(trials, trace.events.size());
+  std::uint64_t trials = options.trials == 0 ? 1 : options.trials;
+  trials = std::min<std::uint64_t>(trials, events);
   if (shard_count == 0) shard_count = 1;
   shard_count =
       std::min<std::uint32_t>(shard_count, static_cast<std::uint32_t>(trials));
 
-  TraceStoreWriter writer(directory, trace.stats.node_count, trials,
-                          shard_count, writer_options);
-  const std::size_t base = trace.events.size() / trials;
-  const std::size_t extra = trace.events.size() % trials;
-  std::size_t offset = 0;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const std::size_t length = base + (trial < extra ? 1 : 0);
-    writer.appendTrial(
-        InteractionSequenceView(trace.events.data() + offset, length));
-    offset += length;
+  TraceStoreWriter writer(directory, stats.node_count, trials, shard_count,
+                          writer_options);
+  const std::uint64_t base = events / trials;
+  const std::uint64_t extra = events % trials;
+
+  if (!timestamped || time_ordered) {
+    // Pass 2: re-scan and stream events straight into the writer through
+    // the incremental trial API — bounded memory for arbitrarily large
+    // datasets. (A non-decreasing file is already in its stable-sorted
+    // order, so streaming preserves the materialized path's output.)
+    std::ifstream in(input_path);
+    if (!in)
+      throw std::runtime_error("importContactTrace: cannot reopen " +
+                               input_path);
+    ContactEventScanner scanner(in, options);
+    ScannedEvent event;
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+      const std::uint64_t length = base + (trial < extra ? 1 : 0);
+      writer.beginTrial(length);
+      for (std::uint64_t k = 0; k < length; ++k) {
+        if (!scanner.next(event))
+          throw std::runtime_error(
+              "importContactTrace: input shrank between passes: " +
+              input_path);
+        writer.addInteraction(
+            Interaction(dense.at(event.u), dense.at(event.v)));
+      }
+    }
+  } else {
+    // Out-of-order timestamps need the stable sort, which needs the whole
+    // event list — fall back to the materialized path for such files.
+    const ContactTrace trace = loadContactEvents(input_path, options);
+    // Same shrink guard as the streaming branch: the trial lengths below
+    // were sized from the pass-1 count, so a file that changed underneath
+    // us must not walk past the re-read event list.
+    if (trace.events.size() != events)
+      throw std::runtime_error(
+          "importContactTrace: input changed between passes: " + input_path);
+    std::uint64_t offset = 0;
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+      const std::uint64_t length = base + (trial < extra ? 1 : 0);
+      writer.appendTrial(InteractionSequenceView(
+          trace.events.data() + offset, static_cast<std::size_t>(length)));
+      offset += length;
+    }
   }
   writer.finish();
-  return trace.stats;
+  return stats;
 }
 
 }  // namespace doda::dynagraph

@@ -78,6 +78,15 @@ ContactTrace loadContactEvents(const std::string& path,
 /// under `directory` (options.trials consecutive segments, shard_count
 /// clamped to the trial count), written in the format `writer_options`
 /// selects. Returns the import statistics.
+///
+/// The ingest is a streaming two-pass: pass 1 scans the file once to size
+/// the store (event count, dense id universe, time order), pass 2 streams
+/// events straight into the shard writer — memory stays O(distinct nodes)
+/// no matter how large the dataset, and max_events stops both passes
+/// without materializing anything. Only a timestamped file whose rows are
+/// *out of time order* falls back to the materialized stable-sort path
+/// (the sort needs the whole list); time-sorted files — the common
+/// interchange shape — always stream.
 ContactImportStats importContactTrace(
     const std::string& input_path, const std::string& directory,
     std::uint32_t shard_count, const ContactImportOptions& options = {},

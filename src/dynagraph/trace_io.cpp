@@ -153,7 +153,10 @@ std::vector<unsigned char> encodeHeader(const TraceShardHeader& header) {
     storeU32(&bytes[20], header.codec);
     storeU64(&bytes[56], header.raw_payload_bytes);
     storeU32(&bytes[64], header.block_bytes);
-    storeU32(&bytes[68], 0);  // reserved
+    // v2 reserves offset 68 (always 0); v3 stores the footer size there.
+    storeU32(&bytes[68], header.format_version >= kTraceFormatVersionV3
+                             ? header.footer_bytes
+                             : 0);
     storeU64(&bytes[72], fnv1a(bytes.data(), 72));
   } else {
     storeU32(&bytes[20], 0);  // reserved
@@ -165,6 +168,15 @@ std::vector<unsigned char> encodeHeader(const TraceShardHeader& header) {
 std::uint64_t zigzagEncode(std::int64_t value) {
   return (static_cast<std::uint64_t>(value) << 1) ^
          static_cast<std::uint64_t>(value >> 63);
+}
+
+std::size_t varintLen(std::uint64_t value) {
+  std::size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
 }
 
 std::int64_t zigzagDecode(std::uint64_t value) {
@@ -268,14 +280,20 @@ TraceStoreWriter::TraceStoreWriter(std::string directory,
     throw std::invalid_argument(
         "TraceStoreWriter: shard count must be in [1, total_trials]");
   if (options_.format_version != kTraceFormatVersionV1 &&
-      options_.format_version != kTraceFormatVersionV2)
+      options_.format_version != kTraceFormatVersionV2 &&
+      options_.format_version != kTraceFormatVersionV3)
     throw std::invalid_argument(
         "TraceStoreWriter: unsupported format version " +
         std::to_string(options_.format_version));
   if (options_.block_bytes < kTraceMinBlockBytes ||
       options_.block_bytes > kTraceMaxBlockBytes)
     throw std::invalid_argument("TraceStoreWriter: block size out of range");
-  bucket_shift_ = codec::bucketShiftFor(node_count_);
+  if (options_.format_version >= kTraceFormatVersionV3) {
+    bucket_cap_ = codec::kRansContextBuckets;
+    if (options_.compress)
+      rans_ = std::make_unique<codec::RansBlockEncoder>();
+  }
+  bucket_shift_ = codec::bucketShiftFor(node_count_, bucket_cap_);
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   if (ec)
@@ -285,6 +303,9 @@ TraceStoreWriter::TraceStoreWriter(std::string directory,
     chunk_.reserve(options_.block_bytes);
   } else {
     raw_block_.reserve(options_.block_bytes);
+    if (options_.format_version >= kTraceFormatVersionV3 &&
+        options_.compress)
+      ctx_block_.reserve(options_.block_bytes);
   }
   openShard(0);
 }
@@ -319,11 +340,18 @@ void TraceStoreWriter::openShard(std::uint32_t index) {
   raw_payload_bytes_ = 0;
   chunk_.clear();
   raw_block_.clear();
-  if (options_.format_version >= kTraceFormatVersionV2 && options_.compress) {
+  ctx_block_.clear();
+  index_.clear();
+  cur_trials_begun_ = 0;
+  cur_trial_length_ = 0;
+  cur_decoded_ = 0;
+  cur_prev_a_ = 0;
+  if (options_.format_version == kTraceFormatVersionV2 && options_.compress) {
     encoded_.clear();
     encoder_.start(&encoded_);
     models_.reset();
   }
+  if (rans_) rans_->reset();
   // Placeholder header; sealed with the real payload size in closeShard().
   TraceShardHeader header;
   header.format_version = options_.format_version;
@@ -344,6 +372,7 @@ void TraceStoreWriter::closeShard() {
     flushChunk();
     raw_payload_bytes_ = payload_bytes_;
   }
+  if (options_.format_version >= kTraceFormatVersionV3) writeFooter();
   TraceShardHeader header;
   header.format_version = options_.format_version;
   header.shard_index = current_shard_;
@@ -353,10 +382,17 @@ void TraceStoreWriter::closeShard() {
   header.base_trial = trials_appended_ - trials_in_current_;
   header.payload_bytes = payload_bytes_;
   if (options_.format_version >= kTraceFormatVersionV2) {
-    header.codec = options_.compress ? kTraceCodecRangeCoded : kTraceCodecRaw;
+    header.codec = options_.compress
+                       ? (options_.format_version >= kTraceFormatVersionV3
+                              ? kTraceCodecRans
+                              : kTraceCodecRangeCoded)
+                       : kTraceCodecRaw;
     header.block_bytes = static_cast<std::uint32_t>(options_.block_bytes);
     header.raw_payload_bytes = raw_payload_bytes_;
   }
+  if (options_.format_version >= kTraceFormatVersionV3)
+    header.footer_bytes = static_cast<std::uint32_t>(
+        kTraceIndexFixedBytes + index_.size() * kTraceIndexEntryBytes);
   const auto bytes = encodeHeader(header);
   out_.seekp(0);
   out_.write(reinterpret_cast<const char*>(bytes.data()),
@@ -369,6 +405,31 @@ void TraceStoreWriter::closeShard() {
 
 void TraceStoreWriter::putByte(std::uint8_t byte, codec::SymbolClass cls,
                                unsigned bucket) {
+  if (options_.format_version >= kTraceFormatVersionV3) {
+    if (raw_block_.empty()) {
+      // A block is starting: snapshot where it lives and the record cursor
+      // at its first byte. putByte is only reached at record-unit
+      // boundaries after alignBlockForUnit, so the cursor fully describes
+      // this position.
+      TraceBlockIndexEntry entry;
+      entry.offset = kTraceHeaderSizeV2 + payload_bytes_;
+      entry.raw_start = raw_payload_bytes_;
+      entry.trials_begun = cur_trials_begun_;
+      entry.trial_length = cur_trial_length_;
+      entry.decoded = cur_decoded_;
+      entry.prev_a = cur_prev_a_;
+      index_.push_back(entry);
+    }
+    raw_block_.push_back(byte);
+    if (rans_) {
+      // Contexts are only consumed by the rANS seal; the raw (compress =
+      // false) path skips the per-byte bookkeeping entirely.
+      const unsigned ctx = codec::ransContext(cls, bucket);
+      ctx_block_.push_back(static_cast<std::uint8_t>(ctx));
+      rans_->count(byte, ctx);
+    }
+    return;  // flushing happens at unit boundaries (alignBlockForUnit)
+  }
   if (options_.format_version >= kTraceFormatVersionV2) {
     raw_block_.push_back(byte);
     if (options_.compress) encoder_.encodeByte(models_.select(cls, bucket), byte);
@@ -378,6 +439,13 @@ void TraceStoreWriter::putByte(std::uint8_t byte, codec::SymbolClass cls,
   if (chunk_.size() == options_.block_bytes) flushChunk();
   chunk_.push_back(static_cast<char>(byte));
   ++payload_bytes_;
+}
+
+void TraceStoreWriter::alignBlockForUnit(std::size_t unit_bytes) {
+  if (options_.format_version < kTraceFormatVersionV3) return;
+  if (!raw_block_.empty() &&
+      raw_block_.size() + unit_bytes > options_.block_bytes)
+    flushBlock();
 }
 
 void TraceStoreWriter::putVarint(std::uint64_t value,
@@ -404,10 +472,19 @@ void TraceStoreWriter::flushBlock() {
   const std::uint8_t* stored = raw_block_.data();
   std::size_t stored_size = raw_block_.size();
   std::uint8_t block_codec = static_cast<std::uint8_t>(kTraceCodecRaw);
-  if (options_.compress) {
+  if (rans_) {
+    rans_->seal(raw_block_.data(), ctx_block_.data(), raw_block_.size(),
+                encoded_);
+    // Raw fallback: an incompressible block is stored verbatim, so a
+    // compressed store never expands beyond the per-block framing.
+    if (encoded_.size() < raw_block_.size()) {
+      stored = encoded_.data();
+      stored_size = encoded_.size();
+      block_codec = static_cast<std::uint8_t>(kTraceCodecRans);
+    }
+  } else if (options_.format_version == kTraceFormatVersionV2 &&
+             options_.compress) {
     encoder_.finish();
-    // Raw fallback: an incompressible block is stored verbatim, so a v2
-    // store never expands beyond the per-block framing.
     if (encoded_.size() < raw_block_.size()) {
       stored = encoded_.data();
       stored_size = encoded_.size();
@@ -422,21 +499,101 @@ void TraceStoreWriter::flushBlock() {
   out_.write(reinterpret_cast<const char*>(frame), sizeof(frame));
   out_.write(reinterpret_cast<const char*>(stored),
              static_cast<std::streamsize>(stored_size));
+  if (options_.format_version >= kTraceFormatVersionV3) {
+    index_.back().raw_size = static_cast<std::uint32_t>(raw_block_.size());
+    index_.back().stored_size = static_cast<std::uint32_t>(stored_size);
+  }
   payload_bytes_ += kTraceBlockFrameBytes + stored_size;
   raw_payload_bytes_ += raw_block_.size();
   raw_block_.clear();
-  if (options_.compress) {
+  ctx_block_.clear();
+  if (rans_) {
+    rans_->reset();
+  } else if (options_.format_version == kTraceFormatVersionV2 &&
+             options_.compress) {
     encoded_.clear();
     encoder_.start(&encoded_);
     models_.reset();
   }
 }
 
-void TraceStoreWriter::appendTrial(InteractionSequenceView trial) {
+void TraceStoreWriter::writeFooter() {
+  std::vector<unsigned char> footer(kTraceIndexFixedBytes +
+                                    index_.size() * kTraceIndexEntryBytes);
+  storeU32(footer.data(), static_cast<std::uint32_t>(index_.size()));
+  std::size_t at = 4;
+  for (const TraceBlockIndexEntry& entry : index_) {
+    storeU64(&footer[at], entry.offset);
+    storeU32(&footer[at + 8], entry.raw_size);
+    storeU32(&footer[at + 12], entry.stored_size);
+    storeU64(&footer[at + 16], entry.raw_start);
+    storeU64(&footer[at + 24], entry.trials_begun);
+    storeU64(&footer[at + 32], entry.trial_length);
+    storeU64(&footer[at + 40], entry.decoded);
+    storeU64(&footer[at + 48], entry.prev_a);
+    at += kTraceIndexEntryBytes;
+  }
+  storeU64(&footer[at], fnv1a(footer.data(), at));
+  out_.write(reinterpret_cast<const char*>(footer.data()),
+             static_cast<std::streamsize>(footer.size()));
+}
+
+void TraceStoreWriter::beginTrial(std::uint64_t length) {
   if (finished_)
-    throw std::logic_error("TraceStoreWriter: appendTrial after finish");
+    throw std::logic_error("TraceStoreWriter: beginTrial after finish");
+  if (trial_open_)
+    throw std::logic_error(
+        "TraceStoreWriter: beginTrial with a trial still open");
   if (trials_appended_ == total_trials_)
     throw std::logic_error("TraceStoreWriter: more trials than declared");
+  if (trials_in_current_ == trialsInShard(current_shard_)) {
+    closeShard();
+    openShard(current_shard_ + 1);
+  }
+  using codec::SymbolClass;
+  alignBlockForUnit(varintLen(length));
+  putVarint(length, SymbolClass::kLengthFirst, SymbolClass::kLengthCont, 0);
+  ++cur_trials_begun_;
+  cur_trial_length_ = length;
+  cur_decoded_ = 0;
+  cur_prev_a_ = 0;
+  pending_interactions_ = length;
+  trial_open_ = true;
+  if (length == 0) {
+    trial_open_ = false;
+    ++trials_appended_;
+    ++trials_in_current_;
+  }
+}
+
+void TraceStoreWriter::addInteraction(Interaction interaction) {
+  if (!trial_open_)
+    throw std::logic_error(
+        "TraceStoreWriter: addInteraction without an open trial");
+  if (interaction.b() >= node_count_)
+    throw std::invalid_argument(
+        "TraceStoreWriter: interaction endpoint >= node_count");
+  using codec::SymbolClass;
+  const std::uint64_t delta =
+      zigzagEncode(static_cast<std::int64_t>(interaction.a()) -
+                   static_cast<std::int64_t>(cur_prev_a_));
+  const std::uint64_t gap = interaction.b() - interaction.a() - 1;
+  alignBlockForUnit(varintLen(delta) + varintLen(gap));
+  putVarint(delta, SymbolClass::kDeltaFirst, SymbolClass::kDeltaCont,
+            codec::contextBucket(cur_prev_a_, bucket_shift_, bucket_cap_));
+  putVarint(gap, SymbolClass::kGapFirst, SymbolClass::kGapCont,
+            codec::contextBucket(interaction.a(), bucket_shift_,
+                                 bucket_cap_));
+  cur_prev_a_ = interaction.a();
+  ++cur_decoded_;
+  if (--pending_interactions_ == 0) {
+    trial_open_ = false;
+    ++trials_appended_;
+    ++trials_in_current_;
+  }
+}
+
+void TraceStoreWriter::appendTrial(InteractionSequenceView trial) {
   // Validate before emitting a single byte: a rejected trial must not
   // leave a partial record in the payload (the caller may catch and
   // continue, and the shard must stay decodable).
@@ -444,26 +601,8 @@ void TraceStoreWriter::appendTrial(InteractionSequenceView trial) {
     if (i.b() >= node_count_)
       throw std::invalid_argument(
           "TraceStoreWriter: interaction endpoint >= node_count");
-  if (trials_in_current_ == trialsInShard(current_shard_)) {
-    closeShard();
-    openShard(current_shard_ + 1);
-  }
-  using codec::SymbolClass;
-  putVarint(trial.length(), SymbolClass::kLengthFirst,
-            SymbolClass::kLengthCont, 0);
-  NodeId prev_a = 0;
-  for (const Interaction& i : trial) {
-    putVarint(zigzagEncode(static_cast<std::int64_t>(i.a()) -
-                           static_cast<std::int64_t>(prev_a)),
-              SymbolClass::kDeltaFirst, SymbolClass::kDeltaCont,
-              codec::contextBucket(prev_a, bucket_shift_));
-    putVarint(i.b() - i.a() - 1, SymbolClass::kGapFirst,
-              SymbolClass::kGapCont,
-              codec::contextBucket(i.a(), bucket_shift_));
-    prev_a = i.a();
-  }
-  ++trials_appended_;
-  ++trials_in_current_;
+  beginTrial(trial.length());
+  for (const Interaction& i : trial) addInteraction(i);
 }
 
 void TraceStoreWriter::finish() {
@@ -523,7 +662,8 @@ TraceShardReader::TraceShardReader(std::string path, std::size_t block_bytes,
 
   if (usingMmap()) {
     payload_ptr_ = map_.data + header_.headerSize();
-    payload_end_ = map_.data + map_.size;
+    // The payload cursor never runs into the v3 footer (0 bytes for v1/v2).
+    payload_end_ = map_.data + header_.headerSize() + header_.payload_bytes;
     if (header_.format_version == kTraceFormatVersionV1) {
       // v1 + mmap: the whole payload is the symbol window — zero copies,
       // one bounds check per byte.
@@ -538,7 +678,11 @@ TraceShardReader::TraceShardReader(std::string path, std::size_t block_bytes,
       stream_buf_.resize(stream_block_bytes_);
   }
   raw_left_base_ = header_.raw_payload_bytes;
-  bucket_shift_ = codec::bucketShiftFor(header_.node_count);
+  if (header_.format_version >= kTraceFormatVersionV3) {
+    bucket_cap_ = codec::kRansContextBuckets;
+    parseFooter();
+  }
+  bucket_shift_ = codec::bucketShiftFor(header_.node_count, bucket_cap_);
 }
 
 void TraceShardReader::fail(const std::string& why) const {
@@ -570,7 +714,8 @@ void TraceShardReader::parseHeader() {
     if (header_size != kTraceHeaderSize) fail("unexpected header size");
     if (loadU64(&bytes[56]) != fnv1a(bytes.data(), 56))
       fail("header checksum mismatch (corrupt header)");
-  } else if (version == kTraceFormatVersionV2) {
+  } else if (version == kTraceFormatVersionV2 ||
+             version == kTraceFormatVersionV3) {
     if (header_size != kTraceHeaderSizeV2) fail("unexpected header size");
     readHeaderBytes(kTraceHeaderSize, kTraceHeaderSizeV2 - kTraceHeaderSize);
     if (loadU64(&bytes[72]) != fnv1a(bytes.data(), 72))
@@ -586,12 +731,23 @@ void TraceShardReader::parseHeader() {
   header_.trial_count = loadU64(&bytes[32]);
   header_.base_trial = loadU64(&bytes[40]);
   header_.payload_bytes = loadU64(&bytes[48]);
-  if (version == kTraceFormatVersionV2) {
+  if (version >= kTraceFormatVersionV2) {
     header_.codec = loadU32(&bytes[20]);
     header_.raw_payload_bytes = loadU64(&bytes[56]);
     header_.block_bytes = loadU32(&bytes[64]);
-    if (header_.codec > kTraceCodecRangeCoded)
+    if (version >= kTraceFormatVersionV3) {
+      header_.footer_bytes = loadU32(&bytes[68]);
+      if (header_.codec != kTraceCodecRaw && header_.codec != kTraceCodecRans)
+        fail("unsupported payload codec " + std::to_string(header_.codec));
+      if (header_.footer_bytes < kTraceIndexFixedBytes +
+                                     kTraceIndexEntryBytes ||
+          (header_.footer_bytes - kTraceIndexFixedBytes) %
+                  kTraceIndexEntryBytes !=
+              0)
+        fail("footer size malformed (corrupt block index)");
+    } else if (header_.codec > kTraceCodecRangeCoded) {
       fail("unsupported payload codec " + std::to_string(header_.codec));
+    }
     if (header_.block_bytes < kTraceMinBlockBytes ||
         header_.block_bytes > kTraceMaxBlockBytes)
       fail("header block size out of range");
@@ -607,6 +763,140 @@ void TraceShardReader::parseHeader() {
     fail("header node count exceeds the supported id range");
   if (header_.shard_count == 0 || header_.shard_index >= header_.shard_count)
     fail("header shard index/count inconsistent");
+}
+
+void TraceShardReader::parseFooter() {
+  const std::size_t footer_size = header_.footer_bytes;
+  const std::uint64_t footer_at = header_.headerSize() + header_.payload_bytes;
+  std::vector<unsigned char> buf;
+  const unsigned char* footer = nullptr;
+  if (usingMmap()) {
+    footer = map_.data + footer_at;  // file size already validated
+  } else {
+    buf.resize(footer_size);
+    in_.seekg(static_cast<std::streamoff>(footer_at));
+    in_.read(reinterpret_cast<char*>(buf.data()),
+             static_cast<std::streamsize>(footer_size));
+    if (in_.gcount() != static_cast<std::streamsize>(footer_size))
+      fail("truncated block index (corrupt block index)");
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(header_.headerSize()));
+    if (!in_) fail("cannot reposition after the block index");
+    footer = buf.data();
+  }
+
+  if (loadU64(footer + footer_size - 8) != fnv1a(footer, footer_size - 8))
+    fail("block index checksum mismatch (corrupt block index)");
+  const std::uint32_t count = loadU32(footer);
+  if (count == 0 ||
+      footer_size !=
+          kTraceIndexFixedBytes + std::size_t{count} * kTraceIndexEntryBytes)
+    fail("block index count disagrees with footer size (corrupt block index)");
+
+  // The index must describe the payload *exactly*: offsets chain through
+  // every frame, raw starts accumulate to the header's raw size, and the
+  // record cursors are monotone. Anything else means index and payload
+  // disagree — reject before any seek trusts it.
+  index_.clear();
+  index_.reserve(count);
+  std::uint64_t expect_offset = header_.headerSize();
+  std::uint64_t expect_raw = 0;
+  std::uint64_t prev_trials = 0;
+  std::size_t at = 4;
+  for (std::uint32_t k = 0; k < count; ++k, at += kTraceIndexEntryBytes) {
+    TraceBlockIndexEntry entry;
+    entry.offset = loadU64(footer + at);
+    entry.raw_size = loadU32(footer + at + 8);
+    entry.stored_size = loadU32(footer + at + 12);
+    entry.raw_start = loadU64(footer + at + 16);
+    entry.trials_begun = loadU64(footer + at + 24);
+    entry.trial_length = loadU64(footer + at + 32);
+    entry.decoded = loadU64(footer + at + 40);
+    entry.prev_a = loadU64(footer + at + 48);
+    if (entry.offset != expect_offset || entry.raw_start != expect_raw)
+      fail("block index disagrees with payload layout (corrupt block index)");
+    if (entry.raw_size == 0 || entry.raw_size > maxBlockRawBytes() ||
+        entry.stored_size > entry.raw_size)
+      fail("block index sizes out of range (corrupt block index)");
+    if (entry.trials_begun < prev_trials ||
+        entry.trials_begun > header_.trial_count ||
+        entry.decoded > entry.trial_length ||
+        entry.prev_a >= header_.node_count)
+      fail("block index cursor out of range (corrupt block index)");
+    // Entry 0 starts the payload, where the record cursor is the origin —
+    // seekToTrial relies on it (entry 0 is <= every local trial id).
+    if (k == 0 && (entry.trials_begun != 0 || entry.trial_length != 0 ||
+                   entry.decoded != 0 || entry.prev_a != 0))
+      fail("block index cursor out of range (corrupt block index)");
+    expect_offset += kTraceBlockFrameBytes + entry.stored_size;
+    expect_raw += entry.raw_size;
+    prev_trials = entry.trials_begun;
+    index_.push_back(entry);
+  }
+  if (expect_offset != footer_at || expect_raw != header_.raw_payload_bytes)
+    fail("block index does not cover the payload (corrupt block index)");
+}
+
+std::size_t TraceShardReader::maxBlockRawBytes() const noexcept {
+  // v3 blocks align to record units, so a block may exceed the configured
+  // size when one unit alone is larger than the whole block.
+  if (header_.format_version >= kTraceFormatVersionV3)
+    return std::max<std::size_t>(header_.block_bytes,
+                                 kTraceMaxRecordUnitBytes);
+  return header_.block_bytes;
+}
+
+void TraceShardReader::seekToBlock(std::size_t k) {
+  if (k >= index_.size())
+    throw std::out_of_range(
+        "TraceShardReader::seekToBlock: block " + std::to_string(k) + " of " +
+        std::to_string(index_.size()) +
+        (index_.empty() ? " (no block index on this shard)" : ""));
+  const TraceBlockIndexEntry& entry = index_[k];
+  if (usingMmap()) {
+    payload_ptr_ = map_.data + entry.offset;
+  } else {
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(entry.offset));
+    if (!in_) fail("seek failed");
+    payload_left_ =
+        header_.payload_bytes - (entry.offset - header_.headerSize());
+  }
+  sym_buf_ = nullptr;
+  sym_pos_ = 0;
+  sym_limit_ = 0;
+  rc_rans_ = false;
+  rc_block_raw_ = 0;
+  rc_symbols_left_ = 0;
+  raw_left_base_ = header_.raw_payload_bytes - entry.raw_start;
+  trials_begun_ = entry.trials_begun;
+  trial_length_ = entry.trial_length;
+  decoded_ = entry.decoded;
+  prev_a_ = static_cast<NodeId>(entry.prev_a);
+}
+
+bool TraceShardReader::seekToTrial(std::uint64_t global_trial) {
+  if (global_trial < header_.base_trial ||
+      global_trial >= header_.base_trial + header_.trial_count)
+    return false;
+  const std::uint64_t local = global_trial - header_.base_trial;
+  if (!index_.empty()) {
+    // Last block whose cursor is at or before the trial's record start
+    // (entries are monotone in trials_begun; entry 0 is always <= local).
+    const auto it = std::upper_bound(
+        index_.begin(), index_.end(), local,
+        [](std::uint64_t value, const TraceBlockIndexEntry& entry) {
+          return value < entry.trials_begun;
+        });
+    seekToBlock(static_cast<std::size_t>(it - index_.begin()) - 1);
+  } else if (trials_begun_ > local) {
+    fail("seekToTrial backward without a block index (reopen the shard)");
+  }
+  // Decode forward across at most the partial trial in front of the
+  // target (without an index: everything in front of it).
+  while (trials_begun_ < local)
+    if (!beginTrial()) return false;
+  return true;
 }
 
 std::uint64_t TraceShardReader::payloadSourceLeft() const noexcept {
@@ -655,16 +945,17 @@ void TraceShardReader::loadNextBlock() {
   const std::uint32_t stored_size = loadU32(frame + 4);
   const std::uint8_t block_codec = frame[8];
   const std::uint64_t checksum = loadU64(frame + 9);
-  if (raw_size == 0 || raw_size > header_.block_bytes)
+  if (raw_size == 0 || raw_size > maxBlockRawBytes())
     fail("block raw size out of range (corrupt block)");
   if (raw_size > raw_left_base_)
     fail("block sizes disagree with header (corrupt block)");
   if (block_codec == kTraceCodecRaw) {
     if (stored_size != raw_size)
       fail("raw block sizes disagree (corrupt block)");
-  } else if (block_codec == kTraceCodecRangeCoded) {
-    if (header_.codec != kTraceCodecRangeCoded)
-      fail("range-coded block in an uncompressed shard (corrupt block)");
+  } else if (block_codec == kTraceCodecRangeCoded ||
+             block_codec == kTraceCodecRans) {
+    if (header_.codec != block_codec)
+      fail("block codec disagrees with the shard codec (corrupt block)");
     if (stored_size >= raw_size)
       fail("compressed block larger than raw (corrupt block)");
   } else {
@@ -676,9 +967,17 @@ void TraceShardReader::loadNextBlock() {
   if (block_codec == kTraceCodecRaw) {
     sym_buf_ = stored;
     sym_limit_ = raw_size;
-  } else {
+  } else if (block_codec == kTraceCodecRangeCoded) {
     models_.reset();
     decoder_.start(stored, stored_size);
+    rc_rans_ = false;
+    rc_block_raw_ = raw_size;
+    rc_symbols_left_ = raw_size;
+  } else {
+    if (!rans_) rans_ = std::make_unique<codec::RansBlockDecoder>();
+    if (!rans_->start(stored, stored_size))
+      fail("malformed rANS tables (corrupt block)");
+    rc_rans_ = true;
     rc_block_raw_ = raw_size;
     rc_symbols_left_ = raw_size;
   }
@@ -712,10 +1011,16 @@ std::uint8_t TraceShardReader::takeByte(codec::SymbolClass cls,
   for (;;) {
     if (sym_pos_ < sym_limit_) return sym_buf_[sym_pos_++];
     if (rc_symbols_left_ > 0) {
-      const std::uint8_t byte =
-          decoder_.decodeByte(models_.select(cls, bucket));
-      if (decoder_.overrun())
-        fail("compressed block overruns its payload (corrupt block)");
+      std::uint8_t byte;
+      if (rc_rans_) {
+        byte = rans_->decodeByte(codec::ransContext(cls, bucket));
+        if (rans_->overrun())
+          fail("compressed block overruns its payload (corrupt block)");
+      } else {
+        byte = decoder_.decodeByte(models_.select(cls, bucket));
+        if (decoder_.overrun())
+          fail("compressed block overruns its payload (corrupt block)");
+      }
       --rc_symbols_left_;
       return byte;
     }
@@ -760,7 +1065,7 @@ Interaction TraceShardReader::decodeOne() {
   using codec::SymbolClass;
   const std::int64_t delta = zigzagDecode(
       takeVarint(SymbolClass::kDeltaFirst, SymbolClass::kDeltaCont,
-                 codec::contextBucket(prev_a_, bucket_shift_)));
+                 codec::contextBucket(prev_a_, bucket_shift_, bucket_cap_)));
   const auto n = static_cast<std::int64_t>(header_.node_count);
   const auto prev = static_cast<std::int64_t>(prev_a_);
   if (delta < -prev || delta >= n - prev)
@@ -769,7 +1074,7 @@ Interaction TraceShardReader::decodeOne() {
   const std::uint64_t gap =
       takeVarint(SymbolClass::kGapFirst, SymbolClass::kGapCont,
                  codec::contextBucket(static_cast<std::uint64_t>(a),
-                                      bucket_shift_));
+                                      bucket_shift_, bucket_cap_));
   if (gap >= header_.node_count - static_cast<std::uint64_t>(a) - 1)
     fail("decoded endpoint out of range (corrupt payload)");
   const std::uint64_t b = static_cast<std::uint64_t>(a) + 1 + gap;

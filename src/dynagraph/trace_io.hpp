@@ -7,8 +7,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "dynagraph/interaction_sequence.hpp"
 #include "dynagraph/trace_codec.hpp"
+#include "dynagraph/trace_rans.hpp"
 
 namespace doda::dynagraph {
 
@@ -124,34 +127,96 @@ LoadedTrace loadTrace(const std::string& path);
 // v2 store never expands beyond framing overhead. Readers verify the block
 // checksum before decoding, making payload corruption detectable even when
 // the damaged bytes would happen to decode in range.
+//
+// v3 shard layout (the current writer default) reuses the v2 header byte
+// for byte with version = 3 and two changes:
+//
+//   * the u32 at offset 20 may additionally be 2 (static-table interleaved
+//     rANS blocks allowed — dynagraph/trace_rans.hpp); block frames carry
+//     codec 2 with the same frame fields, and incompressible blocks still
+//     fall back to raw (codec 0),
+//   * the reserved u32 at offset 68 becomes the *footer size*: a block
+//     index appended after the payload so readers can seek without
+//     sequential skipping.
+//
+// v3 blocks additionally align to record-unit boundaries (a trial-length
+// varint, or one interaction's delta+gap varint pair, is never split
+// across blocks), so every block boundary is describable by the record
+// cursor — which is exactly what the footer stores:
+//
+//   offset size
+//   0      4    u32 block count K (>= 1)
+//   4      56*K per block, in payload order:
+//               u64 file offset of the block frame
+//               u32 raw size          (== the frame's, cross-checked)
+//               u32 stored size
+//               u64 raw start         (record-stream bytes before the block)
+//               u64 trials begun      (trials whose record started before
+//                                      the block's first byte, shard-local)
+//               u64 trial length      (of the trial open at the boundary)
+//               u64 decoded           (its interactions already consumed)
+//               u64 prev_a            (the record-layer delta anchor)
+//   ...    8    u64 FNV-1a of every preceding footer byte
+//
+// The index is validated at open (offsets must chain exactly through the
+// payload, raw starts must sum to the header's raw payload size, trial
+// cursors must be monotone) so a footer that disagrees with its payload is
+// rejected before any seek. v1/v2 stores have no footer; seekToTrial on
+// them falls back to sequential skipping.
 // ---------------------------------------------------------------------------
 
 inline constexpr std::uint16_t kTraceFormatVersionV1 = 1;
 inline constexpr std::uint16_t kTraceFormatVersionV2 = 2;
+inline constexpr std::uint16_t kTraceFormatVersionV3 = 3;
 /// Default format written by TraceStoreWriter.
-inline constexpr std::uint16_t kTraceFormatVersion = kTraceFormatVersionV2;
+inline constexpr std::uint16_t kTraceFormatVersion = kTraceFormatVersionV3;
 inline constexpr std::uint16_t kTraceHeaderSize = 64;    // v1
-inline constexpr std::uint16_t kTraceHeaderSizeV2 = 80;  // v2
+inline constexpr std::uint16_t kTraceHeaderSizeV2 = 80;  // v2 and v3
 inline constexpr std::size_t kTraceBlockBytes = std::size_t{1} << 16;
 inline constexpr std::size_t kTraceBlockFrameBytes = 17;
+/// Footer sizes (v3): fixed trailer fields and one index entry.
+inline constexpr std::size_t kTraceIndexEntryBytes = 56;
+inline constexpr std::size_t kTraceIndexFixedBytes = 12;  // count + checksum
+/// Upper bound of one unsplittable v3 record unit (two 10-byte varints);
+/// a v3 block may exceed the configured block size by at most this much
+/// minus one when a single unit is larger than the whole block.
+inline constexpr std::size_t kTraceMaxRecordUnitBytes = 20;
 
-/// Block codec ids (v2 header and block frames).
+/// Block codec ids (v2/v3 headers and block frames).
 inline constexpr std::uint32_t kTraceCodecRaw = 0;
 inline constexpr std::uint32_t kTraceCodecRangeCoded = 1;
+inline constexpr std::uint32_t kTraceCodecRans = 2;
+
+/// One v3 block-index entry: where the block lives in the file and the
+/// record-layer cursor at its first byte (enough to resume decoding there).
+struct TraceBlockIndexEntry {
+  std::uint64_t offset = 0;      ///< file offset of the block frame
+  std::uint32_t raw_size = 0;    ///< decoded bytes of the block
+  std::uint32_t stored_size = 0; ///< bytes stored on disk
+  std::uint64_t raw_start = 0;   ///< record-stream bytes before the block
+  std::uint64_t trials_begun = 0;  ///< shard-local trials begun before it
+  std::uint64_t trial_length = 0;  ///< length of the trial open at the cut
+  std::uint64_t decoded = 0;       ///< its interactions already consumed
+  std::uint64_t prev_a = 0;        ///< record-layer delta anchor
+};
 
 /// Decoded, validated shard header.
 struct TraceShardHeader {
   std::uint16_t format_version = kTraceFormatVersionV1;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 0;
-  /// v2: kTraceCodecRaw or kTraceCodecRangeCoded; always 0 for v1.
+  /// v2: kTraceCodecRaw or kTraceCodecRangeCoded; v3: kTraceCodecRaw or
+  /// kTraceCodecRans; always 0 for v1.
   std::uint32_t codec = 0;
-  /// v2: max raw bytes per block; 0 for v1.
+  /// v2/v3: max raw bytes per block; 0 for v1.
   std::uint32_t block_bytes = 0;
+  /// v3: on-disk bytes of the block-index footer after the payload; 0
+  /// for v1/v2 (no footer).
+  std::uint32_t footer_bytes = 0;
   std::uint64_t node_count = 0;
   std::uint64_t trial_count = 0;
   std::uint64_t base_trial = 0;
-  /// On-disk payload bytes following the header.
+  /// On-disk payload bytes following the header (footer excluded).
   std::uint64_t payload_bytes = 0;
   /// Decoded record-stream bytes (== payload_bytes for v1).
   std::uint64_t raw_payload_bytes = 0;
@@ -162,22 +227,25 @@ struct TraceShardHeader {
   }
   /// Total shard file size implied by this header.
   std::uint64_t fileBytes() const noexcept {
-    return headerSize() + payload_bytes;
+    return headerSize() + payload_bytes + footer_bytes;
   }
 };
 
 /// Canonical shard file name within a store directory ("shard-00007.trace").
 std::string traceShardFileName(std::uint32_t shard_index);
 
-/// Writer-side format knobs. Defaults produce a compressed v2 store.
+/// Writer-side format knobs. Defaults produce a compressed, block-indexed
+/// v3 store.
 struct TraceWriterOptions {
-  /// kTraceFormatVersionV1 reproduces the PR-2 format byte for byte.
+  /// kTraceFormatVersionV1 reproduces the PR-2 format byte for byte;
+  /// kTraceFormatVersionV2 the PR-4 adaptive-range-coded format.
   std::uint16_t format_version = kTraceFormatVersion;
-  /// v2 only: entropy-code blocks (incompressible blocks fall back to raw
-  /// storage automatically). false writes raw, checksummed blocks.
+  /// v2/v3 only: entropy-code blocks (incompressible blocks fall back to
+  /// raw storage automatically). false writes raw, checksummed blocks.
   bool compress = true;
-  /// v2 only: raw bytes per block. Smaller blocks localize corruption and
-  /// reset the models more often; larger blocks compress slightly better.
+  /// v2/v3 only: raw bytes per block. Smaller blocks localize corruption
+  /// and reset the models/tables more often; larger blocks compress
+  /// slightly better and keep the v3 index smaller.
   std::size_t block_bytes = kTraceBlockBytes;
 };
 
@@ -234,9 +302,18 @@ class TraceStoreWriter {
   const TraceWriterOptions& options() const noexcept { return options_; }
 
   /// Appends the next trial. Every interaction endpoint must be
-  /// < node_count. Throws std::logic_error when more than `total_trials`
-  /// trials are appended.
+  /// < node_count (validated before any byte is emitted, so a rejected
+  /// trial leaves the shard decodable). Throws std::logic_error when more
+  /// than `total_trials` trials are appended.
   void appendTrial(InteractionSequenceView trial);
+
+  /// Streaming alternative to appendTrial for trials too large to
+  /// materialize: declare the length, then feed exactly `length`
+  /// interactions. Unlike appendTrial, endpoints are validated as they
+  /// arrive — a throw from addInteraction leaves the trial incomplete and
+  /// finish() will reject the store.
+  void beginTrial(std::uint64_t length);
+  void addInteraction(Interaction interaction);
 
   /// Seals the current shard and validates that exactly `total_trials`
   /// trials were appended (std::logic_error otherwise). Idempotent.
@@ -249,7 +326,11 @@ class TraceStoreWriter {
   void putVarint(std::uint64_t value, codec::SymbolClass first_cls,
                  codec::SymbolClass cont_cls, unsigned bucket);
   void flushChunk();  // v1: buffered write of the bare record stream
-  void flushBlock();  // v2: seal and emit the current block
+  void flushBlock();  // v2/v3: seal and emit the current block
+  /// v3: flushes the current block when the next `unit_bytes`-byte record
+  /// unit would overflow it (units never split across v3 blocks).
+  void alignBlockForUnit(std::size_t unit_bytes);
+  void writeFooter();  // v3: block index + checksum after the payload
   std::uint64_t trialsInShard(std::uint32_t index) const;
 
   std::string directory_;
@@ -258,17 +339,28 @@ class TraceStoreWriter {
   std::uint32_t shard_count_;
   TraceWriterOptions options_;
   unsigned bucket_shift_ = 0;
+  std::size_t bucket_cap_ = codec::kContextBuckets;
   std::ofstream out_;
   std::vector<char> chunk_;                // v1 write buffer
-  std::vector<std::uint8_t> raw_block_;    // v2: raw record bytes of the block
-  std::vector<std::uint8_t> encoded_;      // v2: range-coder output
+  std::vector<std::uint8_t> raw_block_;    // v2/v3: raw record bytes
+  std::vector<std::uint8_t> ctx_block_;    // v3: per-byte rANS context ids
+  std::vector<std::uint8_t> encoded_;      // entropy-coder output
   codec::RangeEncoder encoder_;
   codec::TraceModels models_;
+  std::unique_ptr<codec::RansBlockEncoder> rans_;  // v3 compress only
+  std::vector<TraceBlockIndexEntry> index_;        // v3 footer entries
   std::uint32_t current_shard_ = 0;
   std::uint64_t trials_appended_ = 0;
   std::uint64_t trials_in_current_ = 0;
   std::uint64_t payload_bytes_ = 0;
   std::uint64_t raw_payload_bytes_ = 0;
+  // Record cursor mirrored into v3 index entries (shard-local).
+  std::uint64_t cur_trials_begun_ = 0;
+  std::uint64_t cur_trial_length_ = 0;
+  std::uint64_t cur_decoded_ = 0;
+  std::uint64_t cur_prev_a_ = 0;
+  std::uint64_t pending_interactions_ = 0;  // of the open streamed trial
+  bool trial_open_ = false;
   bool finished_ = false;
 };
 
@@ -295,6 +387,26 @@ class TraceShardReader {
   const std::string& path() const noexcept { return path_; }
   /// Whether this reader serves bytes from a memory mapping.
   bool usingMmap() const noexcept { return map_.data != nullptr; }
+
+  /// Whether this shard carries a block index (v3 footers). Without one,
+  /// seekToTrial degrades to sequential skipping and seekToBlock throws.
+  bool hasBlockIndex() const noexcept { return !index_.empty(); }
+  /// The validated block index (empty for v1/v2 shards).
+  const std::vector<TraceBlockIndexEntry>& blockIndex() const noexcept {
+    return index_;
+  }
+
+  /// Repositions the decode cursor at the first byte of block `k`,
+  /// restoring the record cursor from the index. Requires hasBlockIndex();
+  /// throws std::out_of_range past the last block.
+  void seekToBlock(std::size_t k);
+
+  /// Positions the reader so the next beginTrial() begins the trial with
+  /// the given *global* index. Returns false when the trial is not in this
+  /// shard. O(log blocks + one partial block decode) with a block index;
+  /// without one, decodes forward from the current position (and throws
+  /// std::runtime_error on a backward seek, which would need a reopen).
+  bool seekToTrial(std::uint64_t global_trial);
 
   /// Positions at the next trial (skipping any undecoded remainder of the
   /// current one). Returns false when every trial of the shard has been
@@ -328,6 +440,8 @@ class TraceShardReader {
  private:
   [[noreturn]] void fail(const std::string& why) const;
   void parseHeader();
+  void parseFooter();
+  std::size_t maxBlockRawBytes() const noexcept;
   void readPayloadBytes(unsigned char* dst, std::size_t count);
   const unsigned char* borrowPayloadBytes(std::size_t count);
   std::uint64_t payloadSourceLeft() const noexcept;
@@ -344,9 +458,11 @@ class TraceShardReader {
   detail::MmapRegion map_;
   std::ifstream in_;
   std::vector<unsigned char> stream_buf_;  // stream backend read window
-  std::vector<unsigned char> block_buf_;   // stream backend v2 block bytes
+  std::vector<unsigned char> block_buf_;   // stream backend block bytes
   TraceShardHeader header_;
+  std::vector<TraceBlockIndexEntry> index_;  // v3 block index (validated)
   unsigned bucket_shift_ = 0;
+  std::size_t bucket_cap_ = codec::kContextBuckets;
   std::size_t stream_block_bytes_ = 0;
   // On-disk payload cursor.
   const unsigned char* payload_ptr_ = nullptr;  // mmap backend
@@ -356,10 +472,12 @@ class TraceShardReader {
   const unsigned char* sym_buf_ = nullptr;
   std::size_t sym_pos_ = 0;
   std::size_t sym_limit_ = 0;
-  // Range-coded block state.
+  // Entropy-coded block state (v2 adaptive range coder or v3 rANS).
   codec::RangeDecoder decoder_;
   codec::TraceModels models_;
-  std::uint64_t rc_block_raw_ = 0;     // raw size of the live rc block
+  std::unique_ptr<codec::RansBlockDecoder> rans_;  // lazy, v3 blocks only
+  bool rc_rans_ = false;               // live coded block is rANS
+  std::uint64_t rc_block_raw_ = 0;     // raw size of the live coded block
   std::uint64_t rc_symbols_left_ = 0;
   std::uint64_t raw_left_base_ = 0;  // rawLeft() when the window began
   std::uint64_t trials_begun_ = 0;

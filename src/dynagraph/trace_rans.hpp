@@ -1,0 +1,308 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dynagraph/trace_codec.hpp"
+
+namespace doda::dynagraph::codec {
+
+// ---------------------------------------------------------------------------
+// Entropy codec of the v3 trace block payload (see trace_io.hpp for the
+// container format; the v2 adaptive binary range coder in trace_codec.hpp
+// stays readable as codec 1).
+//
+// Where v2 pays ~8 adaptive binary decisions per record byte, v3 codes each
+// byte in ONE table-driven rANS step: the writer histograms the block,
+// normalizes per-context frequency tables to a 12-bit total, serializes the
+// tables into the block, then runs a 2-way interleaved rANS (32-bit states,
+// byte-wise renormalization — the ryg_rans construction) over the bytes in
+// reverse so the decoder streams them forward. Static tables trade a little
+// ratio (quantization + table bytes, amortized over the block) for a decode
+// loop that is a mask, two table loads, one multiply and a rare byte refill
+// — several times faster than bit-tree adaptation.
+//
+// Contexts are the v2 record-aware classes with the value-conditioned
+// classes bucketed coarser (8 buckets instead of 32), because every used
+// context must ship its table in the block header:
+//
+//   0                length first bytes
+//   1                length continuation bytes
+//   2                delta continuation bytes
+//   3                gap continuation bytes
+//   4 .. 11          delta first byte, bucket(prev_a) of 8
+//   12 .. 19         gap first byte, bucket(a) of 8
+//
+// Table serialization (per block, before the rANS payload), per context in
+// the fixed order above: varint symbol count (0 = context unused in this
+// block), then per present symbol in ascending order a varint symbol delta
+// (the first symbol verbatim, then gap-1 to the previous) and varint
+// freq-1. Frequencies of a used context sum to exactly kRansTotal.
+//
+// The rANS payload is u32-LE initial states x0, x1 followed by the renorm
+// byte stream; symbol i of the block decodes from state i & 1.
+// ---------------------------------------------------------------------------
+
+inline constexpr unsigned kRansScaleBits = 12;
+inline constexpr std::uint32_t kRansTotal = 1u << kRansScaleBits;
+inline constexpr std::uint32_t kRansLowBound = 1u << 23;  // renorm threshold
+inline constexpr std::size_t kRansContextBuckets = 8;
+inline constexpr std::size_t kRansContexts = 4 + 2 * kRansContextBuckets;
+
+/// Flat context id of a (class, bucket) pair; the bucket is only
+/// significant for the first-byte classes.
+inline unsigned ransContext(SymbolClass cls, unsigned bucket) noexcept {
+  switch (cls) {
+    case SymbolClass::kLengthFirst:
+      return 0;
+    case SymbolClass::kLengthCont:
+      return 1;
+    case SymbolClass::kDeltaCont:
+      return 2;
+    case SymbolClass::kGapCont:
+      return 3;
+    case SymbolClass::kDeltaFirst:
+      return 4 + bucket;
+    case SymbolClass::kGapFirst:
+    default:
+      return 4 + static_cast<unsigned>(kRansContextBuckets) + bucket;
+  }
+}
+
+namespace rans_detail {
+
+inline void putVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Reads a varint from [pos, size); returns false on overrun or a varint
+/// longer than 64 bits.
+inline bool takeVarint(const std::uint8_t* data, std::size_t size,
+                       std::size_t& pos, std::uint64_t& value) {
+  value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= size) return false;
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace rans_detail
+
+/// Encodes one block: collect (byte, context) pairs, then seal() emits the
+/// serialized tables followed by the interleaved-rANS payload. Reusable
+/// across blocks via reset().
+class RansBlockEncoder {
+ public:
+  void reset() noexcept {
+    for (auto& table : counts_) table.fill(0);
+  }
+
+  void count(std::uint8_t byte, unsigned ctx) noexcept {
+    ++counts_[ctx][byte];
+  }
+
+  /// Serializes tables + payload for `bytes` (whose i-th element was
+  /// counted with context `contexts[i]`) into `out` (cleared first).
+  void seal(const std::uint8_t* bytes, const std::uint8_t* contexts,
+            std::size_t size, std::vector<std::uint8_t>& out) {
+    out.clear();
+    normalizeAll();
+    serializeTables(out);
+
+    // rANS runs backwards: encode the last symbol first, collect renorm
+    // bytes in emission order, then append them reversed so the decoder
+    // reads forward. Symbol i uses state i & 1 on both sides.
+    rev_.clear();
+    std::uint32_t states[2] = {kRansLowBound, kRansLowBound};
+    for (std::size_t i = size; i-- > 0;) {
+      const unsigned ctx = contexts[i];
+      const std::uint8_t sym = bytes[i];
+      const std::uint32_t f = freq_[ctx][sym];
+      const std::uint32_t c = cum_[ctx][sym];
+      std::uint32_t& x = states[i & 1];
+      const std::uint32_t x_max = ((kRansLowBound >> kRansScaleBits) << 8) * f;
+      while (x >= x_max) {
+        rev_.push_back(static_cast<std::uint8_t>(x));
+        x >>= 8;
+      }
+      x = ((x / f) << kRansScaleBits) + (x % f) + c;
+    }
+    for (const std::uint32_t x : {states[0], states[1]})
+      for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    out.insert(out.end(), rev_.rbegin(), rev_.rend());
+  }
+
+ private:
+  void normalizeAll() noexcept {
+    for (std::size_t ctx = 0; ctx < kRansContexts; ++ctx) {
+      const auto& counts = counts_[ctx];
+      auto& freq = freq_[ctx];
+      auto& cum = cum_[ctx];
+      std::uint64_t total = 0;
+      std::uint32_t used = 0;
+      for (const std::uint32_t c : counts) {
+        total += c;
+        used += c != 0;
+      }
+      if (used == 0) {
+        freq.fill(0);
+        cum.fill(0);
+        continue;
+      }
+      // Deterministic normalization to kRansTotal: floor-scale with every
+      // present symbol kept >= 1, then hand the rounding residue to the
+      // most frequent symbol (lowest index on ties).
+      std::uint32_t assigned = 0;
+      std::size_t top = 0;
+      for (std::size_t s = 0; s < 256; ++s) {
+        if (counts[s] == 0) {
+          freq[s] = 0;
+          continue;
+        }
+        freq[s] = 1 + static_cast<std::uint32_t>(
+                          static_cast<std::uint64_t>(counts[s]) *
+                          (kRansTotal - used) / total);
+        assigned += freq[s];
+        if (counts[s] > counts[top]) top = s;
+      }
+      freq[top] += kRansTotal - assigned;
+      std::uint32_t running = 0;
+      for (std::size_t s = 0; s < 256; ++s) {
+        cum[s] = running;
+        running += freq[s];
+      }
+    }
+  }
+
+  void serializeTables(std::vector<std::uint8_t>& out) const {
+    for (std::size_t ctx = 0; ctx < kRansContexts; ++ctx) {
+      const auto& freq = freq_[ctx];
+      std::uint32_t present = 0;
+      for (const std::uint32_t f : freq) present += f != 0;
+      rans_detail::putVarint(out, present);
+      std::uint32_t prev = 0;
+      bool first = true;
+      for (std::size_t s = 0; s < 256; ++s) {
+        if (freq[s] == 0) continue;
+        rans_detail::putVarint(
+            out, first ? s : s - prev - 1);
+        rans_detail::putVarint(out, freq[s] - 1);
+        prev = static_cast<std::uint32_t>(s);
+        first = false;
+      }
+    }
+  }
+
+  std::array<std::array<std::uint32_t, 256>, kRansContexts> counts_{};
+  std::array<std::array<std::uint32_t, 256>, kRansContexts> freq_{};
+  std::array<std::array<std::uint32_t, 256>, kRansContexts> cum_{};
+  std::vector<std::uint8_t> rev_;
+};
+
+/// Decodes one block: start() parses the tables and initial states (false =
+/// malformed tables, a corrupt block), then decodeByte() streams the raw
+/// bytes forward. Reading past the payload feeds zeros and raises the
+/// overrun flag, mirroring RangeDecoder's contract.
+class RansBlockDecoder {
+ public:
+  RansBlockDecoder()
+      : lookup_(kRansContexts * kRansTotal, 0),
+        freq_(kRansContexts * 256, 0),
+        cum_(kRansContexts * 256, 0) {}
+
+  bool start(const std::uint8_t* data, std::size_t size) {
+    data_ = data;
+    size_ = size;
+    pos_ = 0;
+    symbols_ = 0;
+    overrun_ = false;
+    if (!parseTables()) return false;
+    for (auto& x : states_) {
+      x = 0;
+      for (int i = 0; i < 4; ++i)
+        x |= static_cast<std::uint32_t>(takeByte()) << (8 * i);
+    }
+    return !overrun_;
+  }
+
+  std::uint8_t decodeByte(unsigned ctx) {
+    if (!present_[ctx]) {
+      // The record layer asked for a context this block's tables never
+      // populated: structurally corrupt. Surface it as an overrun so the
+      // caller fails the block.
+      overrun_ = true;
+      return 0;
+    }
+    std::uint32_t& x = states_[symbols_++ & 1];
+    const std::uint32_t slot = x & (kRansTotal - 1);
+    const std::uint8_t sym = lookup_[ctx * kRansTotal + slot];
+    const std::size_t at = ctx * 256 + sym;
+    x = freq_[at] * (x >> kRansScaleBits) + slot - cum_[at];
+    while (x < kRansLowBound)
+      x = (x << 8) | takeByte();
+    return sym;
+  }
+
+  bool overrun() const noexcept { return overrun_; }
+
+ private:
+  std::uint8_t takeByte() {
+    if (pos_ < size_) return data_[pos_++];
+    overrun_ = true;
+    return 0;
+  }
+
+  bool parseTables() {
+    for (std::size_t ctx = 0; ctx < kRansContexts; ++ctx) {
+      std::uint64_t present = 0;
+      if (!rans_detail::takeVarint(data_, size_, pos_, present)) return false;
+      present_[ctx] = present != 0;
+      if (present == 0) continue;
+      if (present > 256) return false;
+      std::uint8_t* const lookup = lookup_.data() + ctx * kRansTotal;
+      std::uint32_t* const freq = freq_.data() + ctx * 256;
+      std::uint32_t* const cum = cum_.data() + ctx * 256;
+      std::uint64_t symbol = 0;
+      std::uint32_t running = 0;
+      for (std::uint64_t i = 0; i < present; ++i) {
+        std::uint64_t delta = 0, f_minus_1 = 0;
+        if (!rans_detail::takeVarint(data_, size_, pos_, delta)) return false;
+        if (!rans_detail::takeVarint(data_, size_, pos_, f_minus_1))
+          return false;
+        symbol = i == 0 ? delta : symbol + 1 + delta;
+        const std::uint64_t f = f_minus_1 + 1;
+        if (symbol > 255 || f > kRansTotal - running) return false;
+        const auto sym = static_cast<std::uint8_t>(symbol);
+        freq[sym] = static_cast<std::uint32_t>(f);
+        cum[sym] = running;
+        for (std::uint32_t s = 0; s < f; ++s) lookup[running + s] = sym;
+        running += static_cast<std::uint32_t>(f);
+      }
+      if (running != kRansTotal) return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  std::uint64_t symbols_ = 0;
+  std::uint32_t states_[2] = {0, 0};
+  bool overrun_ = false;
+  std::array<bool, kRansContexts> present_{};
+  std::vector<std::uint8_t> lookup_;   // kRansContexts x kRansTotal
+  std::vector<std::uint32_t> freq_;    // kRansContexts x 256
+  std::vector<std::uint32_t> cum_;     // kRansContexts x 256
+};
+
+}  // namespace doda::dynagraph::codec

@@ -1,6 +1,8 @@
 #include "sim/trace_replay.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "adversary/sequence_adversary.hpp"
@@ -18,19 +20,39 @@ using dynagraph::TraceStore;
 
 namespace {
 
-/// Streams one shard's trials through `body`, storing outcomes into the
-/// global slot array. The reader realigns itself at each beginTrial, so a
-/// body that stops decoding early (streamed replay terminating before the
-/// trace ends) cannot desync the shard cursor.
-void runShard(const TraceStore& store, std::size_t shard,
-              const ReplayTrialBody& body, core::Engine::Scratch& scratch,
-              std::vector<TrialOutcome>& slots,
-              dynagraph::TraceReadBackend backend) {
-  TraceShardReader reader = store.openShard(shard, backend);
-  while (reader.beginTrial()) {
-    const std::size_t global = static_cast<std::size_t>(
-        reader.header().base_trial + reader.trialsBegun() - 1);
-    slots[global] = body(global, reader, scratch);
+/// One contiguous run of selected trials inside one shard — the unit of
+/// pool work. Indexed (v3) shards contribute several spans so workers
+/// load-balance within a shard; v1/v2 shards contribute exactly one.
+struct ReplaySpan {
+  std::size_t shard = 0;
+  std::uint64_t begin = 0;  // global trial ids, half-open
+  std::uint64_t end = 0;
+};
+
+/// Runs one span: seek to its first trial (an indexed seek on v3, a
+/// sequential skip on v1/v2), then stream its trials through `body`,
+/// storing outcomes into the window's slot array. The reader realigns
+/// itself at each beginTrial, so a body that stops decoding early
+/// (streamed replay terminating before the trace ends) cannot desync the
+/// cursor.
+void runSpan(const TraceStore& store, const ReplaySpan& span,
+             std::uint64_t window_first, const ReplayTrialBody& body,
+             core::Engine::Scratch& scratch,
+             std::vector<TrialOutcome>& slots,
+             dynagraph::TraceReadBackend backend) {
+  TraceShardReader reader = store.openShard(span.shard, backend);
+  if (!reader.seekToTrial(span.begin))
+    throw std::runtime_error("replayShards: trial " +
+                             std::to_string(span.begin) +
+                             " not in shard " + std::to_string(span.shard));
+  for (std::uint64_t global = span.begin; global < span.end; ++global) {
+    if (!reader.beginTrial())
+      throw std::runtime_error("replayShards: shard " +
+                               std::to_string(span.shard) +
+                               " ended before trial " +
+                               std::to_string(global));
+    slots[static_cast<std::size_t>(global - window_first)] =
+        body(static_cast<std::size_t>(global), reader, scratch);
   }
 }
 
@@ -47,18 +69,51 @@ core::RunOptions replayRunOptions(const ReplayConfig& config,
 
 MeasureResult replayShards(const TraceStore& store, std::size_t threads,
                            const ReplayTrialBody& body,
-                           dynagraph::TraceReadBackend backend) {
-  std::vector<TrialOutcome> slots(
-      static_cast<std::size_t>(store.trialCount()));
-  // One shard per pool task: each shard file is streamed once,
-  // sequentially, by one worker.
-  runIndexedTasks(store.shardCount(), threads,
-                  [&](std::size_t shard, core::Engine::Scratch& scratch) {
-                    runShard(store, shard, body, scratch, slots, backend);
+                           dynagraph::TraceReadBackend backend,
+                           ReplayTrialRange range) {
+  const std::uint64_t first = std::min(range.first, store.trialCount());
+  const std::uint64_t last = std::min(range.last, store.trialCount());
+  if (first >= last) return {};
+  const auto selected = static_cast<std::size_t>(last - first);
+
+  // Carve the window into spans. Indexed (v3) stores split shards into a
+  // few spans per worker so a handful of shards (or one huge one) still
+  // feeds the whole pool; without an index a span per shard is the best
+  // we can do (each extra span would re-skip the shard's prefix).
+  const bool indexed =
+      store.formatVersion() >= dynagraph::kTraceFormatVersionV3;
+  const std::size_t workers = resolveThreads(threads, selected);
+  const std::uint64_t span_target =
+      indexed ? std::max<std::uint64_t>(1, (last - first) / (workers * 4))
+              : 0;
+  std::vector<ReplaySpan> spans;
+  for (std::size_t shard = 0; shard < store.shardCount(); ++shard) {
+    const auto& header = store.shardHeaders()[shard];
+    std::uint64_t begin = std::max(first, header.base_trial);
+    const std::uint64_t end =
+        std::min(last, header.base_trial + header.trial_count);
+    if (begin >= end) continue;
+    if (span_target == 0) {
+      spans.push_back({shard, begin, end});
+      continue;
+    }
+    while (begin < end) {
+      const std::uint64_t stop = std::min(end, begin + span_target);
+      spans.push_back({shard, begin, stop});
+      begin = stop;
+    }
+  }
+
+  std::vector<TrialOutcome> slots(selected);
+  runIndexedTasks(spans.size(), threads,
+                  [&](std::size_t span, core::Engine::Scratch& scratch) {
+                    runSpan(store, spans[span], first, body, scratch, slots,
+                            backend);
                   });
 
-  // Ordered fold: global trial 0, 1, 2, ... regardless of shard placement,
-  // so the floating-point accumulation matches the synthetic executor's.
+  // Ordered fold: global trial first, first+1, ... regardless of span
+  // placement, so the floating-point accumulation matches the synthetic
+  // executor's (and a full replay restricted to the same window).
   MeasureResult out;
   for (const auto& outcome : slots) foldOutcome(out, outcome);
   return out;
@@ -94,7 +149,7 @@ MeasureResult replayTrace(const TraceStore& store, const ReplayConfig& config,
         }
         return outcome;
       },
-      config.backend);
+      config.backend, config.trial_range);
 }
 
 namespace {
@@ -141,7 +196,7 @@ MeasureResult replayTraceStreaming(const TraceStore& store,
             static_cast<double>(result.interactions_to_terminate);
         return outcome;
       },
-      config.backend);
+      config.backend, config.trial_range);
 }
 
 void recordTrials(const std::string& directory, std::size_t node_count,

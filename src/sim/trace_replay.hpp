@@ -10,6 +10,14 @@
 
 namespace doda::sim {
 
+/// Half-open window [first, last) of *global* trial indices to replay.
+/// The default covers every recorded trial; bounds are clamped to the
+/// store, so {10'000, 20'000} reads "trials 10k-20k only".
+struct ReplayTrialRange {
+  std::uint64_t first = 0;
+  std::uint64_t last = ~std::uint64_t{0};
+};
+
 /// Configuration of a recorded-trace replay measurement.
 struct ReplayConfig {
   core::NodeId sink = 0;
@@ -25,6 +33,12 @@ struct ReplayConfig {
   /// How shard files are read (mmap where available by default). Never
   /// affects the statistics, only the I/O path.
   dynagraph::TraceReadBackend backend = dynagraph::TraceReadBackend::kAuto;
+  /// Partial replay window. The statistics of a ranged replay are
+  /// bit-identical to folding the same trials out of a full replay: block-
+  /// indexed (v3) stores seek straight to the window, v1/v2 stores skip
+  /// forward sequentially — the range never changes the statistics, only
+  /// the work.
+  ReplayTrialRange trial_range;
 };
 
 /// The work of one replayed trial. `reader` is positioned at the start of
@@ -40,16 +54,24 @@ using ReplayTrialBody = std::function<TrialOutcome(
 /// Deterministic shard-parallel replay executor — the recorded-trace
 /// counterpart of runTrials.
 ///
-/// Workers pull whole *shards* from a shared counter (one shard per task,
-/// so a shard's file is streamed once, sequentially, by one thread) and
-/// store each trial's outcome in a per-trial slot; the slots are then
-/// folded into the MeasureResult in global trial order. Results are
-/// therefore bit-identical for every thread count. An exception thrown by
-/// any trial body (or a corrupt shard) stops the run and is rethrown.
+/// Work splits by the shards' *block indices* where available: a v3
+/// shard's selected trials are carved into several contiguous spans (a few
+/// per worker) that each seek to their first trial, so trial-level
+/// parallelism load-balances inside a shard instead of stopping at shard
+/// granularity. v1/v2 shards (no index) stay one span per shard, skipped
+/// into sequentially. Each span's trials store their outcome in a
+/// per-trial slot; the slots are then folded into the MeasureResult in
+/// global trial order. Results are therefore bit-identical for every
+/// thread count and every span shape. An exception thrown by any trial
+/// body (or a corrupt shard) stops the run and is rethrown.
+///
+/// `range` restricts the replay to a half-open window of global trials
+/// (clamped to the store; empty windows return an empty result).
 MeasureResult replayShards(
     const dynagraph::TraceStore& store, std::size_t threads,
     const ReplayTrialBody& body,
-    dynagraph::TraceReadBackend backend = dynagraph::TraceReadBackend::kAuto);
+    dynagraph::TraceReadBackend backend = dynagraph::TraceReadBackend::kAuto,
+    ReplayTrialRange range = {});
 
 /// Replays every recorded trial through a factory-built algorithm. Each
 /// trial is decoded into a per-trial sequence (one trial resident per

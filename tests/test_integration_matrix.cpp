@@ -145,9 +145,9 @@ std::vector<MatrixCase> allCases() {
 
 INSTANTIATE_TEST_SUITE_P(
     AllPairs, Matrix, ::testing::ValuesIn(allCases()),
-    [](const ::testing::TestParamInfo<MatrixCase>& info) {
-      std::string name =
-          info.param.trace_name + "_" + info.param.algorithm_name;
+    [](const ::testing::TestParamInfo<MatrixCase>& param_info) {
+      std::string name = param_info.param.trace_name + "_" +
+                         param_info.param.algorithm_name;
       for (char& ch : name)
         if (ch == '-') ch = '_';
       return name;

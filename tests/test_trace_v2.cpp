@@ -53,6 +53,13 @@ TraceWriterOptions v1Options() {
   return options;
 }
 
+/// This suite pins the v2 container (the writer default moved to v3).
+TraceWriterOptions v2Options() {
+  TraceWriterOptions options;
+  options.format_version = dynagraph::kTraceFormatVersionV2;
+  return options;
+}
+
 std::vector<InteractionSequence> sampleTrials(std::size_t n,
                                               std::size_t count,
                                               core::Time length,
@@ -119,7 +126,7 @@ TEST(TraceV2RoundTrip, CompressedStorePreservesEveryTrialAndShrinks) {
   const auto trials = sampleTrials(24, 6, 3000, 99);
   const std::string dir_v2 = scratchDir("rt_v2");
   const std::string dir_v1 = scratchDir("rt_v1");
-  writeStore(dir_v2, 24, trials, 3, TraceWriterOptions{});
+  writeStore(dir_v2, 24, trials, 3, v2Options());
   writeStore(dir_v1, 24, trials, 3, v1Options());
 
   const auto store = TraceStore::open(dir_v2);
@@ -139,7 +146,7 @@ TEST(TraceV2RoundTrip, CompressedStorePreservesEveryTrialAndShrinks) {
 TEST(TraceV2RoundTrip, TinyBlocksSpanTrialsAndVarints) {
   // Minimum block size: every trial (and some varints) straddles many
   // block boundaries, exercising model resets mid-record.
-  TraceWriterOptions options;
+  TraceWriterOptions options = v2Options();
   options.block_bytes = 16;
   const auto trials = sampleTrials(200, 4, 700, 5);
   const std::string dir = scratchDir("tiny_blocks");
@@ -152,7 +159,7 @@ TEST(TraceV2RoundTrip, TinyBlocksSpanTrialsAndVarints) {
 }
 
 TEST(TraceV2RoundTrip, UncompressedStoreRoundTrips) {
-  TraceWriterOptions options;
+  TraceWriterOptions options = v2Options();
   options.compress = false;
   const auto trials = sampleTrials(24, 5, 800, 7);
   const std::string dir = scratchDir("raw_blocks");
@@ -171,7 +178,7 @@ TEST(TraceV2RoundTrip, EmptyAndSingleInteractionTrials) {
   trials.push_back(InteractionSequence{Interaction(0, 1)});
   trials.push_back(InteractionSequence{});
   const std::string dir = scratchDir("degenerate");
-  writeStore(dir, 4, trials, 1, TraceWriterOptions{});
+  writeStore(dir, 4, trials, 1, v2Options());
   const auto decoded =
       decodeStore(TraceStore::open(dir), TraceReadBackend::kAuto);
   ASSERT_EQ(decoded.size(), trials.size());
@@ -185,8 +192,7 @@ TEST(TraceV2Backends, MmapMatchesStreamOnBothFormats) {
   for (const bool v2 : {false, true}) {
     const auto trials = sampleTrials(32, 5, 1200, v2 ? 21 : 22);
     const std::string dir = scratchDir(v2 ? "backend_v2" : "backend_v1");
-    writeStore(dir, 32, trials, 2,
-               v2 ? TraceWriterOptions{} : v1Options());
+    writeStore(dir, 32, trials, 2, v2 ? v2Options() : v1Options());
     const auto store = TraceStore::open(dir);
     const auto streamed = decodeStore(store, TraceReadBackend::kStream);
     ASSERT_EQ(streamed.size(), trials.size());
@@ -209,7 +215,7 @@ TEST(TraceV2Backends, MmapMatchesStreamOnBothFormats) {
 TEST(TraceV2Backends, StreamBackendNeverMaps) {
   const auto trials = sampleTrials(16, 3, 100, 1);
   const std::string dir = scratchDir("stream_only");
-  writeStore(dir, 16, trials, 1, TraceWriterOptions{});
+  writeStore(dir, 16, trials, 1, v2Options());
   auto reader =
       TraceStore::open(dir).openShard(0, TraceReadBackend::kStream);
   EXPECT_FALSE(reader.usingMmap());
@@ -246,7 +252,7 @@ TEST(TraceV2Replay, CompressedReplayBitIdenticalToV1AndInMemory) {
   const std::string dir_v1 = scratchDir("replay_v1");
   const std::string dir_v2 = scratchDir("replay_v2");
   sim::recordSynthetic(dir_v1, config, length, 4, v1Options());
-  sim::recordSynthetic(dir_v2, config, length, 4);
+  sim::recordSynthetic(dir_v2, config, length, 4, v2Options());
   const auto store_v1 = TraceStore::open(dir_v1);
   const auto store_v2 = TraceStore::open(dir_v2);
   EXPECT_LT(store_v2.totalFileBytes(), store_v1.totalFileBytes());
@@ -273,7 +279,7 @@ class TraceV2Corruption : public testing::Test {
   void SetUp() override {
     dir_ = scratchDir("corrupt");
     const auto trials = sampleTrials(12, 3, 400, 13);
-    writeStore(dir_, 12, trials, 2, TraceWriterOptions{});
+    writeStore(dir_, 12, trials, 2, v2Options());
     shard0_ = (std::filesystem::path(dir_) /
                dynagraph::traceShardFileName(0))
                   .string();
@@ -358,7 +364,7 @@ TEST_F(TraceV2Corruption, TruncatedToMidHeaderIsDetectedAtOpen) {
 
 TEST_F(TraceV2Corruption, FutureFormatVersionIsRejected) {
   auto bytes = pristine_;
-  bytes[8] = 3;
+  bytes[8] = 4;
   writeFile(shard0_, bytes);
   expectDecodeFailureBothBackends("unsupported format version");
 }
@@ -403,7 +409,7 @@ TEST(TraceV2CrossVersion, V1AndV2StoresDecodeIdentically) {
   const std::string dir_v1 = scratchDir("cross_v1");
   const std::string dir_v2 = scratchDir("cross_v2");
   writeStore(dir_v1, 20, trials, 2, v1Options());
-  writeStore(dir_v2, 20, trials, 2, TraceWriterOptions{});
+  writeStore(dir_v2, 20, trials, 2, v2Options());
   const auto from_v1 =
       decodeStore(TraceStore::open(dir_v1), TraceReadBackend::kAuto);
   const auto from_v2 =
@@ -420,7 +426,7 @@ TEST(TraceV2CrossVersion, MixedVersionStoreIsRejected) {
   const std::string dir_v1 = scratchDir("mixed_v1");
   const std::string dir_v2 = scratchDir("mixed_v2");
   writeStore(dir_v1, 16, trials, 2, v1Options());
-  writeStore(dir_v2, 16, trials, 2, TraceWriterOptions{});
+  writeStore(dir_v2, 16, trials, 2, v2Options());
   // Splice a v1 shard into the v2 store: same shape, same content, but the
   // cross-shard format check must refuse the franken-store.
   std::filesystem::copy_file(
@@ -438,7 +444,7 @@ TEST(TraceV2CrossVersion, MixedVersionStoreIsRejected) {
 
 TEST(TraceV2CrossVersion, WriterRejectsUnknownVersionAndBadBlockSize) {
   TraceWriterOptions bad_version;
-  bad_version.format_version = 3;
+  bad_version.format_version = 4;
   EXPECT_THROW(TraceStoreWriter(scratchDir("bad_opt"), 8, 2, 1, bad_version),
                std::invalid_argument);
   TraceWriterOptions bad_block;
@@ -457,7 +463,7 @@ TEST(TraceV2Fuzz, MutatedShardsFailCleanlyOrDecodeInRange) {
   // finding (the ASan+UBSan CI job runs this with DODA_FUZZ_ITERS=2000).
   const std::string dir = scratchDir("fuzz");
   {
-    TraceWriterOptions options;
+    TraceWriterOptions options = v2Options();
     options.block_bytes = 512;  // many small blocks -> frames get mutated too
     writeStore(dir, 24, sampleTrials(24, 4, 600, 77), 1, options);
   }
