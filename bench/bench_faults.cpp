@@ -1,0 +1,260 @@
+// Degradation-curve benchmark for the fault-injection subsystem.
+//
+// Sweeps fault severity (Bernoulli loss, Gilbert–Elliott bursts, crash-stop,
+// Byzantine) over Waiting and WaitingGreedy via measureUnderFaults and
+// reports both engineering throughput (trials/s, the gated *_per_sec
+// metrics) and the science (completion probability, residual, cost
+// inflation) so the curves are tracked in CI like every other workload.
+//
+// Two self-checks run on every invocation and abort with exit 2 when
+// violated:
+//  * determinism — serial and parallel statistics must be bit-identical;
+//  * closed form — Waiting under Bernoulli loss p must match
+//    E[X_W(p)] = n(n-1)/2 * H(n-1) / (1-p) within statistical tolerance.
+//
+// Usage: bench_faults [--quick] [--out PATH] [--threads K]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/waiting.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "sim/fault_experiment.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using doda::fault::FaultModel;
+using doda::sim::FaultMeasureResult;
+using doda::sim::FaultSweepPoint;
+using doda::sim::MeasureConfig;
+
+struct Row {
+  std::string leg;
+  std::size_t n = 0;
+  std::size_t trials = 0;
+  double seconds = 0.0;
+  double completion_probability = 0.0;
+  double mean_interactions = 0.0;
+  double mean_residual = 0.0;
+  double mean_cost_inflation = 0.0;
+  std::size_t poisoned = 0;
+
+  double rate() const { return static_cast<double>(trials) / seconds; }
+};
+
+bool statsEqual(const FaultMeasureResult& a, const FaultMeasureResult& b) {
+  return a.interactions.count() == b.interactions.count() &&
+         a.interactions.mean() == b.interactions.mean() &&
+         a.interactions.variance() == b.interactions.variance() &&
+         a.degradation.completed() == b.degradation.completed() &&
+         a.degradation.blocked() == b.degradation.blocked() &&
+         a.degradation.poisoned() == b.degradation.poisoned() &&
+         a.degradation.residual().mean() == b.degradation.residual().mean() &&
+         a.degradation.costInflation().mean() ==
+             b.degradation.costInflation().mean() &&
+         a.timed_out_trials == b.timed_out_trials;
+}
+
+doda::sim::AlgorithmFactory waiting() {
+  return [](doda::sim::TrialContext&) {
+    return std::make_unique<doda::algorithms::Waiting>();
+  };
+}
+
+doda::sim::AlgorithmFactory waitingGreedy(std::size_t n) {
+  const auto tau = static_cast<doda::core::Time>(
+      doda::util::closed_form::waitingGreedyTau(n));
+  return [tau](doda::sim::TrialContext& context) {
+    // The fault-aware oracle: crashed nodes never meet the sink again,
+    // Byzantine nodes lie.
+    return std::make_unique<doda::algorithms::WaitingGreedy>(*context.oracle,
+                                                             tau);
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_faults.json";
+  std::size_t threads = 0;  // 0 = all cores
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      try {
+        threads = std::stoul(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "--threads: expected a number, got '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "usage: bench_faults [--quick] [--out PATH] "
+                   "[--threads K]\n";
+      return 1;
+    }
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+
+  const std::size_t n = quick ? 16 : 48;
+  const std::size_t trials = quick ? 24 : 160;
+  const doda::core::Time length_hint = quick ? 1024 : 8192;
+
+  FaultModel mixed_light = FaultModel::gilbertElliott(0.05, 0.5, 0.01, 0.7);
+  mixed_light.crash_fraction = 0.05;
+  mixed_light.crash_horizon = 4 * n * n;
+  FaultModel mixed_heavy = FaultModel::gilbertElliott(0.15, 0.3, 0.05, 0.9);
+  mixed_heavy.crash_fraction = 0.15;
+  mixed_heavy.crash_horizon = 4 * n * n;
+  mixed_heavy.byzantine_fraction = 0.08;
+
+  struct Workload {
+    std::string prefix;
+    doda::sim::AlgorithmFactory factory;
+    std::vector<FaultSweepPoint> sweep;
+  };
+  const std::vector<Workload> workloads = {
+      {"waiting",
+       waiting(),
+       {{"loss00", FaultModel::none()},
+        {"loss10", FaultModel::bernoulliLoss(0.10)},
+        {"loss30", FaultModel::bernoulliLoss(0.30)}}},
+      {"waiting_greedy",
+       waitingGreedy(n),
+       {{"clean", FaultModel::none()},
+        {"mixed_light", mixed_light},
+        {"mixed_heavy", mixed_heavy}}},
+  };
+
+  std::vector<Row> rows;
+  int failures = 0;
+  for (const auto& workload : workloads) {
+    MeasureConfig config;
+    config.node_count = n;
+    config.trials = trials;
+    config.seed = 0xfa17'0000 + n;
+    config.threads = threads;
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto curve = measureUnderFaults(config, length_hint,
+                                          workload.sweep, workload.factory);
+    const auto end = std::chrono::steady_clock::now();
+    const double total_seconds =
+        std::chrono::duration<double>(end - start).count();
+
+    // Determinism self-check on the heaviest point: the serial executor
+    // must reproduce the parallel statistics bit for bit.
+    {
+      MeasureConfig serial = config;
+      serial.threads = 1;
+      serial.faults = workload.sweep.back().model;
+      const auto reference = measureWithFaults(serial, length_hint,
+                                               workload.factory);
+      MeasureConfig parallel = serial;
+      parallel.threads = threads;
+      const auto concurrent = measureWithFaults(parallel, length_hint,
+                                                workload.factory);
+      if (!statsEqual(reference, concurrent)) {
+        std::cerr << "FATAL: serial and parallel fault statistics diverge "
+                     "on leg "
+                  << workload.prefix << "_" << workload.sweep.back().label
+                  << "\n";
+        ++failures;
+      }
+    }
+
+    // The sweep points share one timed run; attribute time evenly (the
+    // gate only needs a stable per-leg throughput signal).
+    const double per_point =
+        total_seconds / static_cast<double>(workload.sweep.size());
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const auto& point = curve[i];
+      Row row;
+      row.leg = workload.prefix + "_" + point.label;
+      row.n = n;
+      row.trials = trials;
+      row.seconds = per_point;
+      row.completion_probability =
+          point.result.degradation.completionProbability();
+      row.mean_interactions = point.result.interactions.mean();
+      row.mean_residual = point.result.degradation.residual().mean();
+      row.mean_cost_inflation =
+          point.result.degradation.costInflation().mean();
+      row.poisoned = point.result.degradation.poisoned();
+      std::printf("%-28s n=%-4zu trials=%-4zu %8.1f trials/s  "
+                  "completion %.2f  inflation %.2f  residual %.2f\n",
+                  row.leg.c_str(), row.n, row.trials, row.rate(),
+                  row.completion_probability, row.mean_cost_inflation,
+                  row.mean_residual);
+      rows.push_back(row);
+    }
+  }
+
+  // Closed-form self-check: Waiting under Bernoulli loss p. The quick
+  // trial count is small, so the band is wide; the slow statistical test
+  // pins the same identity tightly.
+  {
+    const double p = 0.3;
+    MeasureConfig config;
+    config.node_count = n;
+    config.trials = trials;
+    config.seed = 0xc105'ed00;
+    config.threads = threads;
+    config.faults = FaultModel::bernoulliLoss(p);
+    const auto r = measureWithFaults(config, length_hint, waiting());
+    const double expected =
+        doda::util::closed_form::waitingLossExpected(n, p);
+    const double ratio = r.interactions.mean() / expected;
+    const double tolerance = quick ? 0.25 : 0.12;
+    std::printf("closed-form check: E[X_W(p=%.1f)]=%.1f measured=%.1f "
+                "(ratio %.3f, band %.0f%%)\n",
+                p, expected, r.interactions.mean(), ratio,
+                tolerance * 100);
+    if (std::abs(ratio - 1.0) > tolerance) {
+      std::cerr << "FATAL: Waiting loss measurement deviates from the "
+                   "closed form beyond tolerance\n";
+      ++failures;
+    }
+  }
+  if (failures != 0) return 2;
+
+  json << "{\n"
+       << "  \"bench\": \"faults\",\n"
+       << "  \"workload\": \"measureUnderFaults degradation sweep "
+          "(Waiting + WaitingGreedy)\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"leg\": \"" << row.leg << "\", \"n\": " << row.n
+         << ", \"trials\": " << row.trials
+         << ", \"trials_per_sec\": " << row.rate()
+         << ", \"completion_probability\": " << row.completion_probability
+         << ", \"mean_interactions\": " << row.mean_interactions
+         << ", \"mean_residual\": " << row.mean_residual
+         << ", \"mean_cost_inflation\": " << row.mean_cost_inflation
+         << ", \"poisoned_trials\": " << row.poisoned << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

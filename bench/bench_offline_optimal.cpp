@@ -21,6 +21,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/convergecast.hpp"
@@ -204,6 +205,8 @@ int main(int argc, char** argv) {
        << "  \"bench\": \"offline_optimal\",\n"
        << "  \"workload\": \"ConvergecastFrontier optCompletion / chain / "
           "measureOfflineOptimal\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {

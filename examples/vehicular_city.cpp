@@ -87,5 +87,47 @@ int main(int argc, char** argv) {
   std::cout << "\nmean@RSU is the average reported travel time; identical "
                "across strategies\nbecause aggregation is exact — only "
                "latency (cost) differs.\n";
+
+  // ---- Degradation sweep: how does route knowledge hold up in traffic? --
+  // Urban radio is bursty (Gilbert–Elliott), cars park mid-route
+  // (crash-stop) and a tampered on-board unit lies about its planned route
+  // (Byzantine). WaitingGreedy consumes the fault-aware oracle: parked
+  // cars' meetings vanish, tampered cars claim "I pass the RSU next".
+  std::cout << "\nFault sweep (WaitingGreedy on the fault-aware oracle, "
+            << n << " nodes):\n";
+  fault::FaultModel bursty = fault::FaultModel::gilbertElliott(
+      0.08, 0.4, 0.02, 0.8);
+  fault::FaultModel parked = fault::FaultModel::crashStop(0.2, 2000);
+  fault::FaultModel tampered = fault::FaultModel::byzantine(0.15);
+  const std::vector<sim::FaultSweepPoint> sweep = {
+      {"clean", fault::FaultModel::none()},
+      {"bursty radio", bursty},
+      {"parked cars", parked},
+      {"tampered OBU", tampered},
+  };
+  sim::MeasureConfig mc;
+  mc.node_count = n;
+  mc.trials = 48;
+  mc.seed = seed;
+  const auto tau = static_cast<core::Time>(
+      util::closed_form::waitingGreedyTau(n));
+  const auto curve = sim::measureUnderFaults(
+      mc, 1024, sweep, [tau](sim::TrialContext& ctx) {
+        return std::make_unique<algorithms::WaitingGreedy>(*ctx.oracle, tau);
+      });
+  util::Table fault_table({"fault regime", "completion", "interactions",
+                           "cost inflation", "residual"});
+  for (const auto& point : curve) {
+    const auto& d = point.result.degradation;
+    fault_table.addRow(
+        {point.label, util::Table::num(d.completionProbability(), 2),
+         util::Table::num(point.result.interactions.mean(), 1),
+         util::Table::num(d.costInflation().mean(), 2),
+         util::Table::num(d.residual().mean(), 2)});
+  }
+  fault_table.print(std::cout);
+  std::cout << "\nBursty loss inflates cost but completes; parked cars cap "
+               "completion outright;\na tampered route oracle black-holes "
+               "data into the liar (residual without crashes).\n";
   return 0;
 }

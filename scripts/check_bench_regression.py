@@ -32,7 +32,11 @@ Refreshing a baseline after an intentional perf change:
     ./build/bench_throughput --quick --out ci/baselines/bench_throughput_ci.json
     ./build/bench_trace_replay --quick --out ci/baselines/bench_trace_replay_ci.json
 
-Exit codes: 0 ok, 1 regression detected, 2 bad input.
+Exit codes: 0 ok, 1 regression detected, 2 bad input (malformed JSON,
+missing metrics, bad flags), 3 input file does not exist. The distinct
+code 3 lets CI tell "nobody committed / produced the file" (typically a
+new bench whose baseline was never generated) apart from "the file is
+there but broken", which deserves investigation rather than a refresh.
 """
 
 from __future__ import annotations
@@ -51,12 +55,20 @@ def entry_key(entry: dict) -> str:
     return "?"
 
 
-def load_results(path: str) -> tuple[dict, dict[str, dict]]:
+def load_results(path: str, role: str = "input") -> tuple[dict, dict[str, dict]]:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
+    except FileNotFoundError:
+        # Distinct from malformed input: the file simply is not there.
+        hint = (" — generate it with the bench's --out flag and commit it"
+                if role == "baseline" else " — did the bench run?")
+        print(f"error: {role} file {path} does not exist{hint}",
+              file=sys.stderr)
+        sys.exit(3)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        print(f"error: cannot read {role} file {path}: {exc}",
+              file=sys.stderr)
         sys.exit(2)
     results = doc.get("results")
     if not isinstance(results, list) or not results:
@@ -186,8 +198,8 @@ def main() -> int:
         return 2
     overrides = dict(args.leg_tolerance)
 
-    base_doc, baseline = load_results(args.baseline)
-    _, current = load_results(args.current)
+    base_doc, baseline = load_results(args.baseline, "baseline")
+    _, current = load_results(args.current, "current")
 
     bench = base_doc.get("bench", "?")
     print(f"bench '{bench}': comparing {args.current} against "
@@ -220,7 +232,7 @@ def main() -> int:
             print(f"error: re-run command failed with exit "
                   f"{proc.returncode}", file=sys.stderr)
             return 2
-        _, fresh = load_results(args.current)
+        _, fresh = load_results(args.current, "current")
         merge_best(best, fresh)
 
 

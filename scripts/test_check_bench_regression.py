@@ -11,13 +11,17 @@ Covers the gate's behavioral surface:
 * best-of-N re-runs (``--retries N --rerun-cmd CMD``) keeping the max per
   metric, including a rerun command that keeps failing,
 * missing legs and missing metrics counting as regressions,
-* malformed inputs (unreadable / non-JSON / empty results) exiting 2,
+* malformed inputs (non-JSON / empty results) exiting 2,
+* missing input files exiting 3 with an actionable message (a baseline
+  that was never generated is distinct from one that is broken),
 * argument validation (bad tolerances, retries without a rerun command).
 """
 
 from __future__ import annotations
 
+import contextlib
 import importlib.util
+import io
 import json
 import os
 import sys
@@ -67,6 +71,20 @@ class GateHarness(unittest.TestCase):
             return int(exc.code)
         finally:
             sys.argv = old_argv
+
+    @contextlib.contextmanager
+    def assertLogsStderr(self, expected: str):
+        """Captures stderr across the block; asserts `expected` appears.
+
+        Yields a dict whose 'text' key holds the captured output once the
+        block exits, for further assertions.
+        """
+        buffer = io.StringIO()
+        captured: dict[str, str] = {}
+        with contextlib.redirect_stderr(buffer):
+            yield captured
+        captured["text"] = buffer.getvalue()
+        self.assertIn(expected, captured["text"])
 
 
 class VerdictTests(GateHarness):
@@ -233,9 +251,26 @@ class MissingDataTests(GateHarness):
 
 
 class MalformedInputTests(GateHarness):
-    def test_unreadable_baseline_exits_2(self):
+    def test_missing_baseline_exits_3_with_hint(self):
+        # A baseline that was never generated/committed is a setup problem,
+        # not a data problem: distinct exit code and an actionable message.
         cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
-        self.assertEqual(self.run_gate(self.path("absent.json"), cur), 2)
+        with self.assertLogsStderr("baseline file") as captured:
+            self.assertEqual(self.run_gate(self.path("absent.json"), cur), 3)
+        self.assertIn("does not exist", captured["text"])
+        self.assertIn("--out", captured["text"])
+
+    def test_missing_current_exits_3(self):
+        base = self.write("base.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        with self.assertLogsStderr("current file") as captured:
+            self.assertEqual(self.run_gate(base, self.path("absent.json")), 3)
+        self.assertIn("does not exist", captured["text"])
+
+    def test_non_json_baseline_exits_2(self):
+        # Present but broken is NOT exit 3: it deserves investigation.
+        base = self.write("base.json", "this is not json {")
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        self.assertEqual(self.run_gate(base, cur), 2)
 
     def test_non_json_current_exits_2(self):
         base = self.write("base.json", bench_doc({"a": {"x_per_sec": 1.0}}))

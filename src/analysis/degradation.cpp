@@ -1,0 +1,37 @@
+#include "analysis/degradation.hpp"
+
+#include <cmath>
+
+namespace doda::analysis {
+
+void DegradationAccumulator::add(const core::FaultOutcome& outcome,
+                                 double cost_inflation, bool has_inflation) {
+  ++trials_;
+  if (outcome.completed) ++completed_;
+  if (outcome.blocked) ++blocked_;
+  if (outcome.sink_poisoned) ++poisoned_;
+  residual_.add(static_cast<double>(outcome.residual()));
+  stranded_.add(static_cast<double>(outcome.stranded_honest));
+  delivered_fraction_.add(
+      outcome.honest_total == 0
+          ? 1.0
+          : static_cast<double>(outcome.delivered_honest) /
+                static_cast<double>(outcome.honest_total));
+  lost_.add(static_cast<double>(outcome.lost_transmissions));
+  retransmissions_.add(static_cast<double>(outcome.retransmissions));
+  if (has_inflation) cost_inflation_.add(cost_inflation);
+}
+
+double DegradationAccumulator::completionProbability() const noexcept {
+  return trials_ == 0
+             ? 0.0
+             : static_cast<double>(completed_) / static_cast<double>(trials_);
+}
+
+double DegradationAccumulator::completionCi95HalfWidth() const noexcept {
+  if (trials_ < 2) return 0.0;
+  const double p = completionProbability();
+  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(trials_));
+}
+
+}  // namespace doda::analysis

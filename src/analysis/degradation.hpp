@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/engine.hpp"
+#include "util/stats.hpp"
+
+namespace doda::analysis {
+
+/// Folds per-trial core::FaultOutcome records into the graceful-degradation
+/// metrics of ROADMAP item 4(b): completion probability, residual
+/// undelivered data, stranded data, loss/retransmission traffic and cost
+/// inflation versus the fault-free offline optimum.
+///
+/// Purely sequential: the caller adds outcomes in trial order (the
+/// deterministic executors already fold slots that way), so the resulting
+/// statistics are bit-identical for any thread count.
+class DegradationAccumulator {
+ public:
+  /// Adds one trial. `cost_inflation` is interactions-to-complete divided
+  /// by the fault-free offline optimum of the same sequence; folded only
+  /// when `has_inflation` (completed trials with a finite optimum).
+  void add(const core::FaultOutcome& outcome, double cost_inflation,
+           bool has_inflation);
+
+  std::size_t trials() const noexcept { return trials_; }
+  /// Trials where every honest origin reached the sink.
+  std::size_t completed() const noexcept { return completed_; }
+  /// Trials that ended with no live non-sink owner left (all residual data
+  /// stranded for good).
+  std::size_t blocked() const noexcept { return blocked_; }
+  /// Trials where the sink's aggregate absorbed Byzantine-poisoned data.
+  std::size_t poisoned() const noexcept { return poisoned_; }
+
+  double completionProbability() const noexcept;
+  /// Half-width of the ~95% normal-approximation CI on the completion
+  /// probability (0 when fewer than two trials).
+  double completionCi95HalfWidth() const noexcept;
+
+  /// Honest origins never delivered, per trial (all trials).
+  const util::RunningStats& residual() const noexcept { return residual_; }
+  /// Honest origins stranded on crashed nodes, per trial (all trials).
+  const util::RunningStats& stranded() const noexcept { return stranded_; }
+  /// Fraction of honest origins delivered, per trial (all trials).
+  const util::RunningStats& deliveredFraction() const noexcept {
+    return delivered_fraction_;
+  }
+  /// Lost transmissions per trial (all trials).
+  const util::RunningStats& lost() const noexcept { return lost_; }
+  /// Applied transfers that retried an earlier lost attempt (all trials).
+  const util::RunningStats& retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  /// Cost inflation over completed trials with a known optimum; >= 1 up to
+  /// sampling noise.
+  const util::RunningStats& costInflation() const noexcept {
+    return cost_inflation_;
+  }
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t blocked_ = 0;
+  std::size_t poisoned_ = 0;
+  util::RunningStats residual_;
+  util::RunningStats stranded_;
+  util::RunningStats delivered_fraction_;
+  util::RunningStats lost_;
+  util::RunningStats retransmissions_;
+  util::RunningStats cost_inflation_;
+};
+
+}  // namespace doda::analysis

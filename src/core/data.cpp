@@ -42,34 +42,39 @@ void SourceSet::insert(NodeId id) {
   ++size_;
 }
 
+bool SourceSet::intersects(const SourceSet& other) const noexcept {
+  if (empty() || other.empty()) return false;
+  if (this == &other) return true;
+  if (!other.spilled_) {
+    for (std::uint32_t i = 0; i < other.size_; ++i)
+      if (contains(other.inline_[i])) return true;
+    return false;
+  }
+  if (!spilled_) {
+    for (std::uint32_t i = 0; i < size_; ++i)
+      if (other.testBit(inline_[i])) return true;
+    return false;
+  }
+  const std::size_t shared = std::min(bits_.size(), other.bits_.size());
+  for (std::size_t w = 0; w < shared; ++w)
+    if (bits_[w] & other.bits_[w]) return true;
+  return false;
+}
+
 void SourceSet::mergeDisjoint(const SourceSet& other) {
-  if (&other == this && size_ > 0)
-    throw std::invalid_argument("SourceSet::mergeDisjoint: sets overlap");
   // Disjointness is checked fully before any mutation so a violation (a
-  // model bug in the caller) leaves the target intact.
+  // model bug in the caller, or a faulty transfer the engine rolls back)
+  // leaves the target intact — representation included.
+  if (intersects(other))
+    throw std::invalid_argument("SourceSet::mergeDisjoint: sets overlap");
   if (!spilled_ && !other.spilled_ &&
       size_ + other.size_ <= kInlineCapacity) {
-    for (std::uint32_t i = 0; i < other.size_; ++i)
-      if (contains(other.inline_[i]))
-        throw std::invalid_argument(
-            "SourceSet::mergeDisjoint: sets overlap");
     for (std::uint32_t i = 0; i < other.size_; ++i)
       inline_[size_++] = other.inline_[i];
     return;
   }
 
   if (other.spilled_) {
-    const std::size_t shared =
-        spilled_ ? std::min(bits_.size(), other.bits_.size()) : 0;
-    for (std::size_t w = 0; w < shared; ++w)
-      if (bits_[w] & other.bits_[w])
-        throw std::invalid_argument(
-            "SourceSet::mergeDisjoint: sets overlap");
-    if (!spilled_)
-      for (std::uint32_t i = 0; i < size_; ++i)
-        if (other.testBit(inline_[i]))
-          throw std::invalid_argument(
-              "SourceSet::mergeDisjoint: sets overlap");
     if (!spilled_)
       spill(std::max(size_ ? wordsFor(maxInlineId()) : 1,
                      other.bits_.size()));
@@ -82,9 +87,6 @@ void SourceSet::mergeDisjoint(const SourceSet& other) {
   }
 
   // `other` is inline; *this must spill (or already is spilled).
-  for (std::uint32_t i = 0; i < other.size_; ++i)
-    if (contains(other.inline_[i]))
-      throw std::invalid_argument("SourceSet::mergeDisjoint: sets overlap");
   const std::size_t other_words =
       other.size_ ? wordsFor(other.maxInlineId()) : 1;
   if (!spilled_)

@@ -46,6 +46,12 @@ class SourceSet {
 
   bool contains(NodeId id) const noexcept;
 
+  /// True iff the two sets share at least one id. This is the check a
+  /// mergeDisjoint performs before mutating, exposed so callers that must
+  /// *reject* an overlapping merge (the engine rolling back a Byzantine
+  /// replay) can test first instead of catching the exception.
+  bool intersects(const SourceSet& other) const noexcept;
+
   /// Makes this the singleton {origin}, keeping any spilled word buffer's
   /// capacity for later reuse (the engine resets every datum per trial).
   void reset(NodeId origin) noexcept {

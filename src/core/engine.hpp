@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -21,6 +23,84 @@ class ModelViolation : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Per-execution fault-injection hooks (paper concluding remarks / ROADMAP
+/// item 4b). Implemented by fault::FaultSession over a pre-drawn
+/// fault::FaultPlan; the engine consults the injector on its faulty run
+/// loop only — a null RunOptions::faults leaves the fault-free path (and
+/// its golden statistics) untouched.
+///
+/// Determinism contract: after reset(), every answer must be a pure
+/// function of its arguments and of the injector's pre-drawn state. The
+/// engine calls beginInteraction exactly once per dispatched interaction,
+/// in time order, so stateful loss processes (Gilbert–Elliott bursts)
+/// advance identically for every thread count.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called once before the run starts.
+  virtual void reset(const SystemInfo& info) = 0;
+
+  /// Time at which node u crash-stops (it neither transmits nor receives
+  /// during interactions at or after this time); dynagraph::kNever means
+  /// the node never crashes. Must be constant over the run and never name
+  /// the sink.
+  virtual Time crashTime(NodeId u) const = 0;
+
+  /// Whether node u is Byzantine: it lies to meetTime oracles (see
+  /// fault::FaultyMeetTimeOracle), poisons every datum it transmits, and
+  /// keeps a ghost copy of transmitted data that it may maliciously replay
+  /// (the engine rolls overlapping replays back). Never the sink.
+  virtual bool isByzantine(NodeId u) const = 0;
+
+  /// Advances the per-interaction loss process to time t (called for every
+  /// dispatched interaction, transfer or not).
+  virtual void beginInteraction(Time t) = 0;
+
+  /// Whether the transmission attempted during interaction t is lost. Only
+  /// meaningful after beginInteraction(t); must not consume randomness
+  /// (the verdict for t is pre-drawn by beginInteraction).
+  virtual bool transmissionLost(Time t) = 0;
+};
+
+/// Degradation bookkeeping of one faulty execution. "Honest" counts
+/// non-Byzantine origins; the sink's own origin is trivially delivered.
+struct FaultOutcome {
+  /// Transmissions the algorithm ordered (lost + rejected + applied).
+  std::uint64_t attempted_transmissions = 0;
+  /// Attempts dropped by the loss process (sender keeps its data and may
+  /// retry — the relaxed transmit-once rule).
+  std::uint64_t lost_transmissions = 0;
+  /// Applied transfers whose sender had at least one earlier lost attempt.
+  std::uint64_t retransmissions = 0;
+  /// Interactions skipped because an endpoint had crash-stopped while both
+  /// endpoints still owned data (a transfer might otherwise have happened).
+  std::uint64_t crash_blocked_interactions = 0;
+  /// Byzantine ghost replays rolled back because the receiver already held
+  /// an overlapping source set.
+  std::uint64_t rejected_transfers = 0;
+  /// Non-Byzantine origins in the system, the sink's included.
+  std::size_t honest_total = 0;
+  /// Honest origins aggregated at the sink by the end of the run.
+  std::size_t delivered_honest = 0;
+  /// Honest origins stranded at the end: undelivered and held only by
+  /// crash-stopped nodes.
+  std::size_t stranded_honest = 0;
+  /// Whether a datum that passed through a Byzantine node reached the sink.
+  bool sink_poisoned = false;
+  /// Every honest origin reached the sink (completion under faults; the
+  /// aggregate is still only trustworthy when !sink_poisoned).
+  bool completed = false;
+  /// The run stopped early because no live non-sink node owned data any
+  /// more — every undelivered honest origin is stranded for good.
+  bool blocked = false;
+
+  /// Honest origins that never reached the sink.
+  std::size_t residual() const noexcept {
+    return honest_total - delivered_honest;
+  }
+};
+
 /// Outcome of one execution.
 struct ExecutionResult {
   /// True iff the sink ended as the only data owner.
@@ -37,6 +117,10 @@ struct ExecutionResult {
   std::vector<TransmissionRecord> schedule;
   /// The sink's datum at the end of the run.
   Datum sink_datum;
+  /// Degradation bookkeeping; engaged iff the run used RunOptions::faults.
+  /// In a faulty run `terminated` means completion under faults (every
+  /// honest origin delivered), not owner_count == 1.
+  std::optional<FaultOutcome> fault;
 };
 
 /// Options for one execution.
@@ -50,6 +134,14 @@ struct RunOptions {
   /// may consult ExecutionView::schedule()); measurement loops that only
   /// need the scalar outcome skip the copy.
   bool capture_schedule = true;
+  /// When non-null, the engine runs its faulty loop: transmissions may be
+  /// lost (the sender stays live and may transmit again later — an explicit
+  /// relaxation of the transmit-once rule, tracked in FaultOutcome),
+  /// crash-stopped nodes strand the data they hold, and Byzantine nodes
+  /// poison what they transmit. Null (the default) is the exact paper
+  /// model, bit-identical to pre-fault builds. The injector must outlive
+  /// the run and is reset by the engine.
+  FaultInjector* faults = nullptr;
 };
 
 /// Executes a DODA algorithm against an adversary and enforces the model

@@ -10,8 +10,9 @@
 ///  * dynagraph — interaction sequences, traces, knowledge oracles
 ///  * core      — the execution model: algorithms, adversaries, engine
 ///  * adversary — oblivious / randomized / adaptive adversaries
-///  * analysis  — offline-optimal convergecast, the cost function
+///  * analysis  — offline-optimal convergecast, cost, degradation metrics
 ///  * algorithms— Waiting, Gathering, WaitingGreedy, and friends
+///  * fault     — deterministic fault injection (loss/crash/Byzantine)
 ///  * sim       — randomized-adversary experiment harness
 
 #include "adversary/adaptive_adversaries.hpp"
@@ -28,6 +29,7 @@
 #include "analysis/broadcast.hpp"
 #include "analysis/convergecast.hpp"
 #include "analysis/convergecast_frontier.hpp"
+#include "analysis/degradation.hpp"
 #include "analysis/meetings.hpp"
 #include "analysis/reachability.hpp"
 #include "analysis/schedule_metrics.hpp"
@@ -37,8 +39,11 @@
 #include "dynagraph/oracles.hpp"
 #include "dynagraph/trace_io.hpp"
 #include "dynagraph/traces.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/fault_oracles.hpp"
 #include "graph/spanning_tree.hpp"
 #include "sim/experiment.hpp"
+#include "sim/fault_experiment.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -1144,7 +1145,10 @@ TraceShardReader TraceStore::openShard(std::size_t shard_index,
     throw std::out_of_range("TraceStore::openShard: shard index " +
                             std::to_string(shard_index) + " of " +
                             std::to_string(shards_.size()));
-  return TraceShardReader(shardPath(shard_index), kTraceBlockBytes, backend);
+  // Map through the header: after a partial open the k-th usable shard
+  // need not be the k-th file on disk.
+  return TraceShardReader(shardPath(shards_[shard_index].shard_index),
+                          kTraceBlockBytes, backend);
 }
 
 std::uint64_t TraceStore::totalFileBytes() const noexcept {
@@ -1154,38 +1158,86 @@ std::uint64_t TraceStore::totalFileBytes() const noexcept {
 }
 
 TraceStore TraceStore::open(const std::string& directory) {
+  return open(directory, TraceStoreOpenOptions{});
+}
+
+TraceStore TraceStore::open(const std::string& directory,
+                            const TraceStoreOpenOptions& options) {
   TraceStore store;
   store.directory_ = directory;
   // Shard 0 names the shard count; every shard is then opened once to
   // validate its header and the cross-shard invariants. Header validation
   // does not need the payload, so the cheap stream backend is used.
-  TraceShardReader first(store.shardPath(0), kTraceBlockBytes,
-                         TraceReadBackend::kStream);
-  const std::uint32_t shard_count = first.header().shard_count;
-  store.shards_.reserve(shard_count);
-  store.node_count_ = static_cast<std::size_t>(first.header().node_count);
-  for (std::uint32_t k = 0; k < shard_count; ++k) {
-    const TraceShardHeader header =
-        k == 0 ? first.header()
-               : TraceShardReader(store.shardPath(k), kTraceBlockBytes,
-                                  TraceReadBackend::kStream)
-                     .header();
-    auto fail = [&](const std::string& why) {
-      throw std::runtime_error("TraceStore: " + store.shardPath(k) + ": " +
-                               why);
-    };
-    if (header.shard_index != k) fail("shard index does not match file name");
-    if (header.shard_count != shard_count)
-      fail("shard count disagrees with shard 0");
-    if (header.node_count != first.header().node_count)
-      fail("node count disagrees with shard 0");
-    if (header.format_version != first.header().format_version)
-      fail("format version disagrees with shard 0");
-    if (header.base_trial != store.trial_count_)
-      fail("base trial not contiguous with preceding shards");
-    store.trial_count_ += header.trial_count;
+  //
+  // Strict mode throws at the first bad shard (the reader and the checks
+  // below both name the shard's path). Partial mode quarantines the shard
+  // and keeps scanning; until a readable header has named the shard
+  // count, the scan probes forward over the files actually present.
+  std::optional<TraceShardHeader> reference;  // first usable header
+  std::uint32_t shard_count = 0;              // valid once `reference`
+  std::uint64_t next_base = 0;  // contiguity cursor over usable shards
+  bool gap = false;             // a shard has been quarantined
+  for (std::uint32_t k = 0;
+       reference ? k < shard_count
+                 : (k == 0 || std::filesystem::exists(store.shardPath(k)));
+       ++k) {
+    TraceShardHeader header;
+    try {
+      header = TraceShardReader(store.shardPath(k), kTraceBlockBytes,
+                                TraceReadBackend::kStream)
+                   .header();
+    } catch (const std::runtime_error& e) {
+      if (!options.allow_partial) throw;
+      store.quarantined_.push_back({store.shardPath(k), e.what()});
+      gap = true;
+      continue;
+    }
+    std::string why;
+    if (header.shard_index != k) {
+      why = "shard index does not match file name";
+    } else if (reference && header.shard_count != shard_count) {
+      why = "shard count disagrees with shard " +
+            std::to_string(reference->shard_index);
+    } else if (reference && header.node_count != reference->node_count) {
+      why = "node count disagrees with shard " +
+            std::to_string(reference->shard_index);
+    } else if (reference &&
+               header.format_version != reference->format_version) {
+      why = "format version disagrees with shard " +
+            std::to_string(reference->shard_index);
+    } else if (header.base_trial != next_base &&
+               !(gap && header.base_trial > next_base)) {
+      // After a quarantined shard the base can only be checked for
+      // monotonicity: the gap's trial count is unknown.
+      why = gap ? "base trial overlaps preceding shards"
+                : "base trial not contiguous with preceding shards";
+    }
+    if (!why.empty()) {
+      if (!options.allow_partial)
+        throw std::runtime_error("TraceStore: " + store.shardPath(k) + ": " +
+                                 why);
+      store.quarantined_.push_back({store.shardPath(k), why});
+      gap = true;
+      continue;
+    }
     store.shards_.push_back(header);
+    if (!reference) {
+      reference = header;
+      shard_count = header.shard_count;
+      store.shards_.reserve(shard_count);
+      store.node_count_ = static_cast<std::size_t>(header.node_count);
+    }
+    next_base = header.base_trial + header.trial_count;
   }
+  // Trial ids keep their recorded (global) numbering so per-shard windows
+  // stay valid across a gap; the count is one past the last usable trial.
+  store.trial_count_ = next_base;
+  if (store.shards_.empty() && !store.quarantined_.empty())
+    throw std::runtime_error(
+        "TraceStore: " + directory + ": no usable shards (" +
+        std::to_string(store.quarantined_.size()) + " quarantined; first: " +
+        store.quarantined_.front().path + ": " +
+        store.quarantined_.front().reason + ")");
   if (store.trial_count_ == 0)
     throw std::runtime_error("TraceStore: " + directory + ": empty store");
   return store;

@@ -486,15 +486,44 @@ class TraceShardReader {
   NodeId prev_a_ = 0;
 };
 
+/// Options for TraceStore::open. The default is strict: any missing,
+/// corrupt, truncated, or mutually inconsistent shard fails the whole
+/// open (with the offending shard's path in the error). With
+/// `allow_partial` such shards are quarantined instead — recorded with
+/// their path and the rejection reason — and the store exposes only the
+/// readable, mutually consistent shards.
+struct TraceStoreOpenOptions {
+  bool allow_partial = false;
+};
+
 /// A validated handle on a sharded store directory: opens every shard
 /// header once, checks cross-shard consistency (same node count, shard
 /// count and format, shard indices and base trials contiguous), and hands
 /// out per-shard readers. Copyable; holds no file descriptors.
 class TraceStore {
  public:
+  /// A shard excluded from a partial open: where it lives and why it was
+  /// rejected.
+  struct QuarantinedShard {
+    std::string path;
+    std::string reason;
+  };
+
   /// Opens the store at `directory`. Throws std::runtime_error when shards
   /// are missing, corrupt, or mutually inconsistent.
   static TraceStore open(const std::string& directory);
+
+  /// Opens the store at `directory` under `options`. With
+  /// `options.allow_partial`, unreadable or inconsistent shards are
+  /// quarantined (see quarantined()) rather than failing the open; if
+  /// shard 0 itself is quarantined, the scan probes forward over the
+  /// shard files present until a readable header names the shard count.
+  /// Trial ids keep their global (recorded) numbering, so a quarantined
+  /// shard leaves a gap: trialCount() is the id one past the last usable
+  /// trial, and replaying the store folds trials inside the gap as failed.
+  /// Still throws when no shard at all is usable.
+  static TraceStore open(const std::string& directory,
+                         const TraceStoreOpenOptions& options);
 
   const std::string& directory() const noexcept { return directory_; }
   std::size_t nodeCount() const noexcept { return node_count_; }
@@ -506,10 +535,18 @@ class TraceStore {
   const std::vector<TraceShardHeader>& shardHeaders() const noexcept {
     return shards_;
   }
+  /// Shards rejected by a partial open; empty for strict opens and for
+  /// fully healthy stores.
+  const std::vector<QuarantinedShard>& quarantined() const noexcept {
+    return quarantined_;
+  }
   /// Total bytes of every shard file (headers + payloads).
   std::uint64_t totalFileBytes() const noexcept;
 
   std::string shardPath(std::size_t shard_index) const;
+  /// Opens the `shard_index`-th *usable* shard (an index into
+  /// shardHeaders(); identical to the on-disk shard index unless a
+  /// partial open quarantined shards).
   TraceShardReader openShard(
       std::size_t shard_index,
       TraceReadBackend backend = TraceReadBackend::kAuto) const;
@@ -519,6 +556,7 @@ class TraceStore {
 
   std::string directory_;
   std::vector<TraceShardHeader> shards_;
+  std::vector<QuarantinedShard> quarantined_;
   std::uint64_t trial_count_ = 0;
   std::size_t node_count_ = 0;
 };

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace doda::fault {
+
+using core::NodeId;
+using core::Time;
+
+/// Loss process applied to individual transmissions.
+enum class LossKind : std::uint8_t {
+  kNone = 0,
+  /// Independent loss with probability `loss_p` per attempt.
+  kBernoulli = 1,
+  /// Two-state Gilbert–Elliott burst model: a good/bad channel Markov
+  /// chain advanced once per interaction, with per-state loss rates.
+  kGilbertElliott = 2,
+};
+
+/// Declarative description of a fault regime. A FaultModel is the sweep
+/// axis (what kind/severity of faults); the randomness is only committed
+/// when a FaultPlan is drawn from it for one trial.
+struct FaultModel {
+  LossKind loss = LossKind::kNone;
+  /// Bernoulli per-attempt loss probability.
+  double loss_p = 0.0;
+  /// Gilbert–Elliott transition probabilities (good->bad, bad->good) and
+  /// per-state loss rates. Defaults give classic bursts: rare entry, quick
+  /// exit, near-perfect good state, lossy bad state.
+  double ge_enter_bad = 0.0;
+  double ge_exit_bad = 0.0;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
+  /// Each non-sink, non-Byzantine node crash-stops independently with this
+  /// probability, at a time drawn uniformly from [0, crash_horizon).
+  double crash_fraction = 0.0;
+  Time crash_horizon = 0;
+  /// Each non-sink node is Byzantine with this probability (drawn before
+  /// the crash draw; a Byzantine node never crashes — it stays around to
+  /// do damage).
+  double byzantine_fraction = 0.0;
+
+  /// True iff a plan drawn from this model can never fault anything — the
+  /// measurement layer then skips fault bookkeeping entirely and stays on
+  /// the bit-identical fault-free path.
+  bool faultFree() const noexcept;
+
+  static FaultModel none() noexcept { return {}; }
+  static FaultModel bernoulliLoss(double p) noexcept;
+  static FaultModel gilbertElliott(double enter_bad, double exit_bad,
+                                   double loss_good, double loss_bad) noexcept;
+  static FaultModel crashStop(double fraction, Time horizon) noexcept;
+  static FaultModel byzantine(double fraction) noexcept;
+
+  /// Throws std::invalid_argument unless every probability is a finite
+  /// value in [0, 1] and crash parameters are consistent.
+  void validate() const;
+};
+
+/// The committed randomness of one trial's faults, pre-drawn from a single
+/// plan seed so every injector answer is a pure function of the plan —
+/// trials stay bit-identical for any thread count.
+struct FaultPlan {
+  /// Loss process parameters copied from the model (the loss stream itself
+  /// is generated online from `loss_seed`, one draw per interaction).
+  LossKind loss = LossKind::kNone;
+  double loss_p = 0.0;
+  double ge_enter_bad = 0.0;
+  double ge_exit_bad = 0.0;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
+  std::uint64_t loss_seed = 0;
+  /// Per-node crash times (dynagraph::kNever = never crashes) and
+  /// Byzantine flags; the sink's entries are always kNever / 0.
+  std::vector<Time> crash_times;
+  std::vector<std::uint8_t> byzantine;
+
+  std::size_t nodeCount() const noexcept { return crash_times.size(); }
+
+  /// Draws a plan for an n-node system from `plan_seed`. Deterministic:
+  /// the draw order is fixed (per node: Byzantine flag, then crash), so a
+  /// given (model, n, sink, seed) always yields the same plan.
+  static FaultPlan draw(const FaultModel& model, std::size_t node_count,
+                        NodeId sink, std::uint64_t plan_seed);
+
+  /// Compact binary encoding (magic + version + fields, little-endian).
+  /// Exists so plans can be logged next to results and so the decoder can
+  /// be fuzzed like the trace codecs.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Inverse of serialize(). Throws std::runtime_error on truncated or
+  /// corrupt input (bad magic, out-of-range kind or probability,
+  /// inconsistent sizes); never reads past `bytes`.
+  static FaultPlan parse(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b) = default;
+};
+
+/// core::FaultInjector over a pre-drawn FaultPlan. The loss stream is
+/// re-seeded from the plan on every reset(), so one session can serve many
+/// runs of the same trial (doubling extensions replay the same faults for
+/// the shared prefix of interactions).
+class FaultSession final : public core::FaultInjector {
+ public:
+  explicit FaultSession(FaultPlan plan);
+
+  void reset(const core::SystemInfo& info) override;
+  Time crashTime(NodeId u) const override { return plan_.crash_times[u]; }
+  bool isByzantine(NodeId u) const override {
+    return plan_.byzantine[u] != 0;
+  }
+  void beginInteraction(Time t) override;
+  bool transmissionLost(Time t) override;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng loss_rng_{0};  // reseeded from plan_.loss_seed on reset()
+  bool ge_bad_ = false;
+  bool verdict_ = false;
+};
+
+}  // namespace doda::fault

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "dynagraph/oracles.hpp"
+#include "fault/fault_model.hpp"
+
+namespace doda::fault {
+
+/// meetTime knowledge as it exists in a faulted system, wrapping any base
+/// oracle (exact, windowed, quantized):
+///  * crash-aware — a crashed node never meets the sink again, so a query
+///    whose true answer falls at or after u's crash time returns kNever
+///    (the meeting happens, but u is no longer there to use it);
+///  * Byzantine — a Byzantine node lies about its own meetTime, claiming
+///    t + 1 ("I meet the sink next"). Under WaitingGreedy the node with the
+///    earlier meetTime receives, so the lie turns the liar into a black
+///    hole that honest data flows into and never leaves.
+class FaultyMeetTimeOracle final : public dynagraph::MeetTimeOracle {
+ public:
+  FaultyMeetTimeOracle(dynagraph::MeetTimeOracle& base, const FaultPlan& plan)
+      : base_(&base), plan_(&plan) {}
+
+  Time meetTime(NodeId u, Time t) override {
+    if (u < plan_->byzantine.size() && plan_->byzantine[u]) return t + 1;
+    const Time exact = base_->meetTime(u, t);
+    if (exact == dynagraph::kNever) return exact;
+    if (u < plan_->crash_times.size() && plan_->crash_times[u] <= exact)
+      return dynagraph::kNever;
+    return exact;
+  }
+
+ private:
+  dynagraph::MeetTimeOracle* base_;
+  const FaultPlan* plan_;
+};
+
+}  // namespace doda::fault

@@ -6,11 +6,13 @@
 #include "adversary/randomized_adversary.hpp"
 #include "core/engine.hpp"
 #include "dynagraph/meet_time_index.hpp"
+#include "fault/fault_model.hpp"
 #include "sim/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace doda::dynagraph {
-class TraceStore;  // sharded recorded-trace store (dynagraph/trace_io.hpp)
+class TraceStore;      // sharded recorded-trace store (dynagraph/trace_io.hpp)
+class MeetTimeOracle;  // abstract meetTime knowledge (dynagraph/oracles.hpp)
 }
 
 namespace doda::sim {
@@ -22,6 +24,10 @@ struct TrialContext {
   core::SystemInfo info;
   core::Adversary& adversary;
   dynagraph::MeetTimeIndex& meet_time;
+  /// Non-null only under measureWithFaults: the fault-aware view of
+  /// meet_time (crashed nodes never meet the sink again, Byzantine nodes
+  /// lie). Fault-tolerant factories should prefer it over meet_time.
+  dynagraph::MeetTimeOracle* oracle = nullptr;
 };
 
 /// Builds the algorithm instance for one trial. Invoked concurrently from
@@ -54,6 +60,9 @@ struct MeasureConfig {
   /// value (per-trial seeds are pre-drawn and outcomes folded in trial
   /// order — see sim/parallel.hpp).
   std::size_t threads = 0;
+  /// Fault regime for measureWithFaults / measureUnderFaults (ignored by
+  /// the fault-free measure* family). Defaults to no faults.
+  fault::FaultModel faults;
 };
 
 // MeasureResult lives in sim/parallel.hpp (it is the executor's fold type).

@@ -136,6 +136,10 @@ double gatheringExpected(std::size_t n) noexcept {
   return nd * (nd - 1.0) * sum;
 }
 
+double waitingLossExpected(std::size_t n, double p) noexcept {
+  return waitingExpected(n) / (1.0 - p);
+}
+
 double lastTransmissionExpected(std::size_t n) noexcept {
   const auto nd = static_cast<double>(n);
   return nd * (nd - 1.0) / 2.0;

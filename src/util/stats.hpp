@@ -84,6 +84,12 @@ double waitingExpected(std::size_t n) noexcept;
 /// Thm 9: E[X_G] = n(n-1) * sum_{i=1}^{n-1} 1/(i(i+1)).
 double gatheringExpected(std::size_t n) noexcept;
 
+/// Waiting under Bernoulli message loss p (relaxed retry-on-loss rule):
+/// each sink meeting of a node delivers independently with probability
+/// 1-p, so the coupon process of Thm 9 is thinned by exactly that factor:
+/// E[X_W(p)] = n(n-1)/2 * H(n-1) / (1-p). Requires p in [0, 1).
+double waitingLossExpected(std::size_t n, double p) noexcept;
+
 /// Thm 7: expected interactions for the final transmission = n(n-1)/2.
 double lastTransmissionExpected(std::size_t n) noexcept;
 

@@ -12,6 +12,7 @@
 #include "analysis/meetings.hpp"
 #include "dynagraph/traces.hpp"
 #include "sim/experiment.hpp"
+#include "sim/fault_experiment.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -46,6 +47,26 @@ TEST(Thm9Statistical, WaitingMeanMatchesClosedForm) {
   ASSERT_EQ(r.failed_trials, 0u);
   const double expected = cf::waitingExpected(config.node_count);
   EXPECT_NEAR(r.interactions.mean() / expected, 1.0, 0.10);
+}
+
+TEST(Thm9Statistical, WaitingUnderBernoulliLossMatchesClosedForm) {
+  // Under per-attempt loss p with the relaxed retry rule, each sink
+  // meeting delivers independently w.p. 1-p, thinning the coupon process:
+  // E[X_W(p)] = n(n-1)/2 * H(n-1) / (1-p).
+  for (const double p : {0.2, 0.5}) {
+    MeasureConfig config;
+    config.node_count = 24;
+    config.trials = 300;
+    config.seed = 1010;
+    config.faults = fault::FaultModel::bernoulliLoss(p);
+    const auto r = measureWithFaults(config, 4096, [](TrialContext&) {
+      return std::make_unique<algorithms::Waiting>();
+    });
+    ASSERT_EQ(r.degradation.completed(), config.trials) << "p=" << p;
+    const double expected =
+        cf::waitingLossExpected(config.node_count, p);
+    EXPECT_NEAR(r.interactions.mean() / expected, 1.0, 0.10) << "p=" << p;
+  }
 }
 
 TEST(Thm9Statistical, WaitingIsSlowerThanGatheringByLogFactor) {

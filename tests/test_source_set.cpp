@@ -109,6 +109,69 @@ TEST(SourceSet, OverlapThrowsAndLeavesTargetIntact) {
   EXPECT_THROW(a.insert(5), std::invalid_argument);
 }
 
+TEST(SourceSet, RejectedMergeAtInlineCapacityLeavesTargetInline) {
+  // The engine rolls a faulty (Byzantine-replay) transmission back by
+  // never starting the merge: a rejected mergeDisjoint must not mutate
+  // the target even partially. The dangerous spot is the inline->bitset
+  // crossover — at exactly kInlineCapacity (8) ids the next accepted id
+  // spills the representation, so a lazily-checked merge would have
+  // spilled (or half-copied) before noticing the overlap.
+  SourceSet target(0);
+  for (NodeId id = 1; id < SourceSet::kInlineCapacity; ++id)
+    target.insert(id);
+  ASSERT_EQ(target.size(), SourceSet::kInlineCapacity);  // exactly 8
+  ASSERT_TRUE(target.isInline());
+
+  // The incoming set overlaps only at its *last* id: everything before
+  // it is mergeable, so any eager copy would already have crossed over.
+  SourceSet incoming(20);
+  incoming.insert(21);
+  incoming.insert(7);  // duplicate of target's last inline id
+  ASSERT_TRUE(target.intersects(incoming));
+  EXPECT_THROW(target.mergeDisjoint(incoming), std::invalid_argument);
+  EXPECT_EQ(target.size(), SourceSet::kInlineCapacity);
+  EXPECT_TRUE(target.isInline());
+  EXPECT_EQ(target.toSortedVector(),
+            (std::vector<NodeId>{0, 1, 2, 3, 4, 5, 6, 7}));
+
+  // A clean retransmission after the rollback merges normally and is
+  // what finally crosses the representation boundary.
+  SourceSet retry(20);
+  retry.insert(21);
+  target.mergeDisjoint(retry);
+  EXPECT_EQ(target.size(), SourceSet::kInlineCapacity + 2);
+  EXPECT_FALSE(target.isInline());
+  EXPECT_TRUE(target.contains(20));
+  EXPECT_TRUE(target.contains(21));
+}
+
+TEST(SourceSet, RejectedMergeJustPastCrossoverLeavesBitsetIntact) {
+  // Same fault-rollback contract one id past the crossover: at exactly 9
+  // ids the set has just spilled; a rejected merge must leave the bitset
+  // bit-for-bit intact (and the set spilled).
+  SourceSet target(0);
+  for (NodeId id = 1; id <= SourceSet::kInlineCapacity; ++id)
+    target.insert(id);
+  ASSERT_EQ(target.size(), SourceSet::kInlineCapacity + 1);  // exactly 9
+  ASSERT_FALSE(target.isInline());
+  const auto before = target.toSortedVector();
+
+  SourceSet poisoned_replay(40);
+  for (NodeId id = 41; id < 50; ++id) poisoned_replay.insert(id);
+  poisoned_replay.insert(8);  // the id that caused the spill
+  EXPECT_THROW(target.mergeDisjoint(poisoned_replay),
+               std::invalid_argument);
+  EXPECT_EQ(target.toSortedVector(), before);
+  EXPECT_FALSE(target.isInline());
+
+  // The target is still fully usable: disjoint merge + queries behave.
+  SourceSet fresh(60);
+  target.mergeDisjoint(fresh);
+  EXPECT_EQ(target.size(), before.size() + 1);
+  EXPECT_TRUE(target.contains(60));
+  EXPECT_FALSE(target.contains(59));
+}
+
 TEST(SourceSet, ResetReturnsToInlineAndReusesCapacity) {
   SourceSet s(0);
   for (NodeId id = 1; id < 40; ++id) s.insert(id);

@@ -859,5 +859,124 @@ TEST(TraceV3StreamingImport, MaxEventsCapsBothPasses) {
   EXPECT_EQ(total, 10u);
 }
 
+// ------------------------------------------------------ partial store open
+
+TEST(TraceStorePartial, StrictOpenNamesTheOffendingShardPath) {
+  const std::string dir = scratchDir("strict_names_path");
+  writeStore(dir, 16, sampleTrials(16, 6, 400, 41), 3, TraceWriterOptions{});
+  const std::string shard1 =
+      (std::filesystem::path(dir) / dynagraph::traceShardFileName(1))
+          .string();
+  auto bytes = readFile(shard1);
+  bytes.resize(16);  // truncate inside the header
+  writeFile(shard1, bytes);
+  try {
+    TraceStore::open(dir);
+    FAIL() << "strict open must reject the truncated shard";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(shard1), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceStorePartial, AllowPartialQuarantinesTruncatedShard) {
+  const std::string dir = scratchDir("partial_truncated");
+  const auto trials = sampleTrials(16, 6, 400, 42);
+  writeStore(dir, 16, trials, 3, TraceWriterOptions{});
+  const auto full = decodeStore(TraceStore::open(dir),
+                                TraceReadBackend::kStream);
+  const std::string shard1 =
+      (std::filesystem::path(dir) / dynagraph::traceShardFileName(1))
+          .string();
+  auto bytes = readFile(shard1);
+  bytes.resize(bytes.size() / 2);
+  writeFile(shard1, bytes);
+
+  const auto store =
+      TraceStore::open(dir, dynagraph::TraceStoreOpenOptions{true});
+  EXPECT_EQ(store.shardCount(), 2u);
+  ASSERT_EQ(store.quarantined().size(), 1u);
+  EXPECT_EQ(store.quarantined()[0].path, shard1);
+  EXPECT_FALSE(store.quarantined()[0].reason.empty());
+  // Trial ids keep their global numbering across the gap.
+  EXPECT_EQ(store.trialCount(), trials.size());
+  EXPECT_EQ(store.shardHeaders()[1].shard_index, 2u);
+  // openShard(1) maps to the on-disk shard 2, past the quarantined file.
+  const auto usable = decodeStore(store, TraceReadBackend::kStream);
+  ASSERT_EQ(usable.size(), 4u);
+  EXPECT_EQ(usable[0], full[0]);
+  EXPECT_EQ(usable[1], full[1]);
+  EXPECT_EQ(usable[2], full[4]);
+  EXPECT_EQ(usable[3], full[5]);
+}
+
+TEST(TraceStorePartial, AllowPartialProbesForwardPastCorruptShardZero) {
+  const std::string dir = scratchDir("partial_shard0");
+  const auto trials = sampleTrials(12, 6, 300, 43);
+  writeStore(dir, 12, trials, 3, TraceWriterOptions{});
+  const std::string shard0 =
+      (std::filesystem::path(dir) / dynagraph::traceShardFileName(0))
+          .string();
+  auto bytes = readFile(shard0);
+  bytes[8] = static_cast<char>(bytes[8] ^ 0x5a);  // break the header
+  writeFile(shard0, bytes);
+
+  EXPECT_THROW(TraceStore::open(dir), std::runtime_error);
+  const auto store =
+      TraceStore::open(dir, dynagraph::TraceStoreOpenOptions{true});
+  EXPECT_EQ(store.shardCount(), 2u);
+  EXPECT_EQ(store.nodeCount(), 12u);
+  ASSERT_EQ(store.quarantined().size(), 1u);
+  EXPECT_EQ(store.quarantined()[0].path, shard0);
+  EXPECT_EQ(store.trialCount(), trials.size());
+  EXPECT_EQ(store.shardHeaders()[0].shard_index, 1u);
+}
+
+TEST(TraceStorePartial, AllowPartialStillThrowsWhenNoShardIsUsable) {
+  const std::string dir = scratchDir("partial_hopeless");
+  writeStore(dir, 8, sampleTrials(8, 2, 200, 44), 1, TraceWriterOptions{});
+  const std::string shard0 =
+      (std::filesystem::path(dir) / dynagraph::traceShardFileName(0))
+          .string();
+  writeFile(shard0, std::vector<char>(24, 'x'));
+  try {
+    TraceStore::open(dir, dynagraph::TraceStoreOpenOptions{true});
+    FAIL() << "a store with no usable shard must not open";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no usable shards"), std::string::npos) << what;
+    EXPECT_NE(what.find(shard0), std::string::npos) << what;
+  }
+}
+
+TEST(TraceStorePartial, ReplayFoldsQuarantinedTrialsAsFailed) {
+  const std::string dir = scratchDir("partial_replay");
+  const std::size_t n = 16;
+  const auto trials = sampleTrials(n, 9, 1500, 45);
+  writeStore(dir, n, trials, 3, TraceWriterOptions{});
+  const auto factory = [](sim::TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  };
+  sim::ReplayConfig config;
+  config.threads = 1;
+  const auto full = sim::replayTrace(TraceStore::open(dir), config, factory);
+  ASSERT_EQ(full.failed_trials, 0u);
+
+  const std::string shard1 =
+      (std::filesystem::path(dir) / dynagraph::traceShardFileName(1))
+          .string();
+  auto bytes = readFile(shard1);
+  bytes.resize(32);
+  writeFile(shard1, bytes);
+  const auto store =
+      TraceStore::open(dir, dynagraph::TraceStoreOpenOptions{true});
+  const auto partial = sim::replayTrace(store, config, factory);
+  // The three trials inside the gap fold as failures; the six usable
+  // trials replay normally.
+  EXPECT_EQ(partial.failed_trials, 3u);
+  EXPECT_EQ(partial.interactions.count(), 6u);
+  EXPECT_LE(partial.interactions.max(), full.interactions.max());
+}
+
 }  // namespace
 }  // namespace doda
