@@ -1,19 +1,22 @@
 // Trace-replay throughput benchmark for the recorded-workload subsystem.
 //
 // Records one uniform randomized-adversary workload as a v1 store, a
-// compressed v2 store and a compressed block-indexed v3 store
-// (dynagraph/trace_io) in scratch directories, plus an imported
-// contact-event CSV (dynagraph/trace_import), then measures: pure
-// compressed-block decode throughput per codec (decode_v2 adaptive range
-// coder vs decode_v3 interleaved rANS — the PR-5 headline), materialized
-// replay (per-trial decode + meetTime oracle, WaitingGreedy), fully
-// streamed replay (zero materialization, Gathering) serially and with a
-// worker pool on the mmap-backed reader (kAuto), a buffered-stream v1 leg
-// pinning the exact PR-2 configuration, and a ranged replay of the middle
-// half of the trials riding the v3 block index. Live compression ratios
-// for every format are printed and emitted in the JSON. Every leg
-// cross-checks the executor's contract: thread count, store format,
-// reader backend and replay window never change the statistics.
+// compressed v2 store, a compressed block-indexed v3 store and a v4
+// group-unit store (dynagraph/trace_io) in scratch directories, plus an
+// imported contact-event CSV (dynagraph/trace_import), then measures:
+// pure compressed-block decode throughput per codec (decode_v2 adaptive
+// range coder vs decode_v3 interleaved rANS vs decode_v4 group units —
+// the PR-7 headline), block-parallel decode of single huge trials
+// (decode_v4_parallel_trial, riding the block index on a borrowed
+// worker pool), materialized replay (per-trial decode + meetTime oracle,
+// WaitingGreedy), fully streamed replay (zero materialization, Gathering)
+// serially and with a worker pool on the mmap-backed reader (kAuto), a
+// buffered-stream v1 leg pinning the exact PR-2 configuration, and a
+// ranged replay of the middle half of the trials riding the block index.
+// Live compression ratios for every format are printed and emitted in the
+// JSON. Every leg cross-checks the executor's contract: thread count,
+// store format, reader backend and replay window never change the
+// statistics.
 //
 // Results go to stdout and a JSON file so the perf trajectory is tracked
 // across PRs and gated in CI (scripts/check_bench_regression.py).
@@ -27,6 +30,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -151,6 +155,8 @@ int main(int argc, char** argv) {
   const std::string dir_v1 = root + "/v1";
   const std::string dir_v2 = root + "/v2";
   const std::string dir_v3 = root + "/v3";
+  const std::string dir_v4 = root + "/v4";
+  const std::string dir_big = root + "/big";
   const std::string dir_import_v1 = root + "/import_v1";
   const std::string dir_import = root + "/import";
   const std::string events_csv = root + "/events.csv";
@@ -159,6 +165,8 @@ int main(int argc, char** argv) {
   v1_format.format_version = doda::dynagraph::kTraceFormatVersionV1;
   TraceWriterOptions v2_format;
   v2_format.format_version = doda::dynagraph::kTraceFormatVersionV2;
+  TraceWriterOptions v3_format;
+  v3_format.format_version = doda::dynagraph::kTraceFormatVersionV3;
 
   const double total_interactions =
       static_cast<double>(trials) * static_cast<double>(length);
@@ -181,8 +189,14 @@ int main(int argc, char** argv) {
   const double t = static_cast<double>(trials);
 
   // -------------------------------------------------------------- record
+  // "record" is always the writer default (v4 since PR 7); the older
+  // formats are pinned explicitly so their legs keep measuring the same
+  // code path across PRs.
   runLeg("record", t, total_interactions, [&] {
-    doda::sim::recordSynthetic(dir_v3, config, length, shards);
+    doda::sim::recordSynthetic(dir_v4, config, length, shards);
+  });
+  runLeg("record_v3", t, total_interactions, [&] {
+    doda::sim::recordSynthetic(dir_v3, config, length, shards, v3_format);
   });
   runLeg("record_v2", t, total_interactions, [&] {
     doda::sim::recordSynthetic(dir_v2, config, length, shards, v2_format);
@@ -191,26 +205,33 @@ int main(int argc, char** argv) {
     doda::sim::recordSynthetic(dir_v1, config, length, shards, v1_format);
   });
 
+  const auto store_v4 = TraceStore::open(dir_v4);
   const auto store_v3 = TraceStore::open(dir_v3);
   const auto store_v2 = TraceStore::open(dir_v2);
   const auto store_v1 = TraceStore::open(dir_v1);
   const std::uint64_t bytes_v1 = store_v1.totalFileBytes();
   const std::uint64_t bytes_v2 = store_v2.totalFileBytes();
   const std::uint64_t bytes_v3 = store_v3.totalFileBytes();
+  const std::uint64_t bytes_v4 = store_v4.totalFileBytes();
   const double ratio =
       static_cast<double>(bytes_v1) / static_cast<double>(bytes_v2);
   const double ratio_v3 =
       static_cast<double>(bytes_v1) / static_cast<double>(bytes_v3);
+  const double ratio_v4 =
+      static_cast<double>(bytes_v1) / static_cast<double>(bytes_v4);
   std::printf(
       "store: %.0f interactions, v1 %llu bytes (%.3f B/i), v2 %llu bytes "
-      "(%.3f B/i, %.2fx), v3 %llu bytes (%.3f B/i, %.2fx; %+.1f%% vs v2)\n",
+      "(%.3f B/i, %.2fx), v3 %llu bytes (%.3f B/i, %.2fx), v4 %llu bytes "
+      "(%.3f B/i, %.2fx; %+.1f%% vs v3)\n",
       total_interactions, static_cast<unsigned long long>(bytes_v1),
       bytes_v1 / total_interactions,
       static_cast<unsigned long long>(bytes_v2),
       bytes_v2 / total_interactions, ratio,
       static_cast<unsigned long long>(bytes_v3),
       bytes_v3 / total_interactions, ratio_v3,
-      100.0 * (static_cast<double>(bytes_v3) / static_cast<double>(bytes_v2) -
+      static_cast<unsigned long long>(bytes_v4),
+      bytes_v4 / total_interactions, ratio_v4,
+      100.0 * (static_cast<double>(bytes_v4) / static_cast<double>(bytes_v3) -
                1.0));
 
   // -------------------------------------------------------------- decode
@@ -225,16 +246,84 @@ int main(int argc, char** argv) {
   };
   const int reps_v2 = 2;
   const int reps_v3 = 8;
+  const int reps_v4 = 16;
   runLeg("decode_v2", t * reps_v2, total_interactions * reps_v2, [&] {
     for (int rep = 0; rep < reps_v2; ++rep) decodeStore(store_v2);
   });
   runLeg("decode_v3", t * reps_v3, total_interactions * reps_v3, [&] {
     for (int rep = 0; rep < reps_v3; ++rep) decodeStore(store_v3);
   });
-  const double decode_speedup = legs.back().interactions_per_sec /
-                                legs[legs.size() - 2].interactions_per_sec;
-  std::printf("decode: v3 rANS %.2fx the v2 range-coder throughput\n",
-              decode_speedup);
+  const double decode_v3_per_sec = legs.back().interactions_per_sec;
+  runLeg("decode_v4", t * reps_v4, total_interactions * reps_v4, [&] {
+    for (int rep = 0; rep < reps_v4; ++rep) decodeStore(store_v4);
+  });
+  const double decode_speedup_v4 =
+      legs.back().interactions_per_sec / decode_v3_per_sec;
+  std::printf("decode: v4 group units %.2fx the v3 varint throughput\n",
+              decode_speedup_v4);
+
+  // Block-parallel decode of single huge trials: a dedicated store whose
+  // trials each span many index blocks, decoded with a borrowed worker
+  // pool through readRest. On a single-core runner the pool is inert and
+  // this leg degenerates to sequential decode — the CI gate marks it as a
+  // parallel-scaling leg, skipped when hardware_concurrency == 1.
+  const std::size_t big_n = 256;
+  const std::size_t big_trials = 2;
+  const doda::core::Time big_length = quick ? (1u << 20) : (1u << 22);
+  {
+    doda::sim::MeasureConfig big_config;
+    big_config.node_count = big_n;
+    big_config.trials = big_trials;
+    big_config.seed = 0xb16;
+    doda::sim::recordSynthetic(dir_big, big_config, big_length, 1);
+  }
+  const auto store_big = TraceStore::open(dir_big);
+  const std::size_t pool_workers = std::max<std::size_t>(
+      2, threads != 0 ? threads : std::thread::hardware_concurrency());
+  doda::dynagraph::TraceDecodePool decode_pool;
+  decode_pool.workers = pool_workers;
+  decode_pool.run = [pool_workers](
+                        std::size_t count,
+                        const std::function<void(std::size_t)>& task) {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(std::min(pool_workers, count));
+    for (std::size_t w = 0; w < std::min(pool_workers, count); ++w)
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1))
+          task(i);
+      });
+    for (auto& worker : pool) worker.join();
+  };
+  std::uint64_t big_sequential_hash = 0, big_pooled_hash = 0;
+  auto decodeBig = [&](const doda::dynagraph::TraceDecodePool* pool) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto reader = store_big.openShard(0);
+    reader.setDecodePool(pool);
+    while (reader.beginTrial()) {
+      const auto seq = reader.readRest();
+      for (const auto& interaction : seq.interactions()) {
+        hash = (hash ^ interaction.a()) * 0x100000001b3ULL;
+        hash = (hash ^ interaction.b()) * 0x100000001b3ULL;
+      }
+    }
+    return hash;
+  };
+  const int reps_big = 4;
+  const double big_interactions =
+      static_cast<double>(big_trials) * static_cast<double>(big_length);
+  runLeg("decode_v4_parallel_trial", big_trials * reps_big,
+         big_interactions * reps_big, [&] {
+           for (int rep = 0; rep < reps_big; ++rep)
+             big_pooled_hash = decodeBig(&decode_pool);
+         });
+  big_sequential_hash = decodeBig(nullptr);
+  if (big_sequential_hash != big_pooled_hash) {
+    std::cerr << "FATAL: pooled single-trial decode diverges from "
+                 "sequential\n";
+    return 2;
+  }
 
   ReplayConfig serial_cfg;
   serial_cfg.threads = 1;
@@ -251,24 +340,26 @@ int main(int argc, char** argv) {
 
   // -------------------------------------------------------------- replay
   MeasureResult mat_serial, mat_pool, stream_serial, stream_pool;
-  MeasureResult stream_v2_serial, stream_v1_serial, stream_v1_bufio;
+  MeasureResult stream_v3_serial, stream_v2_serial, stream_v1_serial, stream_v1_bufio;
   runLeg("replay_materialized_serial", t, total_interactions, [&] {
-    mat_serial = replayTrace(store_v3, serial_cfg, materialized);
+    mat_serial = replayTrace(store_v4, serial_cfg, materialized);
   });
   runLeg("replay_materialized_pool", t, total_interactions, [&] {
-    mat_pool = replayTrace(store_v3, pool_cfg, materialized);
+    mat_pool = replayTrace(store_v4, pool_cfg, materialized);
   });
   runLeg("replay_streaming_serial", t, total_interactions, [&] {
     stream_serial =
-        replayTraceStreaming(store_v3, serial_cfg, gatheringStreamed);
+        replayTraceStreaming(store_v4, serial_cfg, gatheringStreamed);
   });
   runLeg("replay_streaming_pool", t, total_interactions, [&] {
-    stream_pool = replayTraceStreaming(store_v3, pool_cfg, gatheringStreamed);
+    stream_pool = replayTraceStreaming(store_v4, pool_cfg, gatheringStreamed);
   });
   runLeg("replay_streaming_v2_serial", t, total_interactions, [&] {
     stream_v2_serial =
         replayTraceStreaming(store_v2, serial_cfg, gatheringStreamed);
   });
+  stream_v3_serial =
+      replayTraceStreaming(store_v3, serial_cfg, gatheringStreamed);
   runLeg("replay_streaming_v1_serial", t, total_interactions, [&] {
     stream_v1_serial =
         replayTraceStreaming(store_v1, serial_cfg, gatheringStreamed);
@@ -298,9 +389,9 @@ int main(int argc, char** argv) {
          window_trials * static_cast<double>(length) * reps_range, [&] {
            for (int rep = 0; rep < reps_range; ++rep)
              range_serial =
-                 replayTraceStreaming(store_v3, range_cfg, gatheringStreamed);
+                 replayTraceStreaming(store_v4, range_cfg, gatheringStreamed);
          });
-  range_pool = replayTraceStreaming(store_v3, range_pool_cfg,
+  range_pool = replayTraceStreaming(store_v4, range_pool_cfg,
                                     gatheringStreamed);
   range_v1 = replayTraceStreaming(store_v1, range_v1_cfg, gatheringStreamed);
 
@@ -310,14 +401,15 @@ int main(int argc, char** argv) {
   // for the same (online) algorithm.
   expectIdentical(mat_serial, mat_pool, "materialized serial/pool");
   expectIdentical(stream_serial, stream_pool, "streaming serial/pool");
-  expectIdentical(stream_serial, stream_v2_serial, "streaming v3/v2");
-  expectIdentical(stream_serial, stream_v1_serial, "streaming v3/v1");
+  expectIdentical(stream_serial, stream_v3_serial, "streaming v4/v3");
+  expectIdentical(stream_serial, stream_v2_serial, "streaming v4/v2");
+  expectIdentical(stream_serial, stream_v1_serial, "streaming v4/v1");
   expectIdentical(stream_v1_serial, stream_v1_bufio,
                   "streaming v1 mmap/bufio");
   expectIdentical(range_serial, range_pool, "ranged serial/pool");
   expectIdentical(range_serial, range_v1, "ranged v3/v1");
   MeasureResult gathering_check;
-  gathering_check = replayTrace(store_v3, serial_cfg, gathering_materialized);
+  gathering_check = replayTrace(store_v4, serial_cfg, gathering_materialized);
   expectIdentical(stream_serial, gathering_check,
                   "streaming vs materialized (Gathering)");
 
@@ -383,7 +475,7 @@ int main(int argc, char** argv) {
 
   json << "{\n"
        << "  \"bench\": \"trace_replay\",\n"
-       << "  \"workload\": \"recordSynthetic v1+v2+v3 + contact import + "
+       << "  \"workload\": \"recordSynthetic v1+v2+v3+v4 + contact import + "
           "WaitingGreedy(tau*) / Gathering\",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
@@ -395,9 +487,11 @@ int main(int argc, char** argv) {
        << "  \"store_bytes_v1\": " << bytes_v1 << ",\n"
        << "  \"store_bytes_v2\": " << bytes_v2 << ",\n"
        << "  \"store_bytes_v3\": " << bytes_v3 << ",\n"
+       << "  \"store_bytes_v4\": " << bytes_v4 << ",\n"
        << "  \"compression_ratio\": " << ratio << ",\n"
        << "  \"compression_ratio_v3\": " << ratio_v3 << ",\n"
-       << "  \"decode_speedup_v3_over_v2\": " << decode_speedup << ",\n"
+       << "  \"compression_ratio_v4\": " << ratio_v4 << ",\n"
+       << "  \"decode_speedup_v4_over_v3\": " << decode_speedup_v4 << ",\n"
        << "  \"import_events\": " << import_events << ",\n"
        << "  \"import_bytes_v1\": " << import_bytes_v1 << ",\n"
        << "  \"import_bytes_v3\": " << import_bytes << ",\n"

@@ -2,7 +2,7 @@
 //
 // Records `--trials` independent runs of a workload generator — or imports
 // an external contact-trace dataset — as a directory of binary shards
-// (dynagraph/trace_io; compressed v2 by default), ready for
+// (dynagraph/trace_io; compressed v4 by default), ready for
 // production-scale replay through the shard-parallel executor
 // (sim/trace_replay, bench_trace_replay, measureReplayed*).
 //
@@ -10,11 +10,11 @@
 //   trace_record --out DIR --n N --trials T --length L
 //                [--seed S] [--shards K]
 //                [--zipf EXPONENT | --edge-markov P_ON P_OFF]
-//                [--format v1|v2|v3] [--no-compress] [--block-bytes B]
+//                [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]
 //                [--verify] [--replay-range A B]
 //   trace_record --out DIR --import FILE [--trials T] [--shards K]
 //                [--keep-self-loops] [--max-events M]
-//                [--format v1|v2|v3] [--no-compress] [--block-bytes B]
+//                [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]
 //                [--verify] [--replay-range A B]
 //
 // Workloads:
@@ -34,7 +34,7 @@
 // --verify reopens the store, streams every shard once, and runs a small
 // multi-threaded contact-profile analysis over the first recorded trial.
 // --replay-range A B replays only global trials [A, B) through a streamed
-// Gathering run (v3 stores seek straight to the window via their block
+// Gathering run (v3/v4 stores seek straight to the window via their block
 // index; v1/v2 stores skip forward) and prints the windowed statistics.
 
 #include <algorithm>
@@ -81,13 +81,13 @@ struct Options {
   std::cerr << "usage: " << argv0
             << " --out DIR --n N --trials T --length L [--seed S]"
                " [--shards K] [--zipf E | --edge-markov P_ON P_OFF]"
-               " [--format v1|v2|v3] [--no-compress] [--block-bytes B]"
+               " [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]"
                " [--verify] [--replay-range A B]\n"
                "       "
             << argv0
             << " --out DIR --import FILE [--trials T] [--shards K]"
                " [--keep-self-loops] [--max-events M]"
-               " [--format v1|v2|v3] [--no-compress] [--block-bytes B]"
+               " [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]"
                " [--verify] [--replay-range A B]\n";
   std::exit(2);
 }
@@ -138,6 +138,8 @@ Options parse(int argc, char** argv) {
         opt.writer.format_version = dynagraph::kTraceFormatVersionV2;
       } else if (format == "v3") {
         opt.writer.format_version = dynagraph::kTraceFormatVersionV3;
+      } else if (format == "v4") {
+        opt.writer.format_version = dynagraph::kTraceFormatVersionV4;
       } else {
         usage(argv[0]);
       }
@@ -235,7 +237,7 @@ std::vector<std::size_t> contactProfile(
 }
 
 /// Windowed replay demo: streams only trials [A, B) of the store through
-/// a Gathering run and prints the window's statistics. On a v3 store the
+/// a Gathering run and prints the window's statistics. On a v3/v4 store the
 /// executor seeks straight to the window via the block index.
 void replayRange(const dynagraph::TraceStore& store, const Options& opt) {
   sim::ReplayConfig replay;

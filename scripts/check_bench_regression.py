@@ -23,10 +23,24 @@ Noise hardening (the CI container is 1-2 shared cores):
   (best-of-N): a transient scheduling hiccup must lose to the gate, a
   real regression must survive it. CMD is run through the shell and must
   rewrite the CURRENT json in place.
+* ``--parallel-leg LEG`` (repeatable) names legs whose throughput only
+  means anything with real cores behind it (thread-pool decode, parallel
+  replay). When the CURRENT run reports ``hardware_concurrency`` 1 those
+  legs are skipped with a visible notice instead of gating on what is
+  effectively a serialized run.
+* A ``hardware_concurrency`` mismatch between baseline and current run is
+  warned about: deltas on parallel legs across different core counts are
+  apples to oranges and the baseline deserves a refresh.
+
+When the ``GITHUB_STEP_SUMMARY`` environment variable is set (GitHub
+Actions sets it for every step) a markdown verdict table — leg, baseline,
+current, delta, verdict — is appended to that file so the gate's outcome
+is readable from the run's Summary page without digging through logs.
 
 Usage:
     check_bench_regression.py BASELINE CURRENT [--tolerance 0.25]
-        [--leg-tolerance LEG=TOL ...] [--retries N] [--rerun-cmd CMD]
+        [--leg-tolerance LEG=TOL ...] [--parallel-leg LEG ...]
+        [--retries N] [--rerun-cmd CMD]
 
 Refreshing a baseline after an intentional perf change:
     ./build/bench_throughput --quick --out ci/baselines/bench_throughput_ci.json
@@ -43,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 
@@ -98,21 +113,41 @@ def tolerance_for(key: str, default: float, overrides: dict[str, float]) -> floa
     return overrides.get(name, default)
 
 
+def leg_name(key: str) -> str:
+    """'leg=decode_v4' -> 'decode_v4' (n-keyed entries pass through)."""
+    return key.split("=", 1)[1] if "=" in key else key
+
+
 def evaluate(baseline: dict[str, dict], current: dict[str, dict],
-             default_tolerance: float,
-             overrides: dict[str, float]) -> tuple[int, int]:
+             default_tolerance: float, overrides: dict[str, float],
+             skip_legs: frozenset[str] = frozenset(),
+             ) -> tuple[int, int, list[dict]]:
+    """Returns (regressions, compared, rows).
+
+    ``rows`` is the per-metric verdict table (entry/metric/baseline/
+    current/ratio/verdict) that feeds the markdown step summary; legs in
+    ``skip_legs`` are reported but neither compared nor failed.
+    """
     regressions = 0
     compared = 0
+    rows: list[dict] = []
     header = (f"{'entry':<34} {'metric':<24} {'baseline':>12} "
               f"{'current':>12} {'ratio':>7}")
     print(header)
     print("-" * len(header))
     for key, base_entry in baseline.items():
+        if leg_name(key) in skip_legs:
+            print(f"{key:<34} {'<skipped: single-core runner>':<24}")
+            rows.append({"entry": key, "metric": "*",
+                         "verdict": "skipped (single-core runner)"})
+            continue
         tolerance = tolerance_for(key, default_tolerance, overrides)
         floor_factor = 1.0 - tolerance
         cur_entry = current.get(key)
         if cur_entry is None:
             print(f"{key:<34} {'<missing from current>':<24}")
+            rows.append({"entry": key, "metric": "*",
+                         "verdict": "missing from current"})
             regressions += 1
             continue
         for metric, base_value in base_entry.items():
@@ -123,19 +158,76 @@ def evaluate(baseline: dict[str, dict], current: dict[str, dict],
             cur_value = cur_entry.get(metric)
             if not isinstance(cur_value, (int, float)):
                 print(f"{key:<34} {metric:<24} {'<missing metric>':>12}")
+                rows.append({"entry": key, "metric": metric,
+                             "baseline": base_value,
+                             "verdict": "missing metric"})
                 regressions += 1
                 continue
             compared += 1
             ratio = cur_value / base_value
             verdict = ""
+            row_verdict = f"ok (band {tolerance:.0%})"
             if cur_value < base_value * floor_factor:
                 verdict = f"  REGRESSION (band {tolerance:.0%})"
+                row_verdict = f"REGRESSION (band {tolerance:.0%})"
                 regressions += 1
             elif ratio > 1.0 / floor_factor:
                 verdict = "  (faster — consider refreshing baseline)"
+                row_verdict = "faster — consider refreshing baseline"
+            rows.append({"entry": key, "metric": metric,
+                         "baseline": base_value, "current": cur_value,
+                         "ratio": ratio, "verdict": row_verdict})
             print(f"{key:<34} {metric:<24} {base_value:>12.1f} "
                   f"{cur_value:>12.1f} {ratio:>6.2f}x{verdict}")
-    return regressions, compared
+    return regressions, compared, rows
+
+
+def render_markdown(bench: str, rows: list[dict], ok: bool) -> str:
+    """Markdown verdict table for the GitHub Actions step summary."""
+
+    def num(value) -> str:
+        return f"{value:.4g}" if isinstance(value, (int, float)) else "—"
+
+    status = "✅ pass" if ok else "❌ **FAIL**"
+    lines = [
+        f"### Perf gate — `{bench}`: {status}",
+        "",
+        "| entry | metric | baseline | current | delta | verdict |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        ratio = row.get("ratio")
+        delta = (f"{(ratio - 1.0) * 100.0:+.1f}%"
+                 if isinstance(ratio, (int, float)) else "—")
+        verdict = row["verdict"]
+        if verdict.startswith("REGRESSION"):
+            verdict = f"❌ {verdict}"
+        elif verdict.startswith("missing"):
+            verdict = f"❌ {verdict}"
+        elif verdict.startswith("skipped"):
+            verdict = f"⏭️ {verdict}"
+        elif verdict.startswith("faster"):
+            verdict = f"🔼 {verdict}"
+        else:
+            verdict = f"✅ {verdict}"
+        lines.append(f"| {leg_name(row['entry'])} | {row['metric']} | "
+                     f"{num(row.get('baseline'))} | "
+                     f"{num(row.get('current'))} | {delta} | {verdict} |")
+    lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(text: str) -> None:
+    """Appends to $GITHUB_STEP_SUMMARY when set (no-op elsewhere)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(text)
+    except OSError as exc:
+        print(f"warning: cannot write step summary {path}: {exc}",
+              file=sys.stderr)
 
 
 def parse_leg_tolerance(spec: str) -> tuple[str, float]:
@@ -175,6 +267,15 @@ def main() -> int:
         help="per-leg tolerance override (repeatable), e.g. record_v1=0.4",
     )
     parser.add_argument(
+        "--parallel-leg",
+        action="append",
+        default=[],
+        metavar="LEG",
+        help="leg that needs >1 hardware thread to be meaningful; skipped "
+             "with a notice when the current run reports "
+             "hardware_concurrency 1 (repeatable)",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=0,
@@ -199,30 +300,50 @@ def main() -> int:
     overrides = dict(args.leg_tolerance)
 
     base_doc, baseline = load_results(args.baseline, "baseline")
-    _, current = load_results(args.current, "current")
+    cur_doc, current = load_results(args.current, "current")
 
     bench = base_doc.get("bench", "?")
     print(f"bench '{bench}': comparing {args.current} against "
           f"{args.baseline} (tolerance {args.tolerance:.0%}"
           + (f", overrides {overrides}" if overrides else "") + ")")
 
+    base_hc = base_doc.get("hardware_concurrency")
+    cur_hc = cur_doc.get("hardware_concurrency")
+    if (isinstance(base_hc, int) and isinstance(cur_hc, int)
+            and base_hc != cur_hc):
+        print(f"warning: baseline was recorded at hardware_concurrency="
+              f"{base_hc} but this run reports {cur_hc} — parallel-leg "
+              f"deltas are not comparable across core counts; consider "
+              f"refreshing the baseline", file=sys.stderr)
+
+    skip_legs = frozenset()
+    if args.parallel_leg and cur_hc == 1:
+        skip_legs = frozenset(args.parallel_leg)
+        print(f"notice: hardware_concurrency is 1 — skipping parallel "
+              f"leg(s) {sorted(skip_legs)} (their throughput is "
+              f"meaningless on a single-core runner)")
+
     best = {key: dict(entry) for key, entry in current.items()}
     attempt = 0
     while True:
-        regressions, compared = evaluate(baseline, best, args.tolerance,
-                                         overrides)
-        if compared == 0:
+        regressions, compared, rows = evaluate(
+            baseline, best, args.tolerance, overrides, skip_legs)
+        skipped = sum(1 for r in rows if r["verdict"].startswith("skipped"))
+        if compared == 0 and skipped == 0:
             print("error: no comparable *_per_sec metrics found",
                   file=sys.stderr)
             return 2
         if regressions == 0:
             print(f"\nOK: {compared} metrics within tolerance"
+                  + (f", {skipped} leg(s) skipped" if skipped else "")
                   + (f" (after {attempt} re-run(s))" if attempt else ""))
+            write_step_summary(render_markdown(bench, rows, ok=True))
             return 0
         if attempt >= args.retries:
             print(f"\nFAIL: {regressions} regression(s) beyond the "
                   f"tolerance band"
                   + (f" (best of {attempt + 1} runs)" if attempt else ""))
+            write_step_summary(render_markdown(bench, rows, ok=False))
             return 1
         attempt += 1
         print(f"\nregression detected — re-running bench "

@@ -14,7 +14,12 @@ Covers the gate's behavioral surface:
 * malformed inputs (non-JSON / empty results) exiting 2,
 * missing input files exiting 3 with an actionable message (a baseline
   that was never generated is distinct from one that is broken),
-* argument validation (bad tolerances, retries without a rerun command).
+* argument validation (bad tolerances, retries without a rerun command),
+* ``--parallel-leg`` skipping (single-core runs skip the named legs with
+  a notice; multi-core runs still gate them),
+* the hardware_concurrency mismatch warning,
+* the markdown step-summary renderer and its ``GITHUB_STEP_SUMMARY``
+  integration.
 """
 
 from __future__ import annotations
@@ -36,11 +41,15 @@ gate = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(gate)
 
 
-def bench_doc(legs: dict[str, dict[str, float]]) -> dict:
-    return {
+def bench_doc(legs: dict[str, dict[str, float]],
+              hardware_concurrency: int | None = None) -> dict:
+    doc = {
         "bench": "unit-test",
         "results": [{"leg": name, **metrics} for name, metrics in legs.items()],
     }
+    if hardware_concurrency is not None:
+        doc["hardware_concurrency"] = hardware_concurrency
+    return doc
 
 
 class GateHarness(unittest.TestCase):
@@ -248,6 +257,122 @@ class MissingDataTests(GateHarness):
         base = self.write("base.json", bench_doc({"a": {"bytes": 5.0}}))
         cur = self.write("cur.json", bench_doc({"a": {"bytes": 5.0}}))
         self.assertEqual(self.run_gate(base, cur), 2)
+
+
+class ParallelLegTests(GateHarness):
+    def test_parallel_leg_skipped_on_single_core_runner(self):
+        # The parallel leg regressed hard, but the current run only had one
+        # core: it must be skipped with a notice, and the gate must pass on
+        # the remaining legs.
+        base = self.write("base.json", bench_doc({
+            "serial": {"x_per_sec": 100.0},
+            "pool": {"x_per_sec": 100.0},
+        }, hardware_concurrency=1))
+        cur = self.write("cur.json", bench_doc({
+            "serial": {"x_per_sec": 100.0},
+            "pool": {"x_per_sec": 5.0},
+        }, hardware_concurrency=1))
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = self.run_gate(base, cur, "--parallel-leg", "pool")
+        self.assertEqual(code, 0)
+        self.assertIn("skipping parallel leg(s) ['pool']", buffer.getvalue())
+        self.assertIn("1 leg(s) skipped", buffer.getvalue())
+
+    def test_parallel_leg_still_gated_on_multi_core_runner(self):
+        base = self.write("base.json", bench_doc(
+            {"pool": {"x_per_sec": 100.0}}, hardware_concurrency=8))
+        cur = self.write("cur.json", bench_doc(
+            {"pool": {"x_per_sec": 5.0}}, hardware_concurrency=8))
+        self.assertEqual(
+            self.run_gate(base, cur, "--parallel-leg", "pool"), 1)
+
+    def test_skipped_leg_missing_from_current_is_not_a_regression(self):
+        # A single-core run may not even emit the parallel leg; skipping
+        # must win over the missing-leg regression rule.
+        base = self.write("base.json", bench_doc({
+            "serial": {"x_per_sec": 100.0},
+            "pool": {"x_per_sec": 100.0},
+        }, hardware_concurrency=4))
+        cur = self.write("cur.json", bench_doc(
+            {"serial": {"x_per_sec": 100.0}}, hardware_concurrency=1))
+        self.assertEqual(
+            self.run_gate(base, cur, "--parallel-leg", "pool"), 0)
+
+    def test_concurrency_mismatch_warns(self):
+        base = self.write("base.json", bench_doc(
+            {"a": {"x_per_sec": 100.0}}, hardware_concurrency=8))
+        cur = self.write("cur.json", bench_doc(
+            {"a": {"x_per_sec": 100.0}}, hardware_concurrency=2))
+        with self.assertLogsStderr("hardware_concurrency=8") as captured:
+            self.assertEqual(self.run_gate(base, cur), 0)
+        self.assertIn("reports 2", captured["text"])
+        self.assertIn("not comparable", captured["text"])
+
+    def test_matching_concurrency_does_not_warn(self):
+        base = self.write("base.json", bench_doc(
+            {"a": {"x_per_sec": 100.0}}, hardware_concurrency=4))
+        cur = self.write("cur.json", bench_doc(
+            {"a": {"x_per_sec": 100.0}}, hardware_concurrency=4))
+        buffer = io.StringIO()
+        with contextlib.redirect_stderr(buffer):
+            self.assertEqual(self.run_gate(base, cur), 0)
+        self.assertNotIn("warning", buffer.getvalue())
+
+
+class MarkdownSummaryTests(GateHarness):
+    def render(self, base_legs, cur_legs, expect_code, *argv):
+        base = self.write("base.json", bench_doc(base_legs,
+                                                 hardware_concurrency=1))
+        cur = self.write("cur.json", bench_doc(cur_legs,
+                                               hardware_concurrency=1))
+        summary = self.path("summary.md")
+        os.environ["GITHUB_STEP_SUMMARY"] = summary
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                self.assertEqual(self.run_gate(base, cur, *argv), expect_code)
+        finally:
+            del os.environ["GITHUB_STEP_SUMMARY"]
+        with open(summary, "r", encoding="utf-8") as fh:
+            return fh.read()
+
+    def test_summary_table_written_on_pass(self):
+        text = self.render({"a": {"x_per_sec": 100.0}},
+                           {"a": {"x_per_sec": 95.0}}, 0)
+        self.assertIn("### Perf gate — `unit-test`: ✅ pass", text)
+        self.assertIn("| entry | metric | baseline | current | delta "
+                      "| verdict |", text)
+        self.assertIn("| a | x_per_sec | 100 | 95 | -5.0% | ✅ ok", text)
+
+    def test_summary_table_written_on_fail(self):
+        text = self.render({"a": {"x_per_sec": 100.0}},
+                           {"a": {"x_per_sec": 50.0}}, 1)
+        self.assertIn("❌ **FAIL**", text)
+        self.assertIn("-50.0%", text)
+        self.assertIn("❌ REGRESSION (band 25%)", text)
+
+    def test_summary_marks_skipped_and_faster_rows(self):
+        text = self.render(
+            {"pool": {"x_per_sec": 100.0}, "a": {"x_per_sec": 100.0}},
+            {"pool": {"x_per_sec": 1.0}, "a": {"x_per_sec": 400.0}},
+            0, "--parallel-leg", "pool")
+        self.assertIn("⏭️ skipped (single-core runner)", text)
+        self.assertIn("🔼 faster", text)
+
+    def test_no_summary_env_means_no_write(self):
+        base = self.write("base.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        os.environ.pop("GITHUB_STEP_SUMMARY", None)
+        with contextlib.redirect_stdout(io.StringIO()):
+            self.assertEqual(self.run_gate(base, cur), 0)
+        self.assertFalse(os.path.exists(self.path("summary.md")))
+
+    def test_renderer_formats_missing_values_as_dashes(self):
+        rows = [{"entry": "leg=gone", "metric": "*",
+                 "verdict": "missing from current"}]
+        text = gate.render_markdown("b", rows, ok=False)
+        self.assertIn("| gone | * | — | — | — | ❌ missing from current |",
+                      text)
 
 
 class MalformedInputTests(GateHarness):

@@ -2,10 +2,10 @@
 
 namespace doda::adversary {
 
-RandomizedAdversary::RandomizedAdversary(std::size_t node_count,
-                                         std::uint64_t seed,
-                                         core::Time max_length)
-    : node_count_(node_count), rng_(seed) {
+RandomizedAdversary::RandomizedAdversary(
+    std::size_t node_count, std::uint64_t seed, core::Time max_length,
+    dynagraph::traces::SeedFormat seed_format)
+    : node_count_(node_count), seed_format_(seed_format), rng_(seed) {
   // Batched committed randomness: each LazySequence chunk is one tight
   // appendUniform fill (same rng draw order as per-pair sampling, so the
   // committed sequence is bit-identical to the legacy per-item generator).
@@ -13,7 +13,8 @@ RandomizedAdversary::RandomizedAdversary(std::size_t node_count,
       dynagraph::LazySequence::BlockGenerator(
           [this](core::Time, std::size_t count,
                  std::vector<core::Interaction>& out) {
-            dynagraph::traces::appendUniform(node_count_, count, rng_, out);
+            dynagraph::traces::appendUniform(node_count_, count, rng_, out,
+                                             seed_format_);
           }),
       max_length);
 }

@@ -21,8 +21,10 @@ namespace doda::adversary {
 /// randomness, which is occasionally exactly what a test wants).
 class RandomizedAdversary final : public core::Adversary {
  public:
-  RandomizedAdversary(std::size_t node_count, std::uint64_t seed,
-                      core::Time max_length = core::Time{1} << 34);
+  RandomizedAdversary(
+      std::size_t node_count, std::uint64_t seed,
+      core::Time max_length = core::Time{1} << 34,
+      dynagraph::traces::SeedFormat seed_format = dynagraph::traces::kSeedFormat);
 
   std::string name() const override { return "randomized-uniform"; }
 
@@ -40,6 +42,7 @@ class RandomizedAdversary final : public core::Adversary {
 
  private:
   std::size_t node_count_;
+  dynagraph::traces::SeedFormat seed_format_;
   util::Rng rng_;
   std::unique_ptr<dynagraph::LazySequence> sequence_;
 };

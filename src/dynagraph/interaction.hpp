@@ -29,6 +29,14 @@ class Interaction {
     if (a_ > b_) std::swap(a_, b_);
   }
 
+  /// Trusted construction for bulk producers whose output is ordered by
+  /// construction (decoders, samplers indexing a sorted pair table). Skips
+  /// the normalize/throw path of the public constructor, which is
+  /// measurable in tight generation loops. Callers must guarantee a < b.
+  static Interaction presorted(NodeId a, NodeId b) noexcept {
+    return Interaction(a, b, Presorted{});
+  }
+
   NodeId a() const noexcept { return a_; }
   NodeId b() const noexcept { return b_; }
 
@@ -45,6 +53,9 @@ class Interaction {
   friend auto operator<=>(const Interaction&, const Interaction&) = default;
 
  private:
+  struct Presorted {};
+  Interaction(NodeId a, NodeId b, Presorted) noexcept : a_(a), b_(b) {}
+
   NodeId a_;
   NodeId b_;
 };

@@ -19,6 +19,15 @@
 #include <unistd.h>
 #endif
 
+// The v4 SWAR unit parser assembles fields with unaligned 64-bit loads,
+// which read bytes in native order; it is only enabled where that order is
+// the on-disk (little-endian) order. Elsewhere the scalar parser runs.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define DODA_TRACE_LITTLE_ENDIAN 1
+#else
+#define DODA_TRACE_LITTLE_ENDIAN 0
+#endif
+
 namespace doda::dynagraph {
 
 void writeTrace(std::ostream& os, const InteractionSequence& sequence,
@@ -185,6 +194,21 @@ std::int64_t zigzagDecode(std::uint64_t value) {
          -static_cast<std::int64_t>(value & 1);
 }
 
+/// v4: little-endian byte length of a group field (the writer guarantees
+/// values < 2^32 via the node-count bound).
+std::size_t v4FieldLen(std::uint64_t value) {
+  return value < (1u << 8) ? 1 : value < (1u << 16) ? 2
+         : value < (std::uint64_t{1} << 24) ? 3 : 4;
+}
+
+/// v4: size code of a trial-length unit (data bytes = 1 << code).
+unsigned v4LengthCode(std::uint64_t length) {
+  return length < (std::uint64_t{1} << 8)    ? 0u
+         : length < (std::uint64_t{1} << 16) ? 1u
+         : length < (std::uint64_t{1} << 32) ? 2u
+                                             : 3u;
+}
+
 }  // namespace
 
 std::string traceShardFileName(std::uint32_t shard_index) {
@@ -280,19 +304,27 @@ TraceStoreWriter::TraceStoreWriter(std::string directory,
   if (shard_count_ == 0 || shard_count_ > total_trials_)
     throw std::invalid_argument(
         "TraceStoreWriter: shard count must be in [1, total_trials]");
-  if (options_.format_version != kTraceFormatVersionV1 &&
-      options_.format_version != kTraceFormatVersionV2 &&
-      options_.format_version != kTraceFormatVersionV3)
+  if (options_.format_version < kTraceFormatVersionV1 ||
+      options_.format_version > kTraceFormatVersionV4)
     throw std::invalid_argument(
         "TraceStoreWriter: unsupported format version " +
         std::to_string(options_.format_version));
+  if (options_.format_version >= kTraceFormatVersionV4 &&
+      node_count_ > (std::uint64_t{1} << 31))
+    throw std::invalid_argument(
+        "TraceStoreWriter: v4 requires node_count <= 2^31 (group fields "
+        "are at most 4 bytes)");
   if (options_.block_bytes < kTraceMinBlockBytes ||
       options_.block_bytes > kTraceMaxBlockBytes)
     throw std::invalid_argument("TraceStoreWriter: block size out of range");
   if (options_.format_version >= kTraceFormatVersionV3) {
     bucket_cap_ = codec::kRansContextBuckets;
-    if (options_.compress)
-      rans_ = std::make_unique<codec::RansBlockEncoder>();
+    if (options_.compress) {
+      if (options_.format_version >= kTraceFormatVersionV4)
+        rans_v4_ = std::make_unique<codec::RansV4BlockEncoder>();
+      else
+        rans_ = std::make_unique<codec::RansBlockEncoder>();
+    }
   }
   bucket_shift_ = codec::bucketShiftFor(node_count_, bucket_cap_);
   std::error_code ec;
@@ -304,7 +336,7 @@ TraceStoreWriter::TraceStoreWriter(std::string directory,
     chunk_.reserve(options_.block_bytes);
   } else {
     raw_block_.reserve(options_.block_bytes);
-    if (options_.format_version >= kTraceFormatVersionV3 &&
+    if (options_.format_version == kTraceFormatVersionV3 &&
         options_.compress)
       ctx_block_.reserve(options_.block_bytes);
   }
@@ -347,12 +379,14 @@ void TraceStoreWriter::openShard(std::uint32_t index) {
   cur_trial_length_ = 0;
   cur_decoded_ = 0;
   cur_prev_a_ = 0;
+  v4_have_pending_ = false;
   if (options_.format_version == kTraceFormatVersionV2 && options_.compress) {
     encoded_.clear();
     encoder_.start(&encoded_);
     models_.reset();
   }
   if (rans_) rans_->reset();
+  if (rans_v4_) rans_v4_->reset();
   // Placeholder header; sealed with the real payload size in closeShard().
   TraceShardHeader header;
   header.format_version = options_.format_version;
@@ -383,11 +417,11 @@ void TraceStoreWriter::closeShard() {
   header.base_trial = trials_appended_ - trials_in_current_;
   header.payload_bytes = payload_bytes_;
   if (options_.format_version >= kTraceFormatVersionV2) {
-    header.codec = options_.compress
-                       ? (options_.format_version >= kTraceFormatVersionV3
-                              ? kTraceCodecRans
-                              : kTraceCodecRangeCoded)
-                       : kTraceCodecRaw;
+    header.codec =
+        !options_.compress ? kTraceCodecRaw
+        : options_.format_version >= kTraceFormatVersionV4 ? kTraceCodecRansV4
+        : options_.format_version >= kTraceFormatVersionV3 ? kTraceCodecRans
+                                                           : kTraceCodecRangeCoded;
     header.block_bytes = static_cast<std::uint32_t>(options_.block_bytes);
     header.raw_payload_bytes = raw_payload_bytes_;
   }
@@ -462,6 +496,62 @@ void TraceStoreWriter::putVarint(std::uint64_t value,
   putByte(static_cast<std::uint8_t>(value), cls, bucket);
 }
 
+void TraceStoreWriter::putByteV4(std::uint8_t byte) {
+  if (raw_block_.empty()) {
+    // Same block snapshot as the v3 putByte path: putByteV4 is only
+    // reached at record-unit boundaries after alignBlockForUnit, so the
+    // cursor fully describes this position.
+    TraceBlockIndexEntry entry;
+    entry.offset = kTraceHeaderSizeV2 + payload_bytes_;
+    entry.raw_start = raw_payload_bytes_;
+    entry.trials_begun = cur_trials_begun_;
+    entry.trial_length = cur_trial_length_;
+    entry.decoded = cur_decoded_;
+    entry.prev_a = cur_prev_a_;
+    index_.push_back(entry);
+  }
+  raw_block_.push_back(byte);
+  if (rans_v4_) rans_v4_->count(byte);
+}
+
+void TraceStoreWriter::emitGroupV4(Interaction first,
+                                   const Interaction* second) {
+  const std::uint64_t delta0 =
+      zigzagEncode(static_cast<std::int64_t>(first.a()) -
+                   static_cast<std::int64_t>(cur_prev_a_));
+  const std::uint64_t gap0 = first.b() - first.a() - 1;
+  const std::size_t l0 = v4FieldLen(delta0);
+  const std::size_t g0 = v4FieldLen(gap0);
+  std::uint64_t delta1 = 0, gap1 = 0;
+  std::size_t l1 = 0, g1 = 0;
+  std::uint8_t ctrl = static_cast<std::uint8_t>((l0 - 1) | ((g0 - 1) << 2));
+  if (second != nullptr) {
+    delta1 = zigzagEncode(static_cast<std::int64_t>(second->a()) -
+                          static_cast<std::int64_t>(first.a()));
+    gap1 = second->b() - second->a() - 1;
+    l1 = v4FieldLen(delta1);
+    g1 = v4FieldLen(gap1);
+    ctrl |= static_cast<std::uint8_t>(((l1 - 1) << 4) | ((g1 - 1) << 6));
+  }
+  alignBlockForUnit(1 + l0 + g0 + l1 + g1);
+  putByteV4(ctrl);
+  auto putField = [this](std::uint64_t value, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i)
+      putByteV4(static_cast<std::uint8_t>(value >> (8 * i)));
+  };
+  putField(delta0, l0);
+  putField(gap0, g0);
+  if (second != nullptr) {
+    putField(delta1, l1);
+    putField(gap1, g1);
+    cur_prev_a_ = second->a();
+    cur_decoded_ += 2;
+  } else {
+    cur_prev_a_ = first.a();
+    cur_decoded_ += 1;
+  }
+}
+
 void TraceStoreWriter::flushChunk() {
   if (chunk_.empty()) return;
   out_.write(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
@@ -473,11 +563,18 @@ void TraceStoreWriter::flushBlock() {
   const std::uint8_t* stored = raw_block_.data();
   std::size_t stored_size = raw_block_.size();
   std::uint8_t block_codec = static_cast<std::uint8_t>(kTraceCodecRaw);
-  if (rans_) {
-    rans_->seal(raw_block_.data(), ctx_block_.data(), raw_block_.size(),
-                encoded_);
+  if (rans_v4_) {
+    rans_v4_->seal(raw_block_.data(), raw_block_.size(), encoded_);
     // Raw fallback: an incompressible block is stored verbatim, so a
     // compressed store never expands beyond the per-block framing.
+    if (encoded_.size() < raw_block_.size()) {
+      stored = encoded_.data();
+      stored_size = encoded_.size();
+      block_codec = static_cast<std::uint8_t>(kTraceCodecRansV4);
+    }
+  } else if (rans_) {
+    rans_->seal(raw_block_.data(), ctx_block_.data(), raw_block_.size(),
+                encoded_);
     if (encoded_.size() < raw_block_.size()) {
       stored = encoded_.data();
       stored_size = encoded_.size();
@@ -508,7 +605,9 @@ void TraceStoreWriter::flushBlock() {
   raw_payload_bytes_ += raw_block_.size();
   raw_block_.clear();
   ctx_block_.clear();
-  if (rans_) {
+  if (rans_v4_) {
+    rans_v4_->reset();
+  } else if (rans_) {
     rans_->reset();
   } else if (options_.format_version == kTraceFormatVersionV2 &&
              options_.compress) {
@@ -551,9 +650,18 @@ void TraceStoreWriter::beginTrial(std::uint64_t length) {
     closeShard();
     openShard(current_shard_ + 1);
   }
-  using codec::SymbolClass;
-  alignBlockForUnit(varintLen(length));
-  putVarint(length, SymbolClass::kLengthFirst, SymbolClass::kLengthCont, 0);
+  if (options_.format_version >= kTraceFormatVersionV4) {
+    const unsigned code = v4LengthCode(length);
+    const std::size_t nbytes = std::size_t{1} << code;
+    alignBlockForUnit(1 + nbytes);
+    putByteV4(static_cast<std::uint8_t>(code));
+    for (std::size_t i = 0; i < nbytes; ++i)
+      putByteV4(static_cast<std::uint8_t>(length >> (8 * i)));
+  } else {
+    using codec::SymbolClass;
+    alignBlockForUnit(varintLen(length));
+    putVarint(length, SymbolClass::kLengthFirst, SymbolClass::kLengthCont, 0);
+  }
   ++cur_trials_begun_;
   cur_trial_length_ = length;
   cur_decoded_ = 0;
@@ -574,6 +682,29 @@ void TraceStoreWriter::addInteraction(Interaction interaction) {
   if (interaction.b() >= node_count_)
     throw std::invalid_argument(
         "TraceStoreWriter: interaction endpoint >= node_count");
+  if (options_.format_version >= kTraceFormatVersionV4) {
+    // Interactions pair up into group units; the writer holds at most one
+    // interaction back, flushed as a single-interaction group when the
+    // trial ends on an odd count.
+    --pending_interactions_;
+    if (!v4_have_pending_ && pending_interactions_ > 0) {
+      v4_pending_ = interaction;
+      v4_have_pending_ = true;
+      return;
+    }
+    if (v4_have_pending_) {
+      emitGroupV4(v4_pending_, &interaction);
+      v4_have_pending_ = false;
+    } else {
+      emitGroupV4(interaction, nullptr);
+    }
+    if (pending_interactions_ == 0) {
+      trial_open_ = false;
+      ++trials_appended_;
+      ++trials_in_current_;
+    }
+    return;
+  }
   using codec::SymbolClass;
   const std::uint64_t delta =
       zigzagEncode(static_cast<std::int64_t>(interaction.a()) -
@@ -715,8 +846,8 @@ void TraceShardReader::parseHeader() {
     if (header_size != kTraceHeaderSize) fail("unexpected header size");
     if (loadU64(&bytes[56]) != fnv1a(bytes.data(), 56))
       fail("header checksum mismatch (corrupt header)");
-  } else if (version == kTraceFormatVersionV2 ||
-             version == kTraceFormatVersionV3) {
+  } else if (version >= kTraceFormatVersionV2 &&
+             version <= kTraceFormatVersionV4) {
     if (header_size != kTraceHeaderSizeV2) fail("unexpected header size");
     readHeaderBytes(kTraceHeaderSize, kTraceHeaderSizeV2 - kTraceHeaderSize);
     if (loadU64(&bytes[72]) != fnv1a(bytes.data(), 72))
@@ -738,7 +869,10 @@ void TraceShardReader::parseHeader() {
     header_.block_bytes = loadU32(&bytes[64]);
     if (version >= kTraceFormatVersionV3) {
       header_.footer_bytes = loadU32(&bytes[68]);
-      if (header_.codec != kTraceCodecRaw && header_.codec != kTraceCodecRans)
+      const std::uint32_t coded = version >= kTraceFormatVersionV4
+                                      ? kTraceCodecRansV4
+                                      : kTraceCodecRans;
+      if (header_.codec != kTraceCodecRaw && header_.codec != coded)
         fail("unsupported payload codec " + std::to_string(header_.codec));
       if (header_.footer_bytes < kTraceIndexFixedBytes +
                                      kTraceIndexEntryBytes ||
@@ -762,6 +896,9 @@ void TraceShardReader::parseHeader() {
   if (header_.node_count < 2) fail("header declares fewer than 2 nodes");
   if (header_.node_count > std::numeric_limits<NodeId>::max())
     fail("header node count exceeds the supported id range");
+  if (version >= kTraceFormatVersionV4 &&
+      header_.node_count > (std::uint64_t{1} << 31))
+    fail("header node count exceeds the v4 record-layout bound");
   if (header_.shard_count == 0 || header_.shard_index >= header_.shard_count)
     fail("header shard index/count inconsistent");
 }
@@ -869,6 +1006,7 @@ void TraceShardReader::seekToBlock(std::size_t k) {
   rc_rans_ = false;
   rc_block_raw_ = 0;
   rc_symbols_left_ = 0;
+  v4_pending_ = false;
   raw_left_base_ = header_.raw_payload_bytes - entry.raw_start;
   trials_begun_ = entry.trials_begun;
   trial_length_ = entry.trial_length;
@@ -954,7 +1092,8 @@ void TraceShardReader::loadNextBlock() {
     if (stored_size != raw_size)
       fail("raw block sizes disagree (corrupt block)");
   } else if (block_codec == kTraceCodecRangeCoded ||
-             block_codec == kTraceCodecRans) {
+             block_codec == kTraceCodecRans ||
+             block_codec == kTraceCodecRansV4) {
     if (header_.codec != block_codec)
       fail("block codec disagrees with the shard codec (corrupt block)");
     if (stored_size >= raw_size)
@@ -974,6 +1113,14 @@ void TraceShardReader::loadNextBlock() {
     rc_rans_ = false;
     rc_block_raw_ = raw_size;
     rc_symbols_left_ = raw_size;
+  } else if (block_codec == kTraceCodecRansV4) {
+    // Phase 1 of v4 decode: reconstruct the whole block's raw bytes in
+    // one bulk 8-way rANS run, then serve them as a plain byte window.
+    // The group parser (phase 2) thus always reads from contiguous
+    // memory — which is what the SWAR fast path needs.
+    decodeV4Block(stored, stored_size, raw_size);
+    sym_buf_ = v4_scratch_.data();
+    sym_limit_ = raw_size;
   } else {
     if (!rans_) rans_ = std::make_unique<codec::RansBlockDecoder>();
     if (!rans_->start(stored, stored_size))
@@ -982,6 +1129,20 @@ void TraceShardReader::loadNextBlock() {
     rc_block_raw_ = raw_size;
     rc_symbols_left_ = raw_size;
   }
+}
+
+void TraceShardReader::decodeV4Block(const unsigned char* stored,
+                                     std::size_t stored_size,
+                                     std::size_t raw_size) {
+  // v4 codes every record byte as one symbol of the block's single table
+  // exactly so this pass needs no record parsing at all: the whole block
+  // reconstructs in one bulk 8-way rANS run. All structural validation
+  // (control-byte invariants, units crossing the block end) happens in
+  // phase 2, which parses the scratch bytes.
+  v4_scratch_.resize(raw_size);
+  if (!rans_v4_) rans_v4_ = std::make_unique<codec::RansV4BlockDecoder>();
+  if (!rans_v4_->decode(stored, stored_size, v4_scratch_.data(), raw_size))
+    fail("malformed v4 block payload (corrupt block)");
 }
 
 void TraceShardReader::refillSymbols() {
@@ -1093,8 +1254,24 @@ bool TraceShardReader::beginTrial() {
       fail("trailing bytes after the last trial (corrupt shard)");
     return false;
   }
-  trial_length_ = takeVarint(codec::SymbolClass::kLengthFirst,
-                             codec::SymbolClass::kLengthCont, 0);
+  if (header_.format_version >= kTraceFormatVersionV4) {
+    // v4 windows are always plain bytes (coded blocks were reconstructed
+    // at load), so takeByte's class/bucket arguments are inert here.
+    const std::uint8_t ctrl =
+        takeByte(codec::SymbolClass::kLengthFirst, 0);
+    if ((ctrl & ~0x03u) != 0)
+      fail("v4 length control byte malformed (corrupt payload)");
+    const std::size_t nbytes = std::size_t{1} << (ctrl & 3);
+    std::uint64_t length = 0;
+    for (std::size_t i = 0; i < nbytes; ++i)
+      length |= static_cast<std::uint64_t>(
+                    takeByte(codec::SymbolClass::kLengthCont, 0))
+                << (8 * i);
+    trial_length_ = length;
+  } else {
+    trial_length_ = takeVarint(codec::SymbolClass::kLengthFirst,
+                               codec::SymbolClass::kLengthCont, 0);
+  }
   // Every interaction occupies at least two record-stream bytes (two
   // varints), so a declared length beyond half the remaining stream is
   // corrupt — reject it here rather than letting readRest() reserve a
@@ -1103,28 +1280,286 @@ bool TraceShardReader::beginTrial() {
     fail("trial length exceeds remaining payload (corrupt payload)");
   decoded_ = 0;
   prev_a_ = 0;
+  v4_pending_ = false;
   ++trials_begun_;
   return true;
 }
 
+Interaction TraceShardReader::takeGroupV4() {
+  // One group unit: the control byte names every field width, so the whole
+  // unit parses branch-free when it (plus SWAR load slack) fits the
+  // current window; near a window edge the scalar loop below reads the
+  // same bytes one at a time through takeByte (refilling across blocks).
+  const bool pair = trial_length_ - decoded_ >= 2;
+  std::uint8_t ctrl;
+  std::uint64_t delta0, gap0, delta1 = 0, gap1 = 0;
+#if DODA_TRACE_LITTLE_ENDIAN
+  if (!force_scalar_ &&
+      sym_limit_ - sym_pos_ >= kTraceMaxRecordUnitBytes + 7) {
+    const unsigned char* p = sym_buf_ + sym_pos_;
+    ctrl = p[0];
+    const std::size_t l0 = 1 + (ctrl & 3);
+    const std::size_t g0 = 1 + ((ctrl >> 2) & 3);
+    auto loadField = [p](std::size_t at, std::size_t len) {
+      // The window invariant above keeps every 8-byte load in bounds
+      // (largest start offset 13, so the load ends within unit + 7 slack).
+      std::uint64_t word;
+      std::memcpy(&word, p + at, sizeof(word));
+      return word & ((std::uint64_t{1} << (8 * len)) - 1);
+    };
+    delta0 = loadField(1, l0);
+    gap0 = loadField(1 + l0, g0);
+    std::size_t total = 1 + l0 + g0;
+    if (pair) {
+      const std::size_t l1 = 1 + ((ctrl >> 4) & 3);
+      const std::size_t g1 = 1 + ((ctrl >> 6) & 3);
+      delta1 = loadField(total, l1);
+      gap1 = loadField(total + l1, g1);
+      total += l1 + g1;
+    } else if ((ctrl & 0xf0u) != 0) {
+      fail("v4 group control byte malformed (corrupt payload)");
+    }
+    sym_pos_ += total;
+  } else
+#endif
+  {
+    using codec::SymbolClass;
+    ctrl = takeByte(SymbolClass::kDeltaFirst, 0);
+    if (!pair && (ctrl & 0xf0u) != 0)
+      fail("v4 group control byte malformed (corrupt payload)");
+    auto takeField = [this](std::size_t len) {
+      std::uint64_t value = 0;
+      for (std::size_t i = 0; i < len; ++i)
+        value |= static_cast<std::uint64_t>(
+                     takeByte(SymbolClass::kDeltaCont, 0))
+                 << (8 * i);
+      return value;
+    };
+    delta0 = takeField(1 + (ctrl & 3));
+    gap0 = takeField(1 + ((ctrl >> 2) & 3));
+    if (pair) {
+      delta1 = takeField(1 + ((ctrl >> 4) & 3));
+      gap1 = takeField(1 + ((ctrl >> 6) & 3));
+    }
+  }
+
+  // Range validation identical to decodeOne (defense in depth for raw
+  // blocks and corrupt streams).
+  const auto n = static_cast<std::int64_t>(header_.node_count);
+  const std::int64_t d0 = zigzagDecode(delta0);
+  const auto prev = static_cast<std::int64_t>(prev_a_);
+  if (d0 < -prev || d0 >= n - prev)
+    fail("decoded endpoint out of range (corrupt payload)");
+  const std::int64_t a0 = prev + d0;
+  if (gap0 >= header_.node_count - static_cast<std::uint64_t>(a0) - 1)
+    fail("decoded endpoint out of range (corrupt payload)");
+  const std::uint64_t b0 = static_cast<std::uint64_t>(a0) + 1 + gap0;
+  if (pair) {
+    const std::int64_t d1 = zigzagDecode(delta1);
+    if (d1 < -a0 || d1 >= n - a0)
+      fail("decoded endpoint out of range (corrupt payload)");
+    const std::int64_t a1 = a0 + d1;
+    if (gap1 >= header_.node_count - static_cast<std::uint64_t>(a1) - 1)
+      fail("decoded endpoint out of range (corrupt payload)");
+    v4_pend_a_ = static_cast<NodeId>(a1);
+    v4_pend_b_ = static_cast<NodeId>(static_cast<std::uint64_t>(a1) + 1 + gap1);
+    v4_pending_ = true;
+    prev_a_ = static_cast<NodeId>(a1);
+  } else {
+    prev_a_ = static_cast<NodeId>(a0);
+  }
+  return Interaction(static_cast<NodeId>(a0), static_cast<NodeId>(b0));
+}
+
+std::uint64_t TraceShardReader::bulkGroupsV4(Interaction* dst,
+                                             std::uint64_t count) {
+#if DODA_TRACE_LITTLE_ENDIAN
+  if (force_scalar_) return 0;
+  // Same parse and the same range validation as takeGroupV4, with the
+  // reader state hoisted into locals for the whole run: one group is a
+  // control byte plus four masked unaligned loads, no pending buffering,
+  // no per-group call. Only pair groups are handled — the loop stops two
+  // interactions short of the trial end, so an odd final group always
+  // goes through takeGroupV4.
+  std::uint64_t produced = 0;
+  const unsigned char* const buf = sym_buf_;
+  std::size_t pos = sym_pos_;
+  const std::size_t limit = sym_limit_;
+  const auto n = static_cast<std::int64_t>(header_.node_count);
+  const std::uint64_t un = header_.node_count;
+  std::int64_t prev = static_cast<std::int64_t>(prev_a_);
+  const std::uint64_t room = trial_length_ - decoded_;
+  const std::uint64_t want = count < room ? count : room;
+  while (produced + 2 <= want &&
+         limit - pos >= kTraceMaxRecordUnitBytes + 7) {
+    const unsigned char* p = buf + pos;
+    const std::uint8_t ctrl = p[0];
+    const std::size_t l0 = 1 + (ctrl & 3);
+    const std::size_t g0 = 1 + ((ctrl >> 2) & 3);
+    const std::size_t l1 = 1 + ((ctrl >> 4) & 3);
+    const std::size_t g1 = 1 + ((ctrl >> 6) & 3);
+    auto loadField = [p](std::size_t at, std::size_t len) {
+      std::uint64_t word;
+      std::memcpy(&word, p + at, sizeof(word));
+      return word & ((std::uint64_t{1} << (8 * len)) - 1);
+    };
+    const std::uint64_t delta0 = loadField(1, l0);
+    const std::uint64_t gap0 = loadField(1 + l0, g0);
+    const std::uint64_t delta1 = loadField(1 + l0 + g0, l1);
+    const std::uint64_t gap1 = loadField(1 + l0 + g0 + l1, g1);
+    const std::int64_t d0 = zigzagDecode(delta0);
+    if (d0 < -prev || d0 >= n - prev)
+      fail("decoded endpoint out of range (corrupt payload)");
+    const std::int64_t a0 = prev + d0;
+    if (gap0 >= un - static_cast<std::uint64_t>(a0) - 1)
+      fail("decoded endpoint out of range (corrupt payload)");
+    const std::int64_t d1 = zigzagDecode(delta1);
+    if (d1 < -a0 || d1 >= n - a0)
+      fail("decoded endpoint out of range (corrupt payload)");
+    const std::int64_t a1 = a0 + d1;
+    if (gap1 >= un - static_cast<std::uint64_t>(a1) - 1)
+      fail("decoded endpoint out of range (corrupt payload)");
+    if (dst != nullptr) {
+      dst[produced] = Interaction(
+          static_cast<NodeId>(a0),
+          static_cast<NodeId>(static_cast<std::uint64_t>(a0) + 1 + gap0));
+      dst[produced + 1] = Interaction(
+          static_cast<NodeId>(a1),
+          static_cast<NodeId>(static_cast<std::uint64_t>(a1) + 1 + gap1));
+    }
+    prev = a1;
+    pos += 1 + l0 + g0 + l1 + g1;
+    produced += 2;
+  }
+  sym_pos_ = pos;
+  prev_a_ = static_cast<NodeId>(prev);
+  decoded_ += produced;
+  return produced;
+#else
+  (void)dst;
+  (void)count;
+  return 0;
+#endif
+}
+
 std::optional<Interaction> TraceShardReader::next() {
   if (decoded_ == trial_length_) return std::nullopt;
+  if (header_.format_version >= kTraceFormatVersionV4) {
+    if (v4_pending_) {
+      v4_pending_ = false;
+      ++decoded_;
+      return Interaction(v4_pend_a_, v4_pend_b_);
+    }
+    const Interaction i = takeGroupV4();
+    ++decoded_;
+    return i;
+  }
   const Interaction i = decodeOne();
   ++decoded_;
   return i;
 }
 
-InteractionSequence TraceShardReader::readRest() {
-  std::vector<Interaction> interactions;
-  interactions.reserve(static_cast<std::size_t>(remainingInTrial()));
-  while (decoded_ < trial_length_) {
-    interactions.push_back(decodeOne());
+void TraceShardReader::decodeInto(Interaction* dst, std::uint64_t count) {
+  if (header_.format_version >= kTraceFormatVersionV4) {
+    std::uint64_t k = 0;
+    while (k < count) {
+      if (v4_pending_) {
+        v4_pending_ = false;
+        dst[k++] = Interaction(v4_pend_a_, v4_pend_b_);
+        ++decoded_;
+        continue;
+      }
+      const std::uint64_t got = bulkGroupsV4(dst + k, count - k);
+      if (got > 0) {
+        k += got;
+        continue;
+      }
+      dst[k++] = takeGroupV4();
+      ++decoded_;
+    }
+    return;
+  }
+  for (std::uint64_t k = 0; k < count; ++k) {
+    dst[k] = decodeOne();
     ++decoded_;
   }
+}
+
+bool TraceShardReader::tryReadRestParallel(std::vector<Interaction>& out) {
+  if (index_.empty() || v4_pending_ || decoded_ == trial_length_)
+    return false;
+  const std::uint64_t tb = trials_begun_;
+  const std::uint64_t d0 = decoded_;
+  const std::uint64_t len = trial_length_;
+  // Index entries are lexicographically non-decreasing in (trials begun,
+  // decoded) along the payload, so the remainder's block range is found by
+  // one partition point plus a bounded scan.
+  const auto first = std::partition_point(
+      index_.begin(), index_.end(), [&](const TraceBlockIndexEntry& e) {
+        return e.trials_begun < tb || (e.trials_begun == tb && e.decoded < d0);
+      });
+  const auto k0 = static_cast<std::size_t>(first - index_.begin());
+  std::size_t k1 = k0;
+  while (k1 < index_.size() && index_[k1].trials_begun == tb &&
+         index_[k1].decoded < len)
+    ++k1;
+  if (k1 - k0 < 2) return false;  // too few boundaries ahead to split
+
+  out.assign(static_cast<std::size_t>(len - d0), Interaction(0, 1));
+  // Head: this reader decodes from its current position (possibly mid
+  // block) up to the first indexed boundary of the remainder.
+  decodeInto(out.data(), index_[k0].decoded - d0);
+  // Middle: blocks [k0, k1-1) split into contiguous chunks, each decoded
+  // by a fresh reader seeked to its first block. Chunk boundaries are
+  // index boundaries, so every worker decodes an exact span of `out`.
+  const std::size_t blocks = k1 - 1 - k0;
+  const std::size_t chunks = std::min(blocks, pool_->workers * 2);
+  const TraceReadBackend backend =
+      usingMmap() ? TraceReadBackend::kMmap : TraceReadBackend::kStream;
+  pool_->run(chunks, [&](std::size_t c) {
+    const std::size_t cb = k0 + c * blocks / chunks;
+    const std::size_t ce = k0 + (c + 1) * blocks / chunks;
+    if (cb == ce) return;
+    const std::uint64_t from = index_[cb].decoded;
+    const std::uint64_t to = index_[ce].decoded;
+    TraceShardReader worker(path_, stream_block_bytes_, backend);
+    worker.setForceScalarDecode(force_scalar_);
+    worker.seekToBlock(cb);
+    worker.decodeInto(out.data() + (from - d0), to - from);
+  });
+  // Tail: this reader finishes from the last boundary, ending positioned
+  // at the trial's end exactly like the sequential path.
+  seekToBlock(k1 - 1);
+  decodeInto(out.data() + (index_[k1 - 1].decoded - d0),
+             len - index_[k1 - 1].decoded);
+  return true;
+}
+
+InteractionSequence TraceShardReader::readRest() {
+  if (pool_ != nullptr && *pool_) {
+    std::vector<Interaction> out;
+    if (tryReadRestParallel(out)) return InteractionSequence(std::move(out));
+  }
+  const auto remaining = static_cast<std::size_t>(remainingInTrial());
+  std::vector<Interaction> interactions(remaining, Interaction(0, 1));
+  decodeInto(interactions.data(), remaining);
   return InteractionSequence(std::move(interactions));
 }
 
 void TraceShardReader::skipRest() {
+  if (header_.format_version >= kTraceFormatVersionV4) {
+    while (decoded_ < trial_length_) {
+      if (v4_pending_) {
+        v4_pending_ = false;
+        ++decoded_;
+        continue;
+      }
+      if (bulkGroupsV4(nullptr, trial_length_ - decoded_) > 0) continue;
+      takeGroupV4();
+      ++decoded_;
+    }
+    return;
+  }
   while (decoded_ < trial_length_) {
     decodeOne();
     ++decoded_;

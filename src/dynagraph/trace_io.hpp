@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -64,8 +65,8 @@ LoadedTrace loadTrace(const std::string& path);
 // shard to one task and streams its trials without ever materializing the
 // shard.
 //
-// Two on-disk formats share the "DODATRC1" magic and are told apart by the
-// header's version field. Version 1 (the PR-2 format) stays fully readable.
+// The on-disk formats all share the "DODATRC1" magic and are told apart by
+// the header's version field. Every past version stays fully readable.
 //
 // v1 shard layout (all integers little-endian):
 //
@@ -163,13 +164,62 @@ LoadedTrace loadTrace(const std::string& path);
 // cursors must be monotone) so a footer that disagrees with its payload is
 // rejected before any seek. v1/v2 stores have no footer; seekToTrial on
 // them falls back to sequential skipping.
+//
+// v4 shard layout (the current writer default) reuses the v3 container —
+// header, block frames, raw fallback for incompressible blocks,
+// record-unit-aligned blocks, footer index — byte for byte with version =
+// 4, with compressed blocks carrying codec 3 instead of 2 (header codec:
+// 0 or 3). Two things change. The *record stream* under the entropy coder:
+// the sequential LEB128 varints become byte-aligned units whose control
+// byte names every field width up front, so a whole unit decodes
+// branch-free (SWAR: one unaligned 64-bit load + mask per field) instead
+// of byte-at-a-time. And the *entropy coder* itself: codec 3 is an 8-way
+// interleaved rANS over ONE frequency table (trace_rans.hpp
+// RansV4Block{Encoder,Decoder}) instead of v3's 2-way, 20-context coder.
+//
+//   trial-length unit:
+//     u8   control      bits 0..1 = size code c (data bytes = 1 << c, i.e.
+//                       1, 2, 4 or 8); bits 2..7 must be zero
+//     .    1 << c bytes little-endian trial length L
+//
+//   group unit (two consecutive interactions of one trial; the last unit
+//   of an odd-length trial carries one):
+//     u8   control      four 2-bit fields, each (byte length - 1) of the
+//                       corresponding value:
+//                         bits 0..1  zigzag(a0 - prev_a)
+//                         bits 2..3  b0 - a0 - 1
+//                         bits 4..5  zigzag(a1 - a0)
+//                         bits 6..7  b1 - a1 - 1
+//                       a one-interaction group uses the low nibble only;
+//                       the high nibble must be zero
+//     .    the named value bytes, little-endian, in field order
+//
+// Values are the v1-v3 delta/gap quantities unchanged (a < b normalized,
+// prev_a reset to 0 per trial; within a group the second delta anchors on
+// a0). A v4 writer requires node_count <= 2^31 so every field fits 4 bytes
+// and the largest unit is 1 + 4*4 = 17 bytes <= kTraceMaxRecordUnitBytes.
+// Units never split across blocks (same alignment rule as v3), so the
+// footer cursor semantics carry over unchanged and every block decodes
+// independently given its index entry.
+//
+// A codec-3 block codes EVERY record byte — control and value alike — as
+// one symbol of its single table. One table trades a little compression
+// ratio for decode speed: phase 1 reconstructs a whole coded block in one
+// bulk 8-way rANS run (a fused slot table, branchless renormalization, no
+// per-symbol context steering, no record parsing), and phase 2 parses
+// units from the contiguous buffer, where ALL structural validation lives
+// (control-byte invariants plus the same delta/gap range checks as
+// v1-v3). The contiguous scratch buffer is also what enables the SWAR
+// fast path and block-parallel decode of a single trial (readRest with a
+// TraceDecodePool).
 // ---------------------------------------------------------------------------
 
 inline constexpr std::uint16_t kTraceFormatVersionV1 = 1;
 inline constexpr std::uint16_t kTraceFormatVersionV2 = 2;
 inline constexpr std::uint16_t kTraceFormatVersionV3 = 3;
+inline constexpr std::uint16_t kTraceFormatVersionV4 = 4;
 /// Default format written by TraceStoreWriter.
-inline constexpr std::uint16_t kTraceFormatVersion = kTraceFormatVersionV3;
+inline constexpr std::uint16_t kTraceFormatVersion = kTraceFormatVersionV4;
 inline constexpr std::uint16_t kTraceHeaderSize = 64;    // v1
 inline constexpr std::uint16_t kTraceHeaderSizeV2 = 80;  // v2 and v3
 inline constexpr std::size_t kTraceBlockBytes = std::size_t{1} << 16;
@@ -177,15 +227,17 @@ inline constexpr std::size_t kTraceBlockFrameBytes = 17;
 /// Footer sizes (v3): fixed trailer fields and one index entry.
 inline constexpr std::size_t kTraceIndexEntryBytes = 56;
 inline constexpr std::size_t kTraceIndexFixedBytes = 12;  // count + checksum
-/// Upper bound of one unsplittable v3 record unit (two 10-byte varints);
-/// a v3 block may exceed the configured block size by at most this much
-/// minus one when a single unit is larger than the whole block.
+/// Upper bound of one unsplittable record unit: two 10-byte varints (v3)
+/// or a 17-byte v4 group; a v3/v4 block may exceed the configured block
+/// size by at most this much minus one when a single unit is larger than
+/// the whole block.
 inline constexpr std::size_t kTraceMaxRecordUnitBytes = 20;
 
-/// Block codec ids (v2/v3 headers and block frames).
+/// Block codec ids (v2+ headers and block frames).
 inline constexpr std::uint32_t kTraceCodecRaw = 0;
 inline constexpr std::uint32_t kTraceCodecRangeCoded = 1;
 inline constexpr std::uint32_t kTraceCodecRans = 2;
+inline constexpr std::uint32_t kTraceCodecRansV4 = 3;
 
 /// One v3 block-index entry: where the block lives in the file and the
 /// record-layer cursor at its first byte (enough to resume decoding there).
@@ -206,7 +258,8 @@ struct TraceShardHeader {
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 0;
   /// v2: kTraceCodecRaw or kTraceCodecRangeCoded; v3: kTraceCodecRaw or
-  /// kTraceCodecRans; always 0 for v1.
+  /// kTraceCodecRans; v4: kTraceCodecRaw or kTraceCodecRansV4; always 0
+  /// for v1.
   std::uint32_t codec = 0;
   /// v2/v3: max raw bytes per block; 0 for v1.
   std::uint32_t block_bytes = 0;
@@ -235,18 +288,36 @@ struct TraceShardHeader {
 std::string traceShardFileName(std::uint32_t shard_index);
 
 /// Writer-side format knobs. Defaults produce a compressed, block-indexed
-/// v3 store.
+/// v4 store.
 struct TraceWriterOptions {
-  /// kTraceFormatVersionV1 reproduces the PR-2 format byte for byte;
-  /// kTraceFormatVersionV2 the PR-4 adaptive-range-coded format.
+  /// Any past version reproduces its historical format byte for byte
+  /// (v1 = bare varints, v2 = adaptive range coder, v3 = rANS varints,
+  /// v4 = rANS group units). v4 additionally requires node_count <= 2^31.
   std::uint16_t format_version = kTraceFormatVersion;
-  /// v2/v3 only: entropy-code blocks (incompressible blocks fall back to
-  /// raw storage automatically). false writes raw, checksummed blocks.
+  /// v2 and newer: entropy-code blocks (incompressible blocks fall back
+  /// to raw storage automatically). false writes raw, checksummed blocks.
   bool compress = true;
-  /// v2/v3 only: raw bytes per block. Smaller blocks localize corruption
+  /// v2 and newer: raw bytes per block. Smaller blocks localize corruption
   /// and reset the models/tables more often; larger blocks compress
   /// slightly better and keep the v3 index smaller.
   std::size_t block_bytes = kTraceBlockBytes;
+};
+
+/// A borrowed worker pool for block-parallel decode of a single trial
+/// (TraceShardReader::setDecodePool). `run(count, task)` must invoke
+/// task(0) .. task(count-1), each exactly once, from any threads, and
+/// return only after every task completed (rethrowing the first task
+/// exception). The pool is inert — and readRest() stays sequential —
+/// unless it converts to true.
+struct TraceDecodePool {
+  std::size_t workers = 0;
+  std::function<void(std::size_t count,
+                     const std::function<void(std::size_t)>& task)>
+      run;
+
+  explicit operator bool() const noexcept {
+    return workers > 1 && static_cast<bool>(run);
+  }
 };
 
 /// How TraceShardReader accesses the shard file.
@@ -325,6 +396,12 @@ class TraceStoreWriter {
   void putByte(std::uint8_t byte, codec::SymbolClass cls, unsigned bucket);
   void putVarint(std::uint64_t value, codec::SymbolClass first_cls,
                  codec::SymbolClass cont_cls, unsigned bucket);
+  /// v4: emits one record byte (one symbol of the block's single table).
+  void putByteV4(std::uint8_t byte);
+  /// v4: emits one group unit (the second interaction may be absent for
+  /// the final unit of an odd-length trial) and advances the record
+  /// cursor.
+  void emitGroupV4(Interaction first, const Interaction* second);
   void flushChunk();  // v1: buffered write of the bare record stream
   void flushBlock();  // v2/v3: seal and emit the current block
   /// v3: flushes the current block when the next `unit_bytes`-byte record
@@ -348,6 +425,7 @@ class TraceStoreWriter {
   codec::RangeEncoder encoder_;
   codec::TraceModels models_;
   std::unique_ptr<codec::RansBlockEncoder> rans_;  // v3 compress only
+  std::unique_ptr<codec::RansV4BlockEncoder> rans_v4_;  // v4 compress only
   std::vector<TraceBlockIndexEntry> index_;        // v3 footer entries
   std::uint32_t current_shard_ = 0;
   std::uint64_t trials_appended_ = 0;
@@ -360,6 +438,9 @@ class TraceStoreWriter {
   std::uint64_t cur_decoded_ = 0;
   std::uint64_t cur_prev_a_ = 0;
   std::uint64_t pending_interactions_ = 0;  // of the open streamed trial
+  // v4: first interaction of a not-yet-emitted group unit.
+  Interaction v4_pending_{0, 1};
+  bool v4_have_pending_ = false;
   bool trial_open_ = false;
   bool finished_ = false;
 };
@@ -431,11 +512,26 @@ class TraceShardReader {
   /// mismatch, unexpected EOF).
   std::optional<Interaction> next();
 
-  /// Materializes the undecoded remainder of the current trial.
+  /// Materializes the undecoded remainder of the current trial. With a
+  /// decode pool set (setDecodePool) and a block index covering at least
+  /// two blocks of the remainder, the blocks are decoded in parallel on
+  /// the pool and stitched in order — bit-identical to the sequential
+  /// path; the reader still ends positioned at the trial's end.
   InteractionSequence readRest();
 
   /// Decodes and discards the remainder of the current trial.
   void skipRest();
+
+  /// Borrows `pool` (nullptr detaches) for block-parallel readRest() on
+  /// indexed (v3/v4) shards. The pool must outlive its use; the caller
+  /// keeps ownership. Single-trial parallelism only kicks in when the
+  /// remainder spans enough indexed blocks to split.
+  void setDecodePool(const TraceDecodePool* pool) noexcept { pool_ = pool; }
+
+  /// Test hook: forces the scalar v4 unit parser even when the SWAR fast
+  /// path would apply (fuzzing parity between the two). Inherited by the
+  /// workers a decode pool spawns.
+  void setForceScalarDecode(bool force) noexcept { force_scalar_ = force; }
 
  private:
   [[noreturn]] void fail(const std::string& why) const;
@@ -453,6 +549,26 @@ class TraceShardReader {
   std::uint64_t takeVarint(codec::SymbolClass first_cls,
                            codec::SymbolClass cont_cls, unsigned bucket);
   Interaction decodeOne();
+  /// v4: rANS-decodes a whole coded block payload into v4_scratch_ in
+  /// one bulk 8-way run, so the block is then served as a plain byte
+  /// window. All structural validation happens in the group parser.
+  void decodeV4Block(const unsigned char* stored, std::size_t stored_size,
+                     std::size_t raw_size);
+  /// v4: parses the next group unit from the window, returns its first
+  /// interaction, and buffers the second (if the unit carries one).
+  Interaction takeGroupV4();
+  /// v4 bulk fast path: parses consecutive PAIR groups straight from the
+  /// current window into `dst` (skip-only when null), advancing decoded_.
+  /// Returns the interactions produced (always even); 0 when the window
+  /// is near its edge, the trial is near its end, or under force-scalar —
+  /// the callers then fall back to takeGroupV4 for one group and retry.
+  std::uint64_t bulkGroupsV4(Interaction* dst, std::uint64_t count);
+  /// Decodes `count` interactions of the current trial into `dst`
+  /// (format-agnostic; the trial must have at least that many left).
+  void decodeInto(Interaction* dst, std::uint64_t count);
+  /// Block-parallel readRest body; false when the remainder cannot be
+  /// split (no index, pending state, or too few blocks ahead).
+  bool tryReadRestParallel(std::vector<Interaction>& out);
 
   std::string path_;
   detail::MmapRegion map_;
@@ -476,6 +592,7 @@ class TraceShardReader {
   codec::RangeDecoder decoder_;
   codec::TraceModels models_;
   std::unique_ptr<codec::RansBlockDecoder> rans_;  // lazy, v3 blocks only
+  std::unique_ptr<codec::RansV4BlockDecoder> rans_v4_;  // lazy, v4 blocks
   bool rc_rans_ = false;               // live coded block is rANS
   std::uint64_t rc_block_raw_ = 0;     // raw size of the live coded block
   std::uint64_t rc_symbols_left_ = 0;
@@ -484,6 +601,13 @@ class TraceShardReader {
   std::uint64_t trial_length_ = 0;
   std::uint64_t decoded_ = 0;
   NodeId prev_a_ = 0;
+  // v4 record-layer state.
+  std::vector<unsigned char> v4_scratch_;  // coded block, reconstructed
+  NodeId v4_pend_a_ = 0;  // second interaction of a parsed group
+  NodeId v4_pend_b_ = 1;
+  bool v4_pending_ = false;
+  bool force_scalar_ = false;
+  const TraceDecodePool* pool_ = nullptr;  // borrowed, may be null
 };
 
 /// Options for TraceStore::open. The default is strict: any missing,

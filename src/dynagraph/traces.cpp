@@ -7,30 +7,130 @@
 
 namespace doda::dynagraph::traces {
 
-Interaction uniformPair(std::size_t n, util::Rng& rng) {
-  if (n < 2) throw std::invalid_argument("uniformPair: need n >= 2");
-  const auto u = static_cast<NodeId>(rng.below(n));
-  auto v = static_cast<NodeId>(rng.below(n - 1));
-  if (v >= u) ++v;  // uniform over the n-1 other nodes
+namespace {
+
+/// Triangular number t(t+1)/2 without intermediate overflow.
+inline std::uint64_t triangular(std::uint64_t t) noexcept {
+  return (t % 2 == 0) ? t / 2 * (t + 1) : (t + 1) / 2 * t;
+}
+
+/// Decodes the r-th unordered pair (0-based, lexicographic: (0,1), (0,2),
+/// ..., (0,n-1), (1,2), ...) of n nodes. The row is recovered from the
+/// *reversed* index s = n(n-1)/2 - 1 - r via the triangular-root formula
+/// t = floor((sqrt(8s+1)-1)/2); the double-precision estimate is corrected
+/// by an integer fixup so the decode is exact (and deterministic across
+/// platforms) for every s < 2^63.
+inline Interaction pairFromIndex(std::uint64_t r, std::size_t n,
+                                 std::uint64_t total) noexcept {
+  const std::uint64_t s = total - 1 - r;
+  auto t = static_cast<std::uint64_t>(
+      (std::sqrt(static_cast<double>(s) * 8.0 + 1.0) - 1.0) * 0.5);
+  while (triangular(t + 1) <= s) ++t;
+  while (triangular(t) > s) --t;
+  const std::uint64_t off = s - triangular(t);  // off <= t
+  const auto u = static_cast<NodeId>(n - 2 - t);
+  const auto v = static_cast<NodeId>(n - 1 - off);
   return Interaction(u, v);
 }
 
-void appendUniform(std::size_t n, std::size_t count, util::Rng& rng,
-                   std::vector<Interaction>& out) {
-  if (n < 2) throw std::invalid_argument("appendUniform: need n >= 2");
-  out.reserve(out.size() + count);
-  for (std::size_t k = 0; k < count; ++k) {
-    const auto u = static_cast<NodeId>(rng.below(n));
-    auto v = static_cast<NodeId>(rng.below(n - 1));
-    if (v >= u) ++v;
-    out.emplace_back(u, v);
+/// Bulk fast path for the v2 sampler: for moderate n the index decode is a
+/// single lookup into a per-thread row table of n, reused across calls
+/// (experiments hold n fixed across trials). The table stores only the row
+/// u of each lexicographic index r; the column follows arithmetically from
+/// the row-start closed form rowStart(u) = u*(2n-1-u)/2 as
+/// v = r - rowStart(u) + u + 1. Storing u16 rows instead of packed pairs
+/// halves the footprint — the n = 1024 table is 1 MiB, L2-resident even
+/// while the measure scan competes for cache — and the cap bounds a table
+/// at 2 MiB per thread (total <= 2^20 forces n <= 1449, so rows fit u16).
+/// The draw stream stays exactly one below(total) per pair, and the decode
+/// equals pairFromIndex(r, n, total) by construction, so the output is
+/// bit-identical to the sqrt decode — which remains in place for n past
+/// the cap.
+inline constexpr std::uint64_t kPairTableMaxEntries = std::uint64_t{1} << 20;
+
+const std::vector<std::uint16_t>& pairRowTable(std::size_t n) {
+  thread_local std::size_t cached_n = 0;
+  thread_local std::vector<std::uint16_t> table;
+  if (cached_n != n) {
+    table.clear();
+    table.reserve(triangular(static_cast<std::uint64_t>(n) - 1));
+    for (std::uint32_t u = 0; u + 1 < n; ++u)
+      for (std::uint32_t v = u + 1; v < n; ++v)
+        table.push_back(static_cast<std::uint16_t>(u));
+    cached_n = n;
   }
+  return table;
 }
 
-InteractionSequence uniformRandom(std::size_t n, Time length,
-                                  util::Rng& rng) {
+}  // namespace
+
+Interaction uniformPair(std::size_t n, util::Rng& rng, SeedFormat format) {
+  if (n < 2) throw std::invalid_argument("uniformPair: need n >= 2");
+  if (format == SeedFormat::v1) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    auto v = static_cast<NodeId>(rng.below(n - 1));
+    if (v >= u) ++v;  // uniform over the n-1 other nodes
+    return Interaction(u, v);
+  }
+  const std::uint64_t total = triangular(static_cast<std::uint64_t>(n) - 1);
+  return pairFromIndex(rng.below(total), n, total);
+}
+
+void appendUniform(std::size_t n, std::size_t count, util::Rng& rng,
+                   std::vector<Interaction>& out, SeedFormat format) {
+  if (n < 2) throw std::invalid_argument("appendUniform: need n >= 2");
+  out.reserve(out.size() + count);
+  if (format == SeedFormat::v1) {
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto u = static_cast<NodeId>(rng.below(n));
+      auto v = static_cast<NodeId>(rng.below(n - 1));
+      if (v >= u) ++v;
+      out.emplace_back(u, v);
+    }
+    return;
+  }
+  const std::uint64_t total = triangular(static_cast<std::uint64_t>(n) - 1);
+  if (total <= kPairTableMaxEntries) {
+    const std::uint16_t* rows = pairRowTable(n).data();
+    const std::uint64_t two_n_minus_1 = 2 * static_cast<std::uint64_t>(n) - 1;
+    // Two passes per chunk: drawing the chunk's indices first lets every
+    // table line be prefetched while later draws are still in flight, so
+    // the lookups run at full memory-level parallelism instead of one
+    // L2/L3 miss at a time (the n = 1024 table does not fit L1). The
+    // high-locality hint pulls lines into L1 — a chunk touches at most
+    // 512 lines (32 KiB), under the 48 KiB L1d — which measures ~10%
+    // faster than stopping at L2.
+    constexpr std::size_t kChunk = 512;
+    std::uint32_t idx[kChunk];
+    for (std::size_t done = 0; done < count;) {
+      const std::size_t m = std::min(count - done, kChunk);
+      for (std::size_t k = 0; k < m; ++k) {
+        const auto r = static_cast<std::uint32_t>(rng.below(total));
+        idx[k] = r;
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(rows + r, 0, 3);
+#endif
+      }
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::uint32_t r = idx[k];
+        const std::uint64_t a = rows[r];
+        const std::uint64_t row_start = a * (two_n_minus_1 - a) / 2;
+        out.push_back(Interaction::presorted(
+            static_cast<NodeId>(a),
+            static_cast<NodeId>(r - row_start + a + 1)));
+      }
+      done += m;
+    }
+    return;
+  }
+  for (std::size_t k = 0; k < count; ++k)
+    out.push_back(pairFromIndex(rng.below(total), n, total));
+}
+
+InteractionSequence uniformRandom(std::size_t n, Time length, util::Rng& rng,
+                                  SeedFormat format) {
   std::vector<Interaction> out;
-  appendUniform(n, static_cast<std::size_t>(length), rng, out);
+  appendUniform(n, static_cast<std::size_t>(length), rng, out, format);
   return InteractionSequence(std::move(out));
 }
 

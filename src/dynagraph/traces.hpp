@@ -9,20 +9,43 @@
 
 namespace doda::dynagraph::traces {
 
+/// Version of the committed random-stream format: how many RNG draws one
+/// uniform pair consumes and how the draws map to the pair. Changing the
+/// mapping changes every sequence committed from a given seed, so the
+/// mapping is versioned: goldens, recorded stores, and published numbers
+/// name the format they were produced under, and legacy streams stay
+/// reproducible forever by pinning v1.
+enum class SeedFormat : std::uint8_t {
+  /// Two Lemire draws per pair: u = below(n), then v = below(n-1) with a
+  /// skip over u. The format of every stream committed before the v2
+  /// sampler landed.
+  v1 = 1,
+  /// One draw per pair: r = below(n(n-1)/2) decoded to the r-th unordered
+  /// pair. Halves the serial RNG dependency chain — the generation
+  /// bottleneck of measureOfflineOptimal — at identical uniformity.
+  v2 = 2,
+};
+
+/// Default stream format committed by the uniform samplers.
+inline constexpr SeedFormat kSeedFormat = SeedFormat::v2;
+
 /// One interaction drawn uniformly at random among all n(n-1)/2 pairs —
 /// the randomized adversary's distribution (paper §4). Requires n >= 2.
-Interaction uniformPair(std::size_t n, util::Rng& rng);
+Interaction uniformPair(std::size_t n, util::Rng& rng,
+                        SeedFormat format = kSeedFormat);
 
 /// Appends `count` uniform random interactions to `out` in one tight loop —
 /// the batched generation primitive behind the randomized adversary and
 /// drawAdversarySequence. Draws from `rng` in exactly the order repeated
-/// uniformPair calls would (two Lemire draws per pair), so batched and
+/// uniformPair calls would under the same SeedFormat, so batched and
 /// per-item generation commit bit-identical sequences from the same seed.
 void appendUniform(std::size_t n, std::size_t count, util::Rng& rng,
-                   std::vector<Interaction>& out);
+                   std::vector<Interaction>& out,
+                   SeedFormat format = kSeedFormat);
 
 /// A fixed-length sequence of uniform random interactions.
-InteractionSequence uniformRandom(std::size_t n, Time length, util::Rng& rng);
+InteractionSequence uniformRandom(std::size_t n, Time length, util::Rng& rng,
+                                  SeedFormat format = kSeedFormat);
 
 /// Non-uniform randomized adversary (paper's concluding remark #3):
 /// node popularity follows a Zipf law with the given exponent; each

@@ -55,6 +55,12 @@ struct MeasureConfig {
   core::Time max_interactions = core::Time{1} << 32;
   /// Zipf popularity exponent; 0 = the paper's uniform adversary.
   double zipf_exponent = 0.0;
+  /// Committed random-stream format of the uniform adversary (see
+  /// dynagraph/traces.hpp). The default (v2, one draw per pair) changes the
+  /// sequence a given seed commits to; pin SeedFormat::v1 to reproduce
+  /// streams and goldens recorded before the v2 sampler landed. Ignored by
+  /// the Zipf adversary (its draw order never changed).
+  dynagraph::traces::SeedFormat seed_format = dynagraph::traces::kSeedFormat;
   /// Worker threads for the trial fan-out: 0 = hardware concurrency,
   /// 1 = the legacy serial path. Results are bit-identical for every
   /// value (per-trial seeds are pre-drawn and outcomes folded in trial

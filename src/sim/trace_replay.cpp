@@ -39,8 +39,10 @@ void runSpan(const TraceStore& store, const ReplaySpan& span,
              std::uint64_t window_first, const ReplayTrialBody& body,
              core::Engine::Scratch& scratch,
              std::vector<TrialOutcome>& slots,
-             dynagraph::TraceReadBackend backend) {
+             dynagraph::TraceReadBackend backend,
+             const dynagraph::TraceDecodePool* decode_pool) {
   TraceShardReader reader = store.openShard(span.shard, backend);
+  reader.setDecodePool(decode_pool);
   if (!reader.seekToTrial(span.begin))
     throw std::runtime_error("replayShards: trial " +
                              std::to_string(span.begin) +
@@ -104,11 +106,32 @@ MeasureResult replayShards(const TraceStore& store, std::size_t threads,
     }
   }
 
+  // When there are more workers than spans (one huge trial, or a window
+  // narrower than the pool), lend each span the spare parallelism as a
+  // block-decode pool: readRest() on an indexed shard then decodes a
+  // single trial's blocks concurrently (TraceShardReader::setDecodePool),
+  // bit-identical to sequential decode. runIndexedTasks spawns fresh
+  // joined threads per call, so the nesting is safe.
+  dynagraph::TraceDecodePool decode_pool;
+  if (indexed && workers > spans.size() && !spans.empty()) {
+    const std::size_t inner = (workers + spans.size() - 1) / spans.size();
+    if (inner >= 2) {
+      decode_pool.workers = inner;
+      decode_pool.run = [inner](std::size_t count,
+                                const std::function<void(std::size_t)>& task) {
+        runIndexedTasks(count, inner,
+                        [&task](std::size_t i, core::Engine::Scratch&) {
+                          task(i);
+                        });
+      };
+    }
+  }
+
   std::vector<TrialOutcome> slots(selected);
   runIndexedTasks(spans.size(), threads,
                   [&](std::size_t span, core::Engine::Scratch& scratch) {
                     runSpan(store, spans[span], first, body, scratch, slots,
-                            backend);
+                            backend, decode_pool ? &decode_pool : nullptr);
                   });
 
   // Ordered fold: global trial first, first+1, ... regardless of span

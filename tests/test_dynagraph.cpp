@@ -271,6 +271,21 @@ TEST(Traces, UniformPairIsUniform) {
   }
 }
 
+TEST(Traces, BulkUniformMatchesSingleDrawDecode) {
+  // appendUniform's cached pair-table lookup must realize exactly the
+  // sequence the sqrt decode of uniformPair commits to: same one
+  // below(total) draw per pair, same lexicographic index mapping.
+  for (const std::size_t n : {2u, 3u, 17u, 64u, 256u}) {
+    util::Rng bulk_rng(0xB01D + n), single_rng(0xB01D + n);
+    std::vector<Interaction> bulk;
+    traces::appendUniform(n, 512, bulk_rng, bulk);
+    ASSERT_EQ(bulk.size(), 512u);
+    for (std::size_t k = 0; k < bulk.size(); ++k)
+      EXPECT_EQ(bulk[k], traces::uniformPair(n, single_rng))
+          << "n=" << n << " k=" << k;
+  }
+}
+
 TEST(Traces, UniformPairNeedsTwoNodes) {
   util::Rng rng(1);
   EXPECT_THROW(traces::uniformPair(1, rng), std::invalid_argument);

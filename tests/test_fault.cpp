@@ -436,10 +436,10 @@ void expectMatches(const sim::FaultMeasureResult& r, const FaultGolden& g,
 
 TEST(GoldenFaultStats, BernoulliLossWaiting) {
   const FaultGolden golden{16,
-                           0x1.384p+7,
-                           0x1.45ee666666664p+11,
-                           0x1.24p+6,
-                           0x1.bep+7,
+                           0x1.4fap+7,
+                           0x1.9866ddddddddfp+12,
+                           0x1.78p+6,
+                           0x1.acp+8,
                            16,
                            16,
                            0,
@@ -447,11 +447,11 @@ TEST(GoldenFaultStats, BernoulliLossWaiting) {
                            0,
                            0x0p+0,
                            0x1p+0,
-                           0x1.dp+0,
-                           0x1.8fffffffffffep+0,
+                           0x1.38p+1,
+                           0x1.ep+0,
                            16,
-                           0x1.7f0f74c394ab5p+2,
-                           0x1.b0f9ca5c426cfp+2};
+                           0x1.b6f636b6cfaf6p+2,
+                           0x1.c8e1f9b604987p+2};
   for (std::size_t threads : {1u, 2u, 8u}) {
     sim::MeasureConfig config;
     config.node_count = 10;
@@ -469,25 +469,25 @@ TEST(GoldenFaultStats, BernoulliLossWaiting) {
 
 TEST(GoldenFaultStats, MixedFaultsWaitingGreedy) {
   // Gilbert–Elliott bursts + crash-stop + Byzantine, with WaitingGreedy on
-  // the fault-aware oracle: the Byzantine meetTime lie black-holes some
-  // trials (they time out), and poisoned aggregates reach the sink.
-  const FaultGolden golden{13,
-                           0x1.67d89d89d89d9p+7,
-                           0x1.924ec4ec4ec4bp+6,
-                           0x1.56p+7,
-                           0x1.ap+7,
+  // the fault-aware oracle: under the v2 seed format every trial completes
+  // but several poisoned aggregates reach the sink.
+  const FaultGolden golden{16,
+                           0x1.ac6p+7,
+                           0x1.af67555555556p+11,
+                           0x1.4ap+7,
+                           0x1.69p+8,
                            16,
-                           13,
+                           16,
                            0,
-                           4,
-                           3,
-                           0x1.7ffffffffffffp-2,
-                           0x1.ebab2f1008465p-1,
-                           0x1.6b4p+6,
-                           0x1.2000000000001p+0,
-                           13,
-                           0x1.6dc6cb9f63792p+2,
-                           0x1.80cd9beb96b61p+1};
+                           6,
+                           0,
+                           0x0p+0,
+                           0x1p+0,
+                           0x1.b000000000001p+0,
+                           0x1.7ffffffffffffp+0,
+                           16,
+                           0x1.c5291fb69c222p+2,
+                           0x1.321cf7295f52ap+3};
   for (std::size_t threads : {1u, 2u, 8u}) {
     sim::MeasureConfig config;
     config.node_count = 12;
@@ -509,22 +509,22 @@ TEST(GoldenFaultStats, MixedFaultsWaitingGreedy) {
 
 TEST(GoldenFaultStats, CrashStopGathering) {
   const FaultGolden golden{10,
-                           0x1.0accccccccccdp+6,
-                           0x1.ee1ccccccccccp+11,
-                           0x1.8p+4,
-                           0x1.dcp+7,
+                           0x1.2e66666666667p+6,
+                           0x1.d511111111112p+10,
+                           0x1.7p+4,
+                           0x1.2p+7,
                            12,
                            10,
                            2,
                            0,
                            0,
-                           0x1.5555555555555p-2,
-                           0x1.eeeeeeeeeeeefp-1,
+                           0x1.2aaaaaaaaaaabp-1,
+                           0x1.e222222222222p-1,
                            0x0p+0,
                            0x0p+0,
                            10,
-                           0x1.68d73a1d765f4p+1,
-                           0x1.72f8710c827a9p+2};
+                           0x1.5b1737ac1324cp+1,
+                           0x1.0c05ac9c272a4p+1};
   for (std::size_t threads : {1u, 2u, 8u}) {
     sim::MeasureConfig config;
     config.node_count = 10;
@@ -535,6 +535,43 @@ TEST(GoldenFaultStats, CrashStopGathering) {
     const auto r = sim::measureWithFaults(
         config, 128, [](sim::TrialContext&) {
           return std::make_unique<algorithms::Gathering>();
+        });
+    expectMatches(r, golden, threads);
+  }
+}
+
+TEST(GoldenFaultStats, LegacySeedFormatV1Pinned) {
+  // The pre-v2 BernoulliLossWaiting golden, reproduced via the explicit
+  // SeedFormat::v1 knob: fault plans draw from the same trial seed, so a
+  // legacy faulted experiment replays bit-exactly under the pin.
+  const FaultGolden golden{16,
+                           0x1.384p+7,
+                           0x1.45ee666666664p+11,
+                           0x1.24p+6,
+                           0x1.bep+7,
+                           16,
+                           16,
+                           0,
+                           0,
+                           0,
+                           0x0p+0,
+                           0x1p+0,
+                           0x1.dp+0,
+                           0x1.8fffffffffffep+0,
+                           16,
+                           0x1.7f0f74c394ab5p+2,
+                           0x1.b0f9ca5c426cfp+2};
+  for (std::size_t threads : {1u, 8u}) {
+    sim::MeasureConfig config;
+    config.node_count = 10;
+    config.trials = 16;
+    config.seed = 2026;
+    config.threads = threads;
+    config.seed_format = dynagraph::traces::SeedFormat::v1;
+    config.faults = FaultModel::bernoulliLoss(0.2);
+    const auto r = sim::measureWithFaults(
+        config, 256, [](sim::TrialContext&) {
+          return std::make_unique<algorithms::Waiting>();
         });
     expectMatches(r, golden, threads);
   }

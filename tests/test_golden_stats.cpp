@@ -1,9 +1,10 @@
-// Golden statistics pinned from the pre-SourceSet / pre-frontier /
-// pre-batched-generation implementation (hexfloat, so the comparison is
-// bit-exact). These lock three refactor-invariance contracts at once:
+// Golden statistics (hexfloat, so the comparison is bit-exact). These
+// lock three refactor-invariance contracts at once:
 //
-//  * the batched adversary generators draw from the RNG in exactly the
-//    legacy per-pair order (the sequences are bit-identical);
+//  * the adversary generators draw from the RNG in exactly the committed
+//    SeedFormat::v2 one-draw-per-pair order (sequences are bit-identical
+//    run to run), and SeedFormat::v1 still reproduces the legacy two-draw
+//    streams (see LegacySeedFormatV1Pinned below);
 //  * the frontier-based offline-optimal oracle returns exactly the values
 //    the galloping reverse-broadcast search returned;
 //  * the parallel executor folds outcomes identically for every thread
@@ -50,8 +51,8 @@ AlgorithmFactory gatheringFactory() {
 }
 
 TEST(GoldenStats, MeasureRandomizedGathering) {
-  const Golden golden{24, 0x1.046aaaaaaaaabp+7, 0x1.fd5e8cfc4a34p+11,
-                      0x1.b8p+5, 0x1.2bp+8};
+  const Golden golden{24, 0x1.0f55555555555p+7, 0x1.181303b5cc0edp+12,
+                      0x1.18p+5, 0x1.f8p+7};
   for (std::size_t threads : {1u, 2u, 8u}) {
     MeasureConfig config;
     config.node_count = 12;
@@ -65,8 +66,8 @@ TEST(GoldenStats, MeasureRandomizedGathering) {
 
 TEST(GoldenStats, MeasureRandomizedWaitingGreedy) {
   // Exercises the meetTime oracle over the batched committed randomness.
-  const Golden golden{16, 0x1.5d3ffffffffffp+7, 0x1.eeaaaaaaaaaacp+4,
-                      0x1.48p+7, 0x1.6ap+7};
+  const Golden golden{16, 0x1.4c6p+7, 0x1.2386666666664p+7,
+                      0x1.14p+7, 0x1.6ap+7};
   const AlgorithmFactory factory = [](TrialContext& context) {
     return std::make_unique<algorithms::WaitingGreedy>(context.meet_time,
                                                        180);
@@ -83,9 +84,9 @@ TEST(GoldenStats, MeasureRandomizedWaitingGreedy) {
 
 TEST(GoldenStats, MeasureWithCostGathering) {
   // Pins the paper-cost computation (frontier-backed costOf chain).
-  Golden golden{12,        0x1.7755555555555p+5, 0x1.030aaaaaaaaabp+9,
-                0x1.4p+3,  0x1.78p+6,            12,
-                0x1.8aaaaaaaaaaaap+1, 0x1.b83e0f83e0f84p+0};
+  Golden golden{12,       0x1.8caaaaaaaaaabp+5, 0x1.eadc1f07c1f07p+9,
+                0x1.6p+4, 0x1.04p+7,            12,
+                0x1.8000000000001p+1, 0x1.1745d1745d174p+1};
   for (std::size_t threads : {1u, 2u, 8u}) {
     MeasureConfig config;
     config.node_count = 8;
@@ -100,8 +101,8 @@ TEST(GoldenStats, MeasureWithCostGathering) {
 TEST(GoldenStats, MeasureOfflineOptimal) {
   // Pins opt(0)+1 — the frontier must agree with the legacy galloping
   // search on every trial, not just on average.
-  Golden golden{10,       0x1.319999999999ap+4, 0x1.c45b05b05b05cp+5,
-                0x1.4p+3, 0x1.fp+4,             10,
+  Golden golden{10,       0x1.0e66666666666p+4, 0x1.2293e93e93e94p+5,
+                0x1.cp+2, 0x1.cp+4,             10,
                 0x1p+0,   0x0p+0};
   for (std::size_t threads : {1u, 2u, 8u}) {
     MeasureConfig config;
@@ -114,6 +115,8 @@ TEST(GoldenStats, MeasureOfflineOptimal) {
 }
 
 TEST(GoldenStats, MeasureRandomizedZipf) {
+  // The Zipf adversary draws node pairs itself and ignores seed_format;
+  // these values are unchanged across the SeedFormat::v2 bump.
   const Golden golden{12, 0x1.28p+6, 0x1.c4745d1745d17p+10, 0x1.6p+4,
                       0x1.5cp+7};
   for (std::size_t threads : {1u, 2u, 8u}) {
@@ -129,9 +132,9 @@ TEST(GoldenStats, MeasureRandomizedZipf) {
 }
 
 TEST(GoldenStats, MeasureMaterializedFullKnowledge) {
-  Golden golden{10,       0x1.acccccccccccdp+4, 0x1.7fa4fa4fa4fa4p+5,
-                0x1.1p+4, 0x1.4p+5,             10,
-                0x1p+0,   0x0p+0};
+  Golden golden{10,     0x1.999999999999ap+4, 0x1.693e93e93e93fp+5,
+                0x1p+4, 0x1.38p+5,            10,
+                0x1p+0, 0x0p+0};
   const SequenceAlgorithmFactory factory =
       [](const dynagraph::InteractionSequence& seq,
          const core::SystemInfo&) {
@@ -149,9 +152,9 @@ TEST(GoldenStats, MeasureMaterializedFullKnowledge) {
 }
 
 TEST(GoldenStats, MeasureMaterializedFutureAware) {
-  Golden golden{10,        0x1.f4p+5, 0x1.7ce38e38e38e4p+5,
-                0x1.a8p+5, 0x1.2p+6,  10,
-                0x1.4p+1,  0x1.1c71c71c71c72p-2};
+  Golden golden{10,       0x1.e666666666666p+5, 0x1.db60b60b60b62p+6,
+                0x1.9p+5, 0x1.5cp+6,            10,
+                0x1.4ccccccccccccp+1, 0x1.1111111111111p-2};
   const SequenceAlgorithmFactory factory =
       [](const dynagraph::InteractionSequence& seq,
          const core::SystemInfo&) {
@@ -165,6 +168,118 @@ TEST(GoldenStats, MeasureMaterializedFutureAware) {
     config.threads = threads;
     expectMatches(measureMaterialized(config, 512, factory), golden,
                   threads);
+  }
+}
+
+// ------------------------------------------- legacy seed-format pinning
+
+// SeedFormat::v1 must keep reproducing the exact pre-v2 streams forever:
+// these are the golden values this suite pinned before the one-draw pair
+// sampler became the default. A committed experiment that recorded its
+// seeds under v1 stays replayable by setting config.seed_format.
+TEST(GoldenStats, LegacySeedFormatV1Pinned) {
+  const auto v1 = dynagraph::traces::SeedFormat::v1;
+  for (std::size_t threads : {1u, 8u}) {
+    {
+      const Golden golden{24, 0x1.046aaaaaaaaabp+7, 0x1.fd5e8cfc4a34p+11,
+                          0x1.b8p+5, 0x1.2bp+8};
+      MeasureConfig config;
+      config.node_count = 12;
+      config.trials = 24;
+      config.seed = 2026;
+      config.threads = threads;
+      config.seed_format = v1;
+      expectMatches(measureRandomized(config, gatheringFactory()), golden,
+                    threads);
+    }
+    {
+      const Golden golden{16, 0x1.5d3ffffffffffp+7, 0x1.eeaaaaaaaaaacp+4,
+                          0x1.48p+7, 0x1.6ap+7};
+      MeasureConfig config;
+      config.node_count = 16;
+      config.trials = 16;
+      config.seed = 7;
+      config.threads = threads;
+      config.seed_format = v1;
+      expectMatches(measureRandomized(
+                        config,
+                        [](TrialContext& context) {
+                          return std::make_unique<algorithms::WaitingGreedy>(
+                              context.meet_time, 180);
+                        }),
+                    golden, threads);
+    }
+    {
+      const Golden golden{12,        0x1.7755555555555p+5,
+                          0x1.030aaaaaaaaabp+9,
+                          0x1.4p+3,  0x1.78p+6,
+                          12,        0x1.8aaaaaaaaaaaap+1,
+                          0x1.b83e0f83e0f84p+0};
+      MeasureConfig config;
+      config.node_count = 8;
+      config.trials = 12;
+      config.seed = 99;
+      config.threads = threads;
+      config.seed_format = v1;
+      expectMatches(measureWithCost(config, 64, gatheringFactory()), golden,
+                    threads);
+    }
+    {
+      const Golden golden{10,       0x1.319999999999ap+4,
+                          0x1.c45b05b05b05cp+5,
+                          0x1.4p+3, 0x1.fp+4,
+                          10,       0x1p+0,
+                          0x0p+0};
+      MeasureConfig config;
+      config.node_count = 8;
+      config.trials = 10;
+      config.seed = 123;
+      config.threads = threads;
+      config.seed_format = v1;
+      expectMatches(measureOfflineOptimal(config), golden, threads);
+    }
+    {
+      const Golden golden{10,       0x1.acccccccccccdp+4,
+                          0x1.7fa4fa4fa4fa4p+5,
+                          0x1.1p+4, 0x1.4p+5,
+                          10,       0x1p+0,
+                          0x0p+0};
+      MeasureConfig config;
+      config.node_count = 10;
+      config.trials = 10;
+      config.seed = 31;
+      config.threads = threads;
+      config.seed_format = v1;
+      expectMatches(
+          measureMaterialized(config, 256,
+                              [](const dynagraph::InteractionSequence& seq,
+                                 const core::SystemInfo&) {
+                                return std::make_unique<
+                                    algorithms::FullKnowledgeOptimal>(seq);
+                              }),
+          golden, threads);
+    }
+    {
+      const Golden golden{10,        0x1.f4p+5,
+                          0x1.7ce38e38e38e4p+5,
+                          0x1.a8p+5, 0x1.2p+6,
+                          10,        0x1.4p+1,
+                          0x1.1c71c71c71c72p-2};
+      MeasureConfig config;
+      config.node_count = 10;
+      config.trials = 10;
+      config.seed = 32;
+      config.threads = threads;
+      config.seed_format = v1;
+      expectMatches(
+          measureMaterialized(config, 512,
+                              [](const dynagraph::InteractionSequence& seq,
+                                 const core::SystemInfo&) {
+                                return std::make_unique<
+                                    algorithms::FutureAware>(seq);
+                              }),
+          golden, threads);
+    }
   }
 }
 

@@ -364,7 +364,7 @@ TEST_F(TraceV2Corruption, TruncatedToMidHeaderIsDetectedAtOpen) {
 
 TEST_F(TraceV2Corruption, FutureFormatVersionIsRejected) {
   auto bytes = pristine_;
-  bytes[8] = 4;
+  bytes[8] = 5;
   writeFile(shard0_, bytes);
   expectDecodeFailureBothBackends("unsupported format version");
 }
@@ -444,7 +444,7 @@ TEST(TraceV2CrossVersion, MixedVersionStoreIsRejected) {
 
 TEST(TraceV2CrossVersion, WriterRejectsUnknownVersionAndBadBlockSize) {
   TraceWriterOptions bad_version;
-  bad_version.format_version = 4;
+  bad_version.format_version = 5;
   EXPECT_THROW(TraceStoreWriter(scratchDir("bad_opt"), 8, 2, 1, bad_version),
                std::invalid_argument);
   TraceWriterOptions bad_block;

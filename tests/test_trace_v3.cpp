@@ -117,7 +117,7 @@ void expectIdentical(const MeasureResult& a, const MeasureResult& b) {
 
 // ------------------------------------------------------------- round trip
 
-TEST(TraceV3RoundTrip, DefaultStoreIsV3AndPreservesEveryTrial) {
+TEST(TraceV3RoundTrip, DefaultStoreIsV4AndPreservesEveryTrial) {
   const auto trials = sampleTrials(24, 6, 3000, 99);
   const std::string dir_v3 = scratchDir("rt_v3");
   const std::string dir_v1 = scratchDir("rt_v1");
@@ -126,7 +126,7 @@ TEST(TraceV3RoundTrip, DefaultStoreIsV3AndPreservesEveryTrial) {
              versionOptions(dynagraph::kTraceFormatVersionV1));
 
   const auto store = TraceStore::open(dir_v3);
-  EXPECT_EQ(store.formatVersion(), dynagraph::kTraceFormatVersionV3);
+  EXPECT_EQ(store.formatVersion(), dynagraph::kTraceFormatVersion);
   EXPECT_EQ(store.trialCount(), trials.size());
   for (const auto backend :
        {TraceReadBackend::kAuto, TraceReadBackend::kStream}) {
@@ -532,7 +532,7 @@ TEST(TraceV3MixedCodec, StoreMayMixRawAndRansShards) {
       std::filesystem::path(dir_rans) / dynagraph::traceShardFileName(1),
       std::filesystem::copy_options::overwrite_existing);
   const auto store = TraceStore::open(dir_rans);
-  EXPECT_EQ(store.shardHeaders()[0].codec, dynagraph::kTraceCodecRans);
+  EXPECT_EQ(store.shardHeaders()[0].codec, dynagraph::kTraceCodecRansV4);
   EXPECT_EQ(store.shardHeaders()[1].codec, dynagraph::kTraceCodecRaw);
   const auto decoded = decodeStore(store, TraceReadBackend::kAuto);
   ASSERT_EQ(decoded.size(), trials.size());
@@ -803,7 +803,7 @@ TEST(TraceV3StreamingImport, TimeOrderedFileStreamsAndMatchesMaterialized) {
   EXPECT_EQ(stats.t_max, reference.stats.t_max);
 
   const auto store = TraceStore::open(dir);
-  EXPECT_EQ(store.formatVersion(), dynagraph::kTraceFormatVersionV3);
+  EXPECT_EQ(store.formatVersion(), dynagraph::kTraceFormatVersion);
   const auto decoded = decodeStore(store, TraceReadBackend::kAuto);
   std::size_t offset = 0;
   for (const auto& trial : decoded) {
