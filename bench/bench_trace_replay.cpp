@@ -46,6 +46,7 @@
 #include "algorithms/waiting_greedy.hpp"
 #include "dynagraph/trace_import.hpp"
 #include "sim/trace_replay.hpp"
+#include "storage/durable_store.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -472,6 +473,61 @@ int main(int argc, char** argv) {
   import_pool =
       replayTraceStreaming(import_store, pool_cfg, gatheringStreamed);
   expectIdentical(import_serial, import_pool, "import serial/pool");
+
+  // ------------------------------------------------------- durable store
+  // The crash-safe manifest store (storage/durable_store): the same
+  // workload recorded as two appended generations with the recordTrials
+  // seed scheme, so the composite replays the exact trials of the
+  // monolithic v4 store above. Measured: recovery-on-open plus composite
+  // streamed replay (the append-reopen path, fsync-on-commit included in
+  // setup, not in the leg), and offline compaction of the two
+  // generations into one indexed v4 segment. Both paths cross-check
+  // against the monolithic statistics: appending and compacting never
+  // change what replays.
+  const std::string dir_durable = root + "/durable";
+  {
+    doda::util::Rng master(config.seed);
+    std::vector<std::uint64_t> seeds(trials);
+    for (auto& seed : seeds) seed = master();
+    const auto fillRange = [&](std::size_t first, std::size_t last) {
+      return [&, first, last](doda::dynagraph::TraceStoreWriter& writer) {
+        for (std::size_t i = first; i < last; ++i) {
+          doda::util::Rng rng(seeds[i]);
+          writer.appendTrial(
+              doda::sim::drawAdversarySequence(config, length, rng));
+        }
+      };
+    };
+    auto durable = doda::storage::DurableTraceStore::create(dir_durable);
+    durable.commitSegment(n, trials / 2, shards, {}, fillRange(0, trials / 2));
+    durable.commitSegment(n, trials - trials / 2, shards, {},
+                          fillRange(trials / 2, trials));
+  }
+  MeasureResult durable_serial;
+  const int reps_durable = 4;
+  runLeg("replay_durable_append_reopen", t * reps_durable,
+         total_interactions * reps_durable, [&] {
+           for (int rep = 0; rep < reps_durable; ++rep) {
+             const auto durable =
+                 doda::storage::DurableTraceStore::open(dir_durable);
+             durable_serial = replayTraceStreaming(durable.openStore(),
+                                                   serial_cfg,
+                                                   gatheringStreamed);
+           }
+         });
+  expectIdentical(stream_serial, durable_serial,
+                  "durable append-reopen vs monolithic");
+  runLeg("compact_durable", t, total_interactions, [&] {
+    auto durable = doda::storage::DurableTraceStore::open(dir_durable);
+    durable.compact();
+  });
+  {
+    const auto durable = doda::storage::DurableTraceStore::open(dir_durable);
+    const MeasureResult compacted = replayTraceStreaming(
+        durable.openStore(), serial_cfg, gatheringStreamed);
+    expectIdentical(stream_serial, compacted,
+                    "durable compacted vs monolithic");
+  }
 
   json << "{\n"
        << "  \"bench\": \"trace_replay\",\n"

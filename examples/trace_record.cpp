@@ -11,11 +11,24 @@
 //                [--seed S] [--shards K]
 //                [--zipf EXPONENT | --edge-markov P_ON P_OFF]
 //                [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]
-//                [--verify] [--replay-range A B]
+//                [--durable] [--force] [--verify] [--replay-range A B]
 //   trace_record --out DIR --import FILE [--trials T] [--shards K]
 //                [--keep-self-loops] [--max-events M]
 //                [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]
+//                [--durable] [--force] [--verify] [--replay-range A B]
+//   trace_record --out DIR --compact [--shards K]
+//                [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]
 //                [--verify] [--replay-range A B]
+//
+// A non-empty existing --out directory is refused unless --force is given
+// or the directory carries a durable-store MANIFEST and --durable asks to
+// append to it (storage/durable_store.hpp). --durable writes through the
+// crash-safe store: every record/import run commits one immutable segment
+// atomically, and a durable --import is *incremental* — re-importing a
+// grown contact log appends only the new events, preserving the dense-id
+// map. --compact rewrites every committed segment of a durable store into
+// one fresh segment in the selected format (v4 by default) and drops the
+// old generations.
 //
 // Workloads:
 //   default        uniform randomized adversary (paper §4); per-trial seeds
@@ -39,6 +52,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <iostream>
 #include <string>
@@ -49,7 +63,10 @@
 #include "dynagraph/edge_markov.hpp"
 #include "dynagraph/trace_import.hpp"
 #include "dynagraph/trace_io.hpp"
+#include "sim/experiment.hpp"
 #include "sim/trace_replay.hpp"
+#include "storage/durable_import.hpp"
+#include "storage/durable_store.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -70,6 +87,10 @@ struct Options {
   double p_off = 0.30;
   bool verify = false;
   bool keep_self_loops = false;
+  bool durable = false;
+  bool force = false;
+  bool compact = false;
+  bool shards_set = false;
   bool replay_range = false;
   std::uint64_t range_first = 0;
   std::uint64_t range_last = 0;
@@ -82,11 +103,16 @@ struct Options {
             << " --out DIR --n N --trials T --length L [--seed S]"
                " [--shards K] [--zipf E | --edge-markov P_ON P_OFF]"
                " [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]"
-               " [--verify] [--replay-range A B]\n"
+               " [--durable] [--force] [--verify] [--replay-range A B]\n"
                "       "
             << argv0
             << " --out DIR --import FILE [--trials T] [--shards K]"
                " [--keep-self-loops] [--max-events M]"
+               " [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]"
+               " [--durable] [--force] [--verify] [--replay-range A B]\n"
+               "       "
+            << argv0
+            << " --out DIR --compact [--shards K]"
                " [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]"
                " [--verify] [--replay-range A B]\n";
   std::exit(2);
@@ -121,6 +147,7 @@ Options parse(int argc, char** argv) {
       need(1);
       opt.shards =
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      opt.shards_set = true;
     } else if (arg == "--zipf") {
       need(1);
       opt.zipf = std::strtod(argv[++i], nullptr);
@@ -153,6 +180,12 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--max-events") {
       need(1);
       opt.max_events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--durable") {
+      opt.durable = true;
+    } else if (arg == "--force") {
+      opt.force = true;
+    } else if (arg == "--compact") {
+      opt.compact = true;
     } else if (arg == "--verify") {
       opt.verify = true;
     } else if (arg == "--replay-range") {
@@ -166,7 +199,13 @@ Options parse(int argc, char** argv) {
     }
   }
   if (opt.out_dir.empty()) usage(argv[0]);
-  if (opt.import_path.empty()) {
+  if (opt.compact) {
+    // Compaction only rewrites what the manifest already commits.
+    if (!opt.import_path.empty() || opt.n != 0 || opt.trials != 0 ||
+        opt.length != 0 || opt.zipf != 0.0 || opt.edge_markov ||
+        opt.seed != 0x5eed || opt.durable || opt.force)
+      usage(argv[0]);
+  } else if (opt.import_path.empty()) {
     if (opt.n < 2 || opt.trials == 0 || opt.length == 0) usage(argv[0]);
     if (opt.shards == 0) opt.shards = 1;
     // Shards are the replay parallelism unit; clamp to the trial count
@@ -181,6 +220,24 @@ Options parse(int argc, char** argv) {
     if (opt.trials == 0) opt.trials = 1;
   }
   return opt;
+}
+
+/// Refuses to write into a non-empty existing directory unless --force is
+/// given or the directory is a durable store that --durable will append
+/// to. Guards both recorded and imported stores against accidentally
+/// shredding a previous run (or a manifest store's segments).
+void checkTargetWritable(const Options& opt) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(opt.out_dir) ||
+      fs::directory_iterator(opt.out_dir) == fs::directory_iterator())
+    return;  // absent or empty: safe to create
+  if (opt.durable && storage::DurableTraceStore::isDurableStore(opt.out_dir))
+    return;  // appending behind the manifest, not overwriting
+  if (opt.force) return;
+  throw std::runtime_error(
+      opt.out_dir +
+      ": refusing to write into a non-empty directory (pass --force to "
+      "overwrite, or --durable to append to a manifest store)");
 }
 
 void recordEdgeMarkov(const Options& opt) {
@@ -203,6 +260,22 @@ void importContacts(const Options& opt) {
   import.skip_self_loops = !opt.keep_self_loops;
   import.trials = opt.trials;
   import.max_events = opt.max_events;
+  if (opt.durable) {
+    const auto result = storage::importContactTraceDurable(
+        opt.import_path, opt.out_dir, opt.shards, import, opt.writer);
+    if (result.created)
+      std::cout << "created durable store, imported " << result.appended_events
+                << " events";
+    else if (result.appended_events == 0)
+      std::cout << "store already holds all " << result.total_events
+                << " events, nothing appended";
+    else
+      std::cout << "appended " << result.appended_events << " new events ("
+                << result.total_events << " total) as "
+                << result.appended_trials << " trials";
+    std::cout << " from " << opt.import_path << "\n";
+    return;
+  }
   const auto stats = dynagraph::importContactTrace(
       opt.import_path, opt.out_dir, opt.shards, import, opt.writer);
   std::cout << "imported " << stats.events << " events over "
@@ -212,6 +285,47 @@ void importContacts(const Options& opt) {
   if (stats.self_loops != 0)
     std::cout << ", skipped " << stats.self_loops << " self-loops";
   std::cout << "\n";
+}
+
+/// Durable generator recording: one atomic segment per run, appended
+/// behind whatever the store already committed. Per-trial seeds follow
+/// recordTrials' scheme, so a single-segment durable store replays
+/// bit-identically to the plain recorded one.
+void recordDurableTrials(const Options& opt,
+                         const sim::TrialGenerator& generator) {
+  storage::DurableTraceStore store =
+      storage::DurableTraceStore::openOrCreate(opt.out_dir);
+  util::Rng master(opt.seed);
+  std::vector<std::uint64_t> seeds(opt.trials);
+  for (auto& seed : seeds) seed = master();
+  store.commitSegment(
+      std::max<std::size_t>(opt.n, store.nodeCount()), opt.trials, opt.shards,
+      opt.writer, [&](dynagraph::TraceStoreWriter& writer) {
+        for (std::size_t trial = 0; trial < opt.trials; ++trial) {
+          util::Rng rng(seeds[trial]);
+          writer.appendTrial(generator(trial, rng));
+        }
+      });
+}
+
+void compactStore(const Options& opt) {
+  storage::DurableTraceStore store =
+      storage::DurableTraceStore::open(opt.out_dir);
+  const std::uint64_t before_bytes = store.openStore().totalFileBytes();
+  const std::size_t before_segments = store.version().segments.size();
+  store.compact(opt.writer, opt.shards_set ? opt.shards : 0);
+  const std::uint64_t after_bytes = store.openStore().totalFileBytes();
+  std::cout << "compacted " << before_segments << " segments ("
+            << before_bytes << " bytes) into 1 (" << after_bytes
+            << " bytes, format v" << opt.writer.format_version << ")\n";
+}
+
+/// The store just written, whatever discipline wrote it: a durable store
+/// serves its committed segments as one composite TraceStore.
+dynagraph::TraceStore openRecorded(const Options& opt) {
+  if (storage::DurableTraceStore::isDurableStore(opt.out_dir))
+    return storage::DurableTraceStore::open(opt.out_dir).openStore();
+  return dynagraph::TraceStore::open(opt.out_dir);
 }
 
 /// Multi-threaded contact-profile analysis over one shared sequence: the
@@ -254,8 +368,7 @@ void replayRange(const dynagraph::TraceStore& store, const Options& opt) {
   std::cout << "\n";
 }
 
-int verifyStore(const Options& opt) {
-  const auto store = dynagraph::TraceStore::open(opt.out_dir);
+int verifyStore(const dynagraph::TraceStore& store) {
   std::uint64_t interactions = 0;
   for (std::size_t s = 0; s < store.shardCount(); ++s) {
     auto reader = store.openShard(s);
@@ -294,25 +407,47 @@ int verifyStore(const Options& opt) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   try {
-    if (!opt.import_path.empty()) {
-      importContacts(opt);
-    } else if (opt.edge_markov) {
-      recordEdgeMarkov(opt);
+    if (opt.compact) {
+      compactStore(opt);
     } else {
-      sim::MeasureConfig config;
-      config.node_count = opt.n;
-      config.trials = opt.trials;
-      config.seed = opt.seed;
-      config.zipf_exponent = opt.zipf;
-      sim::recordSynthetic(opt.out_dir, config, opt.length, opt.shards,
-                           opt.writer);
+      checkTargetWritable(opt);
+      if (!opt.import_path.empty()) {
+        importContacts(opt);
+      } else if (opt.edge_markov) {
+        if (opt.durable) {
+          dynagraph::traces::EdgeMarkovConfig config;
+          config.nodes = opt.n;
+          config.p_on = opt.p_on;
+          config.p_off = opt.p_off;
+          config.steps = opt.length;
+          recordDurableTrials(opt, [&](std::size_t /*trial*/, util::Rng& rng) {
+            return dynagraph::traces::edgeMarkovTrace(config, rng);
+          });
+        } else {
+          recordEdgeMarkov(opt);
+        }
+      } else {
+        sim::MeasureConfig config;
+        config.node_count = opt.n;
+        config.trials = opt.trials;
+        config.seed = opt.seed;
+        config.zipf_exponent = opt.zipf;
+        if (opt.durable) {
+          recordDurableTrials(opt, [&](std::size_t /*trial*/, util::Rng& rng) {
+            return sim::drawAdversarySequence(config, opt.length, rng);
+          });
+        } else {
+          sim::recordSynthetic(opt.out_dir, config, opt.length, opt.shards,
+                               opt.writer);
+        }
+      }
     }
-    const auto store = dynagraph::TraceStore::open(opt.out_dir);
+    const auto store = openRecorded(opt);
     std::cout << "recorded " << store.trialCount() << " trials over "
               << store.nodeCount() << " nodes into " << store.shardCount()
               << " shards at " << opt.out_dir << "\n";
     if (opt.replay_range) replayRange(store, opt);
-    if (opt.verify) return verifyStore(opt);
+    if (opt.verify) return verifyStore(store);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <numeric>
@@ -164,6 +165,26 @@ struct RawEvent {
   std::uint64_t order;  // file order, the stable-sort tiebreak
 };
 
+/// One FNV-1a step of the running import event hash, over the event's
+/// (time bits, u, v) as little-endian u64s. Untimed events hash time 0.0,
+/// so the hash is well-defined for both column shapes.
+std::uint64_t hashContactEvent(std::uint64_t hash, const ScannedEvent& event) {
+  unsigned char buf[24];
+  std::uint64_t time_bits;
+  static_assert(sizeof(time_bits) == sizeof(event.time));
+  std::memcpy(&time_bits, &event.time, sizeof(time_bits));
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>((time_bits >> (8 * i)) & 0xff);
+    buf[8 + i] = static_cast<unsigned char>((event.u >> (8 * i)) & 0xff);
+    buf[16 + i] = static_cast<unsigned char>((event.v >> (8 * i)) & 0xff);
+  }
+  for (const unsigned char byte : buf) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 }  // namespace
 
 ContactTrace readContactEvents(std::istream& is,
@@ -318,6 +339,99 @@ ContactImportStats importContactTrace(const std::string& input_path,
     }
   }
   writer.finish();
+  return stats;
+}
+
+ContactAppendPlan planContactAppend(const std::string& path,
+                                    const ContactAppendBase& base,
+                                    const ContactImportOptions& options) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("planContactAppend: cannot open " + path);
+  ContactEventScanner scanner(in, options);
+  std::unordered_set<std::uint64_t> known(base.external_ids.begin(),
+                                          base.external_ids.end());
+  std::unordered_set<std::uint64_t> fresh;
+  ContactAppendPlan plan;
+  plan.base_events = base.events;
+  std::uint64_t count = 0;
+  std::uint64_t hash = kContactEventHashSeed;
+  std::uint64_t hash_at_base = base.events == 0 ? hash : 0;
+  ScannedEvent event;
+  while (scanner.next(event)) {
+    hash = hashContactEvent(hash, event);
+    ++count;
+    if (count == base.events) {
+      hash_at_base = hash;
+    } else if (count > base.events) {
+      if (known.find(event.u) == known.end()) fresh.insert(event.u);
+      if (known.find(event.v) == known.end()) fresh.insert(event.v);
+    }
+  }
+  if (count < base.events)
+    throw std::runtime_error("planContactAppend: " + path + ": log shrank (" +
+                             std::to_string(count) + " events, store has " +
+                             std::to_string(base.events) + ")");
+  if (base.events > 0 && hash_at_base != base.event_hash)
+    throw std::runtime_error(
+        "planContactAppend: " + path +
+        ": log is not an extension of the imported prefix (first " +
+        std::to_string(base.events) + " events changed)");
+  if (scanner.timestamped() && !scanner.timeOrdered())
+    throw std::runtime_error(
+        "planContactAppend: " + path +
+        ": incremental append requires a time-ordered log (out-of-order "
+        "events would re-sort across the committed boundary)");
+  plan.new_events = count - base.events;
+  plan.event_hash = hash;
+  plan.external_ids = base.external_ids;
+  std::vector<std::uint64_t> added(fresh.begin(), fresh.end());
+  std::sort(added.begin(), added.end());
+  plan.external_ids.insert(plan.external_ids.end(), added.begin(),
+                           added.end());
+  plan.stats = scanner.stats();
+  plan.stats.timestamped = scanner.timestamped();
+  plan.stats.node_count = plan.external_ids.size();
+  return plan;
+}
+
+ContactImportStats streamContactAppend(TraceStoreWriter& writer,
+                                       const std::string& path,
+                                       const ContactAppendPlan& plan,
+                                       const ContactImportOptions& options) {
+  if (plan.new_events == 0)
+    throw std::invalid_argument("streamContactAppend: nothing to append");
+  std::unordered_map<std::uint64_t, NodeId> dense;
+  dense.reserve(plan.external_ids.size());
+  for (std::size_t i = 0; i < plan.external_ids.size(); ++i)
+    dense.emplace(plan.external_ids[i], static_cast<NodeId>(i));
+
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("streamContactAppend: cannot reopen " + path);
+  ContactEventScanner scanner(in, options);
+  ScannedEvent event;
+  const auto shrank = [&]() -> std::runtime_error {
+    return std::runtime_error(
+        "streamContactAppend: input shrank between passes: " + path);
+  };
+  for (std::uint64_t k = 0; k < plan.base_events; ++k)
+    if (!scanner.next(event)) throw shrank();
+
+  const std::uint64_t trials = plan.appendTrials(options);
+  const std::uint64_t base = plan.new_events / trials;
+  const std::uint64_t extra = plan.new_events % trials;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const std::uint64_t length = base + (trial < extra ? 1 : 0);
+    writer.beginTrial(length);
+    for (std::uint64_t k = 0; k < length; ++k) {
+      if (!scanner.next(event)) throw shrank();
+      writer.addInteraction(Interaction(dense.at(event.u), dense.at(event.v)));
+    }
+  }
+  ContactImportStats stats = scanner.stats();
+  stats.timestamped = scanner.timestamped();
+  stats.node_count = plan.external_ids.size();
   return stats;
 }
 

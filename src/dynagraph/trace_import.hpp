@@ -92,4 +92,69 @@ ContactImportStats importContactTrace(
     std::uint32_t shard_count, const ContactImportOptions& options = {},
     const TraceWriterOptions& writer_options = {});
 
+// ---------------------------------------------------------------------------
+// Incremental append: re-importing a *grown* event log (the previously
+// imported events plus new ones at the tail) ingests only the tail. The
+// store side persists the dense-id map and a running event-stream hash
+// (the durable store's manifest carries both); the import side verifies
+// the grown log still begins with the imported prefix and plans the dense
+// ids of the new events. Requires a time-ordered log — an out-of-order
+// file would be re-sorted across the already-committed boundary.
+// ---------------------------------------------------------------------------
+
+/// Seed of the running import event hash (FNV-1a offset basis). A store
+/// with no imported events carries this value.
+inline constexpr std::uint64_t kContactEventHashSeed = 0xcbf29ce484222325ULL;
+
+/// What a previous import committed: the dense-id map (dense id ->
+/// external id, in assignment order) and the imported event stream's
+/// length and running hash.
+struct ContactAppendBase {
+  std::vector<std::uint64_t> external_ids;
+  std::uint64_t events = 0;
+  std::uint64_t event_hash = kContactEventHashSeed;
+};
+
+/// A planned incremental append. With an empty base this is a plan for a
+/// full from-scratch import (external_ids then sorted ascending, exactly
+/// like importContactTrace).
+struct ContactAppendPlan {
+  std::uint64_t base_events = 0;  ///< events already in the store
+  std::uint64_t new_events = 0;   ///< events to append
+  /// Running hash over the whole (grown) event stream.
+  std::uint64_t event_hash = kContactEventHashSeed;
+  /// Updated dense-id map: the base map unchanged, new external ids
+  /// appended in sorted order — committed dense ids never move.
+  std::vector<std::uint64_t> external_ids;
+  ContactImportStats stats;
+
+  /// Trial count the append will write under `options` (options.trials
+  /// clamped to the new-event count) — the shape streamContactAppend's
+  /// writer must be constructed with.
+  std::uint64_t appendTrials(const ContactImportOptions& options) const {
+    const std::uint64_t trials = options.trials == 0 ? 1 : options.trials;
+    return new_events == 0 ? 0 : trials < new_events ? trials : new_events;
+  }
+};
+
+/// Scans the log at `path` once and plans the append on top of `base`.
+/// Throws std::runtime_error when the log shrank below base.events, when
+/// its first base.events events no longer hash to base.event_hash (the
+/// log is not an extension of what was imported), or when a timestamped
+/// log is out of time order. `options` must match the original import's
+/// (self-loop filtering changes which events the hash covers).
+ContactAppendPlan planContactAppend(const std::string& path,
+                                    const ContactAppendBase& base,
+                                    const ContactImportOptions& options = {});
+
+/// Re-scans `path`, skips the first plan.base_events events, and streams
+/// the plan.new_events new ones into `writer` as plan.appendTrials(options)
+/// near-equal consecutive trials — the writer must have been constructed
+/// with exactly that trial count and plan.external_ids.size() nodes.
+/// Returns the scan statistics (whole file).
+ContactImportStats streamContactAppend(TraceStoreWriter& writer,
+                                       const std::string& path,
+                                       const ContactAppendPlan& plan,
+                                       const ContactImportOptions& options = {});
+
 }  // namespace doda::dynagraph

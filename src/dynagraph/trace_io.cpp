@@ -1,5 +1,7 @@
 #include "dynagraph/trace_io.hpp"
 
+#include "storage/env.hpp"
+
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -327,11 +329,7 @@ TraceStoreWriter::TraceStoreWriter(std::string directory,
     }
   }
   bucket_shift_ = codec::bucketShiftFor(node_count_, bucket_cap_);
-  std::error_code ec;
-  std::filesystem::create_directories(directory_, ec);
-  if (ec)
-    throw std::runtime_error("TraceStoreWriter: cannot create " + directory_ +
-                             ": " + ec.message());
+  storage::resolveEnv(options_.env).mkdirs(directory_);
   if (options_.format_version == kTraceFormatVersionV1) {
     chunk_.reserve(options_.block_bytes);
   } else {
@@ -364,9 +362,7 @@ void TraceStoreWriter::openShard(std::uint32_t index) {
   const auto path =
       (std::filesystem::path(directory_) / traceShardFileName(index))
           .string();
-  out_.open(path, std::ios::binary | std::ios::trunc);
-  if (!out_)
-    throw std::runtime_error("TraceStoreWriter: cannot open " + path);
+  out_ = storage::resolveEnv(options_.env).newWritableFile(path);
   current_shard_ = index;
   trials_in_current_ = 0;
   payload_bytes_ = 0;
@@ -394,10 +390,9 @@ void TraceStoreWriter::openShard(std::uint32_t index) {
   header.shard_count = shard_count_;
   header.node_count = node_count_;
   header.trial_count = trialsInShard(index);
-  header.base_trial = trials_appended_;
+  header.base_trial = options_.base_trial + trials_appended_;
   const auto bytes = encodeHeader(header);
-  out_.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
+  out_->append(bytes.data(), bytes.size());
 }
 
 void TraceStoreWriter::closeShard() {
@@ -414,7 +409,7 @@ void TraceStoreWriter::closeShard() {
   header.shard_count = shard_count_;
   header.node_count = node_count_;
   header.trial_count = trials_in_current_;
-  header.base_trial = trials_appended_ - trials_in_current_;
+  header.base_trial = options_.base_trial + trials_appended_ - trials_in_current_;
   header.payload_bytes = payload_bytes_;
   if (options_.format_version >= kTraceFormatVersionV2) {
     header.codec =
@@ -429,13 +424,10 @@ void TraceStoreWriter::closeShard() {
     header.footer_bytes = static_cast<std::uint32_t>(
         kTraceIndexFixedBytes + index_.size() * kTraceIndexEntryBytes);
   const auto bytes = encodeHeader(header);
-  out_.seekp(0);
-  out_.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  out_.close();
-  if (!out_)
-    throw std::runtime_error("TraceStoreWriter: write failed on shard " +
-                             std::to_string(current_shard_));
+  out_->writeAt(0, bytes.data(), bytes.size());
+  if (options_.sync_on_close) out_->sync();
+  out_->close();
+  out_.reset();
 }
 
 void TraceStoreWriter::putByte(std::uint8_t byte, codec::SymbolClass cls,
@@ -554,7 +546,7 @@ void TraceStoreWriter::emitGroupV4(Interaction first,
 
 void TraceStoreWriter::flushChunk() {
   if (chunk_.empty()) return;
-  out_.write(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
+  out_->append(chunk_.data(), chunk_.size());
   chunk_.clear();
 }
 
@@ -594,9 +586,8 @@ void TraceStoreWriter::flushBlock() {
   storeU32(frame + 4, static_cast<std::uint32_t>(stored_size));
   frame[8] = block_codec;
   storeU64(frame + 9, fnv1a(stored, stored_size));
-  out_.write(reinterpret_cast<const char*>(frame), sizeof(frame));
-  out_.write(reinterpret_cast<const char*>(stored),
-             static_cast<std::streamsize>(stored_size));
+  out_->append(frame, sizeof(frame));
+  out_->append(stored, stored_size);
   if (options_.format_version >= kTraceFormatVersionV3) {
     index_.back().raw_size = static_cast<std::uint32_t>(raw_block_.size());
     index_.back().stored_size = static_cast<std::uint32_t>(stored_size);
@@ -634,8 +625,7 @@ void TraceStoreWriter::writeFooter() {
     at += kTraceIndexEntryBytes;
   }
   storeU64(&footer[at], fnv1a(footer.data(), at));
-  out_.write(reinterpret_cast<const char*>(footer.data()),
-             static_cast<std::streamsize>(footer.size()));
+  out_->append(footer.data(), footer.size());
 }
 
 void TraceStoreWriter::beginTrial(std::uint64_t length) {
@@ -815,10 +805,22 @@ TraceShardReader::TraceShardReader(std::string path, std::size_t block_bytes,
     parseFooter();
   }
   bucket_shift_ = codec::bucketShiftFor(header_.node_count, bucket_cap_);
+  have_offset_ctx_ = true;
 }
 
 void TraceShardReader::fail(const std::string& why) const {
-  throw std::runtime_error("TraceShardReader: " + path_ + ": " + why);
+  std::string where;
+  if (have_offset_ctx_) {
+    // The payload cursor sits just past the bytes consumed so far, which
+    // is where the first corruption was detected.
+    where = " (at byte " +
+            std::to_string(header_.headerSize() + header_.payload_bytes -
+                           payloadSourceLeft());
+    if (header_.format_version >= kTraceFormatVersionV2 && blocks_loaded_ > 0)
+      where += ", block " + std::to_string(blocks_loaded_ - 1);
+    where += ")";
+  }
+  throw std::runtime_error("TraceShardReader: " + path_ + ": " + why + where);
 }
 
 void TraceShardReader::parseHeader() {
@@ -1012,6 +1014,7 @@ void TraceShardReader::seekToBlock(std::size_t k) {
   trial_length_ = entry.trial_length;
   decoded_ = entry.decoded;
   prev_a_ = static_cast<NodeId>(entry.prev_a);
+  blocks_loaded_ = k;  // the next loadNextBlock reads block k
 }
 
 bool TraceShardReader::seekToTrial(std::uint64_t global_trial) {
@@ -1078,6 +1081,7 @@ void TraceShardReader::loadNextBlock() {
   beginWindow();
   if (payloadSourceLeft() == 0)
     fail("truncated shard (payload exhausted)");
+  ++blocks_loaded_;
   unsigned char frame[kTraceBlockFrameBytes];
   readPayloadBytes(frame, sizeof(frame));
   const std::uint32_t raw_size = loadU32(frame);
@@ -1143,6 +1147,47 @@ void TraceShardReader::decodeV4Block(const unsigned char* stored,
   if (!rans_v4_) rans_v4_ = std::make_unique<codec::RansV4BlockDecoder>();
   if (!rans_v4_->decode(stored, stored_size, v4_scratch_.data(), raw_size))
     fail("malformed v4 block payload (corrupt block)");
+}
+
+void TraceShardReader::verifyPayloadChecksums() {
+  // v1 payloads are a bare record stream with no per-block framing; the
+  // constructor's size check is all the structural validation they carry.
+  if (header_.format_version < kTraceFormatVersionV2) return;
+  std::uint64_t raw_total = 0;
+  while (payloadSourceLeft() > 0) {
+    if (payloadSourceLeft() < kTraceBlockFrameBytes)
+      fail("truncated block frame (corrupt block)");
+    ++blocks_loaded_;
+    unsigned char frame[kTraceBlockFrameBytes];
+    readPayloadBytes(frame, sizeof(frame));
+    const std::uint32_t raw_size = loadU32(frame);
+    const std::uint32_t stored_size = loadU32(frame + 4);
+    const std::uint8_t block_codec = frame[8];
+    const std::uint64_t checksum = loadU64(frame + 9);
+    if (raw_size == 0 || raw_size > maxBlockRawBytes())
+      fail("block raw size out of range (corrupt block)");
+    if (raw_total + raw_size > header_.raw_payload_bytes)
+      fail("block sizes disagree with header (corrupt block)");
+    if (block_codec == kTraceCodecRaw) {
+      if (stored_size != raw_size)
+        fail("raw block sizes disagree (corrupt block)");
+    } else if (block_codec == kTraceCodecRangeCoded ||
+               block_codec == kTraceCodecRans ||
+               block_codec == kTraceCodecRansV4) {
+      if (header_.codec != block_codec)
+        fail("block codec disagrees with the shard codec (corrupt block)");
+      if (stored_size >= raw_size)
+        fail("compressed block larger than raw (corrupt block)");
+    } else {
+      fail("unknown block codec (corrupt block)");
+    }
+    const unsigned char* stored = borrowPayloadBytes(stored_size);
+    if (fnv1a(stored, stored_size) != checksum)
+      fail("block checksum mismatch (corrupt block)");
+    raw_total += raw_size;
+  }
+  if (raw_total != header_.raw_payload_bytes)
+    fail("block raw sizes disagree with header (corrupt payload)");
 }
 
 void TraceShardReader::refillSymbols() {
@@ -1569,21 +1614,19 @@ void TraceShardReader::skipRest() {
 // ----------------------------------------------------------------- store
 
 std::string TraceStore::shardPath(std::size_t shard_index) const {
-  return (std::filesystem::path(directory_) /
-          traceShardFileName(static_cast<std::uint32_t>(shard_index)))
-      .string();
+  if (shard_index >= shard_paths_.size())
+    throw std::out_of_range("TraceStore::shardPath: shard index " +
+                            std::to_string(shard_index) + " of " +
+                            std::to_string(shard_paths_.size()));
+  return shard_paths_[shard_index];
 }
 
 TraceShardReader TraceStore::openShard(std::size_t shard_index,
                                        TraceReadBackend backend) const {
-  if (shard_index >= shards_.size())
-    throw std::out_of_range("TraceStore::openShard: shard index " +
-                            std::to_string(shard_index) + " of " +
-                            std::to_string(shards_.size()));
-  // Map through the header: after a partial open the k-th usable shard
-  // need not be the k-th file on disk.
-  return TraceShardReader(shardPath(shards_[shard_index].shard_index),
-                          kTraceBlockBytes, backend);
+  // shard_paths_ records where each usable shard actually lives: after a
+  // partial open the k-th usable shard need not be the k-th file on disk,
+  // and in a composite store it need not even be in directory_.
+  return TraceShardReader(shardPath(shard_index), kTraceBlockBytes, backend);
 }
 
 std::uint64_t TraceStore::totalFileBytes() const noexcept {
@@ -1598,83 +1641,110 @@ TraceStore TraceStore::open(const std::string& directory) {
 
 TraceStore TraceStore::open(const std::string& directory,
                             const TraceStoreOpenOptions& options) {
+  return openComposite({directory}, options);
+}
+
+TraceStore TraceStore::openComposite(const std::vector<std::string>& part_dirs,
+                                     const TraceStoreOpenOptions& options) {
+  if (part_dirs.empty())
+    throw std::invalid_argument("TraceStore::openComposite: no directories");
   TraceStore store;
-  store.directory_ = directory;
-  // Shard 0 names the shard count; every shard is then opened once to
-  // validate its header and the cross-shard invariants. Header validation
-  // does not need the payload, so the cheap stream backend is used.
+  store.directory_ = part_dirs.front();
+  // Within each part directory, shard 0 names that part's shard count;
+  // every shard is opened once to validate its header and the cross-shard
+  // invariants. Header validation does not need the payload, so the cheap
+  // stream backend is used (verify_payloads walks the payload too).
   //
   // Strict mode throws at the first bad shard (the reader and the checks
   // below both name the shard's path). Partial mode quarantines the shard
-  // and keeps scanning; until a readable header has named the shard
+  // and keeps scanning; until a readable header has named a part's shard
   // count, the scan probes forward over the files actually present.
-  std::optional<TraceShardHeader> reference;  // first usable header
-  std::uint32_t shard_count = 0;              // valid once `reference`
+  //
+  // Global invariants span parts: one node count, and base trials
+  // contiguous from 0 across the concatenated parts. Shard count and
+  // format version are per-part (a compacted v4 generation can precede
+  // v1 append segments).
+  std::optional<TraceShardHeader> first;  // first usable header overall
   std::uint64_t next_base = 0;  // contiguity cursor over usable shards
   bool gap = false;             // a shard has been quarantined
-  for (std::uint32_t k = 0;
-       reference ? k < shard_count
-                 : (k == 0 || std::filesystem::exists(store.shardPath(k)));
-       ++k) {
-    TraceShardHeader header;
-    try {
-      header = TraceShardReader(store.shardPath(k), kTraceBlockBytes,
-                                TraceReadBackend::kStream)
-                   .header();
-    } catch (const std::runtime_error& e) {
-      if (!options.allow_partial) throw;
-      store.quarantined_.push_back({store.shardPath(k), e.what()});
-      gap = true;
-      continue;
+  for (const std::string& dir : part_dirs) {
+    std::optional<TraceShardHeader> reference;  // first usable in this part
+    std::uint32_t shard_count = 0;              // valid once `reference`
+    const auto pathOf = [&dir](std::uint32_t k) {
+      return (std::filesystem::path(dir) / traceShardFileName(k)).string();
+    };
+    for (std::uint32_t k = 0;
+         reference ? k < shard_count
+                   : (k == 0 || std::filesystem::exists(pathOf(k)));
+         ++k) {
+      TraceShardHeader header;
+      try {
+        TraceShardReader probe(pathOf(k), kTraceBlockBytes,
+                               TraceReadBackend::kStream);
+        header = probe.header();
+        if (options.verify_payloads) probe.verifyPayloadChecksums();
+      } catch (const std::runtime_error& e) {
+        if (!options.allow_partial) throw;
+        store.quarantined_.push_back({pathOf(k), e.what()});
+        gap = true;
+        continue;
+      }
+      std::string why;
+      if (header.shard_index != k) {
+        why = "shard index does not match file name";
+      } else if (reference && header.shard_count != shard_count) {
+        why = "shard count disagrees with shard " +
+              std::to_string(reference->shard_index);
+      } else if (reference && header.node_count != reference->node_count) {
+        why = "node count disagrees with shard " +
+              std::to_string(reference->shard_index);
+      } else if (first && header.node_count <
+                              static_cast<std::uint64_t>(store.node_count_)) {
+        // Across segments the node universe may only grow (an appended
+        // import can add nodes); a shrink means mismatched segments.
+        why = "node count shrank relative to an earlier segment";
+      } else if (reference &&
+                 header.format_version != reference->format_version) {
+        why = "format version disagrees with shard " +
+              std::to_string(reference->shard_index);
+      } else if (header.base_trial != next_base &&
+                 !(gap && header.base_trial > next_base)) {
+        // After a quarantined shard the base can only be checked for
+        // monotonicity: the gap's trial count is unknown.
+        why = gap ? "base trial overlaps preceding shards"
+                  : "base trial not contiguous with preceding shards";
+      }
+      if (!why.empty()) {
+        if (!options.allow_partial)
+          throw std::runtime_error("TraceStore: " + pathOf(k) + ": " + why);
+        store.quarantined_.push_back({pathOf(k), why});
+        gap = true;
+        continue;
+      }
+      store.shards_.push_back(header);
+      store.shard_paths_.push_back(pathOf(k));
+      if (!reference) {
+        reference = header;
+        shard_count = header.shard_count;
+      }
+      if (!first) first = header;
+      store.node_count_ =
+          std::max(store.node_count_, static_cast<std::size_t>(header.node_count));
+      next_base = header.base_trial + header.trial_count;
     }
-    std::string why;
-    if (header.shard_index != k) {
-      why = "shard index does not match file name";
-    } else if (reference && header.shard_count != shard_count) {
-      why = "shard count disagrees with shard " +
-            std::to_string(reference->shard_index);
-    } else if (reference && header.node_count != reference->node_count) {
-      why = "node count disagrees with shard " +
-            std::to_string(reference->shard_index);
-    } else if (reference &&
-               header.format_version != reference->format_version) {
-      why = "format version disagrees with shard " +
-            std::to_string(reference->shard_index);
-    } else if (header.base_trial != next_base &&
-               !(gap && header.base_trial > next_base)) {
-      // After a quarantined shard the base can only be checked for
-      // monotonicity: the gap's trial count is unknown.
-      why = gap ? "base trial overlaps preceding shards"
-                : "base trial not contiguous with preceding shards";
-    }
-    if (!why.empty()) {
-      if (!options.allow_partial)
-        throw std::runtime_error("TraceStore: " + store.shardPath(k) + ": " +
-                                 why);
-      store.quarantined_.push_back({store.shardPath(k), why});
-      gap = true;
-      continue;
-    }
-    store.shards_.push_back(header);
-    if (!reference) {
-      reference = header;
-      shard_count = header.shard_count;
-      store.shards_.reserve(shard_count);
-      store.node_count_ = static_cast<std::size_t>(header.node_count);
-    }
-    next_base = header.base_trial + header.trial_count;
   }
   // Trial ids keep their recorded (global) numbering so per-shard windows
   // stay valid across a gap; the count is one past the last usable trial.
   store.trial_count_ = next_base;
   if (store.shards_.empty() && !store.quarantined_.empty())
     throw std::runtime_error(
-        "TraceStore: " + directory + ": no usable shards (" +
+        "TraceStore: " + store.directory_ + ": no usable shards (" +
         std::to_string(store.quarantined_.size()) + " quarantined; first: " +
         store.quarantined_.front().path + ": " +
         store.quarantined_.front().reason + ")");
   if (store.trial_count_ == 0)
-    throw std::runtime_error("TraceStore: " + directory + ": empty store");
+    throw std::runtime_error("TraceStore: " + store.directory_ +
+                             ": empty store");
   return store;
 }
 

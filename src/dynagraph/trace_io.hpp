@@ -14,6 +14,11 @@
 #include "dynagraph/trace_codec.hpp"
 #include "dynagraph/trace_rans.hpp"
 
+namespace doda::storage {
+class Env;
+class WritableFile;
+}  // namespace doda::storage
+
 namespace doda::dynagraph {
 
 // ---------------------------------------------------------------------------
@@ -301,6 +306,18 @@ struct TraceWriterOptions {
   /// and reset the models/tables more often; larger blocks compress
   /// slightly better and keep the v3 index smaller.
   std::size_t block_bytes = kTraceBlockBytes;
+  /// Global trial id of this writer's first trial. Shard headers carry
+  /// base_trial plus the shard's local offset, so a segment written behind
+  /// an existing store keeps globally consistent trial ids (seekToTrial
+  /// and replayShards address trials by global id).
+  std::uint64_t base_trial = 0;
+  /// Filesystem the writer writes through (storage::Env). Null means the
+  /// real filesystem; tests thread a storage::FaultyEnv here.
+  storage::Env* env = nullptr;
+  /// fsync each shard before closing it — the durable store's commit
+  /// discipline. Off by default: a plain recorded store keeps the
+  /// historical cost profile, and its durability is the caller's problem.
+  bool sync_on_close = false;
 };
 
 /// A borrowed worker pool for block-parallel decode of a single trial
@@ -417,7 +434,7 @@ class TraceStoreWriter {
   TraceWriterOptions options_;
   unsigned bucket_shift_ = 0;
   std::size_t bucket_cap_ = codec::kContextBuckets;
-  std::ofstream out_;
+  std::unique_ptr<storage::WritableFile> out_;
   std::vector<char> chunk_;                // v1 write buffer
   std::vector<std::uint8_t> raw_block_;    // v2/v3: raw record bytes
   std::vector<std::uint8_t> ctx_block_;    // v3: per-byte rANS context ids
@@ -533,7 +550,19 @@ class TraceShardReader {
   /// workers a decode pool spawns.
   void setForceScalarDecode(bool force) noexcept { force_scalar_ = force; }
 
+  /// Walks every block frame of the payload and verifies its geometry and
+  /// checksum without decoding (no-op for v1, whose payload carries no
+  /// per-block checksums). Throws like next() does, with the byte offset
+  /// and block index of the first corruption. Consumes the payload
+  /// cursor — use on a throwaway reader (TraceStoreOpenOptions::
+  /// verify_payloads does) and open a fresh one to decode.
+  void verifyPayloadChecksums();
+
  private:
+  /// Throws std::runtime_error naming the shard path; once the header is
+  /// validated, appends the payload cursor's byte offset and (v2+) the
+  /// ordinal of the block being read, so a quarantine reason pinpoints
+  /// the first corruption.
   [[noreturn]] void fail(const std::string& why) const;
   void parseHeader();
   void parseFooter();
@@ -608,6 +637,9 @@ class TraceShardReader {
   bool v4_pending_ = false;
   bool force_scalar_ = false;
   const TraceDecodePool* pool_ = nullptr;  // borrowed, may be null
+  // Diagnostics context for fail(): valid once construction completed.
+  bool have_offset_ctx_ = false;
+  std::uint64_t blocks_loaded_ = 0;
 };
 
 /// Options for TraceStore::open. The default is strict: any missing,
@@ -618,6 +650,11 @@ class TraceShardReader {
 /// readable, mutually consistent shards.
 struct TraceStoreOpenOptions {
   bool allow_partial = false;
+  /// Additionally walk every shard's payload at open and verify each
+  /// block's frame geometry and checksum (TraceShardReader::
+  /// verifyPayloadChecksums). Catches mid-payload corruption that header
+  /// validation alone cannot see, at the cost of reading every byte once.
+  bool verify_payloads = false;
 };
 
 /// A validated handle on a sharded store directory: opens every shard
@@ -649,6 +686,18 @@ class TraceStore {
   static TraceStore open(const std::string& directory,
                          const TraceStoreOpenOptions& options);
 
+  /// Opens an ordered sequence of segment directories as one logical
+  /// store (the durable store's manifest replay): each directory holds a
+  /// complete shard run (shard-00000.trace …) whose headers carry global
+  /// base trials, and the runs must be contiguous in global trial ids
+  /// across segments (quarantine gaps permitting, as in open). Node count
+  /// may grow from one segment to the next (an appended import can add
+  /// nodes; nodeCount() reports the maximum) but never shrink; shard
+  /// count and format version are per-segment, so a compacted v4
+  /// generation can sit behind v1 history.
+  static TraceStore openComposite(const std::vector<std::string>& part_dirs,
+                                  const TraceStoreOpenOptions& options = {});
+
   const std::string& directory() const noexcept { return directory_; }
   std::size_t nodeCount() const noexcept { return node_count_; }
   std::uint64_t trialCount() const noexcept { return trial_count_; }
@@ -667,10 +716,12 @@ class TraceStore {
   /// Total bytes of every shard file (headers + payloads).
   std::uint64_t totalFileBytes() const noexcept;
 
+  /// File path of the `shard_index`-th *usable* shard (an index into
+  /// shardHeaders(), like openShard's).
   std::string shardPath(std::size_t shard_index) const;
   /// Opens the `shard_index`-th *usable* shard (an index into
   /// shardHeaders(); identical to the on-disk shard index unless a
-  /// partial open quarantined shards).
+  /// partial open quarantined shards or the store is composite).
   TraceShardReader openShard(
       std::size_t shard_index,
       TraceReadBackend backend = TraceReadBackend::kAuto) const;
@@ -680,6 +731,7 @@ class TraceStore {
 
   std::string directory_;
   std::vector<TraceShardHeader> shards_;
+  std::vector<std::string> shard_paths_;  // parallel to shards_
   std::vector<QuarantinedShard> quarantined_;
   std::uint64_t trial_count_ = 0;
   std::size_t node_count_ = 0;

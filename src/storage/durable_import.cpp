@@ -1,0 +1,56 @@
+#include "storage/durable_import.hpp"
+
+#include <algorithm>
+
+namespace doda::storage {
+
+DurableImportResult importContactTraceDurable(
+    const std::string& input_path, const std::string& store_dir,
+    std::uint32_t shard_count, const dynagraph::ContactImportOptions& options,
+    const dynagraph::TraceWriterOptions& writer_options, Env* env) {
+  DurableImportResult result;
+  DurableTraceStore store = [&] {
+    if (DurableTraceStore::isDurableStore(store_dir, env))
+      return DurableTraceStore::open(store_dir, {}, env);
+    result.created = true;
+    return DurableTraceStore::create(store_dir, env);
+  }();
+
+  dynagraph::ContactAppendBase base;
+  base.external_ids = store.loadIdMap();
+  base.events = store.version().imported_events;
+  if (base.events > 0) base.event_hash = store.version().import_event_hash;
+
+  const dynagraph::ContactAppendPlan plan =
+      dynagraph::planContactAppend(input_path, base, options);
+  result.total_events = plan.base_events + plan.new_events;
+  result.stats = plan.stats;
+  if (plan.new_events == 0) return result;  // store already up to date
+
+  const std::uint64_t trials = plan.appendTrials(options);
+  std::uint32_t shards = shard_count == 0 ? 1 : shard_count;
+  shards = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(shards, trials));
+  // A store can mix recorded and imported segments, so the node universe
+  // is the larger of the id map and whatever was recorded before.
+  const std::size_t node_count = std::max<std::size_t>(
+      plan.external_ids.size(),
+      static_cast<std::size_t>(store.nodeCount()));
+
+  DurableTraceStore::ImportDelta delta;
+  delta.events = result.total_events;
+  delta.event_hash = plan.event_hash;
+  delta.external_ids = plan.external_ids;
+  store.commitSegment(
+      node_count, trials, shards, writer_options,
+      [&](dynagraph::TraceStoreWriter& writer) {
+        result.stats =
+            dynagraph::streamContactAppend(writer, input_path, plan, options);
+      },
+      &delta);
+  result.appended_events = plan.new_events;
+  result.appended_trials = trials;
+  return result;
+}
+
+}  // namespace doda::storage

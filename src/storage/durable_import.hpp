@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dynagraph/trace_import.hpp"
+#include "storage/durable_store.hpp"
+
+namespace doda::storage {
+
+/// Result of a durable (incremental) contact import.
+struct DurableImportResult {
+  bool created = false;  ///< the store did not exist before this call
+  std::uint64_t appended_events = 0;
+  std::uint64_t appended_trials = 0;
+  /// Imported events in the store after the call (prefix + appended).
+  std::uint64_t total_events = 0;
+  dynagraph::ContactImportStats stats;
+};
+
+/// Imports the contact log at `input_path` into the durable store at
+/// `store_dir`, incrementally: a store that already imported a prefix of
+/// the log (verified by the manifest's running event hash) gains one new
+/// segment holding only the new events, with dense ids of returning nodes
+/// preserved by the persisted id map; a fresh directory becomes a new
+/// durable store holding the whole log. A log identical to what the store
+/// imported is a no-op (appended_events == 0). `options` must match the
+/// original import's filtering; options.trials and `shard_count` shape
+/// the appended segment only. Throws like planContactAppend when the log
+/// is not an extension of the imported prefix.
+DurableImportResult importContactTraceDurable(
+    const std::string& input_path, const std::string& store_dir,
+    std::uint32_t shard_count,
+    const dynagraph::ContactImportOptions& options = {},
+    const dynagraph::TraceWriterOptions& writer_options = {},
+    Env* env = nullptr);
+
+}  // namespace doda::storage

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace doda::storage {
+
+// ---------------------------------------------------------------------------
+// Pluggable filesystem abstraction — the seam between the trace store and
+// the operating system. Every byte the store persists flows through an Env
+// (TraceWriterOptions::env for shard writers, DurableTraceStore for
+// manifest commits and recovery), so durability behavior is testable: the
+// production PosixEnv issues real write/fsync/rename syscalls, while
+// FaultyEnv wraps any base env with seed-pre-drawn failpoints — torn
+// writes, dropped fsyncs, failed renames, ENOSPC, crash-at-op-k — the same
+// committed-randomness technique src/fault/ uses for message loss.
+//
+// The write-side methods (newWritableFile, mkdirs, renameFile, removeFile,
+// removeDirRecursive, syncDir, and every WritableFile method except
+// close) are *failpoints*: FaultyEnv counts them as one operation each, in
+// issue order, and injects its plan's faults by that operation index.
+// Read-side methods (exists, fileSize, listDir, readFile) never fault.
+// ---------------------------------------------------------------------------
+
+/// Thrown by FaultyEnv for the crash-at-op-k failpoint and by every
+/// operation issued after it: the simulated machine is gone. Distinct from
+/// std::runtime_error so tests can tell a planned crash from a real I/O
+/// failure.
+class EnvCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A file opened for writing. Methods throw std::runtime_error on I/O
+/// failure; the destructor closes quietly (so stack unwinding after an
+/// injected fault never terminates).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  /// Appends `size` bytes at the current end of file.
+  virtual void append(const void* data, std::size_t size) = 0;
+  /// Overwrites `size` bytes at `offset` (the shard writer's header
+  /// reseal); the append position is preserved.
+  virtual void writeAt(std::uint64_t offset, const void* data,
+                       std::size_t size) = 0;
+  /// Flushes and fsyncs: on return the data written so far is durable.
+  virtual void sync() = 0;
+  /// Flushes and closes. Idempotent; not a failpoint (a close after a
+  /// simulated crash must not throw during unwinding).
+  virtual void close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for writing: truncated when `truncate`, positioned at
+  /// the current end otherwise (the append-only manifest).
+  virtual std::unique_ptr<WritableFile> newWritableFile(
+      const std::string& path, bool truncate = true) = 0;
+  virtual void mkdirs(const std::string& path) = 0;
+  virtual void renameFile(const std::string& from, const std::string& to) = 0;
+  virtual void removeFile(const std::string& path) = 0;
+  virtual void removeDirRecursive(const std::string& path) = 0;
+  /// fsyncs a directory so renames/creations inside it are durable (no-op
+  /// on platforms without directory fsync).
+  virtual void syncDir(const std::string& path) = 0;
+
+  virtual bool exists(const std::string& path) const = 0;
+  virtual bool isDirectory(const std::string& path) const = 0;
+  virtual std::uint64_t fileSize(const std::string& path) const = 0;
+  /// Entry names (not paths) of a directory, sorted ascending.
+  virtual std::vector<std::string> listDir(const std::string& path) const = 0;
+  /// Whole file contents. Throws std::runtime_error when unreadable.
+  virtual std::string readFile(const std::string& path) const = 0;
+};
+
+/// The process-wide real filesystem (POSIX write/fsync/rename semantics;
+/// directory fsync where the platform has it).
+Env& defaultEnv();
+
+/// Resolves the TraceWriterOptions convention: null means the real env.
+inline Env& resolveEnv(Env* env) { return env != nullptr ? *env : defaultEnv(); }
+
+// ------------------------------------------------------------- fault env
+
+/// Pre-drawn fault plan of a FaultyEnv. All randomness is committed up
+/// front (draw(), seeded) or fixed explicitly (the kill-point sweep sets
+/// crash_at_op directly), so a run is bit-reproducible from the plan
+/// alone and independent of everything but the operation sequence.
+struct FaultyEnvPlan {
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  /// Transient single-operation faults. An intent fires only when it is
+  /// compatible with the operation it lands on (a rename-failure intent on
+  /// an append is inert), so a drawn plan stays meaningful for any write
+  /// schedule.
+  enum class Fault : std::uint8_t {
+    kEnospc,       ///< append/writeAt/create/mkdirs/remove: fails, no effect
+    kTornWrite,    ///< append/writeAt: writes a drawn prefix, then fails
+    kDroppedSync,  ///< sync/syncDir: reports success without syncing
+    kRenameFail,   ///< renameFile: fails, no effect
+  };
+
+  /// Operation index that crashes: the op takes partial effect (a drawn
+  /// prefix of a write; a coin-flip for a rename or create) and throws
+  /// EnvCrash, as does every mutating operation after it.
+  std::uint64_t crash_at_op = kNever;
+  /// Seeds the drawn crash outcomes (torn-prefix lengths, which unsynced
+  /// dir entries survive) and transient torn-write prefixes.
+  std::uint64_t seed = 1;
+  /// Transient faults by operation index (at most one per op).
+  std::vector<std::pair<std::uint64_t, Fault>> faults;
+
+  /// Draws a transient-fault plan: every operation index below `max_ops`
+  /// independently faults with probability `p_fault`, with a uniformly
+  /// drawn fault kind. crash_at_op stays kNever; set it separately for
+  /// crash tests.
+  static FaultyEnvPlan draw(std::uint64_t seed, std::uint64_t max_ops,
+                            double p_fault);
+};
+
+/// A fault-injecting Env wrapping a base env (the real filesystem in
+/// tests). Tracks, per file it has written, the bytes guaranteed durable
+/// (content at the last honest sync) and, per directory, the entries
+/// created or renamed since the directory's last sync. After the plan's
+/// crash fires, loseUnsyncedData() applies a drawn crash outcome to the
+/// real filesystem: each touched file keeps its durable content, its full
+/// current content, or its durable content plus a torn prefix of the
+/// unsynced tail; each unsynced dir entry survives or is rolled back.
+/// Recovery code is then exercised against exactly the states a power
+/// loss can leave behind.
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(FaultyEnvPlan plan, Env* base = nullptr);
+  ~FaultyEnv() override;
+
+  /// Mutating operations issued so far (the write schedule length when no
+  /// fault fired — run once fault-free to size a kill-point sweep).
+  std::uint64_t opCount() const noexcept { return op_count_; }
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Applies the drawn data-loss outcome of the crash to the base
+  /// filesystem (see class comment). Call after the crash fired and every
+  /// writer is destroyed; idempotent. No-op if the crash never fired.
+  void loseUnsyncedData();
+
+  std::unique_ptr<WritableFile> newWritableFile(const std::string& path,
+                                                bool truncate = true) override;
+  void mkdirs(const std::string& path) override;
+  void renameFile(const std::string& from, const std::string& to) override;
+  void removeFile(const std::string& path) override;
+  void removeDirRecursive(const std::string& path) override;
+  void syncDir(const std::string& path) override;
+
+  bool exists(const std::string& path) const override;
+  bool isDirectory(const std::string& path) const override;
+  std::uint64_t fileSize(const std::string& path) const override;
+  std::vector<std::string> listDir(const std::string& path) const override;
+  std::string readFile(const std::string& path) const override;
+
+ private:
+  friend class FaultyWritableFile;
+
+  /// What a pending (unsynced) directory entry was: rollback needs to know
+  /// whether to remove or rename back.
+  struct PendingEntry {
+    enum class Kind : std::uint8_t { kCreateFile, kCreateDir, kRename };
+    Kind kind;
+    std::string path;  ///< the entry's current path
+    std::string from;  ///< kRename: where a rollback moves it back to
+  };
+
+  /// Checks the plan at the next operation index. Returns the transient
+  /// fault to inject at this op (if any); throws EnvCrash for ops after
+  /// the crash. `crash_now` is set when THIS op is the crash point.
+  std::optional<FaultyEnvPlan::Fault> beginOp(bool& crash_now);
+  [[noreturn]] void crash(const std::string& what);
+  std::uint64_t drawU64(std::uint64_t salt) const;
+  void markDurable(const std::string& path);
+  void noteCreated(const std::string& path, PendingEntry::Kind kind);
+  void rekeyTracked(const std::string& from, const std::string& to);
+
+  FaultyEnvPlan plan_;
+  Env& base_;
+  std::uint64_t op_count_ = 0;
+  bool crashed_ = false;
+  bool lost_ = false;
+  /// path -> content guaranteed durable (snapshot at last honest sync;
+  /// absent = nothing of the file is durable).
+  std::unordered_map<std::string, std::string> durable_;
+  /// Directory entries created or renamed since their parent's last
+  /// honest syncDir, oldest first (rollback walks it in reverse).
+  std::vector<PendingEntry> pending_;
+};
+
+}  // namespace doda::storage

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/env.hpp"
+
+namespace doda::storage {
+
+// ---------------------------------------------------------------------------
+// MANIFEST — the durable store's commit log (RocksDB version-set style).
+//
+// On disk:
+//
+//   bytes 0..7    magic "DODAMFT1"
+//   then records: u32 payload_len | u32 record_type | u64 fnv1a(payload)
+//                 | payload
+//
+// Record type 1 is a *version snapshot*: the complete current state of the
+// store (segment list, trial totals, import bookkeeping). Every commit
+// appends one snapshot and fsyncs; recovery scans forward and adopts the
+// last record whose checksum verifies, so a crash mid-append — a torn
+// trailing record — silently falls back to the previous version. All
+// integers are little-endian.
+//
+// Snapshot payload:
+//
+//   u64 generation            monotonically increasing commit counter
+//   u64 node_count            0 until the first segment fixes it
+//   u64 total_trials          sum of the segments' trial counts
+//   u64 imported_events       contact events ingested so far (0 = none)
+//   u64 import_event_hash     running fnv1a over the imported event stream
+//   u16 id_map_file length + bytes   import dense-id map file ("" = none)
+//   u32 segment count
+//   per segment: u16 name length + bytes | u64 base_trial | u64 trials
+// ---------------------------------------------------------------------------
+
+inline constexpr char kManifestFileName[] = "MANIFEST";
+inline constexpr char kManifestMagic[9] = "DODAMFT1";
+inline constexpr std::uint32_t kManifestRecordSnapshot = 1;
+
+/// One immutable shard-generation directory of a durable store.
+struct ManifestSegment {
+  std::string name;  ///< directory name under the store root ("seg-000003")
+  std::uint64_t base_trial = 0;
+  std::uint64_t trials = 0;
+};
+
+/// One committed version of a durable store.
+struct ManifestVersion {
+  std::uint64_t generation = 0;
+  std::uint64_t node_count = 0;
+  std::uint64_t total_trials = 0;
+  std::uint64_t imported_events = 0;
+  std::uint64_t import_event_hash = 0;
+  std::string id_map_file;  ///< "" when nothing was imported
+  std::vector<ManifestSegment> segments;
+};
+
+/// What a manifest scan found.
+struct ManifestReadResult {
+  /// Last snapshot whose record checksum verified; nullopt when the file
+  /// holds a valid magic but no complete record yet.
+  std::optional<ManifestVersion> version;
+  /// Bytes of the valid prefix (magic plus every intact record).
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  /// Bytes past valid_bytes exist — a torn trailing record from a crash
+  /// mid-append. Recovery rewrites the manifest to drop them.
+  bool tail_torn = false;
+};
+
+/// Scans the manifest at `path`. Throws std::runtime_error when the file
+/// is missing, shorter than the magic, or carries the wrong magic — those
+/// mean "not a manifest", which no recovery can repair. A torn or corrupt
+/// record merely ends the valid prefix (tail_torn).
+ManifestReadResult readManifest(Env& env, const std::string& path);
+
+/// Atomically (re)writes `dir`/MANIFEST to hold exactly one snapshot:
+/// temp file, fsync, rename over the manifest, directory fsync. Used for
+/// the initial commit and to repair a torn tail; ongoing commits append.
+void writeManifestSnapshot(Env& env, const std::string& dir,
+                           const ManifestVersion& version);
+
+/// Appends one snapshot record to `dir`/MANIFEST and fsyncs it — the
+/// commit point of every segment commit. The caller must have repaired a
+/// torn tail first (DurableTraceStore::open does), or the new record
+/// would sit behind garbage and never be read.
+void appendManifestSnapshot(Env& env, const std::string& dir,
+                            const ManifestVersion& version);
+
+}  // namespace doda::storage
