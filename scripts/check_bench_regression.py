@@ -32,6 +32,17 @@ Noise hardening (the CI container is 1-2 shared cores):
   warned about: deltas on parallel legs across different core counts are
   apples to oranges and the baseline deserves a refresh.
 
+Scaling floors: ``--min-speedup LEG/METRIC=FLOOR`` (repeatable) checks an
+*absolute* property of the CURRENT run rather than a delta against the
+baseline: the named metric (e.g. the intra-trial engine's
+``intra_speedup_t8``) must be at least FLOOR. This is the multi-core
+scaling-curve gate — a baseline delta cannot express "8 workers must
+actually beat the serial loop", only "no slower than last time". Floors
+are skipped with a notice when the current run reports
+``hardware_concurrency`` 1 (a speedup on a single core is meaningless),
+and a floor failure triggers the same best-of-N retry loop as a
+regression (keeping the max of the named metric across re-runs).
+
 When the ``GITHUB_STEP_SUMMARY`` environment variable is set (GitHub
 Actions sets it for every step) a markdown verdict table — leg, baseline,
 current, delta, verdict — is appended to that file so the gate's outcome
@@ -40,6 +51,7 @@ is readable from the run's Summary page without digging through logs.
 Usage:
     check_bench_regression.py BASELINE CURRENT [--tolerance 0.25]
         [--leg-tolerance LEG=TOL ...] [--parallel-leg LEG ...]
+        [--min-speedup LEG/METRIC=FLOOR ...]
         [--retries N] [--rerun-cmd CMD]
 
 Refreshing a baseline after an intentional perf change:
@@ -93,12 +105,17 @@ def load_results(path: str, role: str = "input") -> tuple[dict, dict[str, dict]]
     return doc, table
 
 
-def merge_best(best: dict[str, dict], fresh: dict[str, dict]) -> None:
-    """Folds a re-run into ``best``, keeping the max of every metric."""
+def merge_best(best: dict[str, dict], fresh: dict[str, dict],
+               extra_metrics: frozenset[str] = frozenset()) -> None:
+    """Folds a re-run into ``best``, keeping the max of every metric.
+
+    Throughput metrics (``*_per_sec``) always fold; ``extra_metrics``
+    names additional higher-is-better metrics (the --min-speedup ones).
+    """
     for key, fresh_entry in fresh.items():
         entry = best.setdefault(key, dict(fresh_entry))
         for metric, value in fresh_entry.items():
-            if not metric.endswith("_per_sec"):
+            if not metric.endswith("_per_sec") and metric not in extra_metrics:
                 continue
             if not isinstance(value, (int, float)):
                 continue
@@ -182,6 +199,46 @@ def evaluate(baseline: dict[str, dict], current: dict[str, dict],
     return regressions, compared, rows
 
 
+def check_min_speedups(current: dict[str, dict],
+                       specs: list[tuple[str, str, float]],
+                       skip: bool) -> tuple[int, list[dict]]:
+    """Absolute scaling floors against the CURRENT run.
+
+    Returns (failures, rows). With ``skip`` (single-core runner) every
+    floor is reported as skipped and never failed.
+    """
+    failures = 0
+    rows: list[dict] = []
+    for leg, metric, floor in specs:
+        key = f"leg={leg}"
+        label = f"{metric} >= {floor:g}"
+        if skip:
+            print(f"{key:<34} {label:<24} {'<skipped: single-core runner>'}")
+            rows.append({"entry": key, "metric": metric,
+                         "baseline": floor,
+                         "verdict": "skipped (single-core runner)"})
+            continue
+        entry = current.get(key)
+        value = entry.get(metric) if isinstance(entry, dict) else None
+        if not isinstance(value, (int, float)):
+            what = "missing leg" if entry is None else "missing metric"
+            print(f"{key:<34} {label:<24} {'<' + what + '>':>12}")
+            rows.append({"entry": key, "metric": metric, "baseline": floor,
+                         "verdict": what})
+            failures += 1
+            continue
+        ok = value >= floor
+        verdict = (f"ok (floor {floor:g})" if ok
+                   else f"BELOW FLOOR {floor:g}")
+        rows.append({"entry": key, "metric": metric, "baseline": floor,
+                     "current": value, "verdict": verdict})
+        print(f"{key:<34} {label:<24} {floor:>12.2f} {value:>12.2f}"
+              + ("" if ok else f"  BELOW FLOOR"))
+        if not ok:
+            failures += 1
+    return failures, rows
+
+
 def render_markdown(bench: str, rows: list[dict], ok: bool) -> str:
     """Markdown verdict table for the GitHub Actions step summary."""
 
@@ -200,7 +257,8 @@ def render_markdown(bench: str, rows: list[dict], ok: bool) -> str:
         delta = (f"{(ratio - 1.0) * 100.0:+.1f}%"
                  if isinstance(ratio, (int, float)) else "—")
         verdict = row["verdict"]
-        if verdict.startswith("REGRESSION"):
+        if verdict.startswith("REGRESSION") or verdict.startswith(
+                "BELOW FLOOR"):
             verdict = f"❌ {verdict}"
         elif verdict.startswith("missing"):
             verdict = f"❌ {verdict}"
@@ -228,6 +286,27 @@ def write_step_summary(text: str) -> None:
     except OSError as exc:
         print(f"warning: cannot write step summary {path}: {exc}",
               file=sys.stderr)
+
+
+def parse_min_speedup(spec: str) -> tuple[str, str, float]:
+    """'aggregation_intra_n4096/intra_speedup_t8=1.5' -> (leg, metric, floor)."""
+    head, sep, value = spec.partition("=")
+    if not sep or "/" not in head:
+        raise argparse.ArgumentTypeError(
+            f"--min-speedup expects LEG/METRIC=FLOOR, got '{spec}'")
+    leg, _, metric = head.partition("/")
+    if not leg or not metric:
+        raise argparse.ArgumentTypeError(
+            f"--min-speedup expects LEG/METRIC=FLOOR, got '{spec}'")
+    try:
+        floor = float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--min-speedup {spec}: bad floor") from exc
+    if floor <= 0.0:
+        raise argparse.ArgumentTypeError(
+            f"--min-speedup {spec}: floor must be positive")
+    return leg, metric, floor
 
 
 def parse_leg_tolerance(spec: str) -> tuple[str, float]:
@@ -276,6 +355,16 @@ def main() -> int:
              "hardware_concurrency 1 (repeatable)",
     )
     parser.add_argument(
+        "--min-speedup",
+        type=parse_min_speedup,
+        action="append",
+        default=[],
+        metavar="LEG/METRIC=FLOOR",
+        help="absolute scaling floor on the current run (repeatable), e.g. "
+             "aggregation_intra_n4096/intra_speedup_t8=1.5; skipped when "
+             "the current run reports hardware_concurrency 1",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=0,
@@ -322,26 +411,38 @@ def main() -> int:
         print(f"notice: hardware_concurrency is 1 — skipping parallel "
               f"leg(s) {sorted(skip_legs)} (their throughput is "
               f"meaningless on a single-core runner)")
+    skip_floors = bool(args.min_speedup) and cur_hc == 1
+    if skip_floors:
+        print("notice: hardware_concurrency is 1 — scaling floors "
+              "(--min-speedup) are skipped (a speedup on a single core is "
+              "meaningless)")
+    floor_metrics = frozenset(metric for _, metric, _ in args.min_speedup)
 
     best = {key: dict(entry) for key, entry in current.items()}
     attempt = 0
     while True:
         regressions, compared, rows = evaluate(
             baseline, best, args.tolerance, overrides, skip_legs)
+        floor_failures, floor_rows = check_min_speedups(
+            best, args.min_speedup, skip_floors)
+        rows += floor_rows
+        failures = regressions + floor_failures
         skipped = sum(1 for r in rows if r["verdict"].startswith("skipped"))
-        if compared == 0 and skipped == 0:
+        if compared == 0 and skipped == 0 and not args.min_speedup:
             print("error: no comparable *_per_sec metrics found",
                   file=sys.stderr)
             return 2
-        if regressions == 0:
+        if failures == 0:
             print(f"\nOK: {compared} metrics within tolerance"
-                  + (f", {skipped} leg(s) skipped" if skipped else "")
+                  + (f", {len(args.min_speedup)} floor(s) checked"
+                     if args.min_speedup and not skip_floors else "")
+                  + (f", {skipped} leg(s)/floor(s) skipped" if skipped else "")
                   + (f" (after {attempt} re-run(s))" if attempt else ""))
             write_step_summary(render_markdown(bench, rows, ok=True))
             return 0
         if attempt >= args.retries:
             print(f"\nFAIL: {regressions} regression(s) beyond the "
-                  f"tolerance band"
+                  f"tolerance band, {floor_failures} floor failure(s)"
                   + (f" (best of {attempt + 1} runs)" if attempt else ""))
             write_step_summary(render_markdown(bench, rows, ok=False))
             return 1
@@ -354,7 +455,7 @@ def main() -> int:
                   f"{proc.returncode}", file=sys.stderr)
             return 2
         _, fresh = load_results(args.current, "current")
-        merge_best(best, fresh)
+        merge_best(best, fresh, floor_metrics)
 
 
 if __name__ == "__main__":

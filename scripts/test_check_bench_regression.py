@@ -17,6 +17,9 @@ Covers the gate's behavioral surface:
 * argument validation (bad tolerances, retries without a rerun command),
 * ``--parallel-leg`` skipping (single-core runs skip the named legs with
   a notice; multi-core runs still gate them),
+* ``--min-speedup LEG/METRIC=FLOOR`` scaling floors (enforced on
+  multi-core runs, skipped with a notice on single-core runs, missing
+  legs/metrics fail, floor failures trigger the best-of-N retry loop),
 * the hardware_concurrency mismatch warning,
 * the markdown step-summary renderer and its ``GITHUB_STEP_SUMMARY``
   integration.
@@ -277,7 +280,7 @@ class ParallelLegTests(GateHarness):
             code = self.run_gate(base, cur, "--parallel-leg", "pool")
         self.assertEqual(code, 0)
         self.assertIn("skipping parallel leg(s) ['pool']", buffer.getvalue())
-        self.assertIn("1 leg(s) skipped", buffer.getvalue())
+        self.assertIn("1 leg(s)/floor(s) skipped", buffer.getvalue())
 
     def test_parallel_leg_still_gated_on_multi_core_runner(self):
         base = self.write("base.json", bench_doc(
@@ -318,6 +321,120 @@ class ParallelLegTests(GateHarness):
         with contextlib.redirect_stderr(buffer):
             self.assertEqual(self.run_gate(base, cur), 0)
         self.assertNotIn("warning", buffer.getvalue())
+
+
+class MinSpeedupTests(GateHarness):
+    FLAG = "intra/intra_speedup_t8=1.5"
+
+    def legs(self, speedup: float) -> dict:
+        return {"intra": {"x_per_sec": 100.0,
+                          "intra_speedup_t8": speedup}}
+
+    def test_floor_met_passes_on_multi_core(self):
+        base = self.write("base.json",
+                          bench_doc(self.legs(3.0), hardware_concurrency=8))
+        cur = self.write("cur.json",
+                         bench_doc(self.legs(2.1), hardware_concurrency=8))
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = self.run_gate(base, cur, "--min-speedup", self.FLAG)
+        self.assertEqual(code, 0)
+        self.assertIn("1 floor(s) checked", buffer.getvalue())
+
+    def test_below_floor_fails_on_multi_core(self):
+        base = self.write("base.json",
+                          bench_doc(self.legs(2.0), hardware_concurrency=8))
+        cur = self.write("cur.json",
+                         bench_doc(self.legs(1.1), hardware_concurrency=8))
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = self.run_gate(base, cur, "--min-speedup", self.FLAG)
+        self.assertEqual(code, 1)
+        self.assertIn("1 floor failure(s)", buffer.getvalue())
+
+    def test_floor_skipped_on_single_core_runner(self):
+        # The speedup is a property of the machine, not the code: a
+        # single-core runner can't scale, so the floor must be waived.
+        base = self.write("base.json",
+                          bench_doc(self.legs(2.0), hardware_concurrency=1))
+        cur = self.write("cur.json",
+                         bench_doc(self.legs(0.9), hardware_concurrency=1))
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = self.run_gate(base, cur, "--min-speedup", self.FLAG)
+        self.assertEqual(code, 0)
+        self.assertIn("scaling floors (--min-speedup) are skipped",
+                      buffer.getvalue())
+
+    def test_missing_leg_fails(self):
+        base = self.write("base.json", bench_doc(
+            {"a": {"x_per_sec": 1.0}}, hardware_concurrency=8))
+        cur = self.write("cur.json", bench_doc(
+            {"a": {"x_per_sec": 1.0}}, hardware_concurrency=8))
+        self.assertEqual(
+            self.run_gate(base, cur, "--min-speedup", self.FLAG), 1)
+
+    def test_missing_metric_fails(self):
+        legs = {"intra": {"x_per_sec": 1.0}}  # leg exists, metric doesn't
+        base = self.write("base.json",
+                          bench_doc(legs, hardware_concurrency=8))
+        cur = self.write("cur.json", bench_doc(legs, hardware_concurrency=8))
+        self.assertEqual(
+            self.run_gate(base, cur, "--min-speedup", self.FLAG), 1)
+
+    def test_bad_specs_are_rejected(self):
+        base = self.write("base.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        cur = self.write("cur.json", bench_doc({"a": {"x_per_sec": 1.0}}))
+        for spec in ("nodelimiter", "leg/metric", "leg/=1.5",
+                     "/metric=1.5", "leg/metric=zero", "leg/metric=-1"):
+            self.assertEqual(
+                self.run_gate(base, cur, "--min-speedup", spec), 2,
+                f"spec {spec!r} must be rejected")
+
+    def test_floor_failure_triggers_retry_and_best_of_n_recovers(self):
+        # First run is below the floor, the re-run clears it: the retry
+        # loop must fire on floor failures (not just *_per_sec deltas) and
+        # merge_best must fold the floored metric, not only *_per_sec.
+        base = self.write("base.json",
+                          bench_doc(self.legs(2.0), hardware_concurrency=8))
+        cur = self.write("cur.json",
+                         bench_doc(self.legs(1.2), hardware_concurrency=8))
+        good = self.write("good.json",
+                          bench_doc(self.legs(1.8), hardware_concurrency=8))
+        rerun = f"cp {good} {cur}"
+        with contextlib.redirect_stdout(io.StringIO()):
+            code = self.run_gate(base, cur, "--min-speedup", self.FLAG,
+                                 "--retries", "1", "--rerun-cmd", rerun)
+        self.assertEqual(code, 0)
+
+    def test_floor_only_gate_does_not_exit_2(self):
+        # A gate invoked purely as a scaling-floor check (no *_per_sec
+        # overlap with the baseline) must not trip the "no comparable
+        # metrics" guard.
+        base = self.write("base.json", bench_doc(
+            {"intra": {"bytes": 1.0}}, hardware_concurrency=8))
+        cur = self.write("cur.json", bench_doc(
+            {"intra": {"intra_speedup_t8": 2.0}}, hardware_concurrency=8))
+        with contextlib.redirect_stdout(io.StringIO()):
+            self.assertEqual(
+                self.run_gate(base, cur, "--min-speedup", self.FLAG), 0)
+
+    def test_summary_marks_floor_rows(self):
+        base = self.write("base.json",
+                          bench_doc(self.legs(2.0), hardware_concurrency=8))
+        cur = self.write("cur.json",
+                         bench_doc(self.legs(1.1), hardware_concurrency=8))
+        summary = self.path("summary.md")
+        os.environ["GITHUB_STEP_SUMMARY"] = summary
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                self.assertEqual(
+                    self.run_gate(base, cur, "--min-speedup", self.FLAG), 1)
+        finally:
+            del os.environ["GITHUB_STEP_SUMMARY"]
+        with open(summary, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        self.assertIn("❌ BELOW FLOOR 1.5", text)
 
 
 class MarkdownSummaryTests(GateHarness):

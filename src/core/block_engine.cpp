@@ -1,0 +1,494 @@
+// Intra-trial block-parallel engine (Engine::runBlocked).
+//
+// Shards ONE execution over a fixed interaction sequence. Soundness rests
+// on the model's monotonicity: a node transmits at most once, so ownership
+// only ever decreases. Each block of the sequence goes through three
+// stages:
+//
+//  * Stage A — candidate scan. Worker chunks scan the block against the
+//    ownership flags frozen at block start. An interaction is a candidate
+//    iff both endpoints owned data at block start; monotonicity guarantees
+//    every real transfer of the block is among the candidates (the scan
+//    may keep candidates that go stale mid-block, never the reverse).
+//    Candidate density collapses as owners drain — for Gathering on the
+//    randomized adversary the whole run has ~n live candidates against an
+//    O(n^2) sequence — so the scan is the parallel bulk and resolution is
+//    the cheap remainder.
+//
+//  * Stage B1 — optimistic partition-local execution. Nodes are split
+//    into contiguous id ranges; each partition walks the (time-ordered)
+//    candidate list and applies the candidates internal to it, with a
+//    hazard rule: a cross-partition candidate marks its local endpoint
+//    hazardous, a deferred internal candidate marks both endpoints, and an
+//    internal candidate executes only while neither endpoint is hazardous.
+//    Hazards are sticky within the block, so a partition executes a
+//    node's transfers only up to the first interaction that couples the
+//    node to another partition — everything after is deferred. Partitions
+//    therefore write disjoint per-node state (ownership bytes, data,
+//    hazard bytes) and per-candidate slots owned by exactly one partition.
+//
+//  * Stage B2 — serial handoff. The deferred candidates are resolved in
+//    time order against the now-merged state. The hazard rule guarantees
+//    that for every node, all B1-applied transfers precede all
+//    B2-applied transfers in time, so each node's (and in particular each
+//    receiver's floating-point aggregation) order equals global time
+//    order — the blocked engine is bit-identical to the serial loop, not
+//    merely equivalent up to reassociation.
+//
+// Model violations (out-of-range ids, non-endpoint receivers, sink
+// transmissions) are detected optimistically and min-merged by time; the
+// run throws exactly when the serial loop would (i.e. unless the
+// convergecast completes strictly before the earliest violation).
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/engine_scratch.hpp"
+#include "dynagraph/lazy_sequence.hpp"
+
+namespace doda::core {
+namespace {
+
+constexpr Time kNoViolation = dynagraph::kNever;
+
+/// The ExecutionView handed to endpoint-local decide() calls. Only
+/// system() and now() are live; the state accessors throw, enforcing the
+/// isEndpointLocal() contract (an algorithm reading execution state here
+/// would observe speculative mid-block state and lose determinism).
+class DecisionView final : public ExecutionView {
+ public:
+  explicit DecisionView(const SystemInfo& info) : info_(info) {}
+
+  const SystemInfo& system() const override { return info_; }
+  Time now() const override { return now_; }
+  void setNow(Time t) { now_ = t; }
+
+  bool ownsData(NodeId) const override { throw contractBreach(); }
+  const Datum& datumOf(NodeId) const override { throw contractBreach(); }
+  std::size_t ownerCount() const override { throw contractBreach(); }
+  const std::vector<TransmissionRecord>& schedule() const override {
+    throw contractBreach();
+  }
+
+ private:
+  static ModelViolation contractBreach() {
+    return ModelViolation(
+        "endpoint-local algorithm read execution state during runBlocked");
+  }
+
+  const SystemInfo& info_;
+  Time now_ = 0;
+};
+
+/// One trial of the blocked engine. Construction validates options and
+/// resets the state; run() drives the block loop over a fixed view or a
+/// lazily generated sequence.
+class BlockedRun {
+ public:
+  BlockedRun(const SystemInfo& info, const AggregationFunction& aggregation,
+             DodaAlgorithm& algorithm, Engine::Scratch::Impl& scratch,
+             const RunOptions& options, const IntraTrialOptions& intra)
+      : info_(info),
+        aggregation_(aggregation),
+        algorithm_(algorithm),
+        scratch_(scratch),
+        bs_(scratch.block),
+        options_(options),
+        n_(info.node_count) {
+    if (options.faults)
+      throw std::invalid_argument(
+          "Engine::runBlocked: fault injection requires the serial loop");
+    if (!algorithm.isEndpointLocal())
+      throw std::invalid_argument(
+          "Engine::runBlocked: algorithm is not endpoint-local");
+    if (intra.block_size == 0)
+      throw std::invalid_argument(
+          "Engine::runBlocked: block_size must be positive");
+    if (!options.initial_values.empty() &&
+        options.initial_values.size() != n_)
+      throw std::invalid_argument(
+          "Engine::run: initial_values size mismatch");
+
+    workers_ = intra.workers != 0
+                   ? intra.workers
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency());
+    partitions_ = intra.partitions != 0 ? intra.partitions : workers_;
+    // Candidate offsets are stored as 32-bit block offsets; clamping the
+    // block size is invisible in the results (any blocking is).
+    block_ = std::min<Time>(intra.block_size, Time{1} << 31);
+    chunk_count_ = workers_;
+
+    scratch_.data.resize(n_);
+    for (NodeId u = 0; u < n_; ++u) {
+      Datum& d = scratch_.data[u];
+      d.value = options.initial_values.empty() ? 1.0
+                                               : options.initial_values[u];
+      d.sources.reset(u);
+    }
+    bs_.owner.assign(n_, 1);
+    owner_count_ = n_;
+    scratch_.schedule.clear();
+    bs_.chunk_candidates.resize(chunk_count_);
+    bs_.chunk_bad_time.resize(chunk_count_);
+    bs_.partition_transfers.resize(partitions_);
+    partition_stop_time_.assign(partitions_, kNoViolation);
+    partition_stop_message_.assign(partitions_, nullptr);
+
+    if (workers_ > 1) {
+      if (!bs_.pool || bs_.pool->threadCount() != workers_)
+        bs_.pool = std::make_unique<BlockWorkerPool>(workers_);
+      pool_ = bs_.pool.get();
+    }
+
+    algorithm_.reset(info_);
+  }
+
+  ExecutionResult run(dynagraph::InteractionSequenceView view) {
+    const Time limit = std::min<Time>(view.length(),
+                                      options_.max_interactions);
+    Time t0 = 0;
+    while (t0 < limit && !terminated_) {
+      const auto count =
+          static_cast<std::size_t>(std::min<Time>(block_, limit - t0));
+      launchScan(view.begin() + t0, count, t0);
+      if (pool_) pool_->wait();
+      resolveBlock(view.begin() + t0, count, t0);
+      t0 += count;
+    }
+    return finish(limit);
+  }
+
+  ExecutionResult run(dynagraph::LazySequence& lazy) {
+    const Time hard_limit =
+        std::min<Time>(lazy.maxLength(), options_.max_interactions);
+    // Blocks are copied out of the committed prefix before scanning: the
+    // next block's generation (overlapped with this block's scan) may
+    // reallocate the backing buffer.
+    const auto realize = [&](Time begin, std::vector<Interaction>& out) {
+      out.clear();
+      const Time end = std::min<Time>(begin + block_, hard_limit);
+      if (begin >= end) return;
+      lazy.ensure(end - 1);
+      const auto& all = lazy.committed().interactions();
+      out.assign(all.begin() + static_cast<std::ptrdiff_t>(begin),
+                 all.begin() + static_cast<std::ptrdiff_t>(end));
+    };
+
+    auto& front = bs_.block_front;
+    auto& back = bs_.block_back;
+    realize(0, front);
+    Time t0 = 0;
+    while (!front.empty()) {
+      const std::size_t count = front.size();
+      launchScan(front.data(), count, t0);
+      if (pool_) {
+        // Generate block k+1 on this thread while the pool scans block k.
+        try {
+          realize(t0 + count, back);
+        } catch (...) {
+          pool_->wait();
+          throw;
+        }
+        pool_->wait();
+      }
+      resolveBlock(front.data(), count, t0);
+      if (terminated_) break;
+      if (!pool_) realize(t0 + count, back);
+      t0 += count;
+      std::swap(front, back);
+    }
+    if (!terminated_ && t0 >= hard_limit &&
+        hard_limit < options_.max_interactions) {
+      // The serial loop's next draw would trip the generator's max_length
+      // guard; reproduce its std::length_error exactly.
+      lazy.ensure(lazy.maxLength());
+    }
+    return finish(hard_limit);
+  }
+
+ private:
+  std::size_t partitionOf(NodeId u) const noexcept {
+    return static_cast<std::size_t>(u) * partitions_ / n_;
+  }
+
+  /// Stage A over [t0, t0 + count): fills per-chunk candidate lists and
+  /// per-chunk first-bad-id times. Parallel when a pool exists, inline as
+  /// one chunk otherwise (bit-identical either way: candidate lists are
+  /// concatenated in chunk order, which is time order).
+  void launchScan(const Interaction* base, std::size_t count, Time t0) {
+    chunks_used_ = pool_ ? chunk_count_ : 1;
+    if (pool_) {
+      pool_->launch(chunks_used_, [this, base, count, t0](std::size_t c) {
+        scanChunk(c, base, count, t0);
+      });
+    } else {
+      scanChunk(0, base, count, t0);
+    }
+  }
+
+  void scanChunk(std::size_t c, const Interaction* base, std::size_t count,
+                 Time t0) {
+    auto& out = bs_.chunk_candidates[c];
+    out.clear();
+    const std::size_t begin = count * c / chunks_used_;
+    const std::size_t end = count * (c + 1) / chunks_used_;
+    const char* owner = bs_.owner.data();
+    Time bad = kNoViolation;
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId a = base[i].a();
+      const NodeId b = base[i].b();
+      if (a >= n_ || b >= n_) {
+        // Everything past the first bad id in this chunk is moot: the run
+        // either throws at (or before) this time or terminated earlier.
+        bad = t0 + i;
+        break;
+      }
+      if (owner[a] && owner[b]) out.push_back(static_cast<std::uint32_t>(i));
+    }
+    bs_.chunk_bad_time[c] = bad;
+  }
+
+  /// Stage B1 for partition p: applies internal candidates under the
+  /// hazard rule. Writes only partition-local bytes (ownership, data and
+  /// hazard flags of p's nodes; status slots of p-internal candidates).
+  void partitionStep(std::size_t p, const Interaction* base, Time t0,
+                     Time scan_stop) {
+    auto& applied = bs_.partition_transfers[p];
+    applied.clear();
+    DecisionView view(info_);
+    char* owner = bs_.owner.data();
+    char* hazard = bs_.hazard.data();
+    char* status = bs_.status.data();
+    const auto& candidates = bs_.candidates;
+    Time stop_time = kNoViolation;
+    const char* stop_message = nullptr;
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      const std::uint32_t offset = candidates[k];
+      const Time t = t0 + offset;
+      if (t >= scan_stop) break;
+      const Interaction& i = base[offset];
+      const NodeId a = i.a();
+      const NodeId b = i.b();
+      const std::size_t pa = partitionOf(a);
+      const std::size_t pb = partitionOf(b);
+      if (pa != p && pb != p) continue;
+      if (pa != p || pb != p) {
+        // Cross-partition: the local endpoint is coupled to another
+        // partition from here on; its remaining transfers go to the
+        // handoff (the other partition marks the other endpoint).
+        hazard[pa == p ? a : b] = 1;
+        continue;
+      }
+      // Ownership of p's own nodes is exact here: a hazardous node is
+      // never written by B1, so false means "transmitted before t" in
+      // both engines and is final (monotonicity).
+      if (!owner[a] || !owner[b]) {
+        status[k] = 1;  // stale candidate; the serial loop skips it too
+        continue;
+      }
+      if (hazard[a] || hazard[b]) {
+        hazard[a] = 1;
+        hazard[b] = 1;
+        continue;  // deferred to the handoff, endpoints now coupled
+      }
+      view.setNow(t);
+      const auto receiver = algorithm_.decide(i, t, view);
+      if (!receiver) {
+        status[k] = 1;
+        continue;
+      }
+      if (!i.involves(*receiver)) {
+        stop_time = t;
+        stop_message = "receiver is not an interaction endpoint";
+        break;
+      }
+      const NodeId sender = i.other(*receiver);
+      if (sender == info_.sink) {
+        stop_time = t;
+        stop_message = "the sink must never transmit";
+        break;
+      }
+      aggregation_.aggregateInto(scratch_.data[*receiver],
+                                 scratch_.data[sender]);
+      owner[sender] = 0;
+      applied.push_back({t, sender, *receiver});
+      status[k] = 1;
+    }
+    partition_stop_time_[p] = stop_time;
+    partition_stop_message_[p] = stop_message;
+  }
+
+  void resolveBlock(const Interaction* base, std::size_t count, Time t0) {
+    (void)count;
+    // Fold the scan: flatten candidates, min-merge bad-id times.
+    Time stop_time = kNoViolation;
+    const char* stop_message = nullptr;
+    const auto noteStop = [&](Time t, const char* message) {
+      if (t < stop_time) {
+        stop_time = t;
+        stop_message = message;
+      }
+    };
+    auto& candidates = bs_.candidates;
+    candidates.clear();
+    for (std::size_t c = 0; c < chunks_used_; ++c) {
+      if (bs_.chunk_bad_time[c] != kNoViolation)
+        noteStop(bs_.chunk_bad_time[c], "node id out of range");
+      const auto& chunk = bs_.chunk_candidates[c];
+      candidates.insert(candidates.end(), chunk.begin(), chunk.end());
+    }
+
+    const std::size_t nc = candidates.size();
+    bs_.status.assign(nc, 0);
+    if (partitions_ > 1 && nc != 0) {
+      bs_.hazard.assign(n_, 0);
+      const Time scan_stop = stop_time;
+      if (pool_) {
+        pool_->launch(partitions_, [this, base, t0, scan_stop](std::size_t p) {
+          partitionStep(p, base, t0, scan_stop);
+        });
+        pool_->wait();
+      } else {
+        for (std::size_t p = 0; p < partitions_; ++p)
+          partitionStep(p, base, t0, scan_stop);
+      }
+      for (std::size_t p = 0; p < partitions_; ++p) {
+        owner_count_ -= bs_.partition_transfers[p].size();
+        if (partition_stop_time_[p] != kNoViolation)
+          noteStop(partition_stop_time_[p], partition_stop_message_[p]);
+      }
+    } else {
+      for (auto& applied : bs_.partition_transfers) applied.clear();
+    }
+
+    // Stage B2: serial time-ordered handoff of everything still pending.
+    // Pending endpoints' state is exact (all their block transfers so far
+    // are earlier in time — the hazard rule), so this is the serial loop
+    // verbatim, restricted to the deferred candidates.
+    auto& handoff = bs_.handoff_transfers;
+    handoff.clear();
+    DecisionView view(info_);
+    char* owner = bs_.owner.data();
+    for (std::size_t k = 0; k < nc; ++k) {
+      if (bs_.status[k]) continue;
+      const std::uint32_t offset = candidates[k];
+      const Time t = t0 + offset;
+      if (t >= stop_time) break;
+      if (owner_count_ == 1) break;  // nothing left that could transfer
+      const Interaction& i = base[offset];
+      const NodeId a = i.a();
+      const NodeId b = i.b();
+      if (!owner[a] || !owner[b]) continue;
+      view.setNow(t);
+      const auto receiver = algorithm_.decide(i, t, view);
+      if (!receiver) continue;
+      if (!i.involves(*receiver)) {
+        noteStop(t, "receiver is not an interaction endpoint");
+        break;
+      }
+      const NodeId sender = i.other(*receiver);
+      if (sender == info_.sink) {
+        noteStop(t, "the sink must never transmit");
+        break;
+      }
+      aggregation_.aggregateInto(scratch_.data[*receiver],
+                                 scratch_.data[sender]);
+      owner[sender] = 0;
+      --owner_count_;
+      handoff.push_back({t, sender, *receiver});
+    }
+
+    // Block-boundary merge: per-partition lists and the handoff are each
+    // time-ordered and pairwise disjoint in time; one sort restores the
+    // global schedule order.
+    auto& merged = bs_.merged;
+    merged.clear();
+    for (const auto& applied : bs_.partition_transfers)
+      merged.insert(merged.end(), applied.begin(), applied.end());
+    merged.insert(merged.end(), handoff.begin(), handoff.end());
+    std::sort(merged.begin(), merged.end(),
+              [](const TransmissionRecord& x, const TransmissionRecord& y) {
+                return x.time < y.time;
+              });
+    scratch_.schedule.insert(scratch_.schedule.end(), merged.begin(),
+                             merged.end());
+
+    // Verdict. A pending violation is thrown exactly when the serial loop
+    // would reach it: unless the convergecast completed strictly before
+    // it. Optimistic transfers at or past the violation time disqualify
+    // the completion (the serial loop would have thrown first) — and can
+    // only exist when real completion did not happen before it.
+    bool terminated = owner_count_ == 1;
+    if (terminated && stop_time != kNoViolation && !merged.empty() &&
+        merged.back().time >= stop_time)
+      terminated = false;
+    if (!terminated && stop_time != kNoViolation)
+      throw ModelViolation(stop_message);
+    terminated_ = terminated;
+  }
+
+  ExecutionResult finish(Time dispatched_limit) {
+    ExecutionResult result;
+    result.terminated = terminated_;
+    if (terminated_) {
+      const Time last = scratch_.schedule.back().time;
+      result.last_transmission_time = last;
+      result.interactions_to_terminate = last + 1;
+      result.interactions_dispatched = last + 1;
+    } else {
+      result.interactions_dispatched = dispatched_limit;
+      if (!scratch_.schedule.empty())
+        result.last_transmission_time = scratch_.schedule.back().time;
+    }
+    if (options_.capture_schedule) result.schedule = scratch_.schedule;
+    result.sink_datum = scratch_.data[info_.sink];
+    return result;
+  }
+
+  const SystemInfo& info_;
+  const AggregationFunction& aggregation_;
+  DodaAlgorithm& algorithm_;
+  Engine::Scratch::Impl& scratch_;
+  BlockScratch& bs_;
+  const RunOptions& options_;
+  std::size_t n_;
+  std::size_t workers_ = 1;
+  std::size_t partitions_ = 1;
+  Time block_ = 0;
+  std::size_t chunk_count_ = 1;
+  std::size_t chunks_used_ = 1;
+  BlockWorkerPool* pool_ = nullptr;
+  std::size_t owner_count_ = 0;
+  bool terminated_ = false;
+  std::vector<Time> partition_stop_time_;
+  std::vector<const char*> partition_stop_message_;
+};
+
+}  // namespace
+
+ExecutionResult Engine::runBlocked(Scratch& scratch, DodaAlgorithm& algorithm,
+                                   dynagraph::InteractionSequenceView sequence,
+                                   const RunOptions& options,
+                                   const IntraTrialOptions& intra) {
+  BlockedRun run(info_, aggregation_, algorithm, *scratch.impl_, options,
+                 intra);
+  return run.run(sequence);
+}
+
+ExecutionResult Engine::runBlocked(Scratch& scratch, DodaAlgorithm& algorithm,
+                                   dynagraph::LazySequence& sequence,
+                                   const RunOptions& options,
+                                   const IntraTrialOptions& intra) {
+  BlockedRun run(info_, aggregation_, algorithm, *scratch.impl_, options,
+                 intra);
+  return run.run(sequence);
+}
+
+}  // namespace doda::core

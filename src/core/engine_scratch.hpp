@@ -1,0 +1,169 @@
+#pragma once
+
+// Internal header shared by engine.cpp (the serial loop) and
+// block_engine.cpp (the intra-trial block-parallel loop). Everything here
+// is reachable only through Engine::Scratch — it is not part of the public
+// surface and may change freely between the two translation units.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace doda::core {
+
+/// Persistent worker pool of the intra-trial engine. One pool lives inside
+/// each Engine::Scratch (created lazily on the first runBlocked with more
+/// than one worker, recreated when the requested worker count changes), so
+/// a measurement worker thread reuses its pool across every trial it
+/// executes instead of spawning threads per block.
+///
+/// Usage is strictly launch()/wait() pairs from a single driver thread.
+/// launch() hands out task indices [0, tasks) to the pool's threads via a
+/// shared counter; wait() blocks until every index completed and rethrows
+/// the first exception any task raised.
+class BlockWorkerPool {
+ public:
+  explicit BlockWorkerPool(std::size_t thread_count) {
+    threads_.reserve(thread_count);
+    for (std::size_t i = 0; i < thread_count; ++i)
+      threads_.emplace_back([this] { workerLoop(); });
+  }
+
+  ~BlockWorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& thread : threads_) thread.join();
+  }
+
+  std::size_t threadCount() const noexcept { return threads_.size(); }
+
+  /// Starts a batch of `tasks` indexed tasks; returns immediately.
+  void launch(std::size_t tasks, std::function<void(std::size_t)> fn) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      fn_ = std::move(fn);
+      task_count_ = tasks;
+      next_task_ = 0;
+      remaining_ = tasks;
+      error_ = nullptr;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+  }
+
+  /// Blocks until the launched batch drained; rethrows the first task
+  /// exception (remaining tasks still run to completion — a block's
+  /// partition workers write disjoint state, so draining is safe).
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void workerLoop() {
+    // All batch state is read and written under the mutex; tasks are
+    // coarse (a chunk scan or a partition walk), so the per-task lock
+    // round-trip is noise. The driver wait()s for remaining_ == 0 before
+    // the next launch(), so the generation cannot advance while any task
+    // of the current batch is still running.
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      while (next_task_ < task_count_) {
+        const std::size_t index = next_task_++;
+        std::exception_ptr error;
+        lock.unlock();
+        try {
+          fn_(index);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        lock.lock();
+        if (error && !error_) error_ = error;
+        if (--remaining_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::function<void(std::size_t)> fn_;
+  std::size_t task_count_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+/// Reusable storage of the intra-trial block-parallel loop. All vectors
+/// keep their capacity across blocks and trials, mirroring the
+/// zero-steady-state-allocation policy of the serial scratch.
+struct BlockScratch {
+  /// One byte per node (not vector<bool>: partition workers write their own
+  /// nodes' flags concurrently, and distinct bytes are distinct memory
+  /// locations while distinct bits of a packed word are not).
+  std::vector<char> owner;
+  /// Per-node hazard marks of the current block's partition step.
+  std::vector<char> hazard;
+  /// Stage-A candidate indices (offsets into the block), one list per scan
+  /// chunk; concatenation in chunk order is time order.
+  std::vector<std::vector<std::uint32_t>> chunk_candidates;
+  /// Flattened candidate list of the current block.
+  std::vector<std::uint32_t> candidates;
+  /// Per-candidate resolution state (kCandidatePending / kCandidateHandled).
+  std::vector<char> status;
+  /// First out-of-range-node time found by each scan chunk (kNever if none).
+  std::vector<Time> chunk_bad_time;
+  /// Transfers applied by each partition's optimistic step, time-ordered
+  /// within a partition.
+  std::vector<std::vector<TransmissionRecord>> partition_transfers;
+  /// Transfers applied by the serial block-boundary handoff, time-ordered.
+  std::vector<TransmissionRecord> handoff_transfers;
+  /// Block-boundary merge buffer (all of the above, sorted by time).
+  std::vector<TransmissionRecord> merged;
+  /// Double-buffered block storage of the lazy-generation path (the
+  /// generator may reallocate the committed buffer while workers scan, so
+  /// blocks are copied out before scanning).
+  std::vector<dynagraph::Interaction> block_front;
+  std::vector<dynagraph::Interaction> block_back;
+  std::unique_ptr<BlockWorkerPool> pool;
+};
+
+struct Engine::Scratch::Impl {
+  std::vector<Datum> data;
+  std::vector<bool> owns;
+  std::vector<TransmissionRecord> schedule;
+  // Faulty-run bookkeeping (untouched by the fault-free path; capacity is
+  // retained across trials like everything else in the scratch).
+  std::vector<char> poisoned;
+  std::vector<char> lost_attempt;
+  std::vector<std::pair<Time, NodeId>> crash_events;
+  std::vector<NodeId> byzantine_ids;
+  // Intra-trial block-parallel state (untouched by the serial paths).
+  BlockScratch block;
+};
+
+}  // namespace doda::core

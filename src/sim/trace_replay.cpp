@@ -156,9 +156,20 @@ MeasureResult replayTrace(const TraceStore& store, const ReplayConfig& config,
         TrialContext context{info, seq_adversary, index};
         const auto algorithm = factory(context);
         core::Engine engine(info, core::AggregationFunction::count());
+        const bool blocked = (config.intra_trial_workers != 1 ||
+                              config.intra_trial_partitions > 1) &&
+                             algorithm->isEndpointLocal();
+        core::IntraTrialOptions intra;
+        intra.workers = config.intra_trial_workers;
+        intra.partitions = config.intra_trial_partitions;
+        intra.block_size = config.intra_trial_block;
         const auto result =
-            engine.runInto(scratch, *algorithm, seq_adversary,
-                           replayRunOptions(config, length));
+            blocked ? engine.runBlocked(
+                          scratch, *algorithm,
+                          dynagraph::InteractionSequenceView(seq),
+                          replayRunOptions(config, length), intra)
+                    : engine.runInto(scratch, *algorithm, seq_adversary,
+                                     replayRunOptions(config, length));
         if (!result.terminated) return TrialOutcome::failure();
         TrialOutcome outcome;
         outcome.success = true;

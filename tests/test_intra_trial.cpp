@@ -1,0 +1,643 @@
+// Intra-trial block-parallel engine (core/block_engine.cpp): bit-identity
+// against the serial loop across the workers x partitions x block-size
+// matrix, golden-pinned folded statistics, model-violation parity, the
+// endpoint-local view contract, and a randomized differential fuzz. The
+// identity checks compare EVERY ExecutionResult field plus the
+// transmission schedule element-wise and the sink's floating-point
+// aggregate bit-for-bit (sum aggregation over random initial values, so
+// any reordering of per-receiver aggregation would be caught).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adversary/randomized_adversary.hpp"
+#include "adversary/sequence_adversary.hpp"
+#include "algorithms/gathering.hpp"
+#include "algorithms/waiting.hpp"
+#include "algorithms/waiting_greedy.hpp"
+#include "core/engine.hpp"
+#include "dynagraph/lazy_sequence.hpp"
+#include "dynagraph/trace_io.hpp"
+#include "dynagraph/traces.hpp"
+#include "sim/experiment.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/rng.hpp"
+
+namespace doda {
+namespace {
+
+using core::Engine;
+using core::ExecutionResult;
+using core::Interaction;
+using core::IntraTrialOptions;
+using core::NodeId;
+using core::RunOptions;
+using core::Time;
+using dynagraph::InteractionSequence;
+using dynagraph::InteractionSequenceView;
+
+constexpr std::size_t kWorkerMatrix[] = {1, 2, 8};
+constexpr std::size_t kPartitionMatrix[] = {1, 2, 8};
+constexpr Time kBlockMatrix[] = {3, 64, Time{1} << 16};
+
+void expectIdentical(const ExecutionResult& serial,
+                     const ExecutionResult& blocked,
+                     const std::string& label) {
+  EXPECT_EQ(serial.terminated, blocked.terminated) << label;
+  EXPECT_EQ(serial.last_transmission_time, blocked.last_transmission_time)
+      << label;
+  EXPECT_EQ(serial.interactions_to_terminate,
+            blocked.interactions_to_terminate)
+      << label;
+  EXPECT_EQ(serial.interactions_dispatched, blocked.interactions_dispatched)
+      << label;
+  EXPECT_EQ(serial.sink_datum.value, blocked.sink_datum.value) << label;
+  EXPECT_TRUE(serial.sink_datum.sources == blocked.sink_datum.sources)
+      << label;
+  ASSERT_EQ(serial.schedule.size(), blocked.schedule.size()) << label;
+  for (std::size_t k = 0; k < serial.schedule.size(); ++k)
+    EXPECT_EQ(serial.schedule[k], blocked.schedule[k])
+        << label << " record " << k;
+}
+
+std::vector<double> randomValues(std::size_t n, util::Rng& rng) {
+  std::vector<double> values(n);
+  for (auto& v : values) v = 0.25 + rng.uniform() * 3.0;
+  return values;
+}
+
+/// Serial reference plus the full matrix of blocked runs over one fixed
+/// sequence; `make` builds a fresh algorithm per run.
+template <typename MakeAlgorithm>
+void checkMatrixOn(const InteractionSequence& seq, std::size_t n,
+                   NodeId sink, const MakeAlgorithm& make,
+                   const RunOptions& options, const std::string& label) {
+  Engine engine({n, sink}, core::AggregationFunction::sum());
+  Engine::Scratch scratch;
+  adversary::SequenceViewAdversary serial_adversary{seq};
+  auto serial_algorithm = make();
+  const auto serial =
+      engine.runInto(scratch, *serial_algorithm, serial_adversary, options);
+  for (const std::size_t workers : kWorkerMatrix) {
+    for (const std::size_t partitions : kPartitionMatrix) {
+      for (const Time block : kBlockMatrix) {
+        IntraTrialOptions intra;
+        intra.workers = workers;
+        intra.partitions = partitions;
+        intra.block_size = block;
+        Engine::Scratch blocked_scratch;
+        auto algorithm = make();
+        const auto blocked =
+            engine.runBlocked(blocked_scratch, *algorithm,
+                              InteractionSequenceView(seq), options, intra);
+        expectIdentical(serial, blocked,
+                        label + " W=" + std::to_string(workers) +
+                            " P=" + std::to_string(partitions) +
+                            " B=" + std::to_string(block));
+      }
+    }
+  }
+}
+
+TEST(IntraTrialIdentity, GatheringMatrixOnRandomSequences) {
+  util::Rng rng(0xb10c);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{5}, std::size_t{17},
+                              std::size_t{64}}) {
+    const NodeId sink = static_cast<NodeId>(rng.below(n));
+    const auto seq = dynagraph::traces::uniformRandom(
+        n, static_cast<Time>(4 * n * n + 8), rng);
+    RunOptions options;
+    options.initial_values = randomValues(n, rng);
+    checkMatrixOn(
+        seq, n, sink, [] { return std::make_unique<algorithms::Gathering>(); },
+        options, "gathering n=" + std::to_string(n));
+  }
+}
+
+TEST(IntraTrialIdentity, WaitingMatrixIncludingExhaustion) {
+  // Waiting only transfers on sink interactions, so the short sequence
+  // exercises the not-terminated path (dispatched == length, partial
+  // schedule) across the whole matrix; the long one terminates.
+  util::Rng rng(0x77a1);
+  const std::size_t n = 24;
+  const NodeId sink = 5;
+  for (const Time length : {Time{40}, Time{20 * 24 * 24}}) {
+    const auto seq = dynagraph::traces::uniformRandom(n, length, rng);
+    RunOptions options;
+    options.initial_values = randomValues(n, rng);
+    checkMatrixOn(
+        seq, n, sink, [] { return std::make_unique<algorithms::Waiting>(); },
+        options, "waiting len=" + std::to_string(length));
+  }
+}
+
+TEST(IntraTrialIdentity, MaxInteractionsCapMatchesSerial) {
+  util::Rng rng(0xcafe);
+  const std::size_t n = 12;
+  const auto seq = dynagraph::traces::uniformRandom(n, 4000, rng);
+  for (const Time cap : {Time{0}, Time{1}, Time{37}, Time{400}}) {
+    RunOptions options;
+    options.max_interactions = cap;
+    checkMatrixOn(
+        seq, n, 0, [] { return std::make_unique<algorithms::Gathering>(); },
+        options, "cap=" + std::to_string(cap));
+  }
+}
+
+TEST(IntraTrialIdentity, EmptySequence) {
+  checkMatrixOn(
+      InteractionSequence{}, 4, 0,
+      [] { return std::make_unique<algorithms::Gathering>(); }, RunOptions{},
+      "empty");
+}
+
+TEST(IntraTrialIdentity, LazySequenceMatchesSerialAdversary) {
+  // The generation-overlapped lazy path: serial engine over a
+  // RandomizedAdversary vs runBlocked over a fresh adversary's committed
+  // randomness (same seed => same sequence).
+  for (const std::uint64_t seed : {1u, 2u, 99u}) {
+    const std::size_t n = 20;
+    Engine engine({n, 3}, core::AggregationFunction::sum());
+    RunOptions options;
+
+    adversary::RandomizedAdversary serial_adversary(n, seed);
+    algorithms::Gathering serial_algorithm;
+    Engine::Scratch scratch;
+    const auto serial =
+        engine.runInto(scratch, serial_algorithm, serial_adversary, options);
+
+    for (const std::size_t workers : kWorkerMatrix) {
+      for (const std::size_t partitions : kPartitionMatrix) {
+        adversary::RandomizedAdversary adversary(n, seed);
+        algorithms::Gathering algorithm;
+        Engine::Scratch blocked_scratch;
+        IntraTrialOptions intra;
+        intra.workers = workers;
+        intra.partitions = partitions;
+        intra.block_size = 128;
+        const auto blocked =
+            engine.runBlocked(blocked_scratch, algorithm,
+                              adversary.lazySequence(), options, intra);
+        expectIdentical(serial, blocked,
+                        "lazy seed=" + std::to_string(seed) +
+                            " W=" + std::to_string(workers) +
+                            " P=" + std::to_string(partitions));
+      }
+    }
+  }
+}
+
+TEST(IntraTrialIdentity, LazySequenceGuardExhaustionParity) {
+  // A max_length guard below the termination point: the serial loop
+  // throws std::length_error from the generator; the blocked loop must
+  // reproduce it instead of returning a truncated result.
+  const std::size_t n = 16;
+  Engine engine({n, 0}, core::AggregationFunction::count());
+  RunOptions options;
+
+  adversary::RandomizedAdversary serial_adversary(n, 7, /*max_length=*/50);
+  algorithms::Waiting serial_algorithm;
+  Engine::Scratch scratch;
+  EXPECT_THROW(
+      engine.runInto(scratch, serial_algorithm, serial_adversary, options),
+      std::length_error);
+
+  IntraTrialOptions intra;
+  intra.workers = 2;
+  intra.partitions = 2;
+  intra.block_size = 16;
+  adversary::RandomizedAdversary adversary(n, 7, /*max_length=*/50);
+  algorithms::Waiting algorithm;
+  Engine::Scratch blocked_scratch;
+  EXPECT_THROW(engine.runBlocked(blocked_scratch, algorithm,
+                                 adversary.lazySequence(), options, intra),
+               std::length_error);
+
+  // With max_interactions at the guard, both stop cleanly instead.
+  options.max_interactions = 50;
+  adversary::RandomizedAdversary capped_serial(n, 7, /*max_length=*/50);
+  Engine::Scratch s2;
+  const auto serial =
+      engine.runInto(s2, serial_algorithm, capped_serial, options);
+  adversary::RandomizedAdversary capped(n, 7, /*max_length=*/50);
+  Engine::Scratch s3;
+  const auto blocked = engine.runBlocked(
+      s3, algorithm, capped.lazySequence(), options, intra);
+  expectIdentical(serial, blocked, "guard-capped");
+}
+
+// -- model-violation parity ------------------------------------------------
+
+/// Endpoint-local policy that misbehaves at exactly one scripted time:
+/// names a non-endpoint receiver or elects the sink as sender. Before the
+/// scripted time it either gathers normally or refuses every transfer
+/// (`active_before`); pure in (interaction, t, SystemInfo) throughout, so
+/// it is a legal runBlocked subject.
+class ScriptedViolation final : public core::DodaAlgorithm {
+ public:
+  enum class Kind { kNonEndpoint, kSinkTransmits };
+
+  ScriptedViolation(Time at, Kind kind, bool active_before)
+      : at_(at), kind_(kind), active_before_(active_before) {}
+  std::string name() const override { return "ScriptedViolation"; }
+  bool isEndpointLocal() const override { return true; }
+
+  std::optional<NodeId> decide(const Interaction& i, Time t,
+                               const core::ExecutionView& view) override {
+    const auto sink = view.system().sink;
+    if (t == at_) {
+      if (kind_ == Kind::kNonEndpoint)
+        return static_cast<NodeId>(i.a() + i.b() + 1);  // never an endpoint
+      if (i.involves(sink)) return i.other(sink);       // sink transmits
+      return i.a();
+    }
+    if (!active_before_ && t < at_) return std::nullopt;
+    if (i.involves(sink)) return sink;
+    return i.a();
+  }
+
+ private:
+  Time at_;
+  Kind kind_;
+  bool active_before_;
+};
+
+std::string violationMessageSerial(core::DodaAlgorithm& algorithm,
+                                   const InteractionSequence& seq,
+                                   std::size_t n, NodeId sink) {
+  Engine engine({n, sink}, core::AggregationFunction::count());
+  adversary::SequenceViewAdversary adversary{seq};
+  Engine::Scratch scratch;
+  try {
+    engine.runInto(scratch, algorithm, adversary, {});
+  } catch (const core::ModelViolation& e) {
+    return e.what();
+  }
+  return "";
+}
+
+std::string violationMessageBlocked(core::DodaAlgorithm& algorithm,
+                                    const InteractionSequence& seq,
+                                    std::size_t n, NodeId sink,
+                                    const IntraTrialOptions& intra) {
+  Engine engine({n, sink}, core::AggregationFunction::count());
+  Engine::Scratch scratch;
+  try {
+    engine.runBlocked(scratch, algorithm, InteractionSequenceView(seq), {},
+                      intra);
+  } catch (const core::ModelViolation& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(IntraTrialViolations, ParityAcrossMatrix) {
+  util::Rng rng(0xbadb);
+  const std::size_t n = 10;
+  const NodeId sink = 0;
+  // Crafted prefix so each scripted time hits a known interaction while
+  // every node still owns data (the algorithm refuses transfers before the
+  // scripted time): t=1 is a non-sink pair, t=2 involves the sink.
+  InteractionSequence seq{Interaction(1, 2), Interaction(3, 4),
+                          Interaction(0, 5)};
+  seq.appendAll(dynagraph::traces::uniformRandom(n, 600, rng));
+
+  struct Case {
+    const char* label;
+    InteractionSequence seq;
+    ScriptedViolation::Kind kind;
+    Time at;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"non-endpoint", seq, ScriptedViolation::Kind::kNonEndpoint,
+                   1});
+  cases.push_back({"sink-transmits", seq,
+                   ScriptedViolation::Kind::kSinkTransmits, 2});
+  {
+    // Out-of-range node id injected mid-sequence (adversary misbehaviour);
+    // the refuse-everything algorithm guarantees the serial loop reaches it.
+    InteractionSequence bad = seq.slice(0, 40);
+    bad.append(Interaction(1, static_cast<NodeId>(n + 5)));
+    bad.appendAll(seq.slice(40, seq.length()));
+    cases.push_back({"bad-node-id", bad,
+                     ScriptedViolation::Kind::kNonEndpoint, Time{100000}});
+  }
+
+  for (const auto& test_case : cases) {
+    ScriptedViolation reference(test_case.at, test_case.kind,
+                                /*active_before=*/false);
+    const std::string expected =
+        violationMessageSerial(reference, test_case.seq, n, sink);
+    ASSERT_FALSE(expected.empty()) << test_case.label;
+    for (const std::size_t workers : kWorkerMatrix) {
+      for (const std::size_t partitions : kPartitionMatrix) {
+        for (const Time block : kBlockMatrix) {
+          IntraTrialOptions intra;
+          intra.workers = workers;
+          intra.partitions = partitions;
+          intra.block_size = block;
+          ScriptedViolation algorithm(test_case.at, test_case.kind,
+                                      /*active_before=*/false);
+          EXPECT_EQ(violationMessageBlocked(algorithm, test_case.seq, n,
+                                            sink, intra),
+                    expected)
+              << test_case.label << " W=" << workers << " P=" << partitions
+              << " B=" << block;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntraTrialViolations, TerminationBeforeViolationDoesNotThrow) {
+  // The convergecast completes at t=2, strictly before the scripted
+  // violation at t=3 — the serial loop never reaches it, so the blocked
+  // engine must not throw either (its optimistic scan does see t=3).
+  const std::size_t n = 4;
+  InteractionSequence seq{Interaction(0, 1), Interaction(0, 2),
+                          Interaction(0, 3), Interaction(1, 2)};
+  checkMatrixOn(
+      seq, n, 0,
+      [] {
+        return std::make_unique<ScriptedViolation>(
+            3, ScriptedViolation::Kind::kNonEndpoint, /*active_before=*/true);
+      },
+      RunOptions{}, "termination-before-violation");
+}
+
+TEST(IntraTrialViolations, TerminationBeforeBadIdDoesNotThrow) {
+  const std::size_t n = 4;
+  InteractionSequence seq{Interaction(0, 1), Interaction(0, 2),
+                          Interaction(0, 3), Interaction(1, 99)};
+  checkMatrixOn(
+      seq, n, 0, [] { return std::make_unique<algorithms::Gathering>(); },
+      RunOptions{}, "termination-before-bad-id");
+}
+
+// -- option validation and the endpoint-local view contract ----------------
+
+/// Minimal no-op injector, only used to prove runBlocked rejects faulty
+/// runs up front.
+class NullFaults final : public core::FaultInjector {
+ public:
+  void reset(const core::SystemInfo&) override {}
+  Time crashTime(NodeId) const override { return dynagraph::kNever; }
+  bool isByzantine(NodeId) const override { return false; }
+  void beginInteraction(Time) override {}
+  bool transmissionLost(Time) override { return false; }
+};
+
+TEST(IntraTrialOptionChecks, RejectsUnsupportedConfigurations) {
+  const std::size_t n = 6;
+  Engine engine({n, 0}, core::AggregationFunction::count());
+  Engine::Scratch scratch;
+  InteractionSequence seq{Interaction(0, 1)};
+  algorithms::Gathering gathering;
+
+  {
+    // Not endpoint-local: the base-class default.
+    class NotLocal final : public core::DodaAlgorithm {
+     public:
+      std::string name() const override { return "NotLocal"; }
+      std::optional<NodeId> decide(const Interaction&, Time,
+                                   const core::ExecutionView&) override {
+        return std::nullopt;
+      }
+    } algorithm;
+    EXPECT_THROW(engine.runBlocked(scratch, algorithm,
+                                   InteractionSequenceView(seq), {}, {}),
+                 std::invalid_argument);
+  }
+  {
+    NullFaults faults;
+    RunOptions options;
+    options.faults = &faults;
+    EXPECT_THROW(engine.runBlocked(scratch, gathering,
+                                   InteractionSequenceView(seq), options, {}),
+                 std::invalid_argument);
+  }
+  {
+    IntraTrialOptions intra;
+    intra.block_size = 0;
+    EXPECT_THROW(engine.runBlocked(scratch, gathering,
+                                   InteractionSequenceView(seq), {}, intra),
+                 std::invalid_argument);
+  }
+  {
+    RunOptions options;
+    options.initial_values = {1.0, 2.0};  // wrong size
+    EXPECT_THROW(engine.runBlocked(scratch, gathering,
+                                   InteractionSequenceView(seq), options, {}),
+                 std::invalid_argument);
+  }
+}
+
+TEST(IntraTrialOptionChecks, ViewStateAccessIsAContractBreach) {
+  // An algorithm that claims isEndpointLocal() but reads execution state
+  // gets the throwing DecisionView, not speculative mid-block state.
+  class Peeking final : public core::DodaAlgorithm {
+   public:
+    std::string name() const override { return "Peeking"; }
+    bool isEndpointLocal() const override { return true; }  // a lie
+    std::optional<NodeId> decide(const Interaction& i, Time,
+                                 const core::ExecutionView& view) override {
+      if (view.ownsData(i.a())) return i.a();
+      return std::nullopt;
+    }
+  } algorithm;
+  const std::size_t n = 4;
+  Engine engine({n, 0}, core::AggregationFunction::count());
+  Engine::Scratch scratch;
+  InteractionSequence seq{Interaction(1, 2)};
+  EXPECT_THROW(engine.runBlocked(scratch, algorithm,
+                                 InteractionSequenceView(seq), {}, {}),
+               core::ModelViolation);
+}
+
+// -- folded statistics through the sim layer -------------------------------
+
+TEST(IntraTrialGolden, MeasureRandomizedGatheringAcrossMatrix) {
+  // The MeasureRandomizedGathering golden from test_golden_stats.cpp: the
+  // blocked engine must reproduce the pinned statistics bit-for-bit for
+  // every workers x partitions combination, composed with trial-level
+  // threads.
+  for (const std::size_t workers : kWorkerMatrix) {
+    for (const std::size_t partitions : kPartitionMatrix) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+        sim::MeasureConfig config;
+        config.node_count = 12;
+        config.trials = 24;
+        config.seed = 2026;
+        config.threads = threads;
+        config.intra_trial_workers = workers;
+        config.intra_trial_partitions = partitions;
+        config.intra_trial_block = 64;
+        const auto result = sim::measureRandomized(config, [](auto&) {
+          return std::make_unique<algorithms::Gathering>();
+        });
+        const std::string label = "W=" + std::to_string(workers) +
+                                  " P=" + std::to_string(partitions) +
+                                  " threads=" + std::to_string(threads);
+        EXPECT_EQ(result.interactions.count(), 24u) << label;
+        EXPECT_EQ(result.interactions.mean(), 0x1.0f55555555555p+7) << label;
+        EXPECT_EQ(result.interactions.variance(), 0x1.181303b5cc0edp+12)
+            << label;
+        EXPECT_EQ(result.interactions.min(), 0x1.18p+5) << label;
+        EXPECT_EQ(result.interactions.max(), 0x1.f8p+7) << label;
+        EXPECT_EQ(result.failed_trials, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(IntraTrialGolden, ZipfAndWithCostMatchSerial) {
+  // Zipf adversary through the lazy blocked path, and measureWithCost
+  // through the view blocked path: both must equal their serial twins
+  // exactly (mean, variance and cost are floating-point folds).
+  const sim::AlgorithmFactory factory = [](sim::TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  };
+  sim::MeasureConfig config;
+  config.node_count = 14;
+  config.trials = 10;
+  config.seed = 414;
+  config.threads = 1;
+  config.zipf_exponent = 0.8;
+  const auto serial = sim::measureRandomized(config, factory);
+  config.intra_trial_workers = 2;
+  config.intra_trial_partitions = 3;
+  config.intra_trial_block = 32;
+  const auto blocked = sim::measureRandomized(config, factory);
+  EXPECT_EQ(serial.interactions.mean(), blocked.interactions.mean());
+  EXPECT_EQ(serial.interactions.variance(), blocked.interactions.variance());
+  EXPECT_EQ(serial.failed_trials, blocked.failed_trials);
+
+  sim::MeasureConfig cost_config;
+  cost_config.node_count = 12;
+  cost_config.trials = 8;
+  cost_config.seed = 99;
+  cost_config.threads = 1;
+  const auto cost_serial = sim::measureWithCost(cost_config, 600, factory);
+  cost_config.intra_trial_workers = 4;
+  cost_config.intra_trial_block = 48;
+  const auto cost_blocked = sim::measureWithCost(cost_config, 600, factory);
+  EXPECT_EQ(cost_serial.interactions.mean(),
+            cost_blocked.interactions.mean());
+  EXPECT_EQ(cost_serial.cost.mean(), cost_blocked.cost.mean());
+  EXPECT_EQ(cost_serial.cost.variance(), cost_blocked.cost.variance());
+}
+
+TEST(IntraTrialGolden, NonEndpointLocalAlgorithmsKeepTheSerialPath) {
+  // WaitingGreedy consults a stateful meetTime oracle, so the intra-trial
+  // request must silently fall back to the serial loop and reproduce the
+  // serial statistics (rather than throwing or diverging).
+  const sim::AlgorithmFactory factory = [](sim::TrialContext& context) {
+    return std::make_unique<algorithms::WaitingGreedy>(context.meet_time,
+                                                       180);
+  };
+  sim::MeasureConfig config;
+  config.node_count = 16;
+  config.trials = 8;
+  config.seed = 7;
+  config.threads = 1;
+  const auto serial = sim::measureRandomized(config, factory);
+  config.intra_trial_workers = 8;
+  const auto routed = sim::measureRandomized(config, factory);
+  EXPECT_EQ(serial.interactions.mean(), routed.interactions.mean());
+  EXPECT_EQ(serial.interactions.variance(), routed.interactions.variance());
+}
+
+TEST(IntraTrialGolden, ReplayTraceIntraMatchesSerial) {
+  const auto dir = std::filesystem::path(testing::TempDir()) /
+                   ("doda_intra_replay_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  sim::MeasureConfig record;
+  record.node_count = 12;
+  record.trials = 6;
+  record.seed = 2101;
+  sim::recordSynthetic(dir.string(), record, 800, 2);
+  const auto store = dynagraph::TraceStore::open(dir.string());
+
+  const sim::AlgorithmFactory factory = [](sim::TrialContext&) {
+    return std::make_unique<algorithms::Gathering>();
+  };
+  sim::ReplayConfig serial_config;
+  serial_config.threads = 1;
+  serial_config.compute_cost = true;
+  const auto serial = sim::replayTrace(store, serial_config, factory);
+
+  sim::ReplayConfig intra_config = serial_config;
+  intra_config.intra_trial_workers = 2;
+  intra_config.intra_trial_partitions = 4;
+  intra_config.intra_trial_block = 96;
+  const auto blocked = sim::replayTrace(store, intra_config, factory);
+
+  EXPECT_EQ(serial.interactions.count(), blocked.interactions.count());
+  EXPECT_EQ(serial.interactions.mean(), blocked.interactions.mean());
+  EXPECT_EQ(serial.cost.mean(), blocked.cost.mean());
+  EXPECT_EQ(serial.failed_trials, blocked.failed_trials);
+  std::filesystem::remove_all(dir);
+}
+
+// -- randomized differential fuzz ------------------------------------------
+
+TEST(IntraTrialFuzz, RandomConfigurationsMatchSerial) {
+  int iters = 40;
+  if (const char* env = std::getenv("DODA_FUZZ_ITERS"))
+    iters = std::max(iters, std::atoi(env) / 10);
+  util::Rng rng(0xf02d);
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::size_t n = 3 + rng.below(30);
+    const NodeId sink = static_cast<NodeId>(rng.below(n));
+    const Time length =
+        1 + rng.below(static_cast<std::uint64_t>(4 * n * n));
+    const auto seq =
+        rng.chance(0.3)
+            ? dynagraph::traces::zipfRandom(n, length, 0.9, rng)
+            : dynagraph::traces::uniformRandom(n, length, rng);
+    RunOptions options;
+    options.initial_values = randomValues(n, rng);
+    if (rng.chance(0.3)) options.max_interactions = rng.below(length + 10);
+    options.capture_schedule = !rng.chance(0.2);
+
+    IntraTrialOptions intra;
+    intra.workers = 1 + rng.below(4);
+    intra.partitions = 1 + rng.below(6);
+    intra.block_size = 1 + rng.below(80);
+
+    const bool waiting = rng.chance(0.3);
+    const auto make = [&]() -> std::unique_ptr<core::DodaAlgorithm> {
+      if (waiting) return std::make_unique<algorithms::Waiting>();
+      return std::make_unique<algorithms::Gathering>();
+    };
+
+    Engine engine({n, sink}, core::AggregationFunction::sum());
+    Engine::Scratch serial_scratch;
+    adversary::SequenceViewAdversary adversary{seq};
+    auto serial_algorithm = make();
+    const auto serial = engine.runInto(serial_scratch, *serial_algorithm,
+                                       adversary, options);
+    Engine::Scratch blocked_scratch;
+    auto blocked_algorithm = make();
+    const auto blocked =
+        engine.runBlocked(blocked_scratch, *blocked_algorithm,
+                          InteractionSequenceView(seq), options, intra);
+    expectIdentical(serial, blocked,
+                    "fuzz iter=" + std::to_string(iter) +
+                        " n=" + std::to_string(n) +
+                        " len=" + std::to_string(length) +
+                        " W=" + std::to_string(intra.workers) +
+                        " P=" + std::to_string(intra.partitions) +
+                        " B=" + std::to_string(intra.block_size));
+  }
+}
+
+}  // namespace
+}  // namespace doda
