@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "cli.hpp"
 #include "doda.hpp"
 
 namespace {
@@ -61,7 +62,20 @@ void showAdaptive(const std::string& title, core::Adversary& adversary,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const doda::cli::HelpSpec help{
+      "adversary_showcase",
+      {"adversary_showcase"},
+      "Runs the paper's impossibility constructions live: the Thm 1 and\n"
+      "Thm 3 adaptive adversaries that starve every algorithm, and the\n"
+      "Thm 2 fixed sequence that dead-ends a deterministic oblivious one.",
+      {}};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (doda::cli::isHelpFlag(arg)) doda::cli::exitWithHelp(help);
+    if (!arg.empty() && arg[0] == '-') doda::cli::unknownFlag(help, arg);
+    doda::cli::usageError(help, "unexpected argument: '" + arg + "'");
+  }
   std::cout << "The adversaries of \"Distributed Online Data Aggregation in "
                "Dynamic Graphs\"\n\n";
 

@@ -13,12 +13,30 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "cli.hpp"
 #include "doda.hpp"
+
+namespace {
+
+const doda::cli::HelpSpec kHelp{
+    "body_sensor_network",
+    {"body_sensor_network [seed]"},
+    "Body-area sensor scenario: eight sensors aggregate a maximum\n"
+    "temperature to a hub over a jittered periodic contact trace, compared\n"
+    "across the paper's strategies and the offline optimum.",
+    {}};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace doda;
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (cli::isHelpFlag(arg)) cli::exitWithHelp(kHelp);
+    if (!arg.empty() && arg[0] == '-') cli::unknownFlag(kHelp, arg);
+    seed = cli::parseUint(kHelp, "seed", arg);
+  }
 
   dynagraph::traces::BodySensorConfig config;
   config.sensors = 8;

@@ -1,0 +1,130 @@
+// dodad — the doda aggregation daemon.
+//
+// Serves the repo's measurement and replay engines over a line-delimited
+// JSON-RPC dialect on TCP (docs/PROTOCOL.md): clients submit experiment
+// jobs (synthetic, fault-injected, or recorded-trace replay), poll or
+// subscribe to per-trial folded statistics, and fetch results that are
+// bit-identical to the offline binaries for the same seed — at any thread
+// count and any number of concurrent clients.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cli.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+
+namespace {
+
+// Self-pipe: the signal handler may only write; main blocks on the read
+// end and runs the graceful drain outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void onSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+const doda::cli::HelpSpec kHelp{
+    "dodad",
+    {"dodad [flags]"},
+    "Long-running aggregation server: accepts experiment and replay jobs\n"
+    "over line-delimited JSON-RPC on TCP (see docs/PROTOCOL.md), runs them\n"
+    "on a bounded job queue over the deterministic trial executors, and\n"
+    "streams per-trial folded statistics to subscribers. Results are\n"
+    "bit-identical to the offline binaries for the same seed. SIGTERM or\n"
+    "SIGINT drains running jobs, then exits.",
+    {
+        {"--bind", "<addr>", "bind address (default 127.0.0.1)"},
+        {"--port", "<n>", "TCP port; 0 picks an ephemeral port (default 0)"},
+        {"--workers", "<n>", "concurrent job runner threads (default 1)"},
+        {"--max-open", "<n>",
+         "open-job admission cap; beyond it submits fail busy (default 8)"},
+        {"--max-trials", "<n>",
+         "per-job trial budget (default 1048576)"},
+        {"--max-frame", "<n>",
+         "request frame cap in bytes (default 1048576)"},
+        {"--store-root", "<path>",
+         "jail replay store paths under this directory (default: off)"},
+        {"--store-cache", "<n>",
+         "open trace-store handles kept hot (default 8)"},
+    }};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using doda::cli::flagValue;
+  using doda::cli::parseUint;
+
+  doda::server::ServiceOptions options;
+  doda::server::ServerOptions transport;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (doda::cli::isHelpFlag(flag)) doda::cli::exitWithHelp(kHelp);
+    if (flag == "--bind") {
+      transport.bind_address = flagValue(kHelp, argc, argv, i, flag);
+    } else if (flag == "--port") {
+      transport.port = static_cast<std::uint16_t>(
+          parseUint(kHelp, flag, flagValue(kHelp, argc, argv, i, flag)));
+    } else if (flag == "--workers") {
+      options.queue.workers = static_cast<std::size_t>(
+          parseUint(kHelp, flag, flagValue(kHelp, argc, argv, i, flag)));
+    } else if (flag == "--max-open") {
+      options.queue.max_open = static_cast<std::size_t>(
+          parseUint(kHelp, flag, flagValue(kHelp, argc, argv, i, flag)));
+    } else if (flag == "--max-trials") {
+      options.max_trials_per_job =
+          parseUint(kHelp, flag, flagValue(kHelp, argc, argv, i, flag));
+    } else if (flag == "--max-frame") {
+      options.max_frame_bytes = static_cast<std::size_t>(
+          parseUint(kHelp, flag, flagValue(kHelp, argc, argv, i, flag)));
+    } else if (flag == "--store-root") {
+      options.stores.root = flagValue(kHelp, argc, argv, i, flag);
+    } else if (flag == "--store-cache") {
+      options.stores.capacity = static_cast<std::size_t>(
+          parseUint(kHelp, flag, flagValue(kHelp, argc, argv, i, flag)));
+    } else if (!flag.empty() && flag[0] == '-') {
+      doda::cli::unknownFlag(kHelp, flag);
+    } else {
+      doda::cli::usageError(kHelp, "unexpected argument: '" + flag + "'");
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "dodad: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = onSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  doda::server::Service service(options);
+  doda::server::Server server(service, transport);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "dodad: " << e.what() << "\n";
+    return 1;
+  }
+
+  // The conformance harness and tests parse this exact line for the port.
+  std::cout << "dodad listening on " << transport.bind_address << ":"
+            << server.port() << std::endl;
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::cout << "dodad draining" << std::endl;
+  service.drain();  // running jobs finish, new submits get busy
+  server.stop();
+  std::cout << "dodad stopped" << std::endl;
+  return 0;
+}

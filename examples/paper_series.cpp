@@ -16,14 +16,37 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "cli.hpp"
 #include "doda.hpp"
+
+namespace {
+
+const doda::cli::HelpSpec kHelp{
+    "paper_series",
+    {"paper_series [outdir] [trials]"},
+    "Regenerates the paper's headline series as CSV files for external\n"
+    "plotting: series_scaling.csv (interactions vs n per knowledge level),\n"
+    "series_wg_fsweep.csv (the Thm 10 U-shape), series_meetcount.csv\n"
+    "(Lemma 1 meet counts). outdir defaults to \".\", trials to 32.",
+    {}};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace doda;
-  const std::string outdir = argc > 1 ? argv[1] : ".";
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (cli::isHelpFlag(arg)) cli::exitWithHelp(kHelp);
+    if (!arg.empty() && arg[0] == '-') cli::unknownFlag(kHelp, arg);
+    positional.push_back(arg);
+  }
+  const std::string outdir = !positional.empty() ? positional[0] : ".";
   const std::size_t trials =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32;
+      positional.size() > 1 ? cli::parseUint(kHelp, "trials", positional[1])
+                            : 32;
 
   // --- series 1: scaling of every knowledge level -----------------------
   {

@@ -9,12 +9,30 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "cli.hpp"
 #include "doda.hpp"
+
+namespace {
+
+const doda::cli::HelpSpec kHelp{
+    "quickstart",
+    {"quickstart [seed]"},
+    "The DODA library in ~60 effective lines: runs the three paper\n"
+    "algorithms plus the offline optimum on one 12-node randomized\n"
+    "adversary and prints a summary table.",
+    {}};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace doda;
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (cli::isHelpFlag(arg)) cli::exitWithHelp(kHelp);
+    if (!arg.empty() && arg[0] == '-') cli::unknownFlag(kHelp, arg);
+    seed = cli::parseUint(kHelp, "seed", arg);
+  }
   constexpr std::size_t kNodes = 12;
   constexpr core::NodeId kSink = 0;
 

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "algorithms/gathering.hpp"
+#include "cli.hpp"
 #include "dynagraph/edge_markov.hpp"
 #include "dynagraph/trace_import.hpp"
 #include "dynagraph/trace_io.hpp"
@@ -98,67 +99,75 @@ struct Options {
   dynagraph::TraceWriterOptions writer;
 };
 
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " --out DIR --n N --trials T --length L [--seed S]"
-               " [--shards K] [--zipf E | --edge-markov P_ON P_OFF]"
-               " [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]"
-               " [--durable] [--force] [--verify] [--replay-range A B]\n"
-               "       "
-            << argv0
-            << " --out DIR --import FILE [--trials T] [--shards K]"
-               " [--keep-self-loops] [--max-events M]"
-               " [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]"
-               " [--durable] [--force] [--verify] [--replay-range A B]\n"
-               "       "
-            << argv0
-            << " --out DIR --compact [--shards K]"
-               " [--format v1|v2|v3|v4] [--no-compress] [--block-bytes B]"
-               " [--verify] [--replay-range A B]\n";
-  std::exit(2);
-}
+const cli::HelpSpec kHelp{
+    "trace_record",
+    {"trace_record --out <path> --n <n> --trials <n> --length <n> [flags]",
+     "trace_record --out <path> --import <path> [flags]",
+     "trace_record --out <path> --compact [flags]"},
+    "Records workload trials (uniform, Zipf, or edge-Markov), imports an\n"
+    "external contact trace, or compacts a durable store — producing a\n"
+    "sharded binary trace store (docs/FORMATS.md) ready for\n"
+    "production-scale replay.",
+    {
+        {"--out", "<path>", "store directory to write (required)"},
+        {"--n", "<n>", "node count of the generated workload"},
+        {"--trials", "<n>",
+         "recorded trials (import: segments to split events into)"},
+        {"--length", "<n>",
+         "interactions per trial (edge-Markov: steps per trial)"},
+        {"--seed", "<n>", "master seed, pre-drawn per trial (default 0x5eed)"},
+        {"--shards", "<n>", "shard files to spread trials over (default 8)"},
+        {"--zipf", "<float>", "Zipf-popularity adversary with this exponent"},
+        {"--edge-markov", "<float> <float>",
+         "edge-Markov dynamic graph: p_on p_off"},
+        {"--import", "<path>",
+         "ingest external contact events instead of generating"},
+        {"--keep-self-loops", "", "import: keep self-loop events"},
+        {"--max-events", "<n>", "import: cap ingested events"},
+        {"--format", "<fmt>", "store format: v1 | v2 | v3 | v4 (default v4)"},
+        {"--no-compress", "", "disable payload compression"},
+        {"--block-bytes", "<n>", "payload block size in bytes"},
+        {"--durable", "",
+         "write through the crash-safe manifest store (append semantics)"},
+        {"--compact", "",
+         "rewrite every committed segment of a durable store into one"},
+        {"--force", "", "overwrite a non-empty --out directory"},
+        {"--verify", "", "reopen the store and stream-check every shard"},
+        {"--replay-range", "<n> <n>",
+         "replay only global trials [A, B) and print windowed stats"},
+    }};
 
 Options parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto need = [&](int count) {
-      if (i + count >= argc) usage(argv[0]);
-    };
+    if (cli::isHelpFlag(arg)) cli::exitWithHelp(kHelp);
+    auto value = [&] { return cli::flagValue(kHelp, argc, argv, i, arg); };
+    auto uintValue = [&] { return cli::parseUint(kHelp, arg, value()); };
+    auto doubleValue = [&] { return cli::parseDouble(kHelp, arg, value()); };
     if (arg == "--out") {
-      need(1);
-      opt.out_dir = argv[++i];
+      opt.out_dir = value();
     } else if (arg == "--import") {
-      need(1);
-      opt.import_path = argv[++i];
+      opt.import_path = value();
     } else if (arg == "--n") {
-      need(1);
-      opt.n = std::strtoull(argv[++i], nullptr, 10);
+      opt.n = uintValue();
     } else if (arg == "--trials") {
-      need(1);
-      opt.trials = std::strtoull(argv[++i], nullptr, 10);
+      opt.trials = uintValue();
     } else if (arg == "--length") {
-      need(1);
-      opt.length = std::strtoull(argv[++i], nullptr, 10);
+      opt.length = uintValue();
     } else if (arg == "--seed") {
-      need(1);
-      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+      opt.seed = uintValue();
     } else if (arg == "--shards") {
-      need(1);
-      opt.shards =
-          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      opt.shards = static_cast<std::uint32_t>(uintValue());
       opt.shards_set = true;
     } else if (arg == "--zipf") {
-      need(1);
-      opt.zipf = std::strtod(argv[++i], nullptr);
+      opt.zipf = doubleValue();
     } else if (arg == "--edge-markov") {
-      need(2);
       opt.edge_markov = true;
-      opt.p_on = std::strtod(argv[++i], nullptr);
-      opt.p_off = std::strtod(argv[++i], nullptr);
+      opt.p_on = doubleValue();
+      opt.p_off = doubleValue();
     } else if (arg == "--format") {
-      need(1);
-      const std::string format = argv[++i];
+      const std::string format = value();
       if (format == "v1") {
         opt.writer.format_version = dynagraph::kTraceFormatVersionV1;
       } else if (format == "v2") {
@@ -168,18 +177,16 @@ Options parse(int argc, char** argv) {
       } else if (format == "v4") {
         opt.writer.format_version = dynagraph::kTraceFormatVersionV4;
       } else {
-        usage(argv[0]);
+        cli::usageError(kHelp, "--format: unknown format '" + format + "'");
       }
     } else if (arg == "--no-compress") {
       opt.writer.compress = false;
     } else if (arg == "--block-bytes") {
-      need(1);
-      opt.writer.block_bytes = std::strtoull(argv[++i], nullptr, 10);
+      opt.writer.block_bytes = uintValue();
     } else if (arg == "--keep-self-loops") {
       opt.keep_self_loops = true;
     } else if (arg == "--max-events") {
-      need(1);
-      opt.max_events = std::strtoull(argv[++i], nullptr, 10);
+      opt.max_events = uintValue();
     } else if (arg == "--durable") {
       opt.durable = true;
     } else if (arg == "--force") {
@@ -189,24 +196,29 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--verify") {
       opt.verify = true;
     } else if (arg == "--replay-range") {
-      need(2);
       opt.replay_range = true;
-      opt.range_first = std::strtoull(argv[++i], nullptr, 10);
-      opt.range_last = std::strtoull(argv[++i], nullptr, 10);
-      if (opt.range_first >= opt.range_last) usage(argv[0]);
+      opt.range_first = uintValue();
+      opt.range_last = uintValue();
+      if (opt.range_first >= opt.range_last)
+        cli::usageError(kHelp, "--replay-range: need A < B");
+    } else if (!arg.empty() && arg[0] == '-') {
+      cli::unknownFlag(kHelp, arg);
     } else {
-      usage(argv[0]);
+      cli::usageError(kHelp, "unexpected argument: '" + arg + "'");
     }
   }
-  if (opt.out_dir.empty()) usage(argv[0]);
+  if (opt.out_dir.empty()) cli::usageError(kHelp, "--out is required");
   if (opt.compact) {
     // Compaction only rewrites what the manifest already commits.
     if (!opt.import_path.empty() || opt.n != 0 || opt.trials != 0 ||
         opt.length != 0 || opt.zipf != 0.0 || opt.edge_markov ||
         opt.seed != 0x5eed || opt.durable || opt.force)
-      usage(argv[0]);
+      cli::usageError(kHelp,
+                      "--compact takes only store-shape flags "
+                      "(--shards/--format/--no-compress/--block-bytes)");
   } else if (opt.import_path.empty()) {
-    if (opt.n < 2 || opt.trials == 0 || opt.length == 0) usage(argv[0]);
+    if (opt.n < 2 || opt.trials == 0 || opt.length == 0)
+      cli::usageError(kHelp, "need --n >= 2, --trials and --length");
     if (opt.shards == 0) opt.shards = 1;
     // Shards are the replay parallelism unit; clamp to the trial count
     // instead of collapsing to one shard when asked for more than exist.
@@ -216,7 +228,9 @@ Options parse(int argc, char** argv) {
     // Generator-only flags must not be silently dropped in import mode.
     if (opt.n != 0 || opt.length != 0 || opt.zipf != 0.0 ||
         opt.edge_markov || opt.seed != 0x5eed)
-      usage(argv[0]);
+      cli::usageError(kHelp,
+                      "--import is incompatible with the generator flags "
+                      "(--n/--length/--zipf/--edge-markov/--seed)");
     if (opt.trials == 0) opt.trials = 1;
   }
   return opt;

@@ -23,6 +23,7 @@
 
 #include "analysis/reachability.hpp"
 #include "analysis/schedule_metrics.hpp"
+#include "cli.hpp"
 #include "doda.hpp"
 #include "dynagraph/trace_io.hpp"
 
@@ -41,47 +42,54 @@ struct Options {
   bool stats = false;
 };
 
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr
-      << "usage: " << argv0 << " --trace FILE | --random N LENGTH SEED\n"
-      << "       [--algorithm waiting|gathering|waiting-greedy[:TAU]|tree|"
-         "full|future|all]\n"
-      << "       [--sink ID] [--save FILE]\n";
-  std::exit(2);
-}
+const cli::HelpSpec kHelp{
+    "trace_runner",
+    {"trace_runner --trace <path> [flags]",
+     "trace_runner --random <n> <n> <n> [flags]"},
+    "Runs any of the paper's algorithms over one trace (loaded from a\n"
+    "doda-trace file or generated on the fly) and reports termination,\n"
+    "interactions, the paper's cost, and routing metrics.",
+    {
+        {"--trace", "<path>", "load the trace from this doda-trace file"},
+        {"--random", "<n> <n> <n>",
+         "generate a uniform random trace: nodes, length, seed"},
+        {"--algorithm", "<str>",
+         "waiting | gathering | waiting-greedy[:TAU] | tree | full | "
+         "future | all (default all)"},
+        {"--sink", "<n>", "sink node id (default 0)"},
+        {"--save", "<path>", "also save the trace to this file"},
+        {"--stats", "", "print the temporal-reachability profile"},
+    }};
 
 Options parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto need = [&](int count) {
-      if (i + count >= argc) usage(argv[0]);
-    };
+    if (cli::isHelpFlag(arg)) cli::exitWithHelp(kHelp);
     if (arg == "--trace") {
-      need(1);
-      opt.trace_path = argv[++i];
+      opt.trace_path = cli::flagValue(kHelp, argc, argv, i, arg);
     } else if (arg == "--random") {
-      need(3);
-      opt.random_n = std::strtoull(argv[++i], nullptr, 10);
-      opt.random_length = std::strtoull(argv[++i], nullptr, 10);
-      opt.random_seed = std::strtoull(argv[++i], nullptr, 10);
+      if (i + 3 >= argc) cli::usageError(kHelp, "--random needs N LENGTH SEED");
+      opt.random_n = cli::parseUint(kHelp, arg, argv[++i]);
+      opt.random_length = cli::parseUint(kHelp, arg, argv[++i]);
+      opt.random_seed = cli::parseUint(kHelp, arg, argv[++i]);
     } else if (arg == "--algorithm") {
-      need(1);
-      opt.algorithm = argv[++i];
+      opt.algorithm = cli::flagValue(kHelp, argc, argv, i, arg);
     } else if (arg == "--sink") {
-      need(1);
       opt.sink = static_cast<core::NodeId>(
-          std::strtoul(argv[++i], nullptr, 10));
+          cli::parseUint(kHelp, arg, cli::flagValue(kHelp, argc, argv, i, arg)));
     } else if (arg == "--save") {
-      need(1);
-      opt.save_path = argv[++i];
+      opt.save_path = cli::flagValue(kHelp, argc, argv, i, arg);
     } else if (arg == "--stats") {
       opt.stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      cli::unknownFlag(kHelp, arg);
     } else {
-      usage(argv[0]);
+      cli::usageError(kHelp, "unexpected argument: '" + arg + "'");
     }
   }
-  if (opt.trace_path.empty() && opt.random_n == 0) usage(argv[0]);
+  if (opt.trace_path.empty() && opt.random_n == 0)
+    cli::usageError(kHelp, "need --trace or --random");
   return opt;
 }
 

@@ -13,12 +13,30 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "cli.hpp"
 #include "doda.hpp"
+
+namespace {
+
+const doda::cli::HelpSpec kHelp{
+    "vehicular_city",
+    {"vehicular_city [seed]"},
+    "Vehicular scenario: cars random-walk a city grid and aggregate one\n"
+    "measurement each to a road-side unit, sweeping WaitingGreedy's\n"
+    "horizon against the knowledge-free strategies on the same trace.",
+    {}};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace doda;
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  std::uint64_t seed = 11;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (cli::isHelpFlag(arg)) cli::exitWithHelp(kHelp);
+    if (!arg.empty() && arg[0] == '-') cli::unknownFlag(kHelp, arg);
+    seed = cli::parseUint(kHelp, "seed", arg);
+  }
 
   dynagraph::traces::VehicularConfig config;
   config.width = 6;

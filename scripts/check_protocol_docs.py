@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Replays the session examples of docs/PROTOCOL.md against a live dodad.
+
+Every fenced block tagged ``jsonrpc`` in the doc is an executable session:
+
+    ```jsonrpc
+    $ dodad --max-open 1            # optional: extra dodad flags (one line)
+    --> {"id":1,"method":"ping"}    # sent to the server verbatim
+    <-- {"id":1,"result":{"ok":true}}   # next frame must match exactly
+    <~~ {"method":"job.progress","params":"..."}  # skip 0+ matching frames
+    ```
+
+Matching is structural JSON (object order ignored); the string "..." in an
+expected frame matches any value. A ``<~~`` line consumes frames matching
+its pattern until one does not — that frame is then matched against the
+next ``<--`` line.
+
+Each session runs against a freshly started dodad on an ephemeral port,
+with --store-root pointing at a scratch directory that holds ``docstore``
+— a store recorded by the exact trace_record invocation PROTOCOL.md
+documents — so replay examples work verbatim.
+
+Usage:
+    check_protocol_docs.py --doc docs/PROTOCOL.md \
+        --dodad build/dodad --trace-record build/trace_record [--update]
+
+--update rewrites every ``<--`` line in the doc with the frame actually
+received (lines whose expected JSON contains "..." keep their wildcards
+when they match), making golden refreshes mechanical after an intentional
+protocol change.
+"""
+
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+RECV_TIMEOUT_S = 60
+
+# The doc store every replay example assumes. Keep in sync with the
+# trace_record command quoted in docs/PROTOCOL.md.
+DOC_STORE_ARGS = ["--n", "16", "--trials", "4", "--length", "2048",
+                  "--seed", "7"]
+
+
+def fail(message):
+    print(f"check_protocol_docs: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def json_matches(expected, actual):
+    """Structural match; the string "..." in `expected` matches anything."""
+    if expected == "...":
+        return True
+    if isinstance(expected, dict):
+        if not isinstance(actual, dict):
+            return False
+        if set(expected) != set(actual):
+            return False
+        return all(json_matches(expected[k], actual[k]) for k in expected)
+    if isinstance(expected, list):
+        return (isinstance(actual, list) and len(expected) == len(actual)
+                and all(json_matches(e, a)
+                        for e, a in zip(expected, actual)))
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        return expected is actual
+    return expected == actual
+
+
+class Session:
+    def __init__(self, start_line):
+        self.start_line = start_line  # 1-based line of the opening fence
+        self.flags = []
+        self.steps = []  # (kind, doc_line_index, payload)
+
+
+def parse_doc(text):
+    sessions = []
+    lines = text.split("\n")
+    session = None
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if session is None:
+            if stripped == "```jsonrpc":
+                session = Session(index + 1)
+            continue
+        if stripped == "```":
+            sessions.append(session)
+            session = None
+            continue
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("$ dodad"):
+            session.flags = stripped[len("$ dodad"):].split()
+        elif stripped.startswith("--> "):
+            session.steps.append(("send", index, stripped[4:]))
+        elif stripped.startswith("<-- "):
+            session.steps.append(("expect", index, stripped[4:]))
+        elif stripped.startswith("<~~ "):
+            session.steps.append(("skip", index, stripped[4:]))
+        else:
+            fail(f"line {index + 1}: unrecognized session line: {line!r}")
+    if session is not None:
+        fail(f"unterminated ```jsonrpc block at line {session.start_line}")
+    return lines, sessions
+
+
+class Dodad:
+    """One dodad process on an ephemeral port, plus a client connection."""
+
+    def __init__(self, binary, store_root, flags):
+        self.proc = subprocess.Popen(
+            [str(binary), "--port", "0", "--store-root", str(store_root)]
+            + flags,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        banner = self.proc.stdout.readline().strip()
+        match = re.match(r"dodad listening on (\S+):(\d+)$", banner)
+        if not match:
+            self.proc.kill()
+            fail(f"unexpected dodad banner: {banner!r}")
+        self.sock = socket.create_connection(
+            (match.group(1), int(match.group(2))), timeout=RECV_TIMEOUT_S)
+        self.buffer = b""
+
+    def send(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def recv_frame(self):
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail("server closed the connection mid-session")
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return json.loads(line)
+
+    def stop(self):
+        self.sock.close()
+        self.proc.terminate()  # SIGTERM: dodad drains, then exits
+        try:
+            self.proc.wait(timeout=RECV_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail("dodad did not drain and exit after SIGTERM")
+
+
+def run_session(session, binary, store_root, lines, update):
+    server = Dodad(binary, store_root, session.flags)
+    mismatches = 0
+    pending = None  # a frame consumed by a skip that did not match
+    try:
+        for kind, doc_index, payload in session.steps:
+            if kind == "send":
+                server.send(payload)
+                continue
+            expected = json.loads(payload)
+            if kind == "skip":
+                while True:
+                    frame = (pending if pending is not None
+                             else server.recv_frame())
+                    pending = None
+                    if not json_matches(expected, frame):
+                        pending = frame
+                        break
+                continue
+            frame = pending if pending is not None else server.recv_frame()
+            pending = None
+            if json_matches(expected, frame):
+                continue
+            if update:
+                lines[doc_index] = (
+                    lines[doc_index][:lines[doc_index].index("<-- ")]
+                    + "<-- " + json.dumps(frame, separators=(",", ":")))
+                continue
+            mismatches += 1
+            print(f"line {doc_index + 1}: frame mismatch\n"
+                  f"  expected: {payload}\n"
+                  f"  received: {json.dumps(frame, separators=(',', ':'))}",
+                  file=sys.stderr)
+    finally:
+        server.stop()
+    return mismatches
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--doc", default="docs/PROTOCOL.md", type=Path)
+    parser.add_argument("--dodad", default="build/dodad", type=Path)
+    parser.add_argument("--trace-record", default="build/trace_record",
+                        type=Path)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite <-- lines with the received frames")
+    args = parser.parse_args()
+
+    text = args.doc.read_text()
+    lines, sessions = parse_doc(text)
+    if not sessions:
+        fail(f"{args.doc} has no ```jsonrpc blocks")
+
+    with tempfile.TemporaryDirectory(prefix="doda_protocol_docs_") as root:
+        store = subprocess.run(
+            [str(args.trace_record), "--out", str(Path(root) / "docstore")]
+            + DOC_STORE_ARGS, capture_output=True, text=True)
+        if store.returncode != 0:
+            fail(f"doc store recording failed:\n{store.stdout}"
+                 f"{store.stderr}")
+        total = 0
+        for session in sessions:
+            total += run_session(session, args.dodad, root, lines,
+                                 args.update)
+
+    if args.update:
+        args.doc.write_text("\n".join(lines))
+        print(f"check_protocol_docs: updated {args.doc} "
+              f"({len(sessions)} sessions)")
+        return
+    if total:
+        fail(f"{total} frame mismatch(es)")
+    print(f"check_protocol_docs: OK ({len(sessions)} sessions, "
+          f"{sum(len(s.steps) for s in sessions)} steps)")
+
+
+if __name__ == "__main__":
+    main()

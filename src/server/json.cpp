@@ -1,0 +1,477 @@
+#include "server/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace doda::server {
+
+namespace {
+
+bool isJsonWs(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendDouble(std::string& out, double v) {
+  // NaN/Inf have no JSON spelling; the protocol never produces them (stats
+  // over finite samples), but a defensive null beats emitting garbage.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+  // Keep a double recognizably non-integer on the wire ("1" -> "1e0" would
+  // be wrong; to_chars emits "1" for 1.0). Append ".0" when the shortest
+  // form looks like an integer so round-tripping preserves the kind.
+  const std::string_view text(buf, static_cast<std::size_t>(res.ptr - buf));
+  if (text.find('.') == std::string_view::npos &&
+      text.find('e') == std::string_view::npos &&
+      text.find('E') == std::string_view::npos)
+    out += ".0";
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Json run() {
+    Json value = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, pos_);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() && isJsonWs(text_[pos_])) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parseValue() {
+    skipWs();
+    switch (peek()) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        return Json(parseString());
+      case 't':
+        if (consumeLiteral("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return Json(nullptr);
+        fail("invalid literal");
+      default:
+        return parseNumber();
+    }
+  }
+
+  Json parseObject() {
+    if (++depth_ > max_depth_) fail("nesting too deep");
+    expect('{');
+    Json::Object members;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(members));
+    }
+    while (true) {
+      skipWs();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      members.emplace_back(std::move(key), parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      --depth_;
+      return Json(std::move(members));
+    }
+  }
+
+  Json parseArray() {
+    if (++depth_ > max_depth_) fail("nesting too deep");
+    expect('[');
+    Json::Array items;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(items));
+    }
+    while (true) {
+      items.push_back(parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      --depth_;
+      return Json(std::move(items));
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          const std::uint32_t cp = parseHex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("unpaired surrogate");
+            pos_ += 2;
+            const std::uint32_t low = parseHex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            appendUtf8(out,
+                       0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00));
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          } else {
+            appendUtf8(out, cp);
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  std::uint32_t parseHex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  static void appendUtf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  /// RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// Stricter than strtod/from_chars, which tolerate "01", "1." and ".5".
+  static bool isJsonNumber(std::string_view token) {
+    std::size_t i = 0;
+    const auto digit = [&](std::size_t at) {
+      return at < token.size() && token[at] >= '0' && token[at] <= '9';
+    };
+    if (i < token.size() && token[i] == '-') ++i;
+    if (!digit(i)) return false;
+    if (token[i] == '0') {
+      ++i;
+    } else {
+      while (digit(i)) ++i;
+    }
+    if (i < token.size() && token[i] == '.') {
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+      ++i;
+      if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    return i == token.size();
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!isJsonNumber(token)) fail("invalid number");
+    const bool integral =
+        token.find('.') == std::string_view::npos &&
+        token.find('e') == std::string_view::npos &&
+        token.find('E') == std::string_view::npos;
+    if (integral) {
+      std::int64_t value = 0;
+      const auto res =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (res.ec == std::errc() && res.ptr == token.data() + token.size())
+        return Json(value);
+      // Out-of-range integers fall through to double.
+    }
+    double value = 0.0;
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (res.ec != std::errc() || res.ptr != token.data() + token.size())
+      fail("invalid number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+Json::Json(std::uint64_t v) {
+  if (v <= static_cast<std::uint64_t>(
+               std::numeric_limits<std::int64_t>::max())) {
+    type_ = Type::kInt;
+    int_ = static_cast<std::int64_t>(v);
+  } else {
+    type_ = Type::kDouble;
+    double_ = static_cast<double>(v);
+  }
+}
+
+Json Json::object(std::initializer_list<Member> members) {
+  return Json(Object(members));
+}
+
+Json Json::array(std::initializer_list<Json> items) {
+  return Json(Array(items));
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& member : object_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  array_.push_back(std::move(value));
+}
+
+void Json::dumpTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Type::kDouble:
+      appendDouble(out, double_);
+      break;
+    case Type::kString:
+      appendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out.push_back(',');
+        first = false;
+        item.dumpTo(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const Member& member : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        appendEscaped(out, member.first);
+        out.push_back(':');
+        member.second.dumpTo(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(out);
+  return out;
+}
+
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.isNumber() && b.isNumber()) {
+    if (a.type_ == b.type_)
+      return a.type_ == Json::Type::kInt ? a.int_ == b.int_
+                                         : a.double_ == b.double_;
+    return false;  // int 1 != double 1.0: the wire kind matters
+  }
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull:
+      return true;
+    case Json::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Json::Type::kString:
+      return a.string_ == b.string_;
+    case Json::Type::kArray:
+      return a.array_ == b.array_;
+    case Json::Type::kObject: {
+      if (a.object_.size() != b.object_.size()) return false;
+      for (const Json::Member& member : a.object_) {
+        const Json* other = b.find(member.first);
+        if (other == nullptr || !(member.second == *other)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;  // numbers handled above
+  }
+}
+
+}  // namespace doda::server

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace doda::server {
+
+/// Error thrown by Json::parse on malformed input. `offset` is the byte
+/// position of the first offending character.
+struct JsonParseError : std::runtime_error {
+  JsonParseError(const std::string& what, std::size_t offset_)
+      : std::runtime_error(what), offset(offset_) {}
+  std::size_t offset = 0;
+};
+
+/// A JSON document — the dodad protocol's only wire type.
+///
+/// Design constraints, all serving the protocol's determinism contract
+/// (docs/PROTOCOL.md):
+///  * objects preserve insertion order (a vector of pairs, not a map), so
+///    a serialized response is byte-stable across runs and platforms;
+///  * integers that fit int64 stay integers end to end (no ".0" drift);
+///  * doubles serialize via std::to_chars shortest round-trip — locale-
+///    independent and bit-faithful on every IEEE-754 host.
+///
+/// Lookup is linear in the object size; protocol frames are small.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kInt), int_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v);
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  /// Builds an object literal: Json::object({{"a", 1}, {"b", "x"}}).
+  static Json object(std::initializer_list<Member> members = {});
+  static Json array(std::initializer_list<Json> items = {});
+
+  Type type() const noexcept { return type_; }
+  bool isNull() const noexcept { return type_ == Type::kNull; }
+  bool isBool() const noexcept { return type_ == Type::kBool; }
+  bool isInt() const noexcept { return type_ == Type::kInt; }
+  bool isNumber() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool isString() const noexcept { return type_ == Type::kString; }
+  bool isArray() const noexcept { return type_ == Type::kArray; }
+  bool isObject() const noexcept { return type_ == Type::kObject; }
+
+  bool asBool() const { return bool_; }
+  std::int64_t asInt() const { return int_; }
+  double asDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& asString() const { return string_; }
+  const Array& asArray() const { return array_; }
+  const Object& asObject() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const noexcept;
+  /// Appends a member (objects only).
+  void set(std::string key, Json value);
+  /// Appends an element (arrays only).
+  void push(Json value);
+
+  /// Serializes to a single line (no newline appended, no whitespace).
+  std::string dump() const;
+
+  /// Parses a complete document; trailing non-whitespace is an error.
+  /// `max_depth` bounds nesting (arrays + objects) to keep a hostile
+  /// frame from exhausting the stack.
+  static Json parse(std::string_view text, std::size_t max_depth = 64);
+
+  /// Structural equality (object member ORDER is ignored; numeric kind is
+  /// not: the int 1 equals the double 1.0). Used by tests.
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void dumpTo(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace doda::server

@@ -1,0 +1,225 @@
+#include "server/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace doda::server {
+
+namespace {
+
+/// Emits a RunningStats as an object with decimal fields (shortest
+/// round-trip, readable) and their hexfloat twins (bit-exact goldens).
+Json runningStatsJson(const util::RunningStats& stats) {
+  Json out = Json::object();
+  out.set("count", static_cast<std::uint64_t>(stats.count()));
+  out.set("mean", stats.mean());
+  out.set("stddev", stats.stddev());
+  out.set("ci95", stats.ci95HalfWidth());
+  if (stats.count() > 0) {
+    out.set("min", stats.min());
+    out.set("max", stats.max());
+  }
+  out.set("mean_hex", hexDouble(stats.mean()));
+  out.set("stddev_hex", hexDouble(stats.stddev()));
+  return out;
+}
+
+int hexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string hexDouble(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const bool negative = (bits >> 63) != 0;
+  const int raw_exp = static_cast<int>((bits >> 52) & 0x7FF);
+  std::uint64_t mantissa = bits & ((std::uint64_t{1} << 52) - 1);
+
+  std::string out;
+  if (negative) out.push_back('-');
+  if (raw_exp == 0x7FF) {
+    out += mantissa != 0 ? "nan" : "inf";
+    return out;
+  }
+  if (raw_exp == 0 && mantissa == 0) {
+    out += "0x0p+0";
+    return out;
+  }
+  int exponent;
+  if (raw_exp == 0) {
+    // Subnormal: renormalize so the output always reads 0x1.<frac>p<e>.
+    exponent = -1022;
+    while ((mantissa & (std::uint64_t{1} << 52)) == 0) {
+      mantissa <<= 1;
+      --exponent;
+    }
+    mantissa &= (std::uint64_t{1} << 52) - 1;
+  } else {
+    exponent = raw_exp - 1023;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "0x1.%013llxp%+d",
+                static_cast<unsigned long long>(mantissa), exponent);
+  out += buf;
+  return out;
+}
+
+double parseHexDouble(const std::string& text) {
+  const char* p = text.c_str();
+  bool negative = false;
+  if (*p == '+' || *p == '-') {
+    negative = *p == '-';
+    ++p;
+  }
+  if (std::strncmp(p, "inf", 3) == 0)
+    return negative ? -std::numeric_limits<double>::infinity()
+                    : std::numeric_limits<double>::infinity();
+  if (std::strncmp(p, "nan", 3) == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  if (!(p[0] == '0' && (p[1] == 'x' || p[1] == 'X')))
+    throw std::invalid_argument("parseHexDouble: missing 0x in '" + text +
+                                "'");
+  p += 2;
+  // x86's 80-bit long double carries 64 mantissa bits — enough to
+  // accumulate 1 + 13 hex digits exactly before the final rounding cast.
+  long double value = 0.0L;
+  int exponent = 0;
+  bool any_digits = false;
+  for (int d; (d = hexDigit(*p)) >= 0; ++p) {
+    value = value * 16.0L + d;
+    any_digits = true;
+  }
+  if (*p == '.') {
+    ++p;
+    for (int d; (d = hexDigit(*p)) >= 0; ++p) {
+      value = value * 16.0L + d;
+      exponent -= 4;
+      any_digits = true;
+    }
+  }
+  if (!any_digits)
+    throw std::invalid_argument("parseHexDouble: no digits in '" + text +
+                                "'");
+  if (*p == 'p' || *p == 'P') {
+    ++p;
+    int exp_sign = 1;
+    if (*p == '+' || *p == '-') {
+      if (*p == '-') exp_sign = -1;
+      ++p;
+    }
+    if (*p < '0' || *p > '9')
+      throw std::invalid_argument("parseHexDouble: bad exponent in '" +
+                                  text + "'");
+    int e = 0;
+    while (*p >= '0' && *p <= '9') e = e * 10 + (*p++ - '0');
+    exponent += exp_sign * e;
+  }
+  if (*p != '\0')
+    throw std::invalid_argument("parseHexDouble: trailing characters in '" +
+                                text + "'");
+  const double result = static_cast<double>(std::ldexp(value, exponent));
+  return negative ? -result : result;
+}
+
+Json statsJson(const sim::MeasureResult& result) {
+  Json out = Json::object();
+  out.set("interactions", runningStatsJson(result.interactions));
+  if (result.cost.count() > 0) out.set("cost", runningStatsJson(result.cost));
+  out.set("failed_trials", static_cast<std::uint64_t>(result.failed_trials));
+  return out;
+}
+
+Json faultResultJson(const sim::FaultMeasureResult& result) {
+  const analysis::DegradationAccumulator& d = result.degradation;
+  Json degradation = Json::object();
+  degradation.set("trials", static_cast<std::uint64_t>(d.trials()));
+  degradation.set("completed", static_cast<std::uint64_t>(d.completed()));
+  degradation.set("blocked", static_cast<std::uint64_t>(d.blocked()));
+  degradation.set("poisoned", static_cast<std::uint64_t>(d.poisoned()));
+  degradation.set("completion_probability", d.completionProbability());
+  degradation.set("completion_ci95", d.completionCi95HalfWidth());
+  degradation.set("residual", runningStatsJson(d.residual()));
+  degradation.set("stranded", runningStatsJson(d.stranded()));
+  degradation.set("delivered_fraction",
+                  runningStatsJson(d.deliveredFraction()));
+  degradation.set("lost", runningStatsJson(d.lost()));
+  degradation.set("retransmissions", runningStatsJson(d.retransmissions()));
+  degradation.set("cost_inflation", runningStatsJson(d.costInflation()));
+
+  Json out = Json::object();
+  out.set("interactions", runningStatsJson(result.interactions));
+  out.set("degradation", std::move(degradation));
+  out.set("timed_out_trials",
+          static_cast<std::uint64_t>(result.timed_out_trials));
+  return out;
+}
+
+Json makeResponse(Json id, Json result) {
+  Json out = Json::object();
+  out.set("id", std::move(id));
+  out.set("result", std::move(result));
+  return out;
+}
+
+Json makeError(Json id, ErrorCode code, const std::string& message) {
+  Json error = Json::object();
+  error.set("code", static_cast<std::int64_t>(code));
+  error.set("message", message);
+  Json out = Json::object();
+  out.set("id", std::move(id));
+  out.set("error", std::move(error));
+  return out;
+}
+
+Json makeNotification(const std::string& method, Json params) {
+  Json out = Json::object();
+  out.set("method", method);
+  out.set("params", std::move(params));
+  return out;
+}
+
+Request parseRequest(const std::string& line, std::size_t max_frame_bytes) {
+  if (line.size() > max_frame_bytes)
+    throw ProtocolError(ErrorCode::kFrameTooLarge,
+                        "frame exceeds " + std::to_string(max_frame_bytes) +
+                            " bytes");
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const JsonParseError& e) {
+    throw ProtocolError(ErrorCode::kParseError,
+                        std::string("parse error: ") + e.what());
+  }
+  if (!doc.isObject())
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        "request must be a JSON object");
+  const Json* id = doc.find("id");
+  const Json* method = doc.find("method");
+  if (id == nullptr || id->isArray() || id->isObject() || id->isNull())
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        "request needs a scalar \"id\"");
+  if (method == nullptr || !method->isString())
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        "request needs a string \"method\"");
+  Request request;
+  request.id = *id;
+  request.method = method->asString();
+  if (const Json* params = doc.find("params")) {
+    if (!params->isObject())
+      throw ProtocolError(ErrorCode::kInvalidParams,
+                          "\"params\" must be an object");
+    request.params = *params;
+  } else {
+    request.params = Json::object();
+  }
+  return request;
+}
+
+}  // namespace doda::server

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/json.hpp"
+#include "sim/experiment.hpp"
+#include "sim/fault_experiment.hpp"
+
+namespace doda::server {
+
+/// Protocol error codes (docs/PROTOCOL.md "Errors"). The -327xx range
+/// matches JSON-RPC convention; -320xx is the dodad server range.
+enum class ErrorCode : int {
+  kParseError = -32700,      // frame is not valid JSON
+  kInvalidRequest = -32600,  // JSON but not a request object
+  kMethodNotFound = -32601,
+  kInvalidParams = -32602,
+  kInternalError = -32603,
+  kBusy = -32000,           // job queue at capacity
+  kUnknownJob = -32001,     // job id never existed or already evicted
+  kNotFinished = -32002,    // result fetch on a running/queued job
+  kTrialBudget = -32003,    // submit exceeds the per-job trial budget
+  kStoreError = -32004,     // trace store missing/corrupt/outside root
+  kFrameTooLarge = -32005,  // request line exceeded the frame cap
+};
+
+/// A request the server failed to serve; carried to the response writer.
+struct ProtocolError : std::runtime_error {
+  ProtocolError(ErrorCode code_, const std::string& message)
+      : std::runtime_error(message), code(code_) {}
+  ErrorCode code;
+};
+
+/// Hexadecimal floating-point rendering of a double, bit-exact and
+/// locale/libc independent (printf %a varies in digit count across libcs).
+/// Format: [-]0x1.<13 hex digits>p<decimal exponent>, subnormals
+/// renormalized, zero as 0x0p+0. parseHexDouble inverts it (also accepts
+/// standard strtod hexfloats).
+std::string hexDouble(double value);
+double parseHexDouble(const std::string& text);
+
+/// Renders a folded MeasureResult as the protocol's stats object —
+/// human-readable decimal fields plus bit-exact hexfloat twins ("*_hex")
+/// for the golden comparisons. Shape documented in docs/PROTOCOL.md.
+Json statsJson(const sim::MeasureResult& result);
+
+/// Renders a FaultMeasureResult: the interactions stats object plus the
+/// degradation block (completion/blocked/timeout rates, cost inflation).
+Json faultResultJson(const sim::FaultMeasureResult& result);
+
+/// Builds a response frame: {"id":..,"result":..} on success.
+Json makeResponse(Json id, Json result);
+/// Builds an error frame: {"id":..,"error":{"code":..,"message":..}}.
+Json makeError(Json id, ErrorCode code, const std::string& message);
+/// Builds a notification frame: {"method":..,"params":..} (no id).
+Json makeNotification(const std::string& method, Json params);
+
+/// One parsed request. `id` may be any JSON scalar; requests without an
+/// id are invalid in this dialect (the server always replies).
+struct Request {
+  Json id;
+  std::string method;
+  Json params;  // object, possibly empty
+};
+
+/// Parses one frame into a Request. Throws ProtocolError with
+/// kParseError / kInvalidRequest on malformed input.
+Request parseRequest(const std::string& line, std::size_t max_frame_bytes);
+
+}  // namespace doda::server

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+
+namespace doda::server {
+
+struct ServerOptions {
+  /// Bind address; the default serves localhost only (dodad is a trusted
+  /// lab daemon, not an internet service).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (tests read it via port()).
+  std::uint16_t port = 0;
+};
+
+/// The dodad TCP transport: line-delimited frames over per-connection
+/// reader threads, responses and notifications serialized through one
+/// write mutex per connection (a subscriber's progress frames come from
+/// job runner threads while the reader writes responses).
+///
+/// The transport owns no protocol logic — every frame goes through
+/// Service::handle; the service's after-reply hook runs once the response
+/// bytes are on the wire.
+class Server {
+ public:
+  Server(Service& service, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Throws std::runtime_error
+  /// on bind failures.
+  void start();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Closes the listener and every connection, then joins all threads.
+  /// Does NOT drain the job queue — the daemon drains first (so running
+  /// jobs finish) and stops the transport after. Safe to call twice.
+  void stop();
+
+ private:
+  struct WriteHalf;
+  struct Connection;
+
+  void acceptLoop();
+  void serveConnection(std::shared_ptr<Connection> connection);
+  static bool writeFrame(WriteHalf& half, const Json& frame);
+
+  Service& service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  bool stopped_ = false;
+};
+
+}  // namespace doda::server

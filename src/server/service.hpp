@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "server/job_queue.hpp"
+#include "server/protocol.hpp"
+#include "server/store_cache.hpp"
+
+namespace doda::server {
+
+struct ServiceOptions {
+  /// Job-queue shape (admission cap, runner threads, retention).
+  JobQueueOptions queue;
+  /// Store-path jail + handle cache.
+  StoreCacheOptions stores;
+  /// Per-job trial budget: submits asking for more trials fail with
+  /// kTrialBudget instead of monopolizing a runner.
+  std::uint64_t max_trials_per_job = 1u << 20;
+  /// Hard cap on one request line, enforced before parsing.
+  std::size_t max_frame_bytes = 1u << 20;
+};
+
+/// What Service::handle returns: the response frame to write, plus an
+/// optional hook the transport runs AFTER the response is on the wire.
+/// Job activation lives in the hook so a submit's first progress frame can
+/// never overtake the submit response — the ordering docs/PROTOCOL.md
+/// sessions (and their conformance test) rely on.
+struct Handled {
+  Json response;
+  std::function<void()> after_reply;
+};
+
+/// The dodad method dispatcher — transport-agnostic (the TCP server and
+/// the in-process tests both drive it).
+///
+/// Methods (docs/PROTOCOL.md is the authoritative spec):
+///   ping, server.info,
+///   job.submit, job.status, job.result, job.cancel, job.subscribe
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Dispatches one raw frame. Never throws: protocol failures come back
+  /// as error frames. `sink` is the caller's connection-bound stream sink,
+  /// used by job.subscribe (never invoked before handle returns).
+  Handled handle(const std::string& line, const StreamSink& sink);
+
+  /// SIGTERM path: refuse new jobs, wait for open ones.
+  void drain();
+
+  JobQueue& jobs() { return jobs_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  Handled dispatch(const Request& request, const StreamSink& sink);
+  Handled submit(const Request& request);
+
+  ServiceOptions options_;
+  StoreCache stores_;
+  JobQueue jobs_;
+};
+
+}  // namespace doda::server

@@ -1,0 +1,112 @@
+#include "server/store_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <filesystem>
+
+#include "server/protocol.hpp"
+#include "storage/durable_store.hpp"
+
+namespace doda::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void storeError(const std::string& message) {
+  throw ProtocolError(ErrorCode::kStoreError, message);
+}
+
+/// size ^ rotated mtime of one file — changes whenever the file does.
+std::uint64_t statToken(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  const auto mtime = static_cast<std::uint64_t>(st.st_mtime);
+  return size ^ (mtime << 20) ^ (mtime >> 44);
+}
+
+}  // namespace
+
+StoreCache::StoreCache(StoreCacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+std::string StoreCache::resolve(const std::string& path) const {
+  if (path.empty()) storeError("store path is empty");
+  if (options_.root.empty()) return path;
+  const fs::path candidate(path);
+  if (candidate.is_absolute())
+    storeError("absolute store paths are not allowed under --store-root");
+  for (const fs::path& part : candidate)
+    if (part == "..")
+      storeError("store path may not contain '..' under --store-root");
+  return (fs::path(options_.root) / candidate).string();
+}
+
+std::uint64_t StoreCache::freshnessOf(const std::string& resolved) {
+  // The durable MANIFEST grows on every commit; a plain store's shard 0 is
+  // rewritten only when the store is re-recorded. Either way one stat
+  // answers "did this store change since we opened it".
+  const std::string manifest = resolved + "/MANIFEST";
+  const std::uint64_t manifest_token = statToken(manifest);
+  if (manifest_token != 0) return manifest_token;
+  return statToken(resolved + "/shard-00000.trace");
+}
+
+std::shared_ptr<const dynagraph::TraceStore> StoreCache::open(
+    const std::string& path) {
+  const std::string resolved = resolve(path);
+  const std::uint64_t freshness = freshnessOf(resolved);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->key != resolved) continue;
+      if (it->freshness == freshness) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return entries_.front().store;
+      }
+      entries_.erase(it);  // stale: reopen below
+      break;
+    }
+  }
+
+  // Open outside the lock: manifest recovery / header validation can take
+  // a while and must not serialize unrelated jobs.
+  std::shared_ptr<const dynagraph::TraceStore> store;
+  try {
+    if (storage::DurableTraceStore::isDurableStore(resolved)) {
+      const storage::DurableTraceStore durable =
+          storage::DurableTraceStore::open(resolved);
+      store = std::make_shared<const dynagraph::TraceStore>(
+          durable.openStore());
+    } else {
+      store = std::make_shared<const dynagraph::TraceStore>(
+          dynagraph::TraceStore::open(resolved));
+    }
+  } catch (const std::exception& e) {
+    storeError(std::string("cannot open store: ") + e.what());
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // A concurrent open may have raced us here; latest wins, both handles
+  // stay valid for their holders.
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == resolved) {
+      entries_.erase(it);
+      break;
+    }
+  }
+  entries_.push_front({resolved, freshness, store});
+  while (entries_.size() > options_.capacity) entries_.pop_back();
+  return store;
+}
+
+std::size_t StoreCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace doda::server

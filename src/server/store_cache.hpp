@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "dynagraph/trace_io.hpp"
+
+namespace doda::server {
+
+struct StoreCacheOptions {
+  /// When non-empty, every store path is resolved relative to this root
+  /// and jailed inside it: absolute paths and ".." components are
+  /// rejected. Empty (the default, for tests and trusted local use) takes
+  /// paths as given.
+  std::string root;
+  /// Open handles kept alive; least recently used is evicted beyond this.
+  std::size_t capacity = 8;
+};
+
+/// LRU cache of open trace-store handles for the dodad server.
+///
+/// A replay job needs a validated TraceStore (every shard header read and
+/// cross-checked — and for a durable store, a full manifest recovery
+/// replay); doing that per request would dominate small replays. The cache
+/// keys on the resolved path and revalidates freshness with one stat per
+/// hit (MANIFEST size+mtime for durable stores, shard 0 for plain ones):
+/// a store that grew a commit is transparently reopened.
+///
+/// Handles are shared_ptr<const TraceStore>: eviction or reopen never
+/// invalidates a replay in flight (TraceStore is immutable and holds no
+/// file descriptors; shard files are themselves immutable once committed).
+class StoreCache {
+ public:
+  explicit StoreCache(StoreCacheOptions options = {});
+
+  /// Resolves, validates, and opens (or reuses) the store at `path`.
+  /// Durable stores (a MANIFEST is present) are recovered and opened as
+  /// their composite view; plain directories open directly. Throws
+  /// ProtocolError(kStoreError) on jail violations and open failures.
+  std::shared_ptr<const dynagraph::TraceStore> open(const std::string& path);
+
+  /// Cached handle count (tests).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t freshness = 0;
+    std::shared_ptr<const dynagraph::TraceStore> store;
+  };
+
+  std::string resolve(const std::string& path) const;
+  static std::uint64_t freshnessOf(const std::string& resolved);
+
+  StoreCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  // front = most recently used
+};
+
+}  // namespace doda::server

@@ -94,7 +94,8 @@ MeasureResult measureRandomized(const MeasureConfig& config,
         outcome.interactions =
             static_cast<double>(result.interactions_to_terminate);
         return outcome;
-      });
+      },
+      config.control);
 }
 
 MeasureResult measureOfflineOptimal(const MeasureConfig& config) {
@@ -130,7 +131,8 @@ MeasureResult measureOfflineOptimal(const MeasureConfig& config) {
         outcome.cost = 1.0;  // the offline optimum has cost 1 by definition
         outcome.has_cost = true;
         return outcome;
-      });
+      },
+      config.control);
 }
 
 MeasureResult measureMaterialized(const MeasureConfig& config,
@@ -167,7 +169,8 @@ MeasureResult measureMaterialized(const MeasureConfig& config,
           return outcome;
         }
         return TrialOutcome::failure();
-      });
+      },
+      config.control);
 }
 
 MeasureResult measureWithCost(const MeasureConfig& config, Time length_hint,
@@ -212,7 +215,8 @@ MeasureResult measureWithCost(const MeasureConfig& config, Time length_hint,
           seq.appendAll(drawAdversarySequence(config, seq.length(), rng));
         }
         return TrialOutcome::failure();
-      });
+      },
+      config.control);
 }
 
 InteractionSequence drawAdversarySequence(const MeasureConfig& config,
@@ -238,6 +242,7 @@ ReplayConfig replayConfigOf(const dynagraph::TraceStore& store,
   replay.threads = config.threads;
   replay.max_interactions = config.max_interactions;
   replay.compute_cost = compute_cost;
+  replay.control = config.control;
   return replay;
 }
 

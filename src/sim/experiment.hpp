@@ -87,6 +87,11 @@ struct MeasureConfig {
   /// Fault regime for measureWithFaults / measureUnderFaults (ignored by
   /// the fault-free measure* family). Defaults to no faults.
   fault::FaultModel faults;
+  /// Optional cooperative control (progress observer + cancel flag) for
+  /// long-running measurements — the dodad server's job layer hooks in
+  /// here. Never affects the statistics (see sim::RunControl). Not owned;
+  /// must outlive the measurement.
+  const RunControl* control = nullptr;
 };
 
 // MeasureResult lives in sim/parallel.hpp (it is the executor's fold type).

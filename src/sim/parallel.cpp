@@ -77,23 +77,48 @@ void runIndexedTasks(std::size_t count, std::size_t threads,
 }
 
 MeasureResult runTrials(std::size_t trials, std::uint64_t master_seed,
-                        std::size_t threads, const TrialBody& body) {
+                        std::size_t threads, const TrialBody& body,
+                        const RunControl* control) {
   // Pre-draw every trial seed so randomness is a function of the trial
   // index alone — the determinism anchor of the whole subsystem.
   util::Rng master(master_seed);
   std::vector<std::uint64_t> seeds(trials);
   for (auto& seed : seeds) seed = master();
 
+  const bool observed = control != nullptr && control->progress != nullptr;
+  const std::atomic<bool>* cancel =
+      control != nullptr ? control->cancel : nullptr;
+
+  MeasureResult out;
   std::vector<TrialOutcome> outcomes(trials);
+  // Incremental-fold state (observed runs only): completion flags plus the
+  // index of the first trial not yet folded. The fold still advances
+  // strictly in trial order — a worker finishing trial 7 before trial 3
+  // only parks its outcome until the prefix catches up.
+  std::vector<std::uint8_t> done(observed ? trials : 0, 0);
+  std::size_t folded = 0;
+  std::mutex fold_mutex;
+
   runIndexedTasks(trials, threads,
                   [&](std::size_t trial, core::Engine::Scratch& scratch) {
+                    if (cancel != nullptr &&
+                        cancel->load(std::memory_order_relaxed))
+                      throw RunCancelled();
                     outcomes[trial] = body(trial, seeds[trial], scratch);
+                    if (!observed) return;
+                    const std::lock_guard<std::mutex> lock(fold_mutex);
+                    done[trial] = 1;
+                    while (folded < trials && done[folded]) {
+                      foldOutcome(out, outcomes[folded]);
+                      ++folded;
+                      control->progress(folded, out);
+                    }
                   });
+  if (observed) return out;
 
   // Ordered fold: trial 0, 1, 2, ... regardless of which worker ran what,
   // so the floating-point accumulation is identical for every thread
   // count.
-  MeasureResult out;
   for (const auto& outcome : outcomes) foldOutcome(out, outcome);
   return out;
 }

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 
 #include "core/engine.hpp"
 #include "util/stats.hpp"
@@ -43,6 +45,36 @@ struct TrialOutcome {
 using TrialBody = std::function<TrialOutcome(
     std::size_t trial, std::uint64_t seed, core::Engine::Scratch& scratch)>;
 
+/// Thrown by the executors when RunControl::cancel flips to true: the run
+/// stops claiming new trials and unwinds to the caller. A cancelled run has
+/// no result — partial statistics are never returned.
+struct RunCancelled : std::runtime_error {
+  RunCancelled() : std::runtime_error("measurement cancelled") {}
+};
+
+/// Cooperative control of a long-running measurement, threaded from the
+/// dodad server's job layer (src/server/) into the deterministic executors
+/// (runTrials, replayShards, measureWithFaults). Neither hook ever changes
+/// the statistics: the progress observer watches the same trial-order fold
+/// that produces the final result, and cancellation aborts the whole run by
+/// throwing RunCancelled.
+struct RunControl {
+  /// Invoked each time the in-order fold advances: `folded` trials have
+  /// been folded (in trial order, exactly as the final result folds them)
+  /// and `snapshot` is that folded prefix. Called under the executor's fold
+  /// lock from worker threads — must be fast, must not throw, and must not
+  /// re-enter the executor.
+  std::function<void(std::size_t folded, const MeasureResult& snapshot)>
+      progress;
+  /// Polled between trials; when it reads true the run throws RunCancelled.
+  /// Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool engaged() const noexcept {
+    return static_cast<bool>(progress) || cancel != nullptr;
+  }
+};
+
 /// Resolves a MeasureConfig::threads knob: 0 means
 /// std::thread::hardware_concurrency(), and the result is clamped to
 /// [1, trials] (no point spawning idle workers).
@@ -79,7 +111,13 @@ void runIndexedTasks(std::size_t count, std::size_t threads,
 ///
 /// An exception thrown by any trial body stops the run (workers drain
 /// quickly) and is rethrown to the caller.
+///
+/// `control` (optional) attaches a progress observer and a cancel flag.
+/// With an observer, the fold advances incrementally as the completed
+/// prefix grows — same order, same floating-point accumulation, bit-
+/// identical final result.
 MeasureResult runTrials(std::size_t trials, std::uint64_t master_seed,
-                        std::size_t threads, const TrialBody& body);
+                        std::size_t threads, const TrialBody& body,
+                        const RunControl* control = nullptr);
 
 }  // namespace doda::sim

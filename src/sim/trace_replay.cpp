@@ -1,6 +1,9 @@
 #include "sim/trace_replay.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -40,7 +43,9 @@ void runSpan(const TraceStore& store, const ReplaySpan& span,
              core::Engine::Scratch& scratch,
              std::vector<TrialOutcome>& slots,
              dynagraph::TraceReadBackend backend,
-             const dynagraph::TraceDecodePool* decode_pool) {
+             const dynagraph::TraceDecodePool* decode_pool,
+             const std::atomic<bool>* cancel,
+             const std::function<void(std::uint64_t)>& trial_done) {
   TraceShardReader reader = store.openShard(span.shard, backend);
   reader.setDecodePool(decode_pool);
   if (!reader.seekToTrial(span.begin))
@@ -48,6 +53,8 @@ void runSpan(const TraceStore& store, const ReplaySpan& span,
                              std::to_string(span.begin) +
                              " not in shard " + std::to_string(span.shard));
   for (std::uint64_t global = span.begin; global < span.end; ++global) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+      throw RunCancelled();
     if (!reader.beginTrial())
       throw std::runtime_error("replayShards: shard " +
                                std::to_string(span.shard) +
@@ -55,6 +62,7 @@ void runSpan(const TraceStore& store, const ReplaySpan& span,
                                std::to_string(global));
     slots[static_cast<std::size_t>(global - window_first)] =
         body(static_cast<std::size_t>(global), reader, scratch);
+    if (trial_done) trial_done(global);
   }
 }
 
@@ -72,7 +80,8 @@ core::RunOptions replayRunOptions(const ReplayConfig& config,
 MeasureResult replayShards(const TraceStore& store, std::size_t threads,
                            const ReplayTrialBody& body,
                            dynagraph::TraceReadBackend backend,
-                           ReplayTrialRange range) {
+                           ReplayTrialRange range,
+                           const RunControl* control) {
   const std::uint64_t first = std::min(range.first, store.trialCount());
   const std::uint64_t last = std::min(range.last, store.trialCount());
   if (first >= last) return {};
@@ -128,16 +137,41 @@ MeasureResult replayShards(const TraceStore& store, std::size_t threads,
   }
 
   std::vector<TrialOutcome> slots(selected);
+
+  // Incremental in-order fold for observed runs: spans complete their
+  // trials out of global order, so completion flags park each outcome
+  // until the folded prefix reaches it — same fold order (global trial
+  // first, first+1, ...) as the batch path below, bit-identical result.
+  const bool observed = control != nullptr && control->progress != nullptr;
+  const std::atomic<bool>* cancel =
+      control != nullptr ? control->cancel : nullptr;
+  MeasureResult out;
+  std::vector<std::uint8_t> done(observed ? selected : 0, 0);
+  std::size_t folded = 0;
+  std::mutex fold_mutex;
+  std::function<void(std::uint64_t)> trial_done;
+  if (observed)
+    trial_done = [&](std::uint64_t global) {
+      const std::lock_guard<std::mutex> lock(fold_mutex);
+      done[static_cast<std::size_t>(global - first)] = 1;
+      while (folded < selected && done[folded]) {
+        foldOutcome(out, slots[folded]);
+        ++folded;
+        control->progress(folded, out);
+      }
+    };
+
   runIndexedTasks(spans.size(), threads,
                   [&](std::size_t span, core::Engine::Scratch& scratch) {
                     runSpan(store, spans[span], first, body, scratch, slots,
-                            backend, decode_pool ? &decode_pool : nullptr);
+                            backend, decode_pool ? &decode_pool : nullptr,
+                            cancel, trial_done);
                   });
+  if (observed) return out;
 
   // Ordered fold: global trial first, first+1, ... regardless of span
   // placement, so the floating-point accumulation matches the synthetic
   // executor's (and a full replay restricted to the same window).
-  MeasureResult out;
   for (const auto& outcome : slots) foldOutcome(out, outcome);
   return out;
 }
@@ -183,7 +217,7 @@ MeasureResult replayTrace(const TraceStore& store, const ReplayConfig& config,
         }
         return outcome;
       },
-      config.backend, config.trial_range);
+      config.backend, config.trial_range, config.control);
 }
 
 namespace {
@@ -230,7 +264,7 @@ MeasureResult replayTraceStreaming(const TraceStore& store,
             static_cast<double>(result.interactions_to_terminate);
         return outcome;
       },
-      config.backend, config.trial_range);
+      config.backend, config.trial_range, config.control);
 }
 
 void recordTrials(const std::string& directory, std::size_t node_count,

@@ -52,6 +52,9 @@ struct ReplayConfig {
   std::size_t intra_trial_partitions = 0;
   /// Interactions per intra-trial block.
   core::Time intra_trial_block = core::Time{1} << 16;
+  /// Optional cooperative control (progress observer + cancel flag), as
+  /// MeasureConfig::control. Not owned; must outlive the replay.
+  const RunControl* control = nullptr;
 };
 
 /// The work of one replayed trial. `reader` is positioned at the start of
@@ -84,7 +87,7 @@ MeasureResult replayShards(
     const dynagraph::TraceStore& store, std::size_t threads,
     const ReplayTrialBody& body,
     dynagraph::TraceReadBackend backend = dynagraph::TraceReadBackend::kAuto,
-    ReplayTrialRange range = {});
+    ReplayTrialRange range = {}, const RunControl* control = nullptr);
 
 /// Replays every recorded trial through a factory-built algorithm. Each
 /// trial is decoded into a per-trial sequence (one trial resident per
